@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark module regenerates one of the paper's figures/experiments
+(see DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
+results).  The data sizes are laptop-scale; the interesting output is the
+*shape* of each series (who wins, by roughly what factor), which is printed
+alongside the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.minicms import (
+    ADMIN_USER,
+    STUDENT1_USER,
+    STUDENT2_USER,
+    load_minicms,
+    seed_paper_scenario,
+    seed_scaled,
+)
+from repro.runtime.engine import HildaEngine
+
+
+@pytest.fixture(scope="session")
+def minicms_program():
+    return load_minicms()
+
+
+@pytest.fixture(scope="session")
+def navcms_program():
+    from repro.apps.minicms import load_navcms
+
+    return load_navcms()
+
+
+def fresh_engine(program, **options) -> HildaEngine:
+    """A new engine with the paper-scenario data."""
+    engine = HildaEngine(program, **options)
+    seed_paper_scenario(engine)
+    return engine
+
+
+def scaled_engine(program, n_courses=4, n_students=10, n_assignments=3, **options) -> HildaEngine:
+    """A new engine with a scaled synthetic data set."""
+    engine = HildaEngine(program, **options)
+    seed_scaled(
+        engine,
+        n_courses=n_courses,
+        n_students=n_students,
+        n_assignments=n_assignments,
+    )
+    return engine
+
+
+def print_series(title: str, rows, columns) -> None:
+    """Print a small results table the way the paper reports series."""
+    print(f"\n[{title}]")
+    header = " | ".join(f"{name:>18s}" for name in columns)
+    print("  " + header)
+    for row in rows:
+        print("  " + " | ".join(f"{str(value):>18s}" for value in row))

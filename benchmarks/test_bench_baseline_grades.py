@@ -1,0 +1,88 @@
+"""E9 (Section 2.2): impedance mismatch — bean nested loops vs declarative SQL.
+
+The paper argues that computing "the grade for each assignment for each
+student" by iterating over bean objects amounts to running nested-loop joins
+in the application server, and that issuing a single SQL query is far more
+efficient.  The benchmark reproduces that comparison on the hand-coded
+baseline and reports how the gap grows with the data size (shape: SQL wins,
+and its advantage grows as students x assignments grows).
+"""
+
+from __future__ import annotations
+
+import datetime
+import time
+
+import pytest
+
+from repro.apps.baseline import HandCodedCMS
+
+from .conftest import print_series
+
+_RELEASE = datetime.date(2006, 3, 1)
+_DUE = datetime.date(2006, 3, 15)
+
+
+def build_cms(n_courses: int, n_students: int, n_assignments: int) -> HandCodedCMS:
+    cms = HandCodedCMS()
+    rows = {"course": [], "student": [], "assign": [], "group": [], "groupmember": []}
+    sid = aid = gid = gmid = 1
+    for course_index in range(n_courses):
+        cid = 10 + course_index
+        rows["course"].append((cid, f"Course {cid}"))
+        assignment_ids = []
+        for _ in range(n_assignments):
+            rows["assign"].append((aid, cid, f"A{aid}", _RELEASE, _DUE))
+            assignment_ids.append(aid)
+            aid += 1
+        for student_index in range(n_students):
+            name = f"stu{student_index + 1}"
+            rows["student"].append((sid, cid, name))
+            for assignment_id in assignment_ids:
+                rows["group"].append((gid, assignment_id))
+                rows["groupmember"].append((gmid, gid, sid, float(60 + (sid % 40))))
+                gid += 1
+                gmid += 1
+            sid += 1
+    cms.load_fixture(rows)
+    return cms
+
+
+def test_bench_grades_nested_loop_beans(benchmark):
+    cms = build_cms(n_courses=2, n_students=15, n_assignments=4)
+    grades = benchmark(cms.grades_for_student_nested_loops, "stu1")
+    assert len(grades) == 2 * 4  # enrolled in both courses, 4 assignments each
+
+
+def test_bench_grades_single_sql_query(benchmark):
+    cms = build_cms(n_courses=2, n_students=15, n_assignments=4)
+    grades = benchmark(cms.grades_for_student_sql, "stu1")
+    assert len(grades) == 2 * 4
+
+
+def test_bench_grades_scaling_shape(benchmark):
+    """Report the nested-loop vs SQL gap as the database grows (Section 2.2)."""
+
+    def sweep():
+        rows = []
+        for n_students in (5, 10, 20):
+            cms = build_cms(n_courses=2, n_students=n_students, n_assignments=4)
+            start = time.perf_counter()
+            nested = cms.grades_for_student_nested_loops("stu1")
+            nested_ms = (time.perf_counter() - start) * 1000
+            start = time.perf_counter()
+            declarative = cms.grades_for_student_sql("stu1")
+            sql_ms = (time.perf_counter() - start) * 1000
+            assert sorted(nested) == sorted(declarative)
+            ratio = nested_ms / sql_ms if sql_ms else float("inf")
+            rows.append(
+                (n_students, f"{nested_ms:.2f} ms", f"{sql_ms:.2f} ms", f"{ratio:.1f}x")
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "E9 Section 2.2 — grade viewing: bean nested loops vs one SQL query",
+        rows,
+        ["students/course", "nested loops", "single SQL", "SQL speedup"],
+    )

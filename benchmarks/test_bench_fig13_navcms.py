@@ -1,0 +1,93 @@
+"""E2/E7 (Figures 2-4, 8, 12, 13): the MiniCMS case study and NavCMS navigation.
+
+E2 measures bringing up the full MiniCMS application (program load + session
+activation + first page render).  E7 measures NavCMS, the inheritance-based
+web-site structuring of Figure 13: selecting a course swaps which CourseAdmin
+subtree is active, so per-page work stays bounded by the *selected* course
+rather than by every course the user administers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.apps.minicms import ADMIN_USER, load_navcms, seed_scaled
+from repro.presentation.renderer import PageRenderer
+from repro.runtime.engine import HildaEngine
+
+from .conftest import fresh_engine, print_series, scaled_engine
+
+
+def test_bench_minicms_first_page(benchmark, minicms_program):
+    """E2: activate a session over the paper scenario and render its page."""
+
+    def bring_up():
+        engine = fresh_engine(minicms_program)
+        session = engine.start_session({"user": [(ADMIN_USER,)]})
+        html = PageRenderer(engine).render_session(session)
+        return html
+
+    html = benchmark.pedantic(bring_up, rounds=3, iterations=1)
+    assert "Homework 1" in html
+
+
+def _navcms_engine(n_courses: int):
+    program = load_navcms()
+    engine = HildaEngine(program)
+    seed_scaled(engine, n_courses=n_courses, n_students=5, n_assignments=3)
+    session = engine.start_session({"user": [(ADMIN_USER,)]})
+    return engine, session
+
+
+def _select_course(engine, session, cid: int) -> None:
+    picker = engine.find_instances(
+        "SelectRow", session_id=session, activator="ActSelectCourse"
+    )[0]
+    row = [r for r in picker.input_tables["input"].rows if r[0] == cid][0]
+    engine.perform(picker.instance_id, list(row))
+
+
+def test_bench_fig13_course_navigation(benchmark):
+    """E7: one navigation step (select a course) in NavCMS."""
+    engine, session = _navcms_engine(n_courses=4)
+    courses = [row[0] for row in engine.persistent_table("course").rows]
+    state = {"index": 0}
+
+    def navigate():
+        state["index"] = (state["index"] + 1) % len(courses)
+        _select_course(engine, session, courses[state["index"]])
+        return engine.forest.size()
+
+    size = benchmark.pedantic(navigate, rounds=5, iterations=1)
+    assert size > 0
+
+
+def test_bench_fig13_filtered_vs_unfiltered_forest(benchmark, minicms_program):
+    """NavCMS keeps the active forest small regardless of how many courses exist."""
+
+    def sweep():
+        rows = []
+        for n_courses in (2, 4, 8):
+            flat = scaled_engine(minicms_program, n_courses=n_courses, n_students=5)
+            flat_session = flat.start_session({"user": [(ADMIN_USER,)]})
+            flat_size = flat.forest.size()
+
+            nav_engine, nav_session = _navcms_engine(n_courses)
+            before = nav_engine.forest.size()
+            first_course = nav_engine.persistent_table("course").rows[0][0]
+            _select_course(nav_engine, nav_session, first_course)
+            after = nav_engine.forest.size()
+            rows.append((n_courses, flat_size, before, after))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "E7 Figure 13 — active instances: CMSRoot (all courses) vs NavCMS (selected course)",
+        rows,
+        ["courses", "CMSRoot forest", "NavCMS before select", "NavCMS after select"],
+    )
+    # The unfiltered forest grows with the number of courses; the NavCMS
+    # forest after selection stays roughly flat (one course's subtree).
+    assert rows[-1][1] > rows[-1][3]

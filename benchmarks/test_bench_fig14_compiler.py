@@ -1,0 +1,60 @@
+"""E8 (Figure 14): the Hilda compiler.
+
+Figure 14 shows the compiler taking a Hilda program to database scripts and
+servlet code running in a three-tier architecture.  The benchmarks measure
+compilation time, artifact sizes, generated-module import time and the cost
+of serving a page through the generated application, and print the artifact
+inventory the compiler produces for MiniCMS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.minicms import ADMIN_USER, MINICMS_SOURCE, seed_paper_scenario
+from repro.compiler import compile_program, compile_source
+from repro.web.container import BrowserClient
+
+from .conftest import print_series
+
+
+def test_bench_compile_minicms(benchmark, minicms_program):
+    compiled = benchmark(compile_program, minicms_program)
+    summary = compiled.summary()
+    assert summary["servlet_classes"] == 5
+    print_series(
+        "E8 Figure 14 — compiler artifacts for MiniCMS",
+        list(summary.items()),
+        ["artifact metric", "value"],
+    )
+
+
+def test_bench_compile_from_source(benchmark):
+    compiled = benchmark.pedantic(
+        lambda: compile_source(MINICMS_SOURCE), rounds=3, iterations=1
+    )
+    assert "CREATE TABLE" in compiled.ddl_script
+
+
+def test_bench_generated_module_import(benchmark, minicms_program):
+    compiled = compile_program(minicms_program)
+    module = benchmark.pedantic(compiled.load_module, rounds=3, iterations=1)
+    assert set(module.SERVLETS) == {
+        "CMSRoot",
+        "CourseAdmin",
+        "CreateAssignment",
+        "Student",
+        "SysAdmin",
+    }
+
+
+def test_bench_generated_application_page(benchmark, minicms_program):
+    """Serving one page through the generated three-tier application."""
+    compiled = compile_program(minicms_program)
+    application = compiled.build_application()
+    seed_paper_scenario(application.engine)
+    browser = BrowserClient(application)
+    browser.login(ADMIN_USER)
+
+    page = benchmark(lambda: browser.get("/"))
+    assert page.ok and "Homework 1" in page.body

@@ -1,0 +1,45 @@
+"""E1 (Figure 1): the Hilda grammar — parsing and validating MiniCMS.
+
+The paper's Figure 1 gives the AUnit grammar; the measurable analogue is the
+cost of the language front end on the full MiniCMS program: tokenizing,
+parsing, inheritance resolution and static validation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.minicms import MINICMS_SOURCE, NAVCMS_PROGRAM_SOURCE
+from repro.hilda.lexer import tokenize_hilda
+from repro.hilda.parser import parse_program
+from repro.hilda.program import load_program
+
+from .conftest import print_series
+
+
+def test_bench_tokenize_minicms(benchmark):
+    tokens = benchmark(tokenize_hilda, MINICMS_SOURCE)
+    assert len(tokens) > 1000
+    print_series(
+        "E1 Figure 1 — lexer",
+        [("MiniCMS source chars", len(MINICMS_SOURCE)), ("tokens", len(tokens))],
+        ["metric", "value"],
+    )
+
+
+def test_bench_parse_minicms(benchmark):
+    program = benchmark(parse_program, MINICMS_SOURCE)
+    assert len(program.aunits) == 5
+    assert len(program.punits) == 6
+
+
+def test_bench_load_and_validate_minicms(benchmark):
+    program = benchmark(lambda: load_program(MINICMS_SOURCE))
+    assert program.root_name == "CMSRoot"
+
+
+def test_bench_load_navcms_with_inheritance(benchmark):
+    program = benchmark(lambda: load_program(NAVCMS_PROGRAM_SOURCE))
+    assert program.root_name == "NavCMS"
+    nav = program.aunit("NavCMS")
+    assert nav.has_activator("ActSelectCourse")

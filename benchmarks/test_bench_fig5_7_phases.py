@@ -1,0 +1,122 @@
+"""E3-E5 (Figures 5, 6, 7): activation, return and reactivation phases.
+
+Figure 5 shows the activation forest for an administrator of two courses;
+Figures 6 and 7 show the forest after an assignment submission and after
+reactivation.  The benchmarks measure the cost of each phase and how the
+activation phase scales with the number of courses the user administers
+(forest size grows linearly, as the tree shapes in the figures suggest).
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.apps.minicms import ADMIN_USER
+
+from .conftest import fresh_engine, print_series, scaled_engine
+
+
+def _forest_sizes(program):
+    rows = []
+    for n_courses in (1, 2, 4, 8):
+        engine = scaled_engine(program, n_courses=n_courses, n_students=5, n_assignments=3)
+        session = engine.start_session({"user": [(ADMIN_USER,)]})
+        rows.append((n_courses, engine.forest.size(), engine.forest.depth()))
+        engine.close_session(session)
+    return rows
+
+
+def test_bench_fig5_activation_phase(benchmark, minicms_program):
+    """Cost of activating a new session (building one activation tree)."""
+    engine = scaled_engine(minicms_program, n_courses=4, n_students=10, n_assignments=3)
+
+    def start_and_close():
+        session = engine.start_session({"user": [(ADMIN_USER,)]})
+        size = engine.forest.size()
+        engine.close_session(session)
+        return size
+
+    size = benchmark(start_and_close)
+    assert size > 10
+    print_series(
+        "E3 Figure 5 — forest size vs administered courses",
+        _forest_sizes(minicms_program),
+        ["courses", "instances", "depth"],
+    )
+
+
+def test_bench_fig6_return_phase(benchmark, minicms_program):
+    """Cost of one full return chain (submit assignment -> root handler)."""
+    engine = fresh_engine(minicms_program)
+    session = engine.start_session({"user": [(ADMIN_USER,)]})
+
+    def submit_once():
+        admin = [
+            node
+            for node in engine.find_instances("CourseAdmin", session_id=session)
+            if node.activation_tuple == (10,)
+        ][0]
+        create = admin.find_children("CreateAssignment")[0]
+        engine.perform(
+            create.find_children("UpdateRow")[0].instance_id,
+            ["HW", datetime.date(2006, 4, 1), datetime.date(2006, 4, 10)],
+        )
+        admin = [
+            node
+            for node in engine.find_instances("CourseAdmin", session_id=session)
+            if node.activation_tuple == (10,)
+        ][0]
+        create = admin.find_children("CreateAssignment")[0]
+        result = engine.perform(create.find_children("SubmitBasic")[0].instance_id)
+        return result
+
+    result = benchmark.pedantic(submit_once, rounds=5, iterations=1)
+    assert result.accepted
+    print_series(
+        "E4 Figure 6 — handlers fired by one submission",
+        [(str(handler),) for handler in result.handlers],
+        ["handler chain (innermost first)"],
+    )
+
+
+def test_bench_fig7_reactivation_phase(benchmark, minicms_program):
+    """Cost of rebuilding the forest (refresh) as the number of sessions grows."""
+    engine = fresh_engine(minicms_program)
+    for _ in range(4):
+        engine.start_session({"user": [(ADMIN_USER,)]})
+
+    benchmark(engine.reactivate_all)
+
+    rows = []
+    for sessions in (1, 2, 4, 8):
+        probe = fresh_engine(minicms_program)
+        for _ in range(sessions):
+            probe.start_session({"user": [(ADMIN_USER,)]})
+        import time
+
+        start = time.perf_counter()
+        probe.reactivate_all()
+        elapsed = (time.perf_counter() - start) * 1000
+        rows.append((sessions, probe.forest.size(), f"{elapsed:.1f} ms"))
+    print_series(
+        "E5 Figure 7 — full reactivation cost vs number of sessions",
+        rows,
+        ["sessions", "instances", "reactivate_all"],
+    )
+
+
+def test_bench_local_state_preservation_overhead(benchmark, minicms_program):
+    """Reactivation with preserved local state (the Figure 7 survival rule)."""
+    engine = fresh_engine(minicms_program)
+    session = engine.start_session({"user": [(ADMIN_USER,)]})
+    create = engine.find_instances("CreateAssignment", session_id=session)[0]
+    engine.perform(
+        create.find_children("UpdateRow")[0].instance_id,
+        ["Draft", datetime.date(2006, 4, 1), datetime.date(2006, 4, 10)],
+    )
+
+    benchmark(engine.refresh, session)
+    survivor = engine.find_instances("CreateAssignment", session_id=session)[0]
+    assert survivor.local_tables["assign"].rows[0][0] == "Draft"

@@ -1,0 +1,87 @@
+"""E6 (Figures 9-11): concurrent invitation actions and conflict detection.
+
+The paper's scenario: student S1 withdraws an invitation while S2 tries to
+accept it; only one action can win and Hilda rejects the stale one.  The
+benchmark measures the cost of detecting and rejecting a conflicting action
+versus applying a clean one, and reports the accept/reject counts for a
+batch of conflicting pairs (shape: every conflicting pair yields exactly one
+applied and one rejected operation; the database never becomes
+inconsistent).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.minicms import STUDENT1_USER, STUDENT2_USER
+from repro.runtime.operations import OperationStatus
+
+from .conftest import fresh_engine, print_series
+
+
+def _two_student_engine(program):
+    engine = fresh_engine(program)
+    session1 = engine.start_session({"user": [(STUDENT1_USER,)]})
+    session2 = engine.start_session({"user": [(STUDENT2_USER,)]})
+    return engine, session1, session2
+
+
+def test_bench_clean_accept(benchmark, minicms_program):
+    """Applying a non-conflicting accept (the common case)."""
+
+    def run():
+        engine, _, session2 = _two_student_engine(minicms_program)
+        accept = engine.find_instances(
+            "SelectRow", session_id=session2, activator="ActAcceptInv"
+        )[0]
+        return engine.perform(accept.instance_id)
+
+    result = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert result.status == OperationStatus.APPLIED
+
+
+def test_bench_conflicting_accept_detection(benchmark, minicms_program):
+    """Detecting and rejecting a stale accept after a concurrent withdrawal."""
+
+    def run():
+        engine, session1, session2 = _two_student_engine(minicms_program)
+        withdraw = engine.find_instances(
+            "SelectRow", session_id=session1, activator="ActWithdrawInv"
+        )[0]
+        accept = engine.find_instances(
+            "SelectRow", session_id=session2, activator="ActAcceptInv"
+        )[0]
+        engine.perform(withdraw.instance_id)
+        return engine.perform(accept.instance_id)
+
+    result = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert result.status == OperationStatus.CONFLICT
+
+
+def test_bench_conflict_batch_outcomes(benchmark, minicms_program):
+    """A batch of withdraw/accept races: exactly one side of each race wins."""
+
+    def run_batch():
+        outcomes = {"applied": 0, "conflicts": 0}
+        for _ in range(3):
+            engine, session1, session2 = _two_student_engine(minicms_program)
+            withdraw = engine.find_instances(
+                "SelectRow", session_id=session1, activator="ActWithdrawInv"
+            )[0]
+            accept = engine.find_instances(
+                "SelectRow", session_id=session2, activator="ActAcceptInv"
+            )[0]
+            first = engine.perform(withdraw.instance_id)
+            second = engine.perform(accept.instance_id)
+            outcomes["applied"] += int(first.accepted) + int(second.accepted)
+            outcomes["conflicts"] += int(first.conflicted) + int(second.conflicted)
+            assert len(engine.persistent_table("groupmember")) == 1
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_batch, rounds=2, iterations=1)
+    assert outcomes == {"applied": 3, "conflicts": 3}
+    print_series(
+        "E6 Figures 9-11 — withdraw/accept races (3 pairs)",
+        [("applied", outcomes["applied"]), ("rejected as conflict", outcomes["conflicts"])],
+        ["outcome", "count"],
+    )

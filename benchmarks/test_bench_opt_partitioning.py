@@ -1,0 +1,87 @@
+"""E12 (Section 6.2): client/server code partitioning.
+
+The paper's example: the assignment-creation date check can run in the
+browser, so invalid submissions never cost a server round trip.  The
+benchmark (a) runs the compiler analysis that finds which handler conditions
+are client-side eligible in MiniCMS, and (b) sweeps the invalid-submission
+rate and network latency in the partitioning simulator.
+
+Shape: the two CreateAssignment date checks are classified client-side; the
+latency saved by partitioning grows with both the invalid rate and the
+network latency, and is zero when every submission is valid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import PartitioningSimulator, analyse_program
+
+from .conftest import print_series
+
+
+def test_bench_partitioning_analysis(benchmark, minicms_program):
+    report = benchmark(analyse_program, minicms_program)
+    summary = report.summary()
+    assert summary["client_side"] >= 2
+    print_series(
+        "E12 Section 6.2 — handler-condition placement in MiniCMS",
+        [
+            (f"{p.aunit}.{p.handler}", "client" if p.client_side else "server", p.reason)
+            for p in report.placements
+        ],
+        ["condition", "placement", "reason"],
+    )
+
+
+def test_bench_partitioning_latency_sweep(benchmark):
+    simulator = PartitioningSimulator(network_latency_ms=40.0, server_cost_ms=5.0)
+
+    def sweep():
+        rows = []
+        for invalid_rate in (0.0, 0.2, 0.5):
+            server = simulator.simulate(200, invalid_rate, client_side=False)
+            client = simulator.simulate(200, invalid_rate, client_side=True)
+            saved = server["total_ms"] - client["total_ms"]
+            rows.append(
+                (
+                    f"{invalid_rate:.0%}",
+                    int(server["round_trips"]),
+                    int(client["round_trips"]),
+                    f"{saved:.0f} ms",
+                )
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print_series(
+        "E12 Section 6.2 — 200 submissions, 40 ms RTT: server-only vs client-partitioned",
+        rows,
+        ["invalid rate", "round trips (server)", "round trips (client)", "latency saved"],
+    )
+    assert int(rows[0][1]) == int(rows[0][2])  # nothing saved when all valid
+    assert rows[-1][1] > rows[-1][2]
+
+
+def test_bench_partitioning_network_sensitivity(benchmark):
+    def sweep():
+        rows = []
+        for latency in (5.0, 40.0, 150.0):
+            simulator = PartitioningSimulator(network_latency_ms=latency)
+            server = simulator.simulate(100, 0.3, client_side=False)
+            client = simulator.simulate(100, 0.3, client_side=True)
+            rows.append(
+                (
+                    f"{latency:.0f} ms",
+                    f"{server['mean_ms_per_attempt']:.1f} ms",
+                    f"{client['mean_ms_per_attempt']:.1f} ms",
+                )
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print_series(
+        "E12 Section 6.2 — mean latency per attempt vs network RTT (30% invalid)",
+        rows,
+        ["network RTT", "server-side checks", "client-side checks"],
+    )

@@ -1,0 +1,59 @@
+"""Compile MiniCMS with the proof-of-concept compiler (Figure 14).
+
+The compiler produces the two artifacts the paper describes — database
+creation scripts and application-server ("servlet") code — plus a teardown
+script.  This example compiles MiniCMS, writes the artifacts to
+``build/minicms/``, imports the generated module and serves one request
+through the application it builds, proving the artifact is runnable.
+
+Run with:  python examples/compile_minicms.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.apps.minicms import ADMIN_USER, MINICMS_SOURCE, seed_paper_scenario
+from repro.compiler import analyse_program, compile_source
+from repro.web.container import BrowserClient
+
+
+def main() -> None:
+    compiled = compile_source(MINICMS_SOURCE, module_name="minicms_app")
+
+    print("Compilation summary:", compiled.summary())
+    output_dir = Path(__file__).resolve().parent.parent / "build" / "minicms"
+    written = compiled.write_to(output_dir)
+    print("\nArtifacts written:")
+    for name, path in written.items():
+        print(f"   {name:24s} {path}")
+
+    print("\nFirst lines of the DDL script:")
+    for line in compiled.ddl_script.splitlines()[:12]:
+        print("   ", line)
+
+    print("\nGenerated servlet classes:")
+    module = compiled.load_module()
+    for name, servlet in sorted(module.SERVLETS.items()):
+        print(f"   {servlet.__name__:28s} activators={list(servlet.ACTIVATORS)}")
+
+    # The generated module builds a runnable three-tier application.
+    application = module.build_application()
+    seed_paper_scenario(application.engine)
+    browser = BrowserClient(application)
+    page = browser.login(ADMIN_USER)
+    print("\nServed a page from the generated application:",
+          page.ok and "Homework 1" in page.body)
+
+    # Cross-layer optimization report (Section 6.2): which handler conditions
+    # the compiler may push to the client.
+    report = analyse_program(compiled.program)
+    print("\nClient/server partitioning analysis:")
+    for placement in report.placements:
+        where = "client" if placement.client_side else "server"
+        print(f"   {placement.aunit}.{placement.activator}.{placement.handler:12s} -> {where}"
+              f"  ({placement.reason})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Concurrent invitation withdraw/accept: the paper's Figures 9-11.
+
+Student ``s1`` has invited student ``s2`` to join a group for course 10's
+assignment.  Both are looking at their pages.  ``s1`` withdraws the
+invitation; ``s2``, still looking at a stale page, tries to accept it.
+
+Hilda detects the conflict automatically: the accept action targets a Basic
+AUnit instance that is no longer part of the activation forest after the
+withdrawal, so it is rejected and the database stays consistent.  The same
+interleaving against the hand-coded baseline silently corrupts the group
+membership — which is exactly the Section 2.3 motivation.
+
+Run with:  python examples/concurrent_invitations.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.baseline import HandCodedCMS
+from repro.apps.minicms import (
+    STUDENT1_USER,
+    STUDENT2_USER,
+    load_minicms,
+    seed_paper_scenario,
+)
+from repro.runtime.engine import HildaEngine
+
+
+def hilda_version() -> None:
+    print("=== Hilda (automatic conflict detection) ===")
+    program = load_minicms()
+    engine = HildaEngine(program)
+    ids = seed_paper_scenario(engine)
+
+    session1 = engine.start_session({"user": [(STUDENT1_USER,)]})
+    session2 = engine.start_session({"user": [(STUDENT2_USER,)]})
+    print("Activation forest (Figure 9):")
+    print(engine.render_forest())
+
+    withdraw = engine.find_instances(
+        "SelectRow", session_id=session1, activator="ActWithdrawInv"
+    )[0]
+    accept = engine.find_instances(
+        "SelectRow", session_id=session2, activator="ActAcceptInv"
+    )[0]
+    print(f"\ns1 views withdraw instance {withdraw.instance_id}, "
+          f"s2 views accept instance {accept.instance_id}")
+
+    result = engine.perform(withdraw.instance_id)
+    print("\ns1 withdraws the invitation  ->", result.status)
+    print("   invitation table:", engine.persistent_table("invitation").rows)
+    print("   (Figures 10 and 11: the accept instance disappears on reactivation)")
+
+    result = engine.perform(accept.instance_id)
+    print("\ns2 tries to accept with the stale page ->", result.status)
+    print("   ", result.message)
+    print("   group members:", engine.persistent_table("groupmember").rows)
+    print("   -> the database is consistent; s2 never joined the group\n")
+
+
+def baseline_version() -> None:
+    print("=== Hand-coded baseline (no conflict detection) ===")
+    cms = HandCodedCMS()
+    cms.load_fixture(
+        {
+            "course": [(10, "Introduction to Databases")],
+            "student": [(1, 10, STUDENT1_USER), (2, 10, STUDENT2_USER)],
+            "assign": [(100, 10, "Homework 1", "2006-03-01", "2006-03-15")],
+        }
+    )
+    iid = cms.place_invitation(aid=100, inviter_sid=1, invitee_sid=2)
+    gid = cms.database.table("invitation").find_by_key((iid,))[1]
+    print(f"s1 invites s2 (invitation {iid}, group {gid})")
+
+    # s1 withdraws; s2's browser still shows the invitation (and cached the gid).
+    cms.withdraw_invitation(iid)
+    print("s1 withdraws the invitation")
+    cms.accept_invitation_with_cached_gid(gid, invitee_sid=2)
+    print("s2 accepts using the stale page ... the servlet does not notice")
+
+    members = cms.group_members(gid)
+    print("group members now:", members)
+    print("-> s2 is a member of a group whose invitation was withdrawn: "
+          "the inconsistent state Section 2.3 warns about")
+
+
+def main() -> None:
+    hilda_version()
+    baseline_version()
+
+
+if __name__ == "__main__":
+    main()

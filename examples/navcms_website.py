@@ -1,0 +1,60 @@
+"""NavCMS: structured web-site navigation through AUnit inheritance (Figure 13).
+
+NavCMS extends CMSRoot with a local ``currcourse`` table and an activation
+filter so that only the currently selected course's CourseAdmin / Student
+branch is activated.  From the user's point of view this looks like normal
+link-based navigation ("click a course, jump to its page"); the control flow
+underneath is the structured activation/return/reactivation cycle.
+
+The example runs the NavCMS program inside the web container and navigates
+it exactly as a browser would: log in, pick a course, see that course's
+administration page, pick the other course, see the page change.
+
+Run with:  python examples/navcms_website.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.minicms import ADMIN_USER, load_navcms, seed_paper_scenario
+from repro.web.container import BrowserClient, HildaApplication
+from repro.web.forms import encode_action
+
+
+def main() -> None:
+    program = load_navcms()
+    application = HildaApplication(program)
+    seed_paper_scenario(application.engine)
+    engine = application.engine
+
+    browser = BrowserClient(application)
+    page = browser.login(ADMIN_USER)
+    print("Logged in as", ADMIN_USER)
+    print("Landing page shows the course picker:",
+          "Introduction to Databases" in page.body and "Operating Systems" in page.body)
+    print("No course page is shown yet:", "Assignments" not in page.body)
+
+    # Select course 10 the way the rendered SelectRow form would post it.
+    session_id = list(application.sessions.all_sessions().values())[0].engine_session_id
+    picker = engine.find_instances(
+        "SelectRow", session_id=session_id, activator="ActSelectCourse"
+    )[0]
+    page = browser.post("/action", encode_action(picker, [10, "Introduction to Databases"]))
+    print("\nAfter selecting course 10:")
+    print("   course 10's assignments are shown:", "Homework 1" in page.body)
+    print("   course 11's assignments are not:", "Lab 1" not in page.body)
+
+    # Navigate to the other course; the activation filter swaps the subtree.
+    picker = engine.find_instances(
+        "SelectRow", session_id=session_id, activator="ActSelectCourse"
+    )[0]
+    page = browser.post("/action", encode_action(picker, [11, "Operating Systems"]))
+    print("\nAfter selecting course 11:")
+    print("   course 11's assignments are shown:", "Lab 1" in page.body)
+    print("   course 10's assignments are gone:", "Homework 1" not in page.body)
+
+    print("\nActivation tree for the session (only the current course is active):")
+    print(engine.session_tree(session_id).render_tree())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Setup script (kept alongside pyproject.toml for offline editable installs)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Hilda: A High-Level Language for Data-Driven Web "
+        "Applications' (ICDE 2006)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,52 @@
+"""repro — a reproduction of "Hilda: A High-Level Language for Data-Driven
+Web Applications" (Yang, Shanmugasundaram, Riedewald, Gehrke, Demers;
+ICDE 2006).
+
+The package provides, from the bottom up:
+
+* ``repro.relational`` — the relational substrate (schemas, tables, databases).
+* ``repro.sql`` — a SQL engine for the dialect Hilda programs use.
+* ``repro.hilda`` — the Hilda language front end (parser, validator,
+  inheritance, Basic AUnits, PUnit parsing).
+* ``repro.runtime`` — the AUnit execution model: activation forests and the
+  activation / return / reactivation phases, sessions, conflict detection,
+  and the Section 5 execution-history semantics.
+* ``repro.presentation`` — PUnits and recursive HTML rendering.
+* ``repro.compiler`` — the proof-of-concept compiler producing DDL scripts
+  and Python "servlet" code, plus the cross-layer optimizations of
+  Section 6.2.
+* ``repro.web`` — a minimal application-server substrate that serves
+  compiled or interpreted Hilda applications.
+* ``repro.apps`` — the MiniCMS case-study application and a hand-coded
+  three-tier baseline.
+
+Most users start from :func:`repro.load_program` and
+:class:`repro.HildaEngine`; see ``examples/quickstart.py``.
+"""
+
+from repro.errors import ReproError
+
+__version__ = "0.1.0"
+
+__all__ = ["ReproError", "__version__", "load_program", "HildaEngine"]
+
+
+def load_program(source: str):
+    """Parse, resolve and validate a Hilda program from source text.
+
+    This is a thin convenience wrapper around
+    :func:`repro.hilda.program.load_program` that avoids importing the whole
+    language package up front.
+    """
+    from repro.hilda.program import load_program as _load_program
+
+    return _load_program(source)
+
+
+def __getattr__(name: str):
+    """Lazily expose the most commonly used classes at the package root."""
+    if name == "HildaEngine":
+        from repro.runtime.engine import HildaEngine
+
+        return HildaEngine
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,2 @@
+"""Applications built on the library: the MiniCMS case study (the paper's
+running example) and a hand-coded three-tier baseline used for comparison."""

@@ -1,0 +1,24 @@
+"""The hand-coded three-tier baseline (the development style Section 2 critiques)."""
+
+from repro.apps.baseline.beans import (
+    AssignmentBean,
+    BeanMapper,
+    CourseBean,
+    GroupBean,
+    GroupMemberBean,
+    InvitationBean,
+    StudentBean,
+)
+from repro.apps.baseline.handcoded import HandCodedCMS, create_baseline_schema
+
+__all__ = [
+    "AssignmentBean",
+    "BeanMapper",
+    "CourseBean",
+    "GroupBean",
+    "GroupMemberBean",
+    "HandCodedCMS",
+    "InvitationBean",
+    "StudentBean",
+    "create_baseline_schema",
+]

@@ -1,0 +1,263 @@
+"""A hand-coded, three-tier MiniCMS in the style the paper argues against.
+
+This baseline reproduces the problems catalogued in Section 2:
+
+* **Impedance mismatch** (2.2): grade viewing is implemented twice — once by
+  materialising bean objects and running nested ``for`` loops in the
+  application layer (:meth:`HandCodedCMS.grades_for_student_nested_loops`),
+  and once by issuing a single SQL join
+  (:meth:`HandCodedCMS.grades_for_student_sql`).  Benchmark E9 compares the
+  two as the data grows.
+* **No conflict detection** (2.3): :meth:`HandCodedCMS.accept_invitation`
+  and :meth:`HandCodedCMS.withdraw_invitation` are written the way a typical
+  servlet would be — they check nothing beyond the row they touch, so an
+  accept racing a withdraw silently corrupts the group state.  The
+  integration tests contrast this with Hilda's automatic rejection.
+* **Mixing of logic and presentation** (2.1): validation of assignment dates
+  happens inside the page-producing method, not in a reusable layer.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.baseline.beans import BeanMapper
+from repro.relational.database import Database
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.sql.executor import SQLExecutor
+
+__all__ = ["HandCodedCMS", "create_baseline_schema"]
+
+
+def create_baseline_schema(database: Database) -> None:
+    """Create the same persistent tables MiniCMS uses, directly in a database."""
+    tables = [
+        TableSchema(
+            "course",
+            [Column("cid", DataType.INT), Column("cname", DataType.STRING)],
+            ["cid"],
+        ),
+        TableSchema(
+            "staff",
+            [
+                Column("stid", DataType.INT),
+                Column("cid", DataType.INT),
+                Column("sname", DataType.STRING),
+                Column("role", DataType.STRING),
+            ],
+            ["stid"],
+        ),
+        TableSchema(
+            "student",
+            [
+                Column("sid", DataType.INT),
+                Column("cid", DataType.INT),
+                Column("sname", DataType.STRING),
+            ],
+            ["sid"],
+        ),
+        TableSchema(
+            "assign",
+            [
+                Column("aid", DataType.INT),
+                Column("cid", DataType.INT),
+                Column("name", DataType.STRING),
+                Column("release", DataType.DATE),
+                Column("due", DataType.DATE),
+            ],
+            ["aid"],
+        ),
+        TableSchema(
+            "problem",
+            [
+                Column("pid", DataType.INT),
+                Column("aid", DataType.INT),
+                Column("name", DataType.STRING),
+                Column("weight", DataType.FLOAT),
+            ],
+            ["pid"],
+        ),
+        TableSchema(
+            "group",
+            [Column("gid", DataType.INT), Column("aid", DataType.INT)],
+            ["gid"],
+        ),
+        TableSchema(
+            "groupmember",
+            [
+                Column("gmid", DataType.INT),
+                Column("gid", DataType.INT),
+                Column("sid", DataType.INT),
+                Column("grade", DataType.FLOAT),
+            ],
+            ["gmid"],
+        ),
+        TableSchema(
+            "invitation",
+            [
+                Column("iid", DataType.INT),
+                Column("gid", DataType.INT),
+                Column("invitersid", DataType.INT),
+                Column("inviteesid", DataType.INT),
+            ],
+            ["iid"],
+        ),
+    ]
+    for schema in tables:
+        database.create_table(schema)
+
+
+class HandCodedCMS:
+    """The baseline application: a database plus page methods."""
+
+    def __init__(self, database: Optional[Database] = None) -> None:
+        self.database = database or Database("baseline")
+        if not self.database.has_table("course"):
+            create_baseline_schema(self.database)
+        self.executor = SQLExecutor(self.database)
+        self.mapper = BeanMapper(self.database)
+        self._next_ids: Dict[str, int] = {}
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _allocate_id(self, table: str) -> int:
+        current = self._next_ids.get(table)
+        if current is None:
+            rows = self.database.rows(table)
+            current = (max((row[0] for row in rows), default=0)) + 1
+        self._next_ids[table] = current + 1
+        return current
+
+    def load_fixture(self, rows_by_table: Dict[str, List[Sequence[Any]]]) -> None:
+        for table, rows in rows_by_table.items():
+            self.database.insert_many(table, rows)
+
+    # ------------------------------------------------------------------
+    # Section 2.2 — viewing student grades
+    # ------------------------------------------------------------------
+
+    def grades_for_student_nested_loops(self, student_name: str) -> List[Tuple[str, str, float]]:
+        """Grade list computed the 'bean' way: nested for loops in the app layer."""
+        beans = self.mapper.load_everything()
+        results: List[Tuple[str, str, float]] = []
+        for student in beans["students"]:
+            if student.sname != student_name:
+                continue
+            for course in beans["courses"]:
+                if course.cid != student.cid:
+                    continue
+                for assignment in beans["assignments"]:
+                    if assignment.cid != course.cid:
+                        continue
+                    for group in beans["groups"]:
+                        if group.aid != assignment.aid:
+                            continue
+                        for member in beans["members"]:
+                            if member.gid != group.gid or member.sid != student.sid:
+                                continue
+                            results.append((course.cname, assignment.name, member.grade))
+        return results
+
+    def grades_for_student_sql(self, student_name: str) -> List[Tuple[str, str, float]]:
+        """The same grade list computed with a single declarative SQL join."""
+        query = """
+            SELECT C.cname, A.name, GM.grade
+            FROM student S, course C, assign A, group G, groupmember GM
+            WHERE S.sname = '{name}'
+              AND C.cid = S.cid
+              AND A.cid = C.cid
+              AND G.aid = A.aid
+              AND GM.gid = G.gid
+              AND GM.sid = S.sid
+        """.format(name=student_name.replace("'", "''"))
+        return [tuple(row) for row in self.executor.query_rows(query)]
+
+    # ------------------------------------------------------------------
+    # Section 2.1 — assignment creation with presentation-mixed validation
+    # ------------------------------------------------------------------
+
+    def create_assignment_page(
+        self,
+        cid: int,
+        name: str,
+        release: datetime.date,
+        due: datetime.date,
+        problems: Sequence[Tuple[str, float]] = (),
+    ) -> str:
+        """Create an assignment and return the HTML of the resulting page.
+
+        Validation is performed inline and its outcome is expressed only as
+        presentation (an error paragraph) — the anti-pattern Section 2.1
+        describes.
+        """
+        if release > due:
+            return (
+                "<html><body><p class='error'>The due date must not precede the "
+                "release date.</p></body></html>"
+            )
+        aid = self._allocate_id("assign")
+        self.database.insert("assign", (aid, cid, name, release, due))
+        for problem_name, weight in problems:
+            pid = self._allocate_id("problem")
+            self.database.insert("problem", (pid, aid, problem_name, weight))
+        return f"<html><body><p>Assignment {name!r} created with id {aid}.</p></body></html>"
+
+    # ------------------------------------------------------------------
+    # Section 2.3 — group management without conflict detection
+    # ------------------------------------------------------------------
+
+    def place_invitation(self, aid: int, inviter_sid: int, invitee_sid: int) -> int:
+        gid = self._allocate_id("group")
+        self.database.insert("group", (gid, aid))
+        gmid = self._allocate_id("groupmember")
+        self.database.insert("groupmember", (gmid, gid, inviter_sid, None))
+        iid = self._allocate_id("invitation")
+        self.database.insert("invitation", (iid, gid, inviter_sid, invitee_sid))
+        return iid
+
+    def withdraw_invitation(self, iid: int) -> bool:
+        """Delete the invitation row; no check of what anyone else is doing."""
+        removed = self.database.table("invitation").delete_where(lambda row: row[0] == iid)
+        return removed > 0
+
+    def accept_invitation(self, iid: int, invitee_sid: int) -> bool:
+        """Accept an invitation the way a naive servlet does.
+
+        The method only looks at the invitation row itself.  If the
+        invitation was withdrawn concurrently the method silently "succeeds"
+        at doing nothing, and — worse — if the caller cached the gid from an
+        earlier page view it may add the invitee to a group whose invitation
+        no longer exists.  The integration tests exercise exactly that
+        inconsistency.
+        """
+        invitation = self.database.table("invitation").find_by_key((iid,))
+        if invitation is None:
+            return False
+        gid = invitation[1]
+        gmid = self._allocate_id("groupmember")
+        self.database.insert("groupmember", (gmid, gid, invitee_sid, None))
+        self.database.table("invitation").delete_where(lambda row: row[0] == iid)
+        return True
+
+    def accept_invitation_with_cached_gid(self, gid: int, invitee_sid: int) -> bool:
+        """The 'stale page' variant: the browser remembered the gid and posts it.
+
+        Nothing checks whether the invitation still exists, so the invitee
+        joins a group they were never (any longer) invited to — the
+        inconsistent application state Section 2.3 warns about.
+        """
+        gmid = self._allocate_id("groupmember")
+        self.database.insert("groupmember", (gmid, gid, invitee_sid, None))
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests and benchmarks
+    # ------------------------------------------------------------------
+
+    def group_members(self, gid: int) -> List[Tuple[Any, ...]]:
+        return self.database.table("groupmember").select(lambda row: row[1] == gid)
+
+    def invitation_count(self) -> int:
+        return len(self.database.table("invitation"))

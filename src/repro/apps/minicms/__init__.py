@@ -1,0 +1,43 @@
+"""MiniCMS: the paper's running example as a loadable Hilda application."""
+
+from repro.apps.minicms.fixtures import (
+    ADMIN_USER,
+    STUDENT1_USER,
+    STUDENT2_USER,
+    SYSADMIN_USER,
+    PaperScenarioIds,
+    seed_paper_scenario,
+    seed_scaled,
+)
+from repro.apps.minicms.source import (
+    MINICMS_SOURCE,
+    NAVCMS_PROGRAM_SOURCE,
+)
+
+__all__ = [
+    "ADMIN_USER",
+    "MINICMS_SOURCE",
+    "NAVCMS_PROGRAM_SOURCE",
+    "PaperScenarioIds",
+    "STUDENT1_USER",
+    "STUDENT2_USER",
+    "SYSADMIN_USER",
+    "load_minicms",
+    "load_navcms",
+    "seed_paper_scenario",
+    "seed_scaled",
+]
+
+
+def load_minicms(validate: bool = True):
+    """Load the MiniCMS program rooted at CMSRoot (Figures 2-4, 8)."""
+    from repro.hilda.program import load_program
+
+    return load_program(MINICMS_SOURCE, validate=validate)
+
+
+def load_navcms(validate: bool = True):
+    """Load MiniCMS structured as a web site rooted at NavCMS (Figure 13)."""
+    from repro.hilda.program import load_program
+
+    return load_program(NAVCMS_PROGRAM_SOURCE, validate=validate)

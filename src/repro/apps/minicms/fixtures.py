@@ -1,0 +1,183 @@
+"""Fixtures and scenario data for MiniCMS.
+
+Two canned data sets are provided:
+
+* :func:`seed_paper_scenario` — the data behind the paper's walkthroughs:
+  two courses (ids 10 and 11), an administrator ``alice`` of both (Figure 5),
+  two students ``s1`` and ``s2`` enrolled in both courses, one assignment
+  per course, and an outstanding group invitation from ``s1`` to ``s2`` for
+  course 10's assignment (Figures 9-11).
+* :func:`seed_scaled` — a parameterised data set used by the benchmarks
+  (``n_courses`` courses, ``n_students`` students per course,
+  ``n_assignments`` assignments per course, optional groups and grades).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.engine import HildaEngine
+
+__all__ = [
+    "PaperScenarioIds",
+    "seed_paper_scenario",
+    "seed_scaled",
+    "ADMIN_USER",
+    "STUDENT1_USER",
+    "STUDENT2_USER",
+    "SYSADMIN_USER",
+]
+
+#: User names used throughout the examples and tests.
+ADMIN_USER = "alice"
+STUDENT1_USER = "s1"
+STUDENT2_USER = "s2"
+SYSADMIN_USER = "root"
+
+_RELEASE = datetime.date(2006, 3, 1)
+_DUE = datetime.date(2006, 3, 15)
+
+
+@dataclass
+class PaperScenarioIds:
+    """The identifiers of the rows created by :func:`seed_paper_scenario`."""
+
+    course_ids: Tuple[int, int] = (10, 11)
+    student1_sid: int = 1
+    student2_sid: int = 2
+    assignment_ids: Tuple[int, int] = (100, 110)
+    problem_ids: Tuple[int, int] = (200, 210)
+    group_id: int = 300
+    invitation_id: int = 400
+
+
+def seed_paper_scenario(engine: HildaEngine, aunit_name: Optional[str] = None) -> PaperScenarioIds:
+    """Load the data set of the paper's Figures 5-11 into an engine.
+
+    The data is inserted directly into the root AUnit's persistent tables,
+    mirroring a pre-existing database; active sessions (if any) are refreshed
+    so their activation trees reflect the data.
+    """
+    ids = PaperScenarioIds()
+    cid1, cid2 = ids.course_ids
+    aid1, aid2 = ids.assignment_ids
+    pid1, pid2 = ids.problem_ids
+
+    engine.seed_persistent(
+        {
+            "sysadmin": [(SYSADMIN_USER,)],
+            "course": [(cid1, "Introduction to Databases"), (cid2, "Operating Systems")],
+            "staff": [
+                (1, cid1, ADMIN_USER, "admin"),
+                (2, cid2, ADMIN_USER, "admin"),
+                (3, cid1, "carol", "ta"),
+            ],
+            "student": [
+                (ids.student1_sid, cid1, STUDENT1_USER),
+                (ids.student2_sid, cid1, STUDENT2_USER),
+                (3, cid2, STUDENT1_USER),
+                (4, cid2, STUDENT2_USER),
+            ],
+            "assign": [
+                (aid1, cid1, "Homework 1", _RELEASE, _DUE),
+                (aid2, cid2, "Lab 1", _RELEASE, _DUE),
+            ],
+            "problem": [
+                (pid1, aid1, "Relational algebra", 50.0),
+                (pid2, aid2, "Scheduling", 100.0),
+            ],
+            "group": [(ids.group_id, aid1)],
+            "groupmember": [(500, ids.group_id, ids.student1_sid, None)],
+            "invitation": [
+                (ids.invitation_id, ids.group_id, ids.student1_sid, ids.student2_sid)
+            ],
+        },
+        aunit_name=aunit_name,
+    )
+    return ids
+
+
+def seed_scaled(
+    engine: HildaEngine,
+    n_courses: int = 5,
+    n_students: int = 20,
+    n_assignments: int = 4,
+    n_problems: int = 2,
+    admin_user: str = ADMIN_USER,
+    with_groups: bool = True,
+    aunit_name: Optional[str] = None,
+) -> Dict[str, int]:
+    """Load a synthetic data set of configurable size (benchmark workloads).
+
+    Every course is administered by ``admin_user``; students are named
+    ``stu<k>`` and each is enrolled in every course.  When ``with_groups``
+    is set, each student has a single-member group per first assignment with
+    a grade, so grade viewing has data to show.
+
+    Returns a dictionary of row counts per table.
+    """
+    courses: List[Sequence] = []
+    staff: List[Sequence] = []
+    students: List[Sequence] = []
+    assigns: List[Sequence] = []
+    problems: List[Sequence] = []
+    groups: List[Sequence] = []
+    members: List[Sequence] = []
+
+    next_sid = 1
+    next_aid = 1
+    next_pid = 1
+    next_gid = 1
+    next_gmid = 1
+
+    for course_index in range(n_courses):
+        cid = 10 + course_index
+        courses.append((cid, f"Course {cid}"))
+        staff.append((course_index + 1, cid, admin_user, "admin"))
+        course_assign_ids = []
+        for assign_index in range(n_assignments):
+            aid = next_aid
+            next_aid += 1
+            course_assign_ids.append(aid)
+            assigns.append(
+                (aid, cid, f"Assignment {assign_index + 1}", _RELEASE, _DUE)
+            )
+            for problem_index in range(n_problems):
+                problems.append(
+                    (next_pid, aid, f"Problem {problem_index + 1}", 100.0 / n_problems)
+                )
+                next_pid += 1
+        for student_index in range(n_students):
+            sid = next_sid
+            next_sid += 1
+            students.append((sid, cid, f"stu{student_index + 1}"))
+            if with_groups and course_assign_ids:
+                gid = next_gid
+                next_gid += 1
+                groups.append((gid, course_assign_ids[0]))
+                members.append((next_gmid, gid, sid, float(60 + (sid % 40))))
+                next_gmid += 1
+
+    engine.seed_persistent(
+        {
+            "course": courses,
+            "staff": staff,
+            "student": students,
+            "assign": assigns,
+            "problem": problems,
+            "group": groups,
+            "groupmember": members,
+        },
+        aunit_name=aunit_name,
+    )
+    return {
+        "course": len(courses),
+        "staff": len(staff),
+        "student": len(students),
+        "assign": len(assigns),
+        "problem": len(problems),
+        "group": len(groups),
+        "groupmember": len(members),
+    }

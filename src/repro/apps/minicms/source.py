@@ -1,0 +1,638 @@
+"""The MiniCMS Hilda program.
+
+This is the paper's running example (Figures 2, 3, 4, 8 and 13) written out
+as a complete, loadable Hilda program.  The AUnits follow the figures
+closely; where the paper's listings are elliptical ("..." or informal SQL)
+the missing pieces are filled in so that the program validates and runs:
+
+* ``CMSRoot`` (Figure 2) — the root AUnit holding the persistent schema and
+  activating CourseAdmin, Student and SysAdmin instances.
+* ``CourseAdmin`` (Figure 3) — add/delete assignments for one course.
+* ``CreateAssignment`` (Figure 4) — the assignment-creation dialogue with the
+  release-date/due-date sanity check in handler conditions.
+* ``Student`` (Figure 8) — grades, group invitations (place / withdraw /
+  accept / decline), the source of the paper's conflict-detection scenario.
+* ``SysAdmin`` — the "system admin, etc." branch the paper elides; it lets
+  courses, students and staff be managed through the application itself.
+* ``NavCMS`` (Figure 13) — inherits from CMSRoot and filters activation to
+  the currently selected course, structuring the web site.
+
+Basic AUnit output columns are referred to as ``c1 .. cn`` (the paper writes
+positional references ``O.1``; both forms are accepted by the SQL engine).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CMSROOT_SOURCE",
+    "COURSE_ADMIN_SOURCE",
+    "CREATE_ASSIGNMENT_SOURCE",
+    "STUDENT_SOURCE",
+    "SYSADMIN_SOURCE",
+    "NAVCMS_SOURCE",
+    "PUNITS_SOURCE",
+    "MINICMS_SOURCE",
+    "NAVCMS_PROGRAM_SOURCE",
+]
+
+
+CMSROOT_SOURCE = """
+// Figure 2: the root AUnit of MiniCMS.
+root aunit CMSRoot {
+    // The name of the logged-in user (authentication is external, Section 2).
+    input schema { user(name:string) }
+
+    // Persistent application state, shared by every session.
+    persist schema {
+        sysadmin(aname:string)
+        course(cid:int key, cname:string)
+        staff(stid:int key, cid:int, sname:string, role:string)
+        student(sid:int key, cid:int, sname:string)
+        assign(aid:int key, cid:int, name:string, release:date, due:date)
+        problem(pid:int key, aid:int, name:string, weight:float)
+        group(gid:int key, aid:int)
+        groupmember(gmid:int key, gid:int, sid:int, grade:float)
+        invitation(iid:int key, gid:int, invitersid:int, inviteesid:int)
+    }
+
+    // Course administrators: one CourseAdmin instance per administered course.
+    activator ActCourseAdmin : CourseAdmin {
+        activation schema { acourse(cid:int) }
+        activation query {
+            SELECT C.cid
+            FROM course C, staff S, user U
+            WHERE C.cid = S.cid AND S.sname = U.name AND S.role = "admin"
+        }
+        input query {
+            CourseAdmin.assign :-
+                SELECT A.aid, A.name, A.release, A.due
+                FROM assign A
+                WHERE A.cid = activationTuple.cid
+            CourseAdmin.problem :-
+                SELECT P.pid, P.aid, P.name, P.weight
+                FROM problem P, assign A
+                WHERE P.aid = A.aid AND A.cid = activationTuple.cid
+        }
+        handler UpdateAssignments {
+            action {
+                assign :-
+                    SELECT A.aid, A.cid, A.name, A.release, A.due
+                    FROM assign A
+                    WHERE A.aid NOT IN (SELECT I.aid FROM CourseAdmin.in.assign I)
+                    UNION
+                    SELECT O.aid, activationTuple.cid, O.name, O.release, O.due
+                    FROM CourseAdmin.out.assign O
+                problem :-
+                    SELECT P.pid, P.aid, P.name, P.weight
+                    FROM problem P
+                    WHERE P.pid NOT IN (SELECT I.pid FROM CourseAdmin.in.problem I)
+                    UNION
+                    SELECT O.pid, O.aid, O.name, O.weight
+                    FROM CourseAdmin.out.problem O
+            }
+        }
+    }
+
+    // Students: one Student instance per enrolled course.
+    activator ActStudent : Student {
+        activation schema { acourse(cid:int) }
+        activation query {
+            SELECT C.cid
+            FROM course C, student S, user U
+            WHERE C.cid = S.cid AND S.sname = U.name
+        }
+        input query {
+            Student.curstudent :-
+                SELECT S.sid
+                FROM student S, user U
+                WHERE S.sname = U.name AND S.cid = activationTuple.cid
+            Student.assign :-
+                SELECT A.aid, A.name, A.release, A.due
+                FROM assign A
+                WHERE A.cid = activationTuple.cid
+            Student.others :-
+                SELECT S.sid, S.sname
+                FROM student S, user U
+                WHERE S.cid = activationTuple.cid AND S.sname <> U.name
+            Student.group :-
+                SELECT G.gid, G.aid
+                FROM group G, assign A
+                WHERE G.aid = A.aid AND A.cid = activationTuple.cid
+            Student.groupmember :-
+                SELECT GM.gmid, GM.gid, GM.sid, GM.grade
+                FROM groupmember GM, group G, assign A
+                WHERE GM.gid = G.gid AND G.aid = A.aid AND A.cid = activationTuple.cid
+            Student.invitation :-
+                SELECT I.iid, I.gid, I.invitersid, I.inviteesid
+                FROM invitation I, group G, assign A
+                WHERE I.gid = G.gid AND G.aid = A.aid AND A.cid = activationTuple.cid
+        }
+        handler UpdateGroups {
+            action {
+                group :-
+                    SELECT G.gid, G.aid
+                    FROM group G
+                    WHERE G.gid NOT IN (SELECT X.gid FROM Student.in.group X)
+                    UNION
+                    SELECT O.gid, O.aid FROM Student.out.group O
+                groupmember :-
+                    SELECT GM.gmid, GM.gid, GM.sid, GM.grade
+                    FROM groupmember GM
+                    WHERE GM.gmid NOT IN (SELECT X.gmid FROM Student.in.groupmember X)
+                    UNION
+                    SELECT O.gmid, O.gid, O.sid, O.grade FROM Student.out.groupmember O
+                invitation :-
+                    SELECT I.iid, I.gid, I.invitersid, I.inviteesid
+                    FROM invitation I
+                    WHERE I.iid NOT IN (SELECT X.iid FROM Student.in.invitation X)
+                    UNION
+                    SELECT O.iid, O.gid, O.invitersid, O.inviteesid
+                    FROM Student.out.invitation O
+            }
+        }
+    }
+
+    // System administrators: manage courses, students and staff.
+    activator ActSysAdmin : SysAdmin {
+        activation schema { aadmin(aname:string) }
+        activation query {
+            SELECT A.aname FROM sysadmin A, user U WHERE A.aname = U.name
+        }
+        input query {
+            SysAdmin.course :- SELECT C.cid, C.cname FROM course C
+            SysAdmin.staff :- SELECT S.stid, S.cid, S.sname, S.role FROM staff S
+            SysAdmin.student :- SELECT S.sid, S.cid, S.sname FROM student S
+        }
+        handler UpdateCatalog {
+            action {
+                course :- SELECT O.cid, O.cname FROM SysAdmin.out.course O
+                staff :- SELECT O.stid, O.cid, O.sname, O.role FROM SysAdmin.out.staff O
+                student :- SELECT O.sid, O.cid, O.sname FROM SysAdmin.out.student O
+            }
+        }
+    }
+}
+"""
+
+
+COURSE_ADMIN_SOURCE = """
+// Figure 3: the course administrator AUnit.
+aunit CourseAdmin {
+    // The current set of assignments and problems for the course; the output
+    // is the modified set.
+    inout schema {
+        assign(aid:int key, name:string, release:date, due:date)
+        problem(pid:int key, aid:int, name:string, weight:float)
+    }
+
+    // Create a new assignment (a single CreateAssignment child instance).
+    activator ActCreateAssign : CreateAssignment {
+        return handler NewAssignment {
+            action {
+                assign :-
+                    SELECT A.aid, A.name, A.release, A.due FROM in.assign A
+                    UNION
+                    SELECT N.aid, N.name, N.release, N.due
+                    FROM CreateAssignment.newassign N
+                problem :-
+                    SELECT P.pid, P.aid, P.name, P.weight FROM in.problem P
+                    UNION
+                    SELECT N.pid, N.aid, N.name, N.weight
+                    FROM CreateAssignment.newproblem N
+            }
+        }
+    }
+
+    // Show every assignment of the course (one ShowRow per assignment).
+    activator ActShowAssignment : ShowRow(string) {
+        activation schema { allassign(aid:int, assignname:string) }
+        activation query {
+            SELECT A.aid, A.name FROM in.assign A
+        }
+        input query {
+            ShowRow.input :- SELECT activationTuple.assignname
+        }
+    }
+
+    // Delete an assignment (and its problems).
+    activator ActDeleteAssign : SelectRow(int, string) {
+        input query {
+            SelectRow.input :- SELECT A.aid, A.name FROM in.assign A
+        }
+        return handler DeleteAssignment {
+            action {
+                assign :-
+                    SELECT A.aid, A.name, A.release, A.due
+                    FROM in.assign A, SelectRow.output O
+                    WHERE A.aid <> O.c1
+                problem :-
+                    SELECT P.pid, P.aid, P.name, P.weight
+                    FROM in.problem P, SelectRow.output O
+                    WHERE P.aid <> O.c1
+            }
+        }
+    }
+}
+"""
+
+
+CREATE_ASSIGNMENT_SOURCE = """
+// Figure 4: the assignment-creation AUnit.
+aunit CreateAssignment {
+    // Returns the newly created assignment and its problems.
+    output schema {
+        newassign(aid:int, name:string, release:date, due:date)
+        newproblem(pid:int, aid:int, name:string, weight:float)
+    }
+
+    // Temporary state while the assignment is being put together.
+    local schema {
+        assign(name:string, release:date, due:date)
+        problem(pid:int, name:string, weight:float)
+    }
+    local query {
+        assign :- SELECT "", curr_date(), curr_date()
+    }
+
+    // Edit the assignment's name and dates.
+    activator ActAssignInfo : UpdateRow(string, date, date) {
+        input query {
+            UpdateRow.input :- SELECT A.name, A.release, A.due FROM assign A
+        }
+        handler updateAssign {
+            assign :- SELECT O.c1, O.c2, O.c3 FROM UpdateRow.output O
+        }
+    }
+
+    // Add a problem (name, weight).
+    activator ActNewProblem : GetRow(string, float) {
+        handler addProblem {
+            problem :-
+                SELECT P.pid, P.name, P.weight FROM problem P
+                UNION
+                SELECT genkey(), O.c1, O.c2 FROM GetRow.output O
+        }
+    }
+
+    // Submit: create the assignment when the dates are sane, otherwise reset.
+    activator SubmitAssignment : SubmitBasic {
+        return handler success {
+            condition {
+                SELECT A.name FROM assign A WHERE A.release <= A.due
+            }
+            action {
+                newassign :-
+                    SELECT genkey(), A.name, A.release, A.due FROM assign A
+                newproblem :-
+                    SELECT P.pid, N.aid, P.name, P.weight
+                    FROM problem P, newassign N
+            }
+        }
+        handler fail {
+            condition {
+                SELECT A.name FROM assign A WHERE A.release > A.due
+            }
+            action {
+                assign :- SELECT "", curr_date(), curr_date()
+            }
+        }
+    }
+}
+"""
+
+
+STUDENT_SOURCE = """
+// Figure 8: the student AUnit (grades and group management).
+aunit Student {
+    input schema {
+        curstudent(sid:int)
+        assign(aid:int key, name:string, release:date, due:date)
+        others(osid:int key, oname:string)
+    }
+    inout schema {
+        group(gid:int key, aid:int)
+        groupmember(gmid:int key, gid:int, sid:int, grade:float)
+        invitation(iid:int key, gid:int, invitersid:int, inviteesid:int)
+    }
+
+    // Show the student's grade for each assignment.
+    activator ActShowGrades : ShowRow(string, float) {
+        activation schema { agrade(aid:int, assignname:string, grade:float) }
+        activation query {
+            SELECT A.aid, A.name, GM.grade
+            FROM assign A, group G, groupmember GM, curstudent S
+            WHERE G.aid = A.aid AND GM.gid = G.gid AND GM.sid = S.sid
+        }
+        input query {
+            ShowRow.input :-
+                SELECT activationTuple.assignname, activationTuple.grade
+        }
+    }
+
+    // Invite another student to form a group for an assignment.
+    activator ActPlaceInv : SelectRow(int, string, int) {
+        input query {
+            SelectRow.input :-
+                SELECT O.osid, O.oname, A.aid FROM others O, assign A
+        }
+        return handler PlaceInvitation {
+            action {
+                group :-
+                    SELECT G.gid, G.aid FROM in.group G
+                    UNION
+                    SELECT genkey(), O.c3 FROM SelectRow.output O
+                groupmember :-
+                    SELECT GM.gmid, GM.gid, GM.sid, GM.grade FROM in.groupmember GM
+                    UNION
+                    SELECT genkey(), G.gid, S.sid, NULL
+                    FROM group G, SelectRow.output O, curstudent S
+                    WHERE G.aid = O.c3
+                      AND G.gid NOT IN (SELECT X.gid FROM in.group X)
+                invitation :-
+                    SELECT I.iid, I.gid, I.invitersid, I.inviteesid FROM in.invitation I
+                    UNION
+                    SELECT genkey(), G.gid, S.sid, O.c1
+                    FROM group G, SelectRow.output O, curstudent S
+                    WHERE G.aid = O.c3
+                      AND G.gid NOT IN (SELECT X.gid FROM in.group X)
+            }
+        }
+    }
+
+    // Withdraw an outstanding invitation (one instance per invitation sent).
+    activator ActWithdrawInv : SelectRow(int, int) {
+        activation schema { ainv(iid:int, inviteesid:int) }
+        activation query {
+            SELECT I.iid, I.inviteesid
+            FROM invitation I, curstudent S
+            WHERE I.invitersid = S.sid
+        }
+        input query {
+            SelectRow.input :-
+                SELECT activationTuple.iid, activationTuple.inviteesid
+        }
+        return handler Withdraw {
+            action {
+                invitation :-
+                    SELECT I.iid, I.gid, I.invitersid, I.inviteesid
+                    FROM in.invitation I, SelectRow.output O
+                    WHERE I.iid <> O.c1
+                group :- SELECT G.gid, G.aid FROM in.group G
+                groupmember :-
+                    SELECT GM.gmid, GM.gid, GM.sid, GM.grade FROM in.groupmember GM
+            }
+        }
+    }
+
+    // Accept an invitation (one instance per invitation received).
+    activator ActAcceptInv : SelectRow(int, int) {
+        activation schema { ainv(iid:int, invitersid:int) }
+        activation query {
+            SELECT I.iid, I.invitersid
+            FROM invitation I, curstudent S
+            WHERE I.inviteesid = S.sid
+        }
+        input query {
+            SelectRow.input :-
+                SELECT activationTuple.iid, activationTuple.invitersid
+        }
+        return handler Accept {
+            action {
+                invitation :-
+                    SELECT I.iid, I.gid, I.invitersid, I.inviteesid
+                    FROM in.invitation I, SelectRow.output O
+                    WHERE I.iid <> O.c1
+                group :- SELECT G.gid, G.aid FROM in.group G
+                groupmember :-
+                    SELECT GM.gmid, GM.gid, GM.sid, GM.grade FROM in.groupmember GM
+                    UNION
+                    SELECT genkey(), I.gid, S.sid, NULL
+                    FROM in.invitation I, SelectRow.output O, curstudent S
+                    WHERE I.iid = O.c1
+            }
+        }
+    }
+
+    // Decline an invitation (one instance per invitation received).
+    activator ActDeclineInv : SelectRow(int, int) {
+        activation schema { ainv(iid:int, invitersid:int) }
+        activation query {
+            SELECT I.iid, I.invitersid
+            FROM invitation I, curstudent S
+            WHERE I.inviteesid = S.sid
+        }
+        input query {
+            SelectRow.input :-
+                SELECT activationTuple.iid, activationTuple.invitersid
+        }
+        return handler Decline {
+            action {
+                invitation :-
+                    SELECT I.iid, I.gid, I.invitersid, I.inviteesid
+                    FROM in.invitation I, SelectRow.output O
+                    WHERE I.iid <> O.c1
+                group :- SELECT G.gid, G.aid FROM in.group G
+                groupmember :-
+                    SELECT GM.gmid, GM.gid, GM.sid, GM.grade FROM in.groupmember GM
+            }
+        }
+    }
+}
+"""
+
+
+SYSADMIN_SOURCE = """
+// The "system admin, etc." branch Figure 2 elides: manage the catalog.
+aunit SysAdmin {
+    inout schema {
+        course(cid:int key, cname:string)
+        staff(stid:int key, cid:int, sname:string, role:string)
+        student(sid:int key, cid:int, sname:string)
+    }
+
+    // Show the current course catalog.
+    activator ActShowCourses : ShowTable(int, string) {
+        input query {
+            ShowTable.input :- SELECT C.cid, C.cname FROM in.course C
+        }
+    }
+
+    // Add a course by name.
+    activator ActAddCourse : GetRow(string) {
+        return handler AddCourse {
+            action {
+                course :-
+                    SELECT C.cid, C.cname FROM in.course C
+                    UNION
+                    SELECT genkey(), O.c1 FROM GetRow.output O
+                staff :- SELECT S.stid, S.cid, S.sname, S.role FROM in.staff S
+                student :- SELECT S.sid, S.cid, S.sname FROM in.student S
+            }
+        }
+    }
+
+    // Enroll a student: (course id, student name).
+    activator ActAddStudent : GetRow(int, string) {
+        return handler AddStudent {
+            action {
+                course :- SELECT C.cid, C.cname FROM in.course C
+                staff :- SELECT S.stid, S.cid, S.sname, S.role FROM in.staff S
+                student :-
+                    SELECT S.sid, S.cid, S.sname FROM in.student S
+                    UNION
+                    SELECT genkey(), O.c1, O.c2 FROM GetRow.output O
+            }
+        }
+    }
+
+    // Add a staff member: (course id, name, role).
+    activator ActAddStaff : GetRow(int, string, string) {
+        return handler AddStaff {
+            action {
+                course :- SELECT C.cid, C.cname FROM in.course C
+                staff :-
+                    SELECT S.stid, S.cid, S.sname, S.role FROM in.staff S
+                    UNION
+                    SELECT genkey(), O.c1, O.c2, O.c3 FROM GetRow.output O
+                student :- SELECT S.sid, S.cid, S.sname FROM in.student S
+            }
+        }
+    }
+}
+"""
+
+
+NAVCMS_SOURCE = """
+// Figure 13: structure CMSRoot as a web site showing one course at a time.
+root aunit NavCMS extends CMSRoot {
+    // The currently selected course (empty until the user picks one).
+    local schema { currcourse(cid:int) }
+
+    // Course picker.
+    activator ActSelectCourse : SelectRow(int, string) {
+        input query {
+            SelectRow.input :- SELECT C.cid, C.cname FROM course C
+        }
+        handler SelectCourse {
+            currcourse :- SELECT O.c1 FROM SelectRow.output O
+        }
+    }
+
+    // Only activate the CourseAdmin / Student instances of the current course.
+    activator extending ActCourseAdmin {
+        filter activation {
+            SELECT CC.cid FROM currcourse CC WHERE activationTuple.cid = CC.cid
+        }
+    }
+    activator extending ActStudent {
+        filter activation {
+            SELECT CC.cid FROM currcourse CC WHERE activationTuple.cid = CC.cid
+        }
+    }
+}
+"""
+
+
+PUNITS_SOURCE = """
+// Section 3.4: presentation units.  Each PUnit is HTML with <punit> tags
+// that recursively pull in the PUnits of child AUnit instances.
+punit ShowCMSRoot for CMSRoot {
+    <body>
+    <h1>MiniCMS</h1>
+    <hr>
+    <h2>Courses you administer</h2>
+    <punit activator="ActCourseAdmin" name="ShowCourseAdmin">
+    <hr>
+    <h2>Courses you take</h2>
+    <punit activator="ActStudent" name="ShowStudent">
+    <hr>
+    <punit activator="ActSysAdmin" name="ShowSysAdmin">
+    </body>
+}
+
+punit ShowNavCMS for NavCMS {
+    <body bgcolor="yellow">
+    <h1>MiniCMS</h1>
+    <hr>
+    <punit activator="ActSelectCourse">
+    <hr>
+    <punit activator="ActCourseAdmin" name="ShowCourseAdmin">
+    <hr>
+    <punit activator="ActStudent" name="ShowStudent">
+    </body>
+}
+
+punit ShowCourseAdmin for CourseAdmin {
+    <div class="course-admin">
+    <h3>Assignments</h3>
+    <punit activator="ActShowAssignment">
+    <h3>Create an assignment</h3>
+    <punit activator="ActCreateAssign">
+    <h3>Delete an assignment</h3>
+    <punit activator="ActDeleteAssign">
+    </div>
+}
+
+punit ShowCreateAssignment for CreateAssignment {
+    <div class="create-assignment">
+    <h4>Assignment properties</h4>
+    <punit activator="ActAssignInfo">
+    <h4>Add a problem</h4>
+    <punit activator="ActNewProblem">
+    <punit activator="SubmitAssignment">
+    </div>
+}
+
+punit ShowStudent for Student {
+    <div class="student">
+    <h3>Your grades</h3>
+    <punit activator="ActShowGrades">
+    <h3>Invite a group partner</h3>
+    <punit activator="ActPlaceInv">
+    <h3>Invitations you sent</h3>
+    <punit activator="ActWithdrawInv">
+    <h3>Invitations you received</h3>
+    <punit activator="ActAcceptInv">
+    <punit activator="ActDeclineInv">
+    </div>
+}
+
+punit ShowSysAdmin for SysAdmin {
+    <div class="sysadmin">
+    <h3>Course catalog</h3>
+    <punit activator="ActShowCourses">
+    <h3>Add a course</h3>
+    <punit activator="ActAddCourse">
+    <h3>Enroll a student</h3>
+    <punit activator="ActAddStudent">
+    <h3>Add staff</h3>
+    <punit activator="ActAddStaff">
+    </div>
+}
+"""
+
+
+#: The full MiniCMS program rooted at CMSRoot (Figures 2, 3, 4, 8).
+MINICMS_SOURCE = "\n".join(
+    [
+        CMSROOT_SOURCE,
+        COURSE_ADMIN_SOURCE,
+        CREATE_ASSIGNMENT_SOURCE,
+        STUDENT_SOURCE,
+        SYSADMIN_SOURCE,
+        PUNITS_SOURCE,
+    ]
+)
+
+#: MiniCMS structured as a navigable web site (Figure 13), rooted at NavCMS.
+NAVCMS_PROGRAM_SOURCE = "\n".join(
+    [
+        CMSROOT_SOURCE.replace("root aunit CMSRoot", "aunit CMSRoot"),
+        COURSE_ADMIN_SOURCE,
+        CREATE_ASSIGNMENT_SOURCE,
+        STUDENT_SOURCE,
+        SYSADMIN_SOURCE,
+        NAVCMS_SOURCE,
+        PUNITS_SOURCE,
+    ]
+)

@@ -1,0 +1,122 @@
+"""Synthetic workloads over MiniCMS used by benchmarks and examples.
+
+The generators are deterministic (seeded) so benchmark numbers are
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.minicms.fixtures import ADMIN_USER
+from repro.runtime.engine import HildaEngine
+
+__all__ = [
+    "start_admin_session",
+    "start_student_sessions",
+    "create_assignment_via_ui",
+    "invitation_pairs",
+    "read_mostly_page_workload",
+]
+
+
+def start_admin_session(engine: HildaEngine, user: str = ADMIN_USER) -> str:
+    """Start a session for a course administrator."""
+    return engine.start_session({"user": [(user,)]})
+
+
+def start_student_sessions(engine: HildaEngine, student_names: Sequence[str]) -> Dict[str, str]:
+    """Start one session per student name; returns name -> session id."""
+    return {name: engine.start_session({"user": [(name,)]}) for name in student_names}
+
+
+def create_assignment_via_ui(
+    engine: HildaEngine,
+    session_id: str,
+    course_id: int,
+    name: str,
+    release: Optional[datetime.date] = None,
+    due: Optional[datetime.date] = None,
+    problems: Sequence[Tuple[str, float]] = (),
+) -> bool:
+    """Drive the CreateAssignment dialogue for one course through user actions.
+
+    Returns True when the submission was accepted (the success handler fired).
+    """
+    release = release or datetime.date(2006, 4, 1)
+    due = due or datetime.date(2006, 4, 15)
+
+    def create_instance():
+        admins = [
+            admin
+            for admin in engine.find_instances("CourseAdmin", session_id=session_id)
+            if admin.activation_tuple == (course_id,)
+        ]
+        if not admins:
+            raise LookupError(f"session {session_id} administers no course {course_id}")
+        return admins[0].find_children("CreateAssignment")[0]
+
+    update_row = create_instance().find_children("UpdateRow")[0]
+    engine.perform(update_row.instance_id, [name, release, due])
+
+    for problem_name, weight in problems:
+        get_row = create_instance().find_children("GetRow")[0]
+        engine.perform(get_row.instance_id, [problem_name, weight])
+
+    submit = create_instance().find_children("SubmitBasic")[0]
+    result = engine.perform(submit.instance_id)
+    return any(handler.handler_name == "success" for handler in result.handlers)
+
+
+def invitation_pairs(
+    engine: HildaEngine,
+    student_sessions: Dict[str, str],
+    course_id: int,
+    pairs: Sequence[Tuple[str, str]],
+) -> int:
+    """Have each (inviter, invitee) pair place an invitation through the UI.
+
+    Returns the number of invitations successfully placed.
+    """
+    placed = 0
+    for inviter, invitee in pairs:
+        session_id = student_sessions[inviter]
+        students = [
+            node
+            for node in engine.find_instances("Student", session_id=session_id)
+            if node.activation_tuple == (course_id,)
+        ]
+        if not students:
+            continue
+        place = students[0].find_children("SelectRow", activator="ActPlaceInv")
+        if not place:
+            continue
+        instance = place[0]
+        input_table = instance.input_tables.get("input")
+        target_row = None
+        for row in input_table.rows if input_table is not None else []:
+            if row[1] == invitee:
+                target_row = row
+                break
+        if target_row is None:
+            continue
+        result = engine.perform(instance.instance_id, list(target_row))
+        if result.accepted:
+            placed += 1
+    return placed
+
+
+def read_mostly_page_workload(
+    n_reads_per_write: int = 20, n_writes: int = 5, seed: int = 11
+) -> List[str]:
+    """A deterministic sequence of 'read'/'write' events for the caching bench."""
+    rng = random.Random(seed)
+    events: List[str] = []
+    for _ in range(n_writes):
+        events.extend(["read"] * n_reads_per_write)
+        events.append("write")
+    rng.shuffle(events)
+    return events

@@ -1,0 +1,27 @@
+"""The Hilda compiler (Figure 14): DDL scripts + generated servlet module,
+plus the cross-layer optimization analyses of Section 6.2."""
+
+from repro.compiler.artifacts import CompiledApplication, compile_program, compile_source
+from repro.compiler.codegen import generate_module, servlet_class_name
+from repro.compiler.ddl_gen import generate_ddl, generate_drop_script, physical_table_schemas
+from repro.compiler.partitioning import (
+    ConditionPlacement,
+    PartitioningReport,
+    PartitioningSimulator,
+    analyse_program,
+)
+
+__all__ = [
+    "CompiledApplication",
+    "ConditionPlacement",
+    "PartitioningReport",
+    "PartitioningSimulator",
+    "analyse_program",
+    "compile_program",
+    "compile_source",
+    "generate_ddl",
+    "generate_drop_script",
+    "generate_module",
+    "physical_table_schemas",
+    "servlet_class_name",
+]

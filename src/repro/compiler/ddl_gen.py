@@ -1,0 +1,47 @@
+"""DDL generation for Hilda programs (Figure 14, left output of the compiler).
+
+The generated scripts create one relational table per persistent-schema and
+local-schema table of every reachable AUnit, named ``<AUnit>_<table>``.
+Persistent tables hold shared application state; local tables hold
+per-instance state keyed by an extra ``hilda_instance_id`` column, which is
+how the paper's generated code stores local schemas "in the database"
+(Section 6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.hilda.program import HildaProgram
+from repro.relational.ddl import create_schema_script, create_table_statement, drop_schema_script
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+
+__all__ = ["generate_ddl", "generate_drop_script", "physical_table_schemas"]
+
+
+def physical_table_schemas(program: HildaProgram) -> List[TableSchema]:
+    """The physical table schemas the generated application needs."""
+    schemas: List[TableSchema] = []
+    for aunit in program.reachable_aunits():
+        for table in aunit.persist_schema:
+            schemas.append(table.renamed(f"{aunit.name}_{table.name}"))
+        for table in aunit.local_schema:
+            columns = (Column("hilda_instance_id", DataType.INT),) + table.columns
+            schemas.append(TableSchema(f"{aunit.name}_local_{table.name}", columns))
+    return schemas
+
+
+def generate_ddl(program: HildaProgram) -> str:
+    """The CREATE TABLE script for a program."""
+    header = (
+        f"Hilda-generated schema for program rooted at {program.root_name}\n"
+        "persistent tables: <AUnit>_<table>; local tables: <AUnit>_local_<table> "
+        "(keyed by hilda_instance_id)"
+    )
+    return create_schema_script(physical_table_schemas(program), header=header)
+
+
+def generate_drop_script(program: HildaProgram) -> str:
+    """The DROP TABLE script (teardown) for a program."""
+    return drop_schema_script(physical_table_schemas(program))

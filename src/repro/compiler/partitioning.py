@@ -1,0 +1,176 @@
+"""Client/server code partitioning analysis (Section 6.2).
+
+The paper observes that because Hilda programs are declarative, the compiler
+can decide *where* to evaluate pieces of application logic.  The example
+given is assignment creation: the release-date/due-date check touches only
+the CreateAssignment instance's local state and the user's input, so it can
+be evaluated in the browser, saving a server round trip whenever the check
+fails.
+
+:func:`analyse_program` classifies every handler condition as client-side
+eligible (it reads only local tables, the child's output and the
+``activationTuple``) or server-side required (it reads persistent or input
+tables, which only the server has).  :class:`PartitioningSimulator` then
+estimates the latency effect of the partitioning under a simple network
+model, which the E12 benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.hilda.ast import AUnitDecl, HandlerDecl, QueryBlock
+from repro.hilda.program import HildaProgram
+
+__all__ = [
+    "ConditionPlacement",
+    "PartitioningReport",
+    "analyse_program",
+    "PartitioningSimulator",
+]
+
+
+@dataclass
+class ConditionPlacement:
+    """Where one handler condition can be evaluated."""
+
+    aunit: str
+    activator: str
+    handler: str
+    client_side: bool
+    referenced_tables: Tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class PartitioningReport:
+    """The classification of every handler condition in a program."""
+
+    placements: List[ConditionPlacement] = field(default_factory=list)
+
+    @property
+    def client_side(self) -> List[ConditionPlacement]:
+        return [placement for placement in self.placements if placement.client_side]
+
+    @property
+    def server_side(self) -> List[ConditionPlacement]:
+        return [placement for placement in self.placements if not placement.client_side]
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "conditions": len(self.placements),
+            "client_side": len(self.client_side),
+            "server_side": len(self.server_side),
+        }
+
+
+def analyse_program(program: HildaProgram) -> PartitioningReport:
+    """Classify every handler condition of every reachable AUnit."""
+    report = PartitioningReport()
+    for aunit in program.reachable_aunits():
+        local_names = set(aunit.local_schema.table_names)
+        persist_names = set(aunit.persist_schema.table_names)
+        input_names = set(aunit.input_schema.table_names)
+        for activator in aunit.activators:
+            child_names = {activator.child.name}
+            for handler in activator.handlers:
+                if handler.condition is None:
+                    continue
+                placement = _classify_condition(
+                    aunit.name,
+                    activator.name,
+                    handler,
+                    handler.condition,
+                    local_names=local_names,
+                    persist_names=persist_names,
+                    input_names=input_names,
+                    child_names=child_names,
+                )
+                report.placements.append(placement)
+    return report
+
+
+def _classify_condition(
+    aunit_name: str,
+    activator_name: str,
+    handler: HandlerDecl,
+    condition: QueryBlock,
+    local_names: Set[str],
+    persist_names: Set[str],
+    input_names: Set[str],
+    child_names: Set[str],
+) -> ConditionPlacement:
+    referenced = tuple(sorted(set(condition.query.referenced_tables())))
+    blocking: List[str] = []
+    for table in referenced:
+        base = table.split(".")[0]
+        if table in local_names or base in local_names:
+            continue
+        if base in child_names or table == "activationTuple":
+            continue
+        if table.startswith("in.") or table in input_names or base in input_names:
+            # Input tables were shipped to the client when the page was built,
+            # so checks over them can also run client-side.
+            continue
+        if table in persist_names or base in persist_names:
+            blocking.append(f"{table} is persistent (server only)")
+        else:
+            blocking.append(f"{table} is not available on the client")
+    client_side = not blocking
+    reason = (
+        "reads only local/client-visible tables"
+        if client_side
+        else "; ".join(blocking)
+    )
+    return ConditionPlacement(
+        aunit=aunit_name,
+        activator=activator_name,
+        handler=handler.name,
+        client_side=client_side,
+        referenced_tables=referenced,
+        reason=reason,
+    )
+
+
+class PartitioningSimulator:
+    """Estimate request latency with and without client-side validation.
+
+    Model: every user attempt either passes validation (probability
+    ``1 - invalid_rate``) or fails it.  A server round trip costs
+    ``network_latency_ms`` plus ``server_cost_ms``; a client-side check costs
+    ``client_cost_ms``.  Without partitioning every attempt is a round trip;
+    with partitioning, failed attempts are caught in the browser and only
+    passing attempts reach the server.
+    """
+
+    def __init__(
+        self,
+        network_latency_ms: float = 40.0,
+        server_cost_ms: float = 5.0,
+        client_cost_ms: float = 0.5,
+    ) -> None:
+        self.network_latency_ms = network_latency_ms
+        self.server_cost_ms = server_cost_ms
+        self.client_cost_ms = client_cost_ms
+
+    def simulate(
+        self, attempts: int, invalid_rate: float, client_side: bool
+    ) -> Dict[str, float]:
+        invalid = int(round(attempts * invalid_rate))
+        valid = attempts - invalid
+        if client_side:
+            round_trips = valid
+            total_ms = (
+                attempts * self.client_cost_ms
+                + valid * (self.network_latency_ms + self.server_cost_ms)
+            )
+        else:
+            round_trips = attempts
+            total_ms = attempts * (self.network_latency_ms + self.server_cost_ms)
+        return {
+            "attempts": float(attempts),
+            "round_trips": float(round_trips),
+            "total_ms": total_ms,
+            "mean_ms_per_attempt": total_ms / attempts if attempts else 0.0,
+        }

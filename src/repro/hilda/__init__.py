@@ -1,0 +1,56 @@
+"""The Hilda language front end.
+
+* :func:`parse_program` — Hilda text to a :class:`~repro.hilda.ast.ProgramDecl`.
+* :func:`load_program` — parse + flatten inheritance + validate, producing a
+  :class:`~repro.hilda.program.HildaProgram` the runtime and compiler use.
+* :mod:`repro.hilda.basic_aunits` — the catalog of Basic AUnits.
+"""
+
+from repro.hilda.ast import (
+    ActivatorDecl,
+    ActivatorExtension,
+    Assignment,
+    AUnitDecl,
+    ChildRef,
+    HandlerDecl,
+    ProgramDecl,
+    PUnitDecl,
+    PUnitInclude,
+    QueryBlock,
+)
+from repro.hilda.basic_aunits import (
+    BASIC_AUNIT_SPECS,
+    BasicAUnitSpec,
+    is_basic_aunit,
+    make_basic_aunit,
+)
+from repro.hilda.inheritance import flatten_aunit, resolve_inheritance
+from repro.hilda.parser import parse_aunit, parse_program
+from repro.hilda.program import HildaProgram, load_program
+from repro.hilda.validator import HildaValidator, ValidationIssue, validate_program
+
+__all__ = [
+    "ActivatorDecl",
+    "ActivatorExtension",
+    "Assignment",
+    "AUnitDecl",
+    "BASIC_AUNIT_SPECS",
+    "BasicAUnitSpec",
+    "ChildRef",
+    "HandlerDecl",
+    "HildaProgram",
+    "HildaValidator",
+    "ProgramDecl",
+    "PUnitDecl",
+    "PUnitInclude",
+    "QueryBlock",
+    "ValidationIssue",
+    "flatten_aunit",
+    "is_basic_aunit",
+    "load_program",
+    "make_basic_aunit",
+    "parse_aunit",
+    "parse_program",
+    "resolve_inheritance",
+    "validate_program",
+]

@@ -1,0 +1,238 @@
+"""Abstract syntax tree of the Hilda language.
+
+The node classes follow the grammar of Figure 1 (User-Defined AUnits) and
+Figure 12 (AUnit inheritance) of the paper, plus the PUnit syntax sketched
+in Section 3.4.  SQL embedded in a Hilda program is stored both as the raw
+source text (for error messages and code generation) and as a parsed
+:mod:`repro.sql.ast` tree (for validation and execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.relational.schema import Schema, TableSchema
+from repro.relational.types import DataType
+from repro.sql.ast import Query
+
+__all__ = [
+    "QueryBlock",
+    "Assignment",
+    "ChildRef",
+    "HandlerDecl",
+    "ActivatorDecl",
+    "ActivatorExtension",
+    "AUnitDecl",
+    "PUnitDecl",
+    "PUnitInclude",
+    "ProgramDecl",
+    "SCHEMA_KINDS",
+]
+
+#: The schema block kinds an AUnit may declare.
+SCHEMA_KINDS = ("input", "output", "inout", "persist", "local")
+
+
+@dataclass
+class QueryBlock:
+    """A SQL query embedded in a Hilda program."""
+
+    text: str
+    query: Query
+
+    def __str__(self) -> str:
+        return self.text.strip()
+
+
+@dataclass
+class Assignment:
+    """``target :- SELECT ...`` — assign a query result to a table.
+
+    ``target`` is the name exactly as written, possibly dotted
+    (``CourseAdmin.assign``, ``ShowRow.input``, ``newassign``).
+    """
+
+    target: str
+    query: QueryBlock
+
+    @property
+    def target_parts(self) -> Tuple[str, ...]:
+        return tuple(self.target.split("."))
+
+    @property
+    def simple_target(self) -> str:
+        """The unqualified table name being assigned."""
+        return self.target_parts[-1]
+
+    @property
+    def target_prefix(self) -> Optional[str]:
+        """The qualifier before the table name (child AUnit name), if any."""
+        parts = self.target_parts
+        return ".".join(parts[:-1]) if len(parts) > 1 else None
+
+    def __str__(self) -> str:
+        return f"{self.target} :- {self.query}"
+
+
+@dataclass
+class ChildRef:
+    """Reference to the child AUnit an activator activates.
+
+    Basic AUnits are parameterized by column types, e.g. ``ShowRow(string)``
+    or ``UpdateRow(string, date, date)``; ``type_args`` holds those types.
+    User-defined children have no type arguments.
+    """
+
+    name: str
+    type_args: Tuple[DataType, ...] = ()
+
+    def __str__(self) -> str:
+        if self.type_args:
+            args = ", ".join(dtype.value for dtype in self.type_args)
+            return f"{self.name}({args})"
+        return self.name
+
+
+@dataclass
+class HandlerDecl:
+    """A handler of an activator: optional condition, an action, return flag.
+
+    The action is a list of assignments.  A *return* handler may write the
+    containing AUnit's output and persistent tables and causes the AUnit to
+    return; a non-return handler may write local and persistent tables.
+    """
+
+    name: str
+    is_return: bool = False
+    condition: Optional[QueryBlock] = None
+    actions: List[Assignment] = field(default_factory=list)
+
+
+@dataclass
+class ActivatorDecl:
+    """An activator (Figure 1, lines 16-22)."""
+
+    name: str
+    child: ChildRef
+    activation_schema: Optional[TableSchema] = None
+    activation_query: Optional[QueryBlock] = None
+    input_query: List[Assignment] = field(default_factory=list)
+    handlers: List[HandlerDecl] = field(default_factory=list)
+    #: Activation filter added by inheritance (Figure 12, line 17); kept here
+    #: so resolved (flattened) AUnits carry their filters along.
+    activation_filters: List[QueryBlock] = field(default_factory=list)
+
+    @property
+    def activates_per_tuple(self) -> bool:
+        """True when one child instance is activated per activation-query tuple."""
+        return self.activation_query is not None
+
+    def return_handlers(self) -> List[HandlerDecl]:
+        return [handler for handler in self.handlers if handler.is_return]
+
+    def non_return_handlers(self) -> List[HandlerDecl]:
+        return [handler for handler in self.handlers if not handler.is_return]
+
+
+@dataclass
+class ActivatorExtension:
+    """``extend activator Base { filter activation {...} Handler* }`` (Figure 12)."""
+
+    base_name: str
+    activation_filter: Optional[QueryBlock] = None
+    handlers: List[HandlerDecl] = field(default_factory=list)
+
+
+@dataclass
+class AUnitDecl:
+    """A User-Defined AUnit declaration.
+
+    ``inout`` schemas are stored expanded: the tables appear in both
+    ``input_schema`` and ``output_schema`` and their names are recorded in
+    ``inout_tables`` so the runtime knows which input tables are readable
+    via the ``in.X`` notation and writable via ``out.X``.
+    """
+
+    name: str
+    input_schema: Schema = field(default_factory=Schema)
+    output_schema: Schema = field(default_factory=Schema)
+    inout_tables: Tuple[str, ...] = ()
+    persist_schema: Schema = field(default_factory=Schema)
+    persist_query: List[Assignment] = field(default_factory=list)
+    local_schema: Schema = field(default_factory=Schema)
+    local_query: List[Assignment] = field(default_factory=list)
+    activators: List[ActivatorDecl] = field(default_factory=list)
+    #: Name of the base AUnit when this is an extended AUnit (Figure 12).
+    extends: Optional[str] = None
+    #: Extensions of base activators; resolved away by inheritance flattening.
+    activator_extensions: List[ActivatorExtension] = field(default_factory=list)
+    #: True when this AUnit was marked as the program's root.
+    is_root: bool = False
+    #: Synchronised AUnits re-initialise their local schema on every
+    #: reactivation (Definition 8 of the paper); default is asynchronous,
+    #: i.e. local state is preserved.
+    synchronized: bool = False
+    #: True for generated Basic AUnit declarations.
+    is_basic: bool = False
+    #: For Basic AUnits: the kind (ShowRow, GetRow, ...).
+    basic_kind: Optional[str] = None
+
+    def activator(self, name: str) -> ActivatorDecl:
+        for activator in self.activators:
+            if activator.name == name:
+                return activator
+        raise KeyError(name)
+
+    def has_activator(self, name: str) -> bool:
+        return any(activator.name == name for activator in self.activators)
+
+    @property
+    def has_output(self) -> bool:
+        return not self.output_schema.is_empty()
+
+
+@dataclass
+class PUnitInclude:
+    """A ``<punit activator="..." name="...">`` tag inside a PUnit template."""
+
+    activator: str
+    punit_name: Optional[str] = None
+
+
+@dataclass
+class PUnitDecl:
+    """A Presentation Unit: HTML template associated with an AUnit.
+
+    ``template`` is the raw HTML with ``<punit ...>`` placeholders;
+    ``includes`` lists the placeholders in order of appearance.
+    """
+
+    name: str
+    aunit_name: str
+    template: str
+    includes: List[PUnitInclude] = field(default_factory=list)
+
+
+@dataclass
+class ProgramDecl:
+    """A parsed (but not yet resolved) Hilda program."""
+
+    aunits: List[AUnitDecl] = field(default_factory=list)
+    punits: List[PUnitDecl] = field(default_factory=list)
+    root_name: Optional[str] = None
+
+    def aunit(self, name: str) -> AUnitDecl:
+        for aunit in self.aunits:
+            if aunit.name == name:
+                return aunit
+        raise KeyError(name)
+
+    def has_aunit(self, name: str) -> bool:
+        return any(aunit.name == name for aunit in self.aunits)
+
+    def aunit_names(self) -> List[str]:
+        return [aunit.name for aunit in self.aunits]
+
+    def punits_for(self, aunit_name: str) -> List[PUnitDecl]:
+        return [punit for punit in self.punits if punit.aunit_name == aunit_name]

@@ -1,0 +1,155 @@
+"""Basic AUnits: the primitive Input/Output building blocks of Hilda.
+
+Section 3.1 of the paper introduces Basic AUnits as the AUnits that provide
+"simple Input/Output functionality"; user actions (the paper's *operations*)
+are always returns of Basic AUnit instances.  The catalog implemented here
+covers every Basic AUnit the paper's MiniCMS program uses plus the obvious
+companions:
+
+============  =====================  ======================  =================
+Name          Input table            Output table            User interaction
+============  =====================  ======================  =================
+ShowRow       ``input`` (one row)    —                       none (display)
+ShowTable     ``input`` (many rows)  —                       none (display)
+GetRow        —                      ``output`` (one row)    enter a new row
+UpdateRow     ``input`` (one row)    ``output`` (one row)    edit the row
+SelectRow     ``input`` (many rows)  ``output`` (one row)    pick one row
+SubmitBasic   —                      —                       press a button
+============  =====================  ======================  =================
+
+Basic AUnits are *parameterized by column types*: ``ShowRow(string, float)``
+is a ShowRow whose single input row has a string and a float column.  The
+factory below materialises a concrete :class:`~repro.hilda.ast.AUnitDecl`
+for a given parameterization; generated column names are ``c1 .. cn``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import UnknownAUnitError
+from repro.hilda.ast import AUnitDecl, ChildRef
+from repro.relational.schema import Column, Schema, TableSchema
+from repro.relational.types import DataType
+
+__all__ = [
+    "BasicAUnitSpec",
+    "BASIC_AUNIT_SPECS",
+    "is_basic_aunit",
+    "make_basic_aunit",
+    "basic_aunit_for_ref",
+]
+
+
+@dataclass(frozen=True)
+class BasicAUnitSpec:
+    """Static description of one kind of Basic AUnit."""
+
+    name: str
+    has_input: bool
+    has_output: bool
+    #: True when the input table may contain any number of rows (ShowTable,
+    #: SelectRow); False when it is expected to hold exactly one row.
+    multi_row_input: bool = False
+    #: True when a user action (a return) is possible for this Basic AUnit.
+    returnable: bool = True
+    description: str = ""
+
+
+BASIC_AUNIT_SPECS: Dict[str, BasicAUnitSpec] = {
+    spec.name: spec
+    for spec in (
+        BasicAUnitSpec(
+            name="ShowRow",
+            has_input=True,
+            has_output=False,
+            returnable=False,
+            description="Shows a single row of values to the user.",
+        ),
+        BasicAUnitSpec(
+            name="ShowTable",
+            has_input=True,
+            has_output=False,
+            multi_row_input=True,
+            returnable=False,
+            description="Shows a table of values to the user.",
+        ),
+        BasicAUnitSpec(
+            name="GetRow",
+            has_input=False,
+            has_output=True,
+            description="Returns a row of values entered by the user.",
+        ),
+        BasicAUnitSpec(
+            name="UpdateRow",
+            has_input=True,
+            has_output=True,
+            description="Shows a row and returns the user's edited version.",
+        ),
+        BasicAUnitSpec(
+            name="SelectRow",
+            has_input=True,
+            has_output=True,
+            multi_row_input=True,
+            description="Shows a set of rows and returns the one the user selects.",
+        ),
+        BasicAUnitSpec(
+            name="SubmitBasic",
+            has_input=False,
+            has_output=False,
+            description="A submit button; returning it carries no data.",
+        ),
+    )
+}
+
+#: Aliases accepted in programs (the paper refers to "the basic AUnit, Submit").
+_ALIASES = {"Submit": "SubmitBasic", "Button": "SubmitBasic"}
+
+
+def _canonical_name(name: str) -> Optional[str]:
+    if name in BASIC_AUNIT_SPECS:
+        return name
+    return _ALIASES.get(name)
+
+
+def is_basic_aunit(name: str) -> bool:
+    """True when ``name`` refers to a Basic AUnit (directly or via alias)."""
+    return _canonical_name(name) is not None
+
+
+def basic_signature(name: str, type_args: Sequence[DataType]) -> str:
+    """The unique name of a Basic AUnit parameterization, e.g. ``ShowRow(string)``."""
+    canonical = _canonical_name(name) or name
+    if type_args:
+        return f"{canonical}({','.join(dtype.value for dtype in type_args)})"
+    return canonical
+
+
+def make_basic_aunit(name: str, type_args: Sequence[DataType] = ()) -> AUnitDecl:
+    """Materialise the AUnit declaration of a Basic AUnit parameterization."""
+    canonical = _canonical_name(name)
+    if canonical is None:
+        raise UnknownAUnitError(name)
+    spec = BASIC_AUNIT_SPECS[canonical]
+    columns = tuple(
+        Column(name=f"c{index + 1}", dtype=dtype) for index, dtype in enumerate(type_args)
+    )
+    input_schema = Schema()
+    output_schema = Schema()
+    if spec.has_input:
+        input_schema.add(TableSchema("input", columns or (Column("c1", DataType.STRING),)))
+    if spec.has_output:
+        output_schema.add(TableSchema("output", columns or (Column("c1", DataType.STRING),)))
+    return AUnitDecl(
+        name=basic_signature(canonical, type_args),
+        input_schema=input_schema,
+        output_schema=output_schema,
+        is_basic=True,
+        basic_kind=canonical,
+    )
+
+
+def basic_aunit_for_ref(ref: ChildRef) -> AUnitDecl:
+    """Materialise the Basic AUnit declaration for an activator's child reference."""
+    return make_basic_aunit(ref.name, ref.type_args)

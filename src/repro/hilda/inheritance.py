@@ -1,0 +1,127 @@
+"""AUnit inheritance resolution (Section 3.3, Figure 12 of the paper).
+
+An *extended* AUnit names a *base* AUnit and may
+
+* add tables to any of its schemas (and initialization queries),
+* add new activators,
+* extend existing activators with additional handlers and with an
+  *activation filter* that restricts which child instances are activated.
+
+This module flattens inheritance: it produces, for every AUnit in a parsed
+program, a self-contained :class:`~repro.hilda.ast.AUnitDecl` with all
+inherited members folded in.  The runtime and compiler only ever see
+flattened AUnits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import HildaValidationError, UnknownAUnitError
+from repro.hilda.ast import ActivatorDecl, AUnitDecl, ProgramDecl
+
+__all__ = ["resolve_inheritance", "flatten_aunit"]
+
+
+def resolve_inheritance(program: ProgramDecl) -> Dict[str, AUnitDecl]:
+    """Flatten every AUnit of a parsed program.
+
+    Returns a mapping from AUnit name to its flattened declaration.  Raises
+    :class:`HildaValidationError` on unknown bases or inheritance cycles.
+    """
+    declared = {aunit.name: aunit for aunit in program.aunits}
+    resolved: Dict[str, AUnitDecl] = {}
+    in_progress: Set[str] = set()
+
+    def resolve(name: str) -> AUnitDecl:
+        if name in resolved:
+            return resolved[name]
+        if name in in_progress:
+            raise HildaValidationError(f"inheritance cycle involving AUnit {name!r}")
+        try:
+            declaration = declared[name]
+        except KeyError:
+            raise UnknownAUnitError(name) from None
+        in_progress.add(name)
+        if declaration.extends is None:
+            flattened = declaration
+        else:
+            base = resolve(declaration.extends)
+            flattened = flatten_aunit(declaration, base)
+        in_progress.discard(name)
+        resolved[name] = flattened
+        return flattened
+
+    for aunit_name in declared:
+        resolve(aunit_name)
+    return resolved
+
+
+def flatten_aunit(extended: AUnitDecl, base: AUnitDecl) -> AUnitDecl:
+    """Fold a base AUnit into an extended AUnit, producing a flattened AUnit."""
+    try:
+        input_schema = base.input_schema.merge(extended.input_schema)
+        output_schema = base.output_schema.merge(extended.output_schema)
+        persist_schema = base.persist_schema.merge(extended.persist_schema)
+        local_schema = base.local_schema.merge(extended.local_schema)
+    except Exception as exc:
+        raise HildaValidationError(
+            f"AUnit {extended.name!r} redeclares a table of its base {base.name!r}: {exc}"
+        ) from exc
+
+    # Start from copies of the base activators so extensions do not mutate
+    # the base declaration (several AUnits may extend the same base).
+    activators: List[ActivatorDecl] = [_copy_activator(activator) for activator in base.activators]
+    activators_by_name = {activator.name: activator for activator in activators}
+
+    for extension in extended.activator_extensions:
+        target = activators_by_name.get(extension.base_name)
+        if target is None:
+            raise HildaValidationError(
+                f"AUnit {extended.name!r} extends unknown activator "
+                f"{extension.base_name!r} of base {base.name!r}"
+            )
+        if extension.activation_filter is not None:
+            target.activation_filters = list(target.activation_filters) + [
+                extension.activation_filter
+            ]
+        if extension.handlers:
+            target.handlers = list(target.handlers) + list(extension.handlers)
+
+    for activator in extended.activators:
+        if activator.name in activators_by_name:
+            raise HildaValidationError(
+                f"AUnit {extended.name!r} redeclares activator {activator.name!r} "
+                f"of base {base.name!r}; use 'extend activator' instead"
+            )
+        activators.append(activator)
+
+    return AUnitDecl(
+        name=extended.name,
+        input_schema=input_schema,
+        output_schema=output_schema,
+        inout_tables=tuple(base.inout_tables) + tuple(extended.inout_tables),
+        persist_schema=persist_schema,
+        persist_query=list(base.persist_query) + list(extended.persist_query),
+        local_schema=local_schema,
+        local_query=list(base.local_query) + list(extended.local_query),
+        activators=activators,
+        extends=extended.extends,
+        activator_extensions=[],
+        is_root=extended.is_root,
+        synchronized=extended.synchronized or base.synchronized,
+        is_basic=False,
+    )
+
+
+def _copy_activator(activator: ActivatorDecl) -> ActivatorDecl:
+    """A shallow-but-safe copy: lists are copied, parsed queries are shared."""
+    return ActivatorDecl(
+        name=activator.name,
+        child=activator.child,
+        activation_schema=activator.activation_schema,
+        activation_query=activator.activation_query,
+        input_query=list(activator.input_query),
+        handlers=list(activator.handlers),
+        activation_filters=list(activator.activation_filters),
+    )

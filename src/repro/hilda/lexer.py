@@ -1,0 +1,174 @@
+"""Lexer for the Hilda language (Figure 1 and Figure 12 of the paper).
+
+The Hilda grammar embeds SQL inside brace-delimited blocks (activation
+queries, handler conditions, assignments).  The Hilda lexer therefore keeps
+the *character offset* of every token so the parser can slice the original
+source text for those blocks and hand the text to the SQL parser unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.errors import HildaSyntaxError
+
+__all__ = ["HToken", "HTokenType", "tokenize_hilda"]
+
+
+class HTokenType:
+    """Token categories of the Hilda lexer."""
+
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    PUNCT = "PUNCT"  # { } ( ) , : ;
+    ASSIGN = "ASSIGN"  # :-
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class HToken:
+    """A Hilda token with position information.
+
+    ``start``/``end`` are character offsets into the original source; the
+    parser uses them to recover raw SQL block text.
+    """
+
+    type: str
+    value: Any
+    line: int
+    column: int
+    start: int
+    end: int
+
+    def is_word(self, *words: str) -> bool:
+        """Case-insensitive keyword test (Hilda keywords are not reserved)."""
+        return self.type == HTokenType.IDENT and str(self.value).lower() in {
+            word.lower() for word in words
+        }
+
+    def is_punct(self, symbol: str) -> bool:
+        return self.type == HTokenType.PUNCT and self.value == symbol
+
+
+_PUNCTUATION = "{}(),:;<>=."
+
+
+def tokenize_hilda(text: str) -> List[HToken]:
+    """Tokenize Hilda source text.
+
+    Comments (``//`` to end of line and ``/* ... */``) are skipped.  String
+    literals may use single or double quotes.  The two-character token
+    ``:-`` (assignment) is recognised specially; every other punctuation
+    character becomes its own token.
+    """
+    tokens: List[HToken] = []
+    position = 0
+    line = 1
+    column = 1
+    length = len(text)
+
+    def error(message: str) -> HildaSyntaxError:
+        return HildaSyntaxError(message, line, column)
+
+    while position < length:
+        char = text[position]
+
+        if char in " \t\r":
+            position += 1
+            column += 1
+            continue
+        if char == "\n":
+            position += 1
+            line += 1
+            column = 1
+            continue
+
+        # Comments.
+        if char == "/" and text.startswith("//", position):
+            end = text.find("\n", position)
+            position = length if end == -1 else end
+            continue
+        if char == "/" and text.startswith("/*", position):
+            end = text.find("*/", position + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            skipped = text[position : end + 2]
+            line += skipped.count("\n")
+            position = end + 2
+            column = 1
+            continue
+
+        start = position
+        start_line, start_column = line, column
+
+        # Strings.
+        if char in ("'", '"'):
+            end = position + 1
+            parts: List[str] = []
+            closed = False
+            while end < length:
+                if text[end] == char:
+                    closed = True
+                    break
+                parts.append(text[end])
+                end += 1
+            if not closed:
+                raise error("unterminated string literal")
+            value = "".join(parts)
+            consumed = end - position + 1
+            tokens.append(
+                HToken(HTokenType.STRING, value, start_line, start_column, start, end + 1)
+            )
+            position += consumed
+            column += consumed
+            continue
+
+        # Numbers.
+        if char.isdigit():
+            end = position
+            while end < length and (text[end].isdigit() or text[end] == "."):
+                end += 1
+            literal = text[position:end]
+            value = float(literal) if "." in literal else int(literal)
+            tokens.append(
+                HToken(HTokenType.NUMBER, value, start_line, start_column, start, end)
+            )
+            column += end - position
+            position = end
+            continue
+
+        # Identifiers.
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[position:end]
+            tokens.append(
+                HToken(HTokenType.IDENT, word, start_line, start_column, start, end)
+            )
+            column += end - position
+            position = end
+            continue
+
+        # Assignment ':-'.
+        if char == ":" and text.startswith(":-", position):
+            tokens.append(
+                HToken(HTokenType.ASSIGN, ":-", start_line, start_column, start, start + 2)
+            )
+            position += 2
+            column += 2
+            continue
+
+        # Any other character (SQL operators such as * < = inside query blocks)
+        # becomes a single-character punctuation token; the Hilda parser only
+        # needs to track braces inside those blocks and slices the raw text.
+        tokens.append(
+            HToken(HTokenType.PUNCT, char, start_line, start_column, start, start + 1)
+        )
+        position += 1
+        column += 1
+
+    tokens.append(HToken(HTokenType.EOF, None, line, column, length, length))
+    return tokens

@@ -1,0 +1,509 @@
+"""Parser for the Hilda language.
+
+The parser follows the grammar of Figure 1 (User-Defined AUnits), Figure 12
+(inheritance) and the PUnit syntax of Section 3.4, with the small liberties
+the paper's own example programs take:
+
+* ``action { ... }`` may be omitted inside a handler, in which case the
+  handler body is the list of assignments directly (Figures 4 and 8);
+* handlers may be anonymous (``return handler { ... }`` in Figure 8);
+* activator extension may be written either ``extend activator Name``
+  (Figure 12) or ``activator extending Name`` (Figure 13);
+* an AUnit may be marked as the program's root with a leading ``root``
+  keyword (the paper designates the root out of band).
+
+Keywords are case-insensitive and are not reserved: ``input``, ``schema``
+etc. may still be used as table or column names inside SQL blocks because
+SQL blocks are sliced out of the source text verbatim and handed to the SQL
+parser.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import HildaSyntaxError
+from repro.hilda.ast import (
+    Assignment,
+    ActivatorDecl,
+    ActivatorExtension,
+    AUnitDecl,
+    ChildRef,
+    HandlerDecl,
+    ProgramDecl,
+    PUnitDecl,
+    PUnitInclude,
+    QueryBlock,
+)
+from repro.hilda.lexer import HToken, HTokenType, tokenize_hilda
+from repro.hilda.punit_parser import parse_punit_template
+from repro.relational.schema import Column, Schema, TableSchema
+from repro.relational.types import parse_type_name
+from repro.sql.parser import parse_query
+
+__all__ = ["parse_program", "parse_aunit", "HildaParser", "parse_assignments_text"]
+
+
+def parse_program(source: str) -> ProgramDecl:
+    """Parse a complete Hilda program (AUnits and PUnits)."""
+    return HildaParser(source).parse_program()
+
+
+def parse_aunit(source: str) -> AUnitDecl:
+    """Parse a single AUnit declaration (convenience for tests)."""
+    program = parse_program(source)
+    if len(program.aunits) != 1:
+        raise HildaSyntaxError(
+            f"expected exactly one AUnit, found {len(program.aunits)}"
+        )
+    return program.aunits[0]
+
+
+class HildaParser:
+    """Recursive-descent parser over the Hilda token stream."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.tokens = tokenize_hilda(source)
+        self.position = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    @property
+    def current(self) -> HToken:
+        return self.tokens[self.position]
+
+    def peek(self, offset: int = 1) -> HToken:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> HToken:
+        token = self.current
+        if token.type != HTokenType.EOF:
+            self.position += 1
+        return token
+
+    def error(self, message: str) -> HildaSyntaxError:
+        token = self.current
+        return HildaSyntaxError(message, token.line, token.column)
+
+    def at_word(self, *words: str) -> bool:
+        return self.current.is_word(*words)
+
+    def match_word(self, *words: str) -> bool:
+        if self.at_word(*words):
+            self.advance()
+            return True
+        return False
+
+    def expect_word(self, word: str) -> HToken:
+        if not self.at_word(word):
+            raise self.error(f"expected {word!r}, found {self.current.value!r}")
+        return self.advance()
+
+    def expect_punct(self, symbol: str) -> HToken:
+        if not self.current.is_punct(symbol):
+            raise self.error(f"expected {symbol!r}, found {self.current.value!r}")
+        return self.advance()
+
+    def match_punct(self, symbol: str) -> bool:
+        if self.current.is_punct(symbol):
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self) -> str:
+        token = self.current
+        if token.type != HTokenType.IDENT:
+            raise self.error(f"expected an identifier, found {token.value!r}")
+        self.advance()
+        return str(token.value)
+
+    def parse_dotted_name(self) -> str:
+        parts = [self.expect_ident()]
+        while self.current.is_punct(".") and self.peek().type == HTokenType.IDENT:
+            self.advance()
+            parts.append(self.expect_ident())
+        return ".".join(parts)
+
+    # -- raw block slicing -------------------------------------------------------
+
+    def read_raw_block(self) -> str:
+        """Consume a balanced ``{ ... }`` block and return the inner source text."""
+        open_brace = self.expect_punct("{")
+        depth = 1
+        start_offset = open_brace.end
+        while depth > 0:
+            token = self.advance()
+            if token.type == HTokenType.EOF:
+                raise self.error("unterminated '{' block")
+            if token.is_punct("{"):
+                depth += 1
+            elif token.is_punct("}"):
+                depth -= 1
+                if depth == 0:
+                    return self.source[start_offset : token.start]
+        raise self.error("unterminated '{' block")  # pragma: no cover
+
+    def read_query_block(self) -> QueryBlock:
+        text = self.read_raw_block()
+        try:
+            query = parse_query(text)
+        except Exception as exc:
+            raise HildaSyntaxError(
+                f"invalid SQL in query block: {exc}", self.current.line, self.current.column
+            ) from exc
+        return QueryBlock(text=text, query=query)
+
+    def read_assignment_block(self) -> List[Assignment]:
+        text = self.read_raw_block()
+        return parse_assignments_text(text)
+
+    # -- program -------------------------------------------------------------------
+
+    def parse_program(self) -> ProgramDecl:
+        program = ProgramDecl()
+        while self.current.type != HTokenType.EOF:
+            if self.at_word("punit"):
+                program.punits.append(self.parse_punit())
+                continue
+            is_root = False
+            if self.at_word("root") and self.peek().is_word("aunit"):
+                self.advance()
+                is_root = True
+            if self.at_word("aunit"):
+                aunit = self.parse_aunit_decl()
+                aunit.is_root = aunit.is_root or is_root
+                if aunit.is_root:
+                    if program.root_name is not None and program.root_name != aunit.name:
+                        raise self.error(
+                            f"multiple root AUnits: {program.root_name!r} and {aunit.name!r}"
+                        )
+                    program.root_name = aunit.name
+                program.aunits.append(aunit)
+                continue
+            raise self.error(
+                f"expected an AUnit or PUnit declaration, found {self.current.value!r}"
+            )
+        return program
+
+    # -- AUnit -----------------------------------------------------------------------
+
+    def parse_aunit_decl(self) -> AUnitDecl:
+        self.expect_word("aunit")
+        name = self.expect_ident()
+        extends = None
+        if self.match_word("extends"):
+            extends = self.expect_ident()
+        aunit = AUnitDecl(name=name, extends=extends)
+        self.expect_punct("{")
+        while not self.current.is_punct("}"):
+            self.parse_aunit_member(aunit)
+        self.expect_punct("}")
+        return aunit
+
+    def parse_aunit_member(self, aunit: AUnitDecl) -> None:
+        if self.at_word("synchronized"):
+            self.advance()
+            aunit.synchronized = True
+            return
+        if self.at_word("input") and self.peek().is_word("schema"):
+            self.advance()
+            self.advance()
+            aunit.input_schema = aunit.input_schema.merge(self.parse_schema_block())
+            return
+        if self.at_word("output") and self.peek().is_word("schema"):
+            self.advance()
+            self.advance()
+            aunit.output_schema = aunit.output_schema.merge(self.parse_schema_block())
+            return
+        if self.at_word("inout") and self.peek().is_word("schema"):
+            self.advance()
+            self.advance()
+            schema = self.parse_schema_block()
+            aunit.input_schema = aunit.input_schema.merge(schema)
+            aunit.output_schema = aunit.output_schema.merge(schema)
+            aunit.inout_tables = tuple(aunit.inout_tables) + tuple(schema.table_names)
+            return
+        if self.at_word("persist") and self.peek().is_word("schema"):
+            self.advance()
+            self.advance()
+            aunit.persist_schema = aunit.persist_schema.merge(self.parse_schema_block())
+            return
+        if self.at_word("persist") and self.peek().is_word("query"):
+            self.advance()
+            self.advance()
+            aunit.persist_query.extend(self.read_assignment_block())
+            return
+        if self.at_word("local") and self.peek().is_word("schema"):
+            self.advance()
+            self.advance()
+            aunit.local_schema = aunit.local_schema.merge(self.parse_schema_block())
+            return
+        if self.at_word("local") and self.peek().is_word("query"):
+            self.advance()
+            self.advance()
+            aunit.local_query.extend(self.read_assignment_block())
+            return
+        if self.at_word("activator") and self.peek().is_word("extending"):
+            self.advance()
+            self.advance()
+            aunit.activator_extensions.append(self.parse_activator_extension())
+            return
+        if self.at_word("extend") and self.peek().is_word("activator"):
+            self.advance()
+            self.advance()
+            aunit.activator_extensions.append(self.parse_activator_extension())
+            return
+        if self.at_word("activator"):
+            self.advance()
+            aunit.activators.append(self.parse_activator())
+            return
+        raise self.error(
+            f"unexpected token {self.current.value!r} inside AUnit {aunit.name!r}"
+        )
+
+    # -- schemas ---------------------------------------------------------------------
+
+    def parse_schema_block(self) -> Schema:
+        """Parse ``{ table(col:type, ...) table2(...) ... }``."""
+        self.expect_punct("{")
+        schema = Schema()
+        while not self.current.is_punct("}"):
+            schema.add(self.parse_table_schema())
+            self.match_punct(",")
+            self.match_punct(";")
+        self.expect_punct("}")
+        return schema
+
+    def parse_table_schema(self) -> TableSchema:
+        name = self.expect_ident()
+        self.expect_punct("(")
+        columns: List[Column] = []
+        key_columns: List[str] = []
+        while not self.current.is_punct(")"):
+            column_name = self.expect_ident()
+            self.expect_punct(":")
+            type_name = self.expect_ident()
+            column = Column(name=column_name, dtype=parse_type_name(type_name))
+            # Optional 'key' marker after the type, e.g. aid:int key.
+            if self.at_word("key"):
+                self.advance()
+                key_columns.append(column_name)
+            columns.append(column)
+            self.match_punct(",")
+        self.expect_punct(")")
+        return TableSchema(name, columns, primary_key=key_columns or None)
+
+    # -- activators -------------------------------------------------------------------
+
+    def parse_activator(self) -> ActivatorDecl:
+        name = self.expect_ident()
+        self.expect_punct(":")
+        child = self.parse_child_ref()
+        activator = ActivatorDecl(name=name, child=child)
+        self.expect_punct("{")
+        while not self.current.is_punct("}"):
+            self.parse_activator_member(activator)
+        self.expect_punct("}")
+        return activator
+
+    def parse_child_ref(self) -> ChildRef:
+        name = self.expect_ident()
+        type_args: List = []
+        if self.match_punct("("):
+            while not self.current.is_punct(")"):
+                type_args.append(parse_type_name(self.expect_ident()))
+                self.match_punct(",")
+            self.expect_punct(")")
+        return ChildRef(name=name, type_args=tuple(type_args))
+
+    def parse_activator_member(self, activator: ActivatorDecl) -> None:
+        if self.at_word("activation") and self.peek().is_word("schema"):
+            self.advance()
+            self.advance()
+            schema = self.parse_schema_block()
+            tables = list(schema)
+            if len(tables) != 1:
+                raise self.error("an activation schema must declare exactly one table")
+            activator.activation_schema = tables[0]
+            return
+        if self.at_word("activation") and self.peek().is_word("query"):
+            self.advance()
+            self.advance()
+            activator.activation_query = self.read_query_block()
+            return
+        if self.at_word("filter") and self.peek().is_word("activation"):
+            self.advance()
+            self.advance()
+            activator.activation_filters.append(self.read_query_block())
+            return
+        if self.at_word("input") and self.peek().is_word("query"):
+            self.advance()
+            self.advance()
+            activator.input_query.extend(self.read_assignment_block())
+            return
+        if self.at_word("return") and self.peek().is_word("handler"):
+            self.advance()
+            self.advance()
+            activator.handlers.append(self.parse_handler(is_return=True, activator=activator))
+            return
+        if self.at_word("handler"):
+            self.advance()
+            activator.handlers.append(self.parse_handler(is_return=False, activator=activator))
+            return
+        raise self.error(
+            f"unexpected token {self.current.value!r} inside activator {activator.name!r}"
+        )
+
+    def parse_activator_extension(self) -> ActivatorExtension:
+        base_name = self.expect_ident()
+        extension = ActivatorExtension(base_name=base_name)
+        self.expect_punct("{")
+        while not self.current.is_punct("}"):
+            if self.at_word("filter") and self.peek().is_word("activation"):
+                self.advance()
+                self.advance()
+                extension.activation_filter = self.read_query_block()
+                continue
+            if self.at_word("return") and self.peek().is_word("handler"):
+                self.advance()
+                self.advance()
+                extension.handlers.append(self.parse_handler(is_return=True))
+                continue
+            if self.at_word("handler"):
+                self.advance()
+                extension.handlers.append(self.parse_handler(is_return=False))
+                continue
+            raise self.error(
+                f"unexpected token {self.current.value!r} inside activator extension"
+            )
+        self.expect_punct("}")
+        return extension
+
+    # -- handlers ----------------------------------------------------------------------
+
+    def parse_handler(
+        self, is_return: bool, activator: Optional[ActivatorDecl] = None
+    ) -> HandlerDecl:
+        if self.current.type == HTokenType.IDENT and not self.current.is_punct("{"):
+            name = self.expect_ident()
+        else:
+            count = len(activator.handlers) if activator is not None else 0
+            name = f"handler_{count + 1}"
+        handler = HandlerDecl(name=name, is_return=is_return)
+        self.expect_punct("{")
+        while not self.current.is_punct("}"):
+            if self.at_word("condition"):
+                self.advance()
+                handler.condition = self.read_query_block()
+                continue
+            if self.at_word("action"):
+                self.advance()
+                handler.actions.extend(self.read_assignment_block())
+                continue
+            # Bare assignments directly inside the handler body (Figure 8 style).
+            handler.actions.extend(self.parse_inline_assignments())
+            break
+        self.expect_punct("}")
+        return handler
+
+    def parse_inline_assignments(self) -> List[Assignment]:
+        """Parse assignments written directly in a handler body (until '}')."""
+        start_offset = self.current.start
+        depth = 0
+        while True:
+            token = self.current
+            if token.type == HTokenType.EOF:
+                raise self.error("unterminated handler body")
+            if token.is_punct("{"):
+                depth += 1
+            elif token.is_punct("}"):
+                if depth == 0:
+                    break
+                depth -= 1
+            self.advance()
+        text = self.source[start_offset : self.current.start]
+        return parse_assignments_text(text)
+
+    # -- PUnits -------------------------------------------------------------------------
+
+    def parse_punit(self) -> PUnitDecl:
+        self.expect_word("punit")
+        name = self.expect_ident()
+        self.expect_word("for")
+        aunit_name = self.expect_ident()
+        template = self.read_raw_block()
+        includes = parse_punit_template(template)
+        return PUnitDecl(
+            name=name, aunit_name=aunit_name, template=template, includes=includes
+        )
+
+
+# ---------------------------------------------------------------------------
+# Assignment block parsing
+# ---------------------------------------------------------------------------
+
+
+def parse_assignments_text(text: str) -> List[Assignment]:
+    """Parse ``target :- SELECT ...`` sequences from a raw block.
+
+    Each assignment's query text extends to the start of the next
+    assignment's target (a dotted identifier immediately preceding a ``:-``
+    token) or to the end of the block.
+    """
+    tokens = tokenize_hilda(text)
+    assignment_positions: List[int] = [
+        index for index, token in enumerate(tokens) if token.type == HTokenType.ASSIGN
+    ]
+    if not assignment_positions:
+        if text.strip():
+            raise HildaSyntaxError("expected one or more ':-' assignments in block")
+        return []
+
+    assignments: List[Assignment] = []
+    for order, assign_index in enumerate(assignment_positions):
+        target_parts: List[str] = []
+        cursor = assign_index - 1
+        # Walk backwards over a dotted identifier chain to build the target.
+        while cursor >= 0:
+            token = tokens[cursor]
+            if token.type == HTokenType.IDENT:
+                target_parts.insert(0, str(token.value))
+                if cursor - 1 >= 0 and tokens[cursor - 1].is_punct("."):
+                    cursor -= 2
+                    continue
+            break
+        if not target_parts:
+            raise HildaSyntaxError("assignment ':-' is missing a target table name")
+        target_start_index = cursor + 1 if cursor >= 0 else 0
+
+        query_start = tokens[assign_index].end
+        if order + 1 < len(assignment_positions):
+            next_assign_index = assignment_positions[order + 1]
+            # Find the start of the next assignment's target.
+            next_cursor = next_assign_index - 1
+            while next_cursor >= 0:
+                token = tokens[next_cursor]
+                if token.type == HTokenType.IDENT:
+                    if next_cursor - 1 >= 0 and tokens[next_cursor - 1].is_punct("."):
+                        next_cursor -= 2
+                        continue
+                    break
+                break
+            query_end = tokens[max(next_cursor, 0)].start
+        else:
+            query_end = len(text)
+        query_text = text[query_start:query_end]
+        try:
+            query = parse_query(query_text)
+        except Exception as exc:
+            raise HildaSyntaxError(
+                f"invalid SQL in assignment to {'.'.join(target_parts)!r}: {exc}"
+            ) from exc
+        assignments.append(
+            Assignment(
+                target=".".join(target_parts), query=QueryBlock(text=query_text, query=query)
+            )
+        )
+    return assignments

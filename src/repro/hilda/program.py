@@ -1,0 +1,172 @@
+"""Loading and resolving complete Hilda programs.
+
+A :class:`HildaProgram` is the resolved form the runtime and compiler work
+with: inheritance has been flattened, the root AUnit identified, Basic AUnit
+parameterizations materialised, and (optionally) the whole program passed
+through the static validator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import HildaValidationError, UnknownAUnitError
+from repro.hilda.ast import AUnitDecl, ChildRef, ProgramDecl, PUnitDecl
+from repro.hilda.basic_aunits import (
+    basic_signature,
+    is_basic_aunit,
+    make_basic_aunit,
+)
+from repro.hilda.inheritance import resolve_inheritance
+from repro.hilda.parser import parse_program
+
+__all__ = ["HildaProgram", "load_program"]
+
+
+class HildaProgram:
+    """A resolved Hilda program: flattened AUnits, PUnits and a root AUnit."""
+
+    def __init__(
+        self,
+        aunits: Dict[str, AUnitDecl],
+        punits: List[PUnitDecl],
+        root_name: str,
+        source: Optional[str] = None,
+        declaration: Optional[ProgramDecl] = None,
+    ) -> None:
+        self.aunits = aunits
+        self.punits = list(punits)
+        self.root_name = root_name
+        self.source = source
+        self.declaration = declaration
+        self._basic_cache: Dict[str, AUnitDecl] = {}
+        if root_name not in aunits:
+            raise UnknownAUnitError(root_name)
+
+    # -- lookup ----------------------------------------------------------------
+
+    @property
+    def root(self) -> AUnitDecl:
+        return self.aunits[self.root_name]
+
+    def aunit(self, name: str) -> AUnitDecl:
+        try:
+            return self.aunits[name]
+        except KeyError:
+            raise UnknownAUnitError(name) from None
+
+    def has_aunit(self, name: str) -> bool:
+        return name in self.aunits
+
+    def aunit_names(self) -> List[str]:
+        return list(self.aunits)
+
+    def resolve_child(self, ref: ChildRef) -> AUnitDecl:
+        """Resolve an activator's child reference to an AUnit declaration.
+
+        User-defined children are looked up by name; Basic AUnit references
+        are materialised (and cached) per parameterization.
+        """
+        if ref.name in self.aunits:
+            return self.aunits[ref.name]
+        if is_basic_aunit(ref.name):
+            signature = basic_signature(ref.name, ref.type_args)
+            cached = self._basic_cache.get(signature)
+            if cached is None:
+                cached = make_basic_aunit(ref.name, ref.type_args)
+                self._basic_cache[signature] = cached
+            return cached
+        raise UnknownAUnitError(ref.name)
+
+    # -- PUnits --------------------------------------------------------------------
+
+    def punit(self, name: str) -> Optional[PUnitDecl]:
+        for punit in self.punits:
+            if punit.name == name:
+                return punit
+        return None
+
+    def punits_for(self, aunit_name: str) -> List[PUnitDecl]:
+        return [punit for punit in self.punits if punit.aunit_name == aunit_name]
+
+    def default_punit_for(self, aunit_name: str) -> Optional[PUnitDecl]:
+        """The first PUnit declared for an AUnit, if any."""
+        punits = self.punits_for(aunit_name)
+        return punits[0] if punits else None
+
+    # -- reachability -----------------------------------------------------------------
+
+    def reachable_aunits(self) -> List[AUnitDecl]:
+        """User-defined AUnits reachable from the root via activators."""
+        visited: Dict[str, AUnitDecl] = {}
+        stack = [self.root_name]
+        while stack:
+            name = stack.pop()
+            if name in visited:
+                continue
+            aunit = self.aunits.get(name)
+            if aunit is None:
+                continue
+            visited[name] = aunit
+            for activator in aunit.activators:
+                child_name = activator.child.name
+                if child_name in self.aunits and child_name not in visited:
+                    stack.append(child_name)
+        return list(visited.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"HildaProgram(root={self.root_name!r}, "
+            f"aunits={sorted(self.aunits)}, punits={len(self.punits)})"
+        )
+
+
+def load_program(
+    source: str,
+    root: Optional[str] = None,
+    validate: bool = True,
+) -> HildaProgram:
+    """Parse, resolve and (optionally) validate a Hilda program.
+
+    Parameters
+    ----------
+    source:
+        The Hilda program text.
+    root:
+        Name of the root AUnit.  When omitted, the AUnit marked with the
+        ``root`` keyword is used; when exactly one AUnit is declared it is
+        taken as the root.
+    validate:
+        Run the static validator (recommended).  Disable only for tests that
+        deliberately construct partial programs.
+    """
+    declaration = parse_program(source)
+    if not declaration.aunits:
+        raise HildaValidationError("program declares no AUnits")
+    resolved = resolve_inheritance(declaration)
+
+    root_name = root or declaration.root_name
+    if root_name is None:
+        if len(declaration.aunits) == 1:
+            root_name = declaration.aunits[0].name
+        else:
+            raise HildaValidationError(
+                "program has no designated root AUnit; mark one with 'root aunit ...' "
+                "or pass root= to load_program()"
+            )
+    if root_name not in resolved:
+        raise UnknownAUnitError(root_name)
+    resolved[root_name].is_root = True
+
+    program = HildaProgram(
+        aunits=resolved,
+        punits=declaration.punits,
+        root_name=root_name,
+        source=source,
+        declaration=declaration,
+    )
+    if validate:
+        from repro.hilda.validator import validate_program
+
+        validate_program(program)
+    return program

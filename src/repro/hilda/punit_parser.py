@@ -1,0 +1,81 @@
+"""Parsing of ``<punit ...>`` placeholders inside PUnit templates.
+
+A User-Defined PUnit is an HTML template that recursively invokes the
+PUnits of child AUnits via tags of the form::
+
+    <punit activator="ActSelectRow" name="ShowSelectRow">
+
+(Section 3.4 of the paper).  ``activator`` names an activator of the PUnit's
+AUnit; ``name`` optionally selects a specific PUnit for the child AUnit.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.errors import HildaSyntaxError
+from repro.hilda.ast import PUnitInclude
+
+__all__ = ["parse_punit_template", "PUNIT_TAG_PATTERN", "split_template"]
+
+#: Matches a <punit ...> tag; attributes are parsed separately.
+PUNIT_TAG_PATTERN = re.compile(r"<punit\b([^>]*)>", re.IGNORECASE)
+
+#: Matches key=value attributes; values may be quoted with ', '', or ".
+_ATTRIBUTE_PATTERN = re.compile(
+    r"(?P<key>[A-Za-z_][A-Za-z0-9_]*)\s*=\s*"
+    r"(?P<value>''[^']*''|'[^']*'|\"[^\"]*\"|[^\s>]+)"
+)
+
+
+def _strip_quotes(value: str) -> str:
+    if value.startswith("''") and value.endswith("''"):
+        return value[2:-2]
+    if (value.startswith("'") and value.endswith("'")) or (
+        value.startswith('"') and value.endswith('"')
+    ):
+        return value[1:-1]
+    return value
+
+
+def parse_punit_template(template: str) -> List[PUnitInclude]:
+    """Extract the ordered list of ``<punit>`` placeholders from a template."""
+    includes: List[PUnitInclude] = []
+    for match in PUNIT_TAG_PATTERN.finditer(template):
+        attributes = {}
+        for attr in _ATTRIBUTE_PATTERN.finditer(match.group(1)):
+            attributes[attr.group("key").lower()] = _strip_quotes(attr.group("value"))
+        activator = attributes.get("activator")
+        if not activator:
+            raise HildaSyntaxError("<punit> tag is missing the 'activator' attribute")
+        includes.append(
+            PUnitInclude(activator=activator, punit_name=attributes.get("name"))
+        )
+    return includes
+
+
+def split_template(template: str) -> List[object]:
+    """Split a template into literal HTML chunks and :class:`PUnitInclude` markers.
+
+    The renderer walks this list, emitting literal chunks verbatim and
+    recursively rendering child AUnit instances at include positions.
+    """
+    parts: List[object] = []
+    last_end = 0
+    for match in PUNIT_TAG_PATTERN.finditer(template):
+        if match.start() > last_end:
+            parts.append(template[last_end : match.start()])
+        attributes = {}
+        for attr in _ATTRIBUTE_PATTERN.finditer(match.group(1)):
+            attributes[attr.group("key").lower()] = _strip_quotes(attr.group("value"))
+        parts.append(
+            PUnitInclude(
+                activator=attributes.get("activator", ""),
+                punit_name=attributes.get("name"),
+            )
+        )
+        last_end = match.end()
+    if last_end < len(template):
+        parts.append(template[last_end:])
+    return parts

@@ -1,0 +1,372 @@
+"""Static validation of resolved Hilda programs.
+
+The validator enforces the structural rules of Section 3 of the paper and
+binds every embedded SQL query against the schemas visible in its context:
+
+* the root AUnit cannot have an output schema;
+* every activator's child AUnit exists (user-defined or Basic);
+* an activation query requires an activation schema (and vice versa);
+* table names are unambiguous within an AUnit (input/local/persist must not
+  collide; output may only coincide with input for ``inout`` tables);
+* local/persist initialization queries only write local/persist tables;
+* activator input queries only write the child's input tables;
+* return-handler actions only write output and persistent tables,
+  non-return-handler actions only write local and persistent tables
+  (Section 3.2.4);
+* every query's table references resolve in its context (activation queries
+  see input/local/persist; input queries additionally see
+  ``activationTuple``; handlers additionally see the returning child's
+  output tables), and assignment arities match their target tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import HildaValidationError, UnknownAUnitError
+from repro.hilda.ast import (
+    ActivatorDecl,
+    Assignment,
+    AUnitDecl,
+    HandlerDecl,
+    QueryBlock,
+)
+from repro.hilda.program import HildaProgram
+from repro.relational.schema import TableSchema
+from repro.sql.binder import Binder
+
+__all__ = ["validate_program", "HildaValidator", "ValidationIssue"]
+
+
+class ValidationIssue:
+    """One problem found by the validator."""
+
+    def __init__(self, location: str, message: str) -> None:
+        self.location = location
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.location}: {self.message}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ValidationIssue({self!s})"
+
+
+def validate_program(program: HildaProgram, strict: bool = True) -> List[ValidationIssue]:
+    """Validate a program; raise on issues when ``strict``, else return them."""
+    validator = HildaValidator(program)
+    issues = validator.validate()
+    if issues and strict:
+        details = "\n".join(f"  - {issue}" for issue in issues)
+        raise HildaValidationError(
+            f"Hilda program failed validation with {len(issues)} issue(s):\n{details}"
+        )
+    return issues
+
+
+class HildaValidator:
+    """Collects validation issues for a resolved program."""
+
+    def __init__(self, program: HildaProgram) -> None:
+        self.program = program
+        self.issues: List[ValidationIssue] = []
+
+    # -- entry point -------------------------------------------------------------
+
+    def validate(self) -> List[ValidationIssue]:
+        self._check_root()
+        for aunit in self.program.aunits.values():
+            self._check_aunit(aunit)
+        return self.issues
+
+    def _issue(self, location: str, message: str) -> None:
+        self.issues.append(ValidationIssue(location, message))
+
+    # -- program-level checks ---------------------------------------------------------
+
+    def _check_root(self) -> None:
+        root = self.program.root
+        if not root.output_schema.is_empty():
+            self._issue(root.name, "the root AUnit cannot have an output schema")
+
+    # -- AUnit-level checks ---------------------------------------------------------------
+
+    def _check_aunit(self, aunit: AUnitDecl) -> None:
+        location = aunit.name
+        self._check_schema_collisions(aunit)
+
+        # Initialization queries.
+        local_and_input = self._base_tables(aunit, include_local=False)
+        for assignment in aunit.persist_query:
+            self._check_assignment_target(
+                location + ".persist_query",
+                assignment,
+                allowed={name: schema for name, schema in _schema_map(aunit.persist_schema).items()},
+            )
+            self._bind_assignment(
+                location + ".persist_query",
+                assignment,
+                tables=_schema_map(aunit.persist_schema),
+            )
+        for assignment in aunit.local_query:
+            self._check_assignment_target(
+                location + ".local_query",
+                assignment,
+                allowed=_schema_map(aunit.local_schema),
+            )
+            self._bind_assignment(location + ".local_query", assignment, tables=local_and_input)
+
+        # Activators.
+        seen_activators = set()
+        for activator in aunit.activators:
+            if activator.name in seen_activators:
+                self._issue(location, f"duplicate activator name {activator.name!r}")
+            seen_activators.add(activator.name)
+            self._check_activator(aunit, activator)
+
+        if aunit.activator_extensions:
+            self._issue(
+                location,
+                "unresolved activator extensions remain after inheritance flattening",
+            )
+
+    def _check_schema_collisions(self, aunit: AUnitDecl) -> None:
+        location = aunit.name
+        seen: Dict[str, str] = {}
+        for kind, schema in (
+            ("input", aunit.input_schema),
+            ("local", aunit.local_schema),
+            ("persist", aunit.persist_schema),
+        ):
+            for table in schema:
+                if table.name in seen:
+                    self._issue(
+                        location,
+                        f"table {table.name!r} declared in both "
+                        f"{seen[table.name]} and {kind} schemas",
+                    )
+                else:
+                    seen[table.name] = kind
+        for table in aunit.output_schema:
+            if table.name in seen:
+                owner = seen[table.name]
+                if owner == "input" and table.name in aunit.inout_tables:
+                    continue
+                self._issue(
+                    location,
+                    f"output table {table.name!r} collides with the {owner} schema",
+                )
+
+    # -- activator checks ---------------------------------------------------------------------
+
+    def _check_activator(self, aunit: AUnitDecl, activator: ActivatorDecl) -> None:
+        location = f"{aunit.name}.{activator.name}"
+
+        # Child resolution.
+        child: Optional[AUnitDecl]
+        try:
+            child = self.program.resolve_child(activator.child)
+        except UnknownAUnitError:
+            self._issue(location, f"unknown child AUnit {activator.child.name!r}")
+            child = None
+        if child is not None and child.name == aunit.name:
+            self._issue(location, "an AUnit cannot activate itself")
+        if child is not None and child.is_root:
+            self._issue(location, "the root AUnit cannot be activated as a child")
+
+        # Activation schema/query pairing.
+        if (activator.activation_schema is None) != (activator.activation_query is None):
+            self._issue(
+                location,
+                "activation schema and activation query must be specified together",
+            )
+
+        base_tables = self._base_tables(aunit)
+
+        if activator.activation_query is not None:
+            bound = self._bind_query(
+                location + ".activation_query", activator.activation_query, base_tables
+            )
+            if bound is not None and activator.activation_schema is not None:
+                if bound.arity != activator.activation_schema.arity:
+                    self._issue(
+                        location,
+                        "activation query produces "
+                        f"{bound.arity} column(s) but the activation schema has "
+                        f"{activator.activation_schema.arity}",
+                    )
+
+        activation_tables = dict(base_tables)
+        if activator.activation_schema is not None:
+            activation_tables["activationTuple"] = activator.activation_schema.renamed(
+                "activationTuple"
+            )
+
+        for filter_query in activator.activation_filters:
+            self._bind_query(location + ".filter", filter_query, activation_tables)
+
+        # Input query: targets must be input tables of the child.
+        if child is not None:
+            child_input = {
+                f"{activator.child.name}.{table.name}": table for table in child.input_schema
+            }
+            child_input.update({table.name: table for table in child.input_schema})
+            for assignment in activator.input_query:
+                self._check_assignment_target(
+                    location + ".input_query", assignment, allowed=child_input
+                )
+                self._bind_assignment(
+                    location + ".input_query",
+                    assignment,
+                    tables=activation_tables,
+                    target_schema=_lookup_target(child_input, assignment),
+                )
+
+        # Handlers.
+        seen_handlers = set()
+        for handler in activator.handlers:
+            if handler.name in seen_handlers:
+                self._issue(location, f"duplicate handler name {handler.name!r}")
+            seen_handlers.add(handler.name)
+            self._check_handler(aunit, activator, child, handler, activation_tables)
+
+    def _check_handler(
+        self,
+        aunit: AUnitDecl,
+        activator: ActivatorDecl,
+        child: Optional[AUnitDecl],
+        handler: HandlerDecl,
+        activation_tables: Dict[str, TableSchema],
+    ) -> None:
+        location = f"{aunit.name}.{activator.name}.{handler.name}"
+
+        handler_tables = dict(activation_tables)
+        if child is not None:
+            handler_tables.update(_child_visible_tables(activator.child.name, child))
+
+        if handler.condition is not None:
+            self._bind_query(location + ".condition", handler.condition, handler_tables)
+
+        # Allowed write targets (Section 3.2.4).
+        if handler.is_return:
+            allowed = _schema_map(aunit.output_schema)
+            allowed.update({f"out.{name}": aunit.output_schema.table(name) for name in aunit.inout_tables})
+            allowed.update(_schema_map(aunit.persist_schema))
+            if not aunit.has_output and not aunit.is_root:
+                # A return handler on an AUnit without output is legal; it
+                # simply returns no data.
+                pass
+        else:
+            allowed = _schema_map(aunit.local_schema)
+            allowed.update(_schema_map(aunit.persist_schema))
+
+        # As assignments execute sequentially, later assignments may read the
+        # tables written earlier in the same action.
+        readable = dict(handler_tables)
+        for assignment in handler.actions:
+            self._check_assignment_target(location, assignment, allowed=allowed)
+            target_schema = _lookup_target(allowed, assignment)
+            self._bind_assignment(location, assignment, tables=readable, target_schema=target_schema)
+            if target_schema is not None:
+                readable.setdefault(assignment.simple_target, target_schema)
+
+    # -- query binding helpers ---------------------------------------------------------------------
+
+    def _base_tables(self, aunit: AUnitDecl, include_local: bool = True) -> Dict[str, TableSchema]:
+        """Tables readable from any query of ``aunit`` (input, local, persist, output)."""
+        tables: Dict[str, TableSchema] = {}
+        tables.update(_schema_map(aunit.input_schema))
+        if include_local:
+            tables.update(_schema_map(aunit.local_schema))
+        tables.update(_schema_map(aunit.persist_schema))
+        # Output tables are readable (actions may read what they just wrote).
+        for table in aunit.output_schema:
+            tables.setdefault(table.name, table)
+        # in.X / out.X views of inout tables.
+        for name in aunit.inout_tables:
+            if aunit.input_schema.has_table(name):
+                tables[f"in.{name}"] = aunit.input_schema.table(name).renamed(f"in.{name}")
+            if aunit.output_schema.has_table(name):
+                tables[f"out.{name}"] = aunit.output_schema.table(name).renamed(f"out.{name}")
+        return tables
+
+    def _bind_query(
+        self,
+        location: str,
+        block: QueryBlock,
+        tables: Dict[str, TableSchema],
+    ):
+        binder = Binder(lambda name: tables.get(name), strict_columns=False)
+        try:
+            return binder.bind(block.query)
+        except Exception as exc:
+            self._issue(location, f"query does not bind: {exc}")
+            return None
+
+    def _bind_assignment(
+        self,
+        location: str,
+        assignment: Assignment,
+        tables: Dict[str, TableSchema],
+        target_schema: Optional[TableSchema] = None,
+    ) -> None:
+        bound = self._bind_query(
+            f"{location}[{assignment.target}]", assignment.query, tables
+        )
+        if bound is not None and target_schema is not None:
+            if bound.arity != target_schema.arity:
+                self._issue(
+                    location,
+                    f"assignment to {assignment.target!r} produces {bound.arity} "
+                    f"column(s) but the target table has {target_schema.arity}",
+                )
+
+    def _check_assignment_target(
+        self,
+        location: str,
+        assignment: Assignment,
+        allowed: Dict[str, TableSchema],
+    ) -> None:
+        if assignment.target in allowed or assignment.simple_target in allowed:
+            return
+        self._issue(
+            location,
+            f"assignment target {assignment.target!r} is not writable here "
+            f"(allowed: {sorted(allowed) or '<none>'})",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _schema_map(schema) -> Dict[str, TableSchema]:
+    return {table.name: table for table in schema}
+
+
+def _lookup_target(
+    allowed: Dict[str, TableSchema], assignment: Assignment
+) -> Optional[TableSchema]:
+    return allowed.get(assignment.target) or allowed.get(assignment.simple_target)
+
+
+def _child_visible_tables(child_ref_name: str, child: AUnitDecl) -> Dict[str, TableSchema]:
+    """Tables of a returning child visible to its parent's handlers.
+
+    The parent can read the child's output tables as ``Child.T`` (and the
+    ``Child.in.T`` / ``Child.out.T`` views of inout tables, as CMSRoot does
+    with ``CourseAdmin.in.assign`` / ``CourseAdmin.out.assign``).
+    """
+    tables: Dict[str, TableSchema] = {}
+    for table in child.output_schema:
+        qualified = f"{child_ref_name}.{table.name}"
+        tables[qualified] = table.renamed(qualified)
+    for name in child.inout_tables:
+        if child.input_schema.has_table(name):
+            qualified = f"{child_ref_name}.in.{name}"
+            tables[qualified] = child.input_schema.table(name).renamed(qualified)
+        if child.output_schema.has_table(name):
+            qualified = f"{child_ref_name}.out.{name}"
+            tables[qualified] = child.output_schema.table(name).renamed(qualified)
+    return tables

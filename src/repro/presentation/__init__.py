@@ -1,0 +1,16 @@
+"""Presentation layer: PUnit-driven recursive HTML rendering of activation trees."""
+
+from repro.presentation.default_punits import DEFAULT_ACTION_URL, render_basic_instance
+from repro.presentation.html import escape, render_form, render_table, tag
+from repro.presentation.renderer import PageRenderer, RenderStats
+
+__all__ = [
+    "DEFAULT_ACTION_URL",
+    "PageRenderer",
+    "RenderStats",
+    "escape",
+    "render_basic_instance",
+    "render_form",
+    "render_table",
+    "tag",
+]

@@ -1,0 +1,126 @@
+"""Default PUnits for Basic AUnits.
+
+Hilda associates one or more Basic PUnits with each Basic AUnit
+(Section 3.4); when a program does not specify one, the compiler falls back
+to a default presentation.  These defaults render each Basic AUnit kind as
+a small HTML fragment whose form fields follow the naming convention the
+web substrate's form decoder expects:
+
+* every returnable Basic AUnit renders a ``<form>`` with a hidden
+  ``instance_id`` field;
+* data entry fields are named ``c1 .. cn`` matching the Basic AUnit's output
+  columns;
+* SelectRow renders one form per selectable row, with the row's values in
+  hidden fields.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+from repro.presentation.html import escape, hidden_field, render_form, render_table, tag
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.instance import AUnitInstance
+
+__all__ = ["render_basic_instance", "DEFAULT_ACTION_URL"]
+
+#: The URL Basic AUnit forms post to inside the web container.
+DEFAULT_ACTION_URL = "/action"
+
+
+def render_basic_instance(instance: "AUnitInstance", action_url: str = DEFAULT_ACTION_URL) -> str:
+    """Render a Basic AUnit instance with its default PUnit."""
+    kind = instance.decl.basic_kind
+    renderer = _RENDERERS.get(kind or "")
+    if renderer is None:  # pragma: no cover - defensive
+        return tag("div", escape(f"[{instance.decl.name}]"), **{"class": "hilda-basic"})
+    return renderer(instance, action_url)
+
+
+def _input_rows(instance: "AUnitInstance") -> List:
+    table = instance.input_tables.get("input")
+    return list(table.rows) if table is not None else []
+
+
+def _input_columns(instance: "AUnitInstance") -> List[str]:
+    table = instance.input_tables.get("input")
+    return list(table.schema.column_names) if table is not None else []
+
+
+def _output_columns(instance: "AUnitInstance") -> List[str]:
+    schema = instance.decl.output_schema.get("output")
+    return list(schema.column_names) if schema is not None else []
+
+
+def _render_show_row(instance: "AUnitInstance", action_url: str) -> str:
+    rows = _input_rows(instance)
+    cells = "".join(tag("span", escape(value), **{"class": "hilda-cell"}) for value in (rows[0] if rows else ()))
+    return tag("div", cells, **{"class": "hilda-showrow", "data-instance": instance.instance_id})
+
+
+def _render_show_table(instance: "AUnitInstance", action_url: str) -> str:
+    return tag(
+        "div",
+        render_table(_input_columns(instance), _input_rows(instance)),
+        **{"class": "hilda-showtable", "data-instance": instance.instance_id},
+    )
+
+
+def _render_get_row(instance: "AUnitInstance", action_url: str) -> str:
+    fields = "".join(
+        tag("label", escape(name) + tag("input", type="text", name=name))
+        for name in _output_columns(instance)
+    )
+    form = render_form(action_url, fields, submit_label="Add", instance_id=instance.instance_id)
+    return tag("div", form, **{"class": "hilda-getrow"})
+
+
+def _render_update_row(instance: "AUnitInstance", action_url: str) -> str:
+    rows = _input_rows(instance)
+    current = rows[0] if rows else ()
+    fields = []
+    for position, name in enumerate(_output_columns(instance)):
+        value = current[position] if position < len(current) else ""
+        fields.append(
+            tag("label", escape(name) + tag("input", type="text", name=name, value=value))
+        )
+    form = render_form(
+        action_url, "".join(fields), submit_label="Update", instance_id=instance.instance_id
+    )
+    return tag("div", form, **{"class": "hilda-updaterow"})
+
+
+def _render_select_row(instance: "AUnitInstance", action_url: str) -> str:
+    columns = _output_columns(instance)
+    forms = []
+    for row in _input_rows(instance):
+        cells = "".join(tag("span", escape(value), **{"class": "hilda-cell"}) for value in row)
+        hidden = "".join(
+            hidden_field(name, value) for name, value in zip(columns, row)
+        )
+        forms.append(
+            tag(
+                "li",
+                cells
+                + render_form(
+                    action_url, hidden, submit_label="Select", instance_id=instance.instance_id
+                ),
+            )
+        )
+    return tag("ul", "".join(forms), **{"class": "hilda-selectrow"})
+
+
+def _render_submit(instance: "AUnitInstance", action_url: str) -> str:
+    form = render_form(action_url, "", submit_label="Submit", instance_id=instance.instance_id)
+    return tag("div", form, **{"class": "hilda-submit"})
+
+
+_RENDERERS: Dict[str, Callable] = {
+    "ShowRow": _render_show_row,
+    "ShowTable": _render_show_table,
+    "GetRow": _render_get_row,
+    "UpdateRow": _render_update_row,
+    "SelectRow": _render_select_row,
+    "SubmitBasic": _render_submit,
+}

@@ -1,0 +1,71 @@
+"""Minimal HTML construction helpers used by the presentation layer."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.relational.types import format_value
+
+__all__ = ["escape", "tag", "render_table", "render_form", "hidden_field"]
+
+
+def escape(value: Any) -> str:
+    """HTML-escape a value (NULL renders as an empty string)."""
+    if value is None:
+        return ""
+    text = value if isinstance(value, str) else format_value(value)
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def tag(element: str, content: str = "", **attributes: Any) -> str:
+    """Render ``<element attr="...">content</element>`` (void elements omit content)."""
+    rendered_attributes = "".join(
+        f' {key.rstrip("_")}="{escape(value)}"' for key, value in attributes.items() if value is not None
+    )
+    if element in ("input", "br", "hr", "img"):
+        return f"<{element}{rendered_attributes}>"
+    return f"<{element}{rendered_attributes}>{content}</{element}>"
+
+
+def render_table(
+    column_names: Sequence[str], rows: Iterable[Sequence[Any]], css_class: str = "hilda-table"
+) -> str:
+    """Render rows as an HTML table with a header."""
+    header = "".join(tag("th", escape(name)) for name in column_names)
+    body_rows = []
+    for row in rows:
+        cells = "".join(tag("td", escape(value)) for value in row)
+        body_rows.append(tag("tr", cells))
+    return tag(
+        "table",
+        tag("thead", tag("tr", header)) + tag("tbody", "".join(body_rows)),
+        **{"class": css_class},
+    )
+
+
+def hidden_field(name: str, value: Any) -> str:
+    return tag("input", type="hidden", name=name, value=value)
+
+
+def render_form(
+    action: str,
+    fields: str,
+    submit_label: str = "Submit",
+    instance_id: Optional[int] = None,
+    css_class: str = "hilda-form",
+) -> str:
+    """Render a POST form targeting the application container's action URL."""
+    hidden = hidden_field("instance_id", instance_id) if instance_id is not None else ""
+    submit = tag("input", type="submit", value=submit_label)
+    return tag(
+        "form",
+        hidden + fields + submit,
+        method="post",
+        action=action,
+        **{"class": css_class},
+    )

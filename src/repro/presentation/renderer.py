@@ -1,0 +1,160 @@
+"""Recursive HTML rendering of activation trees.
+
+This is the runtime analogue of the generated ``toHTML`` methods described
+in Section 6.1 of the paper: the page for a session is produced by rendering
+the root AUnit instance, which recursively renders its child instances.
+
+For a User-Defined AUnit the renderer uses the program's PUnit when one is
+declared (substituting each ``<punit activator=...>`` placeholder with the
+concatenated renderings of the child instances created by that activator) or
+falls back to a generic layout.  Basic AUnit instances are rendered by their
+default Basic PUnits (:mod:`repro.presentation.default_punits`).
+
+The renderer optionally caches rendered fragments per (instance id, engine
+state version) — the "entire HTML pages or fragments ... can be cached"
+optimization of Section 6.2; the caching benchmark compares hit rates and
+times under a read-mostly workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.hilda.ast import PUnitDecl, PUnitInclude
+from repro.hilda.punit_parser import split_template
+from repro.presentation.default_punits import DEFAULT_ACTION_URL, render_basic_instance
+from repro.presentation.html import escape, tag
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.engine import HildaEngine
+    from repro.runtime.instance import AUnitInstance
+
+__all__ = ["PageRenderer", "RenderStats"]
+
+
+class RenderStats:
+    """Counters for the fragment cache (benchmark instrumentation)."""
+
+    def __init__(self) -> None:
+        self.fragments_rendered = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def reset(self) -> None:
+        self.fragments_rendered = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+
+class PageRenderer:
+    """Renders activation (sub)trees to HTML."""
+
+    def __init__(
+        self,
+        engine: "HildaEngine",
+        action_url: str = DEFAULT_ACTION_URL,
+        cache_fragments: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.program = engine.program
+        self.action_url = action_url
+        self.cache_fragments = cache_fragments
+        self.stats = RenderStats()
+        self._fragment_cache: Dict[Tuple[int, int], str] = {}
+
+    # -- public API -------------------------------------------------------------
+
+    def render_session(self, session_id: str) -> str:
+        """Render the full page for one session."""
+        root = self.engine.session_tree(session_id)
+        body = self.render_instance(root)
+        return (
+            "<!DOCTYPE html>\n"
+            + tag(
+                "html",
+                tag("head", tag("title", escape(f"Hilda - {self.program.root_name}")))
+                + tag("body", body),
+            )
+        )
+
+    def render_instance(self, instance: "AUnitInstance", punit_name: Optional[str] = None) -> str:
+        """Render one AUnit instance (and its subtree) to an HTML fragment."""
+        cache_key = (instance.instance_id, self.engine.state_version)
+        if self.cache_fragments:
+            cached = self._fragment_cache.get(cache_key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
+            self.stats.cache_misses += 1
+
+        self.stats.fragments_rendered += 1
+        if instance.is_basic:
+            fragment = render_basic_instance(instance, self.action_url)
+        else:
+            punit = self._punit_for(instance, punit_name)
+            if punit is not None:
+                fragment = self._render_with_punit(instance, punit)
+            else:
+                fragment = self._render_default(instance)
+
+        if self.cache_fragments:
+            self._fragment_cache[cache_key] = fragment
+        return fragment
+
+    def clear_cache(self) -> None:
+        self._fragment_cache.clear()
+
+    # -- internals -----------------------------------------------------------------
+
+    def _punit_for(
+        self, instance: "AUnitInstance", punit_name: Optional[str]
+    ) -> Optional[PUnitDecl]:
+        if punit_name:
+            named = self.program.punit(punit_name)
+            if named is not None:
+                return named
+        return self.program.default_punit_for(instance.decl.name)
+
+    def _render_with_punit(self, instance: "AUnitInstance", punit: PUnitDecl) -> str:
+        parts = []
+        for piece in split_template(punit.template):
+            if isinstance(piece, PUnitInclude):
+                parts.append(self._render_activator_children(instance, piece))
+            else:
+                parts.append(piece)
+        return "".join(parts)
+
+    def _render_activator_children(
+        self, instance: "AUnitInstance", include: PUnitInclude
+    ) -> str:
+        children = [
+            child for child in instance.children if child.activator_name == include.activator
+        ]
+        rendered = [self.render_instance(child, include.punit_name) for child in children]
+        return "\n".join(rendered)
+
+    def _render_default(self, instance: "AUnitInstance") -> str:
+        """Generic layout for AUnits without a PUnit: children grouped by activator."""
+        sections = [tag("h2", escape(instance.decl.name))]
+        for activator in instance.decl.activators:
+            children = [
+                child
+                for child in instance.children
+                if child.activator_name == activator.name
+            ]
+            if not children:
+                continue
+            rendered_children = "\n".join(self.render_instance(child) for child in children)
+            sections.append(
+                tag(
+                    "section",
+                    tag("h3", escape(activator.name)) + rendered_children,
+                    **{"class": "hilda-activator", "data-activator": activator.name},
+                )
+            )
+        return tag(
+            "div",
+            "".join(sections),
+            **{"class": "hilda-aunit", "data-aunit": instance.decl.name,
+               "data-instance": instance.instance_id},
+        )

@@ -1,0 +1,39 @@
+"""The relational substrate: types, schemas, tables, databases and DDL.
+
+Hilda represents *all* application state — database contents, per-instance
+local state, user input, activation tuples — in the relational model.  This
+package provides that substrate for the rest of the library.
+"""
+
+from repro.relational.database import Catalog, Database, DatabaseSnapshot, LayeredCatalog
+from repro.relational.ddl import create_schema_script, create_table_statement
+from repro.relational.functions import (
+    FixedClock,
+    FunctionRegistry,
+    SequentialKeyGenerator,
+    default_registry,
+)
+from repro.relational.schema import Column, Schema, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType, coerce_value, format_value, parse_type_name
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "DataType",
+    "Database",
+    "DatabaseSnapshot",
+    "FixedClock",
+    "FunctionRegistry",
+    "LayeredCatalog",
+    "Schema",
+    "SequentialKeyGenerator",
+    "Table",
+    "TableSchema",
+    "coerce_value",
+    "create_schema_script",
+    "create_table_statement",
+    "default_registry",
+    "format_value",
+    "parse_type_name",
+]

@@ -1,0 +1,205 @@
+"""The database: a catalog of named tables with snapshot support.
+
+The Hilda runtime stores persistent schemas, local schemas and activation
+tables in databases (the generated application stores local and persistent
+schemas "in the database", Section 6.1 of the paper).  Snapshots provide the
+all-or-nothing behaviour needed to process one user operation (return phase +
+reactivation phase) atomically, and to roll back on handler failure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import DuplicateTableError, UnknownTableError
+from repro.relational.schema import Schema, TableSchema
+from repro.relational.table import Table
+
+__all__ = ["Catalog", "Database", "LayeredCatalog", "DatabaseSnapshot"]
+
+
+class Catalog:
+    """Read-only name resolution interface used by the SQL engine.
+
+    A catalog maps (possibly dotted) table names to :class:`Table` objects.
+    The plain :class:`Database` is a catalog; the Hilda runtime layers
+    catalogs to expose ``in.X``, ``out.X``, ``activationTuple`` and child
+    output tables alongside persistent and local tables.
+    """
+
+    def resolve_table(self, name: str) -> Table:
+        raise NotImplementedError
+
+    def has_table(self, name: str) -> bool:
+        try:
+            self.resolve_table(name)
+            return True
+        except UnknownTableError:
+            return False
+
+    def table_names(self) -> List[str]:
+        raise NotImplementedError
+
+
+class DatabaseSnapshot:
+    """An immutable copy of a database's contents at a point in time."""
+
+    def __init__(self, tables: Dict[str, Table]) -> None:
+        self._tables = tables
+
+    @property
+    def tables(self) -> Dict[str, Table]:
+        return self._tables
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+
+class Database(Catalog):
+    """A mutable collection of named tables.
+
+    Table names may contain dots (the runtime uses names like
+    ``CourseAdmin.in.assign`` when exposing child input tables), and lookup
+    is exact-match on the full name.
+    """
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+
+    # -- schema management ----------------------------------------------------
+
+    def create_table(self, schema: TableSchema, name: Optional[str] = None) -> Table:
+        """Create an empty table for ``schema``; ``name`` overrides the stored name."""
+        table_name = name or schema.name
+        if table_name in self._tables:
+            raise DuplicateTableError(table_name)
+        stored_schema = schema if table_name == schema.name else schema.renamed(table_name)
+        table = Table(stored_schema)
+        self._tables[table_name] = table
+        return table
+
+    def create_schema(self, schema: Schema, prefix: str = "") -> List[Table]:
+        """Create one table per table schema; optional dotted name prefix."""
+        created = []
+        for table_schema in schema:
+            name = f"{prefix}{table_schema.name}" if prefix else table_schema.name
+            created.append(self.create_table(table_schema, name=name))
+        return created
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise UnknownTableError(name)
+        del self._tables[name]
+
+    def attach(self, name: str, table: Table) -> None:
+        """Attach an existing table object under ``name`` (shared storage)."""
+        if name in self._tables:
+            raise DuplicateTableError(name)
+        self._tables[name] = table
+
+    def detach(self, name: str) -> Table:
+        if name not in self._tables:
+            raise UnknownTableError(name)
+        return self._tables.pop(name)
+
+    # -- Catalog interface ------------------------------------------------------
+
+    def resolve_table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def table(self, name: str) -> Table:
+        return self.resolve_table(name)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    # -- data helpers -----------------------------------------------------------
+
+    def insert(self, table_name: str, values: Sequence[Any]) -> None:
+        self.resolve_table(table_name).insert(values)
+
+    def insert_many(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        return self.resolve_table(table_name).insert_many(rows)
+
+    def rows(self, table_name: str) -> List[Sequence[Any]]:
+        return list(self.resolve_table(table_name).rows)
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self) -> DatabaseSnapshot:
+        """Capture a copy of every table's contents."""
+        return DatabaseSnapshot({name: table.copy() for name, table in self._tables.items()})
+
+    def restore(self, snapshot: DatabaseSnapshot) -> None:
+        """Restore table contents from a snapshot.
+
+        Tables created after the snapshot are dropped; tables dropped after
+        the snapshot are re-created from the snapshot copy.
+        """
+        self._tables = {name: table.copy() for name, table in snapshot.tables.items()}
+
+    def copy(self, name: Optional[str] = None) -> "Database":
+        clone = Database(name or self.name)
+        clone._tables = {table_name: table.copy() for table_name, table in self._tables.items()}
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, tables={sorted(self._tables)})"
+
+
+class LayeredCatalog(Catalog):
+    """A catalog that resolves names against an ordered list of catalogs.
+
+    The first catalog that knows the name wins.  The Hilda runtime uses this
+    to combine, for one AUnit instance, its input tables, local tables,
+    persistent tables, the ``activationTuple`` binding and the returning
+    child's output tables into a single namespace that SQL queries can
+    reference.
+    """
+
+    def __init__(self, layers: Sequence[Catalog]) -> None:
+        self._layers: List[Catalog] = list(layers)
+
+    def push(self, catalog: Catalog) -> None:
+        """Add a catalog with the highest priority."""
+        self._layers.insert(0, catalog)
+
+    def resolve_table(self, name: str) -> Table:
+        for layer in self._layers:
+            try:
+                return layer.resolve_table(name)
+            except UnknownTableError:
+                continue
+        raise UnknownTableError(name)
+
+    def has_table(self, name: str) -> bool:
+        return any(layer.has_table(name) for layer in self._layers)
+
+    def table_names(self) -> List[str]:
+        names: List[str] = []
+        seen = set()
+        for layer in self._layers:
+            for name in layer.table_names():
+                if name not in seen:
+                    seen.add(name)
+                    names.append(name)
+        return names

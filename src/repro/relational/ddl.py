@@ -1,0 +1,76 @@
+"""DDL script generation.
+
+The paper's proof-of-concept compiler (Section 6.1, Figure 14) produces two
+artifacts from a Hilda program: Java Servlet code and "a set of scripts to
+create tables in a relational database".  This module produces the second
+artifact: ``CREATE TABLE`` scripts for the persistent and local schemas of
+every AUnit, in a portable SQL dialect.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.relational.schema import Schema, TableSchema
+from repro.relational.types import DataType
+
+__all__ = ["sql_type_name", "create_table_statement", "create_schema_script", "drop_schema_script"]
+
+
+_SQL_TYPES = {
+    DataType.INT: "INTEGER",
+    DataType.FLOAT: "DOUBLE PRECISION",
+    DataType.STRING: "VARCHAR(255)",
+    DataType.DATE: "DATE",
+    DataType.BOOL: "BOOLEAN",
+}
+
+
+def sql_type_name(dtype: DataType) -> str:
+    """The SQL type used in generated DDL for a substrate data type."""
+    return _SQL_TYPES[dtype]
+
+
+def _quote_identifier(name: str) -> str:
+    """Quote an identifier; dotted runtime names become underscore-joined."""
+    return '"' + name.replace(".", "_").replace('"', '""') + '"'
+
+
+def create_table_statement(schema: TableSchema, if_not_exists: bool = True) -> str:
+    """Render a CREATE TABLE statement for one table schema."""
+    lines = []
+    for column in schema.columns:
+        lines.append(f"    {_quote_identifier(column.name)} {sql_type_name(column.dtype)}")
+    if schema.primary_key:
+        key_columns = ", ".join(_quote_identifier(name) for name in schema.primary_key)
+        lines.append(f"    PRIMARY KEY ({key_columns})")
+    guard = "IF NOT EXISTS " if if_not_exists else ""
+    body = ",\n".join(lines)
+    return f"CREATE TABLE {guard}{_quote_identifier(schema.name)} (\n{body}\n);"
+
+
+def create_schema_script(
+    schemas: Iterable[TableSchema], header: str = "", if_not_exists: bool = True
+) -> str:
+    """Render a full DDL script for a sequence of table schemas."""
+    parts: List[str] = []
+    if header:
+        parts.extend(f"-- {line}" for line in header.splitlines())
+        parts.append("")
+    for table_schema in schemas:
+        parts.append(create_table_statement(table_schema, if_not_exists=if_not_exists))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def drop_schema_script(schemas: Iterable[TableSchema]) -> str:
+    """Render DROP TABLE statements (reverse order) for a sequence of schemas."""
+    statements = [
+        f"DROP TABLE IF EXISTS {_quote_identifier(schema.name)};" for schema in schemas
+    ]
+    return "\n".join(reversed(statements)) + ("\n" if statements else "")
+
+
+def schema_tables(schema: Schema) -> List[TableSchema]:
+    """Convenience accessor: the table schemas of a schema block, in order."""
+    return list(schema)

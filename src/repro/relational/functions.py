@@ -1,0 +1,127 @@
+"""Built-in scalar functions available inside Hilda SQL queries.
+
+The paper's MiniCMS program uses two built-ins:
+
+* ``curr_date()`` — the current date (used to initialize assignment dates).
+* ``genkey()`` — a fresh surrogate key (used to mint assignment/problem ids).
+
+Both are process-global by default but can be overridden per
+:class:`FunctionRegistry`, which is what the tests and the deterministic
+benchmark harness do (fixed clock, sequential key generator).
+"""
+
+from __future__ import annotations
+
+import datetime
+import itertools
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import SQLExecutionError
+
+__all__ = ["FunctionRegistry", "default_registry", "SequentialKeyGenerator", "FixedClock"]
+
+
+class SequentialKeyGenerator:
+    """Thread-safe monotonically increasing integer key generator."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+
+    def __call__(self) -> int:
+        with self._lock:
+            return next(self._counter)
+
+
+class FixedClock:
+    """A clock that always returns the same date (deterministic tests)."""
+
+    def __init__(self, date: datetime.date) -> None:
+        self._date = date
+
+    def __call__(self) -> datetime.date:
+        return self._date
+
+    def advance(self, days: int) -> None:
+        self._date = self._date + datetime.timedelta(days=days)
+
+
+class FunctionRegistry:
+    """Registry of scalar functions callable from SQL expressions.
+
+    Functions are looked up case-insensitively.  In addition to the Hilda
+    built-ins, a handful of generally useful scalar functions are provided
+    so example applications and benchmarks can express simple computations.
+    """
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, Callable[..., Any]] = {}
+        self.register("genkey", SequentialKeyGenerator())
+        self.register("curr_date", datetime.date.today)
+        self.register("currdate", datetime.date.today)
+        self.register("length", lambda value: None if value is None else len(str(value)))
+        self.register("lower", lambda value: None if value is None else str(value).lower())
+        self.register("upper", lambda value: None if value is None else str(value).upper())
+        self.register("abs", lambda value: None if value is None else abs(value))
+        self.register("coalesce", _coalesce)
+        self.register("concat", _concat)
+        self.register(
+            "date_add",
+            lambda date, days: None if date is None else date + datetime.timedelta(days=int(days)),
+        )
+
+    def register(self, name: str, function: Callable[..., Any]) -> None:
+        self._functions[name.lower()] = function
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._functions
+
+    def call(self, name: str, arguments: List[Any]) -> Any:
+        try:
+            function = self._functions[name.lower()]
+        except KeyError:
+            raise SQLExecutionError(f"unknown function: {name!r}") from None
+        try:
+            return function(*arguments)
+        except SQLExecutionError:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive
+            raise SQLExecutionError(f"error calling {name}(): {exc}") from exc
+
+    def copy(self) -> "FunctionRegistry":
+        clone = FunctionRegistry()
+        clone._functions = dict(self._functions)
+        return clone
+
+    # -- convenience for deterministic setups --------------------------------
+
+    def use_sequential_keys(self, start: int = 1) -> SequentialKeyGenerator:
+        generator = SequentialKeyGenerator(start)
+        self.register("genkey", generator)
+        return generator
+
+    def use_fixed_clock(self, date: Optional[datetime.date] = None) -> FixedClock:
+        clock = FixedClock(date or datetime.date(2006, 4, 3))
+        self.register("curr_date", clock)
+        self.register("currdate", clock)
+        return clock
+
+
+def _coalesce(*values: Any) -> Any:
+    for value in values:
+        if value is not None:
+            return value
+    return None
+
+
+def _concat(*values: Any) -> str:
+    return "".join("" if value is None else str(value) for value in values)
+
+
+_DEFAULT_REGISTRY = FunctionRegistry()
+
+
+def default_registry() -> FunctionRegistry:
+    """The process-wide default function registry."""
+    return _DEFAULT_REGISTRY

@@ -1,0 +1,231 @@
+"""Relational schema definitions.
+
+A Hilda ``schema { ... }`` block declares one or more tables, each with a
+list of typed columns (Figure 2 of the paper, e.g. ``course(cid:int,
+cname:string)``).  These classes model that structure:
+
+* :class:`Column` — a named, typed column.
+* :class:`TableSchema` — a named table with columns and an optional key.
+* :class:`Schema` — an ordered collection of table schemas, i.e. what a
+  single ``input``/``output``/``local``/``persist`` block declares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.types import DataType, coerce_value, parse_type_name
+
+__all__ = ["Column", "TableSchema", "Schema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single typed column of a table."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+
+    @classmethod
+    def parse(cls, name: str, type_name: str) -> "Column":
+        """Build a column from the ``name:type`` notation used by Hilda."""
+        return cls(name=name, dtype=parse_type_name(type_name))
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.dtype.value}"
+
+
+class TableSchema:
+    """A named table schema: ordered columns plus an optional primary key.
+
+    The paper's conflict-detection and reactivation semantics compare
+    activation tuples "by their primary key" (Definition 8).  When no key is
+    declared, the whole row acts as the key, which is what the MiniCMS
+    examples rely on (their first column is a unique id).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        seen = set()
+        for column in self.columns:
+            if column.name in seen:
+                raise SchemaError(
+                    f"duplicate column {column.name!r} in table {name!r}"
+                )
+            seen.add(column.name)
+        self._index: Dict[str, int] = {
+            column.name: position for position, column in enumerate(self.columns)
+        }
+        if primary_key:
+            missing = [col for col in primary_key if col not in self._index]
+            if missing:
+                raise SchemaError(
+                    f"primary key column(s) {missing} not in table {name!r}"
+                )
+            self.primary_key: Tuple[str, ...] = tuple(primary_key)
+        else:
+            self.primary_key = ()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    @property
+    def column_types(self) -> Tuple[DataType, ...]:
+        return tuple(column.dtype for column in self.columns)
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._index
+
+    def column_position(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownColumnError(name, self.name) from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_position(name)]
+
+    def key_positions(self) -> Tuple[int, ...]:
+        """Positions of the key columns; the full row when no key declared."""
+        if self.primary_key:
+            return tuple(self._index[name] for name in self.primary_key)
+        return tuple(range(self.arity))
+
+    # -- row handling --------------------------------------------------------
+
+    def coerce_row(self, values: Sequence[Any]) -> Tuple[Any, ...]:
+        """Validate arity and coerce every value to its column type."""
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"table {self.name!r} expects {self.arity} values, got {len(values)}"
+            )
+        return tuple(
+            coerce_value(value, column.dtype)
+            for value, column in zip(values, self.columns)
+        )
+
+    def row_from_mapping(self, mapping: Dict[str, Any]) -> Tuple[Any, ...]:
+        """Build a row from a name->value mapping; missing columns become NULL."""
+        unknown = set(mapping) - set(self.column_names)
+        if unknown:
+            raise UnknownColumnError(sorted(unknown)[0], self.name)
+        return self.coerce_row([mapping.get(name) for name in self.column_names])
+
+    def key_of(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        return tuple(row[position] for position in self.key_positions())
+
+    # -- derivation ----------------------------------------------------------
+
+    def renamed(self, name: str) -> "TableSchema":
+        """A copy of this schema under a different table name."""
+        return TableSchema(name, self.columns, self.primary_key or None)
+
+    def is_union_compatible(self, other: "TableSchema") -> bool:
+        """True when rows of ``other`` can be stored in this table."""
+        return self.arity == other.arity
+
+    # -- dunder --------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TableSchema):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.columns == other.columns
+            and self.primary_key == other.primary_key
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.columns, self.primary_key))
+
+    def __repr__(self) -> str:
+        cols = ", ".join(str(column) for column in self.columns)
+        return f"TableSchema({self.name}({cols}))"
+
+
+class Schema:
+    """An ordered collection of table schemas.
+
+    This corresponds to one ``schema { ... }`` block in a Hilda program,
+    which may declare several tables (e.g. CMSRoot's persistent schema
+    declares course, staff, student, assign, problem, group, groupmember
+    and invitation).
+    """
+
+    def __init__(self, tables: Iterable[TableSchema] = ()) -> None:
+        self._tables: Dict[str, TableSchema] = {}
+        for table in tables:
+            self.add(table)
+
+    def add(self, table: TableSchema) -> None:
+        if table.name in self._tables:
+            raise SchemaError(f"duplicate table {table.name!r} in schema")
+        self._tables[table.name] = table
+
+    def merge(self, other: "Schema") -> "Schema":
+        """A new schema containing the tables of both (used by inheritance)."""
+        merged = Schema(self._tables.values())
+        for table in other:
+            merged.add(table)
+        return merged
+
+    @property
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self._tables[name]
+        except KeyError:
+            from repro.errors import UnknownTableError
+
+            raise UnknownTableError(name) from None
+
+    def get(self, name: str) -> Optional[TableSchema]:
+        return self._tables.get(name)
+
+    def __iter__(self) -> Iterator[TableSchema]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return list(self) == list(other)
+
+    def __repr__(self) -> str:
+        return f"Schema({', '.join(self.table_names)})"
+
+    def is_empty(self) -> bool:
+        return not self._tables

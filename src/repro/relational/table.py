@@ -1,0 +1,185 @@
+"""In-memory relational tables.
+
+Tables store rows as plain tuples and enforce their schema on every
+mutation.  Hilda assignments (``table :- SELECT ...``) replace the entire
+contents of the target table, so :meth:`Table.replace` is the primitive the
+runtime uses; the web baseline and the SQL DML statements additionally use
+insert/delete/update.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import IntegrityError
+from repro.relational.schema import TableSchema
+
+__all__ = ["Table"]
+
+Row = Tuple[Any, ...]
+
+
+class Table:
+    """A bag of rows conforming to a :class:`TableSchema`.
+
+    Rows are stored in insertion order.  When the schema declares a primary
+    key, uniqueness of the key is enforced; otherwise duplicate rows are
+    permitted (bag semantics), matching SQL.
+    """
+
+    def __init__(self, schema: TableSchema, rows: Iterable[Sequence[Any]] = ()) -> None:
+        self.schema = schema
+        self._rows: List[Row] = []
+        self._key_index: Optional[Dict[Tuple[Any, ...], int]] = (
+            {} if schema.primary_key else None
+        )
+        for row in rows:
+            self.insert(row)
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def rows(self) -> List[Row]:
+        """The rows of the table (a direct reference; do not mutate)."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def is_empty(self) -> bool:
+        return not self._rows
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> Row:
+        """Insert a row after coercing it to the schema; returns the stored row."""
+        row = self.schema.coerce_row(values)
+        if self._key_index is not None:
+            key = self.schema.key_of(row)
+            if key in self._key_index:
+                raise IntegrityError(
+                    f"duplicate primary key {key!r} in table {self.name!r}"
+                )
+            self._key_index[key] = len(self._rows)
+        self._rows.append(row)
+        return row
+
+    def insert_mapping(self, mapping: Dict[str, Any]) -> Row:
+        """Insert a row given as a column-name -> value mapping."""
+        return self.insert(self.schema.row_from_mapping(mapping))
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete_where(self, predicate: Callable[[Row], bool]) -> int:
+        """Delete all rows matching ``predicate``; returns the number removed."""
+        kept = [row for row in self._rows if not predicate(row)]
+        removed = len(self._rows) - len(kept)
+        if removed:
+            self._set_rows(kept)
+        return removed
+
+    def update_where(
+        self,
+        predicate: Callable[[Row], bool],
+        updater: Callable[[Row], Sequence[Any]],
+    ) -> int:
+        """Replace each matching row with ``updater(row)``; returns count updated."""
+        changed = 0
+        new_rows: List[Row] = []
+        for row in self._rows:
+            if predicate(row):
+                new_rows.append(self.schema.coerce_row(updater(row)))
+                changed += 1
+            else:
+                new_rows.append(row)
+        if changed:
+            self._set_rows(new_rows)
+        return changed
+
+    def replace(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Replace the entire contents of the table (Hilda assignment semantics)."""
+        coerced = [self.schema.coerce_row(row) for row in rows]
+        self._set_rows(coerced)
+        return len(coerced)
+
+    def clear(self) -> None:
+        self._set_rows([])
+
+    def _set_rows(self, rows: List[Row]) -> None:
+        if self._key_index is not None:
+            index: Dict[Tuple[Any, ...], int] = {}
+            for position, row in enumerate(rows):
+                key = self.schema.key_of(row)
+                if key in index:
+                    raise IntegrityError(
+                        f"duplicate primary key {key!r} in table {self.name!r}"
+                    )
+                index[key] = position
+            self._key_index = index
+        self._rows = rows
+
+    # -- lookup ---------------------------------------------------------------
+
+    def find_by_key(self, key: Sequence[Any]) -> Optional[Row]:
+        """Find a row by primary key (or full-row key when none declared)."""
+        key_tuple = tuple(key)
+        if self._key_index is not None:
+            position = self._key_index.get(key_tuple)
+            return self._rows[position] if position is not None else None
+        for row in self._rows:
+            if self.schema.key_of(row) == key_tuple:
+                return row
+        return None
+
+    def select(self, predicate: Callable[[Row], bool]) -> List[Row]:
+        """All rows satisfying ``predicate`` (a convenience for tests/baseline)."""
+        return [row for row in self._rows if predicate(row)]
+
+    def column_values(self, column: str) -> List[Any]:
+        position = self.schema.column_position(column)
+        return [row[position] for row in self._rows]
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        names = self.schema.column_names
+        return [dict(zip(names, row)) for row in self._rows]
+
+    # -- copying --------------------------------------------------------------
+
+    def copy(self) -> "Table":
+        """A deep-enough copy: rows are immutable tuples so a list copy suffices."""
+        clone = Table(self.schema)
+        clone._rows = list(self._rows)
+        if self._key_index is not None:
+            clone._key_index = dict(self._key_index)
+        return clone
+
+    def same_contents(self, other: "Table") -> bool:
+        """Bag equality of contents, ignoring row order."""
+        if self.schema.arity != other.schema.arity:
+            return False
+        return sorted(map(_sort_key, self._rows)) == sorted(
+            map(_sort_key, other._rows)
+        )
+
+    def __repr__(self) -> str:
+        return f"Table({self.name}, {len(self._rows)} rows)"
+
+
+def _sort_key(row: Row) -> Tuple[str, ...]:
+    """A total order over heterogeneous rows (None sorts as empty string)."""
+    return tuple("" if value is None else f"{type(value).__name__}:{value}" for value in row)

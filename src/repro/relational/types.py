@@ -1,0 +1,204 @@
+"""Primitive data types of the relational substrate.
+
+Hilda uses the relational model for every layer of an application
+(Section 3 of the paper).  The column types that appear in the paper's
+MiniCMS schemas are ``int``, ``float``, ``string`` and ``date``; we add
+``bool`` for convenience.  ``None`` represents SQL NULL for every type.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from typing import Any, Optional
+
+from repro.errors import TypeMismatchError
+
+__all__ = ["DataType", "coerce_value", "parse_type_name", "is_null", "format_value"]
+
+
+class DataType(enum.Enum):
+    """Column data types supported by the relational substrate."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"
+    BOOL = "bool"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def python_type(self) -> type:
+        """The Python type used to store non-null values of this type."""
+        return _PYTHON_TYPES[self]
+
+    def default_value(self) -> Any:
+        """A reasonable non-null default for the type.
+
+        Used by the Hilda runtime when an assignment produces fewer columns
+        than the target schema (which the validator normally rejects), and
+        by the workload generators.
+        """
+        return _DEFAULTS[self]
+
+
+_PYTHON_TYPES = {
+    DataType.INT: int,
+    DataType.FLOAT: float,
+    DataType.STRING: str,
+    DataType.DATE: datetime.date,
+    DataType.BOOL: bool,
+}
+
+_DEFAULTS = {
+    DataType.INT: 0,
+    DataType.FLOAT: 0.0,
+    DataType.STRING: "",
+    DataType.DATE: datetime.date(2006, 1, 1),
+    DataType.BOOL: False,
+}
+
+_TYPE_ALIASES = {
+    "int": DataType.INT,
+    "integer": DataType.INT,
+    "bigint": DataType.INT,
+    "float": DataType.FLOAT,
+    "double": DataType.FLOAT,
+    "real": DataType.FLOAT,
+    "string": DataType.STRING,
+    "text": DataType.STRING,
+    "varchar": DataType.STRING,
+    "char": DataType.STRING,
+    "date": DataType.DATE,
+    "datetime": DataType.DATE,
+    "bool": DataType.BOOL,
+    "boolean": DataType.BOOL,
+}
+
+
+def parse_type_name(name: str) -> DataType:
+    """Map a type name as written in a Hilda schema to a :class:`DataType`.
+
+    The paper's examples use ``int``, ``integer``, ``string``, ``date`` and
+    ``float``; additional common aliases are accepted.
+    """
+    try:
+        return _TYPE_ALIASES[name.strip().lower()]
+    except KeyError:
+        raise TypeMismatchError(f"unknown column type: {name!r}") from None
+
+
+def is_null(value: Any) -> bool:
+    """Return True if the value represents SQL NULL."""
+    return value is None
+
+
+def coerce_value(value: Any, dtype: DataType) -> Any:
+    """Coerce ``value`` to the Python representation of ``dtype``.
+
+    ``None`` (NULL) is passed through for every type.  Ints are accepted for
+    float columns, ISO date strings for date columns, and numeric strings for
+    numeric columns (mirroring how form input arrives from the web layer).
+
+    Raises :class:`TypeMismatchError` when the value cannot represent the
+    declared type.
+    """
+    if value is None:
+        return None
+
+    if dtype is DataType.INT:
+        return _coerce_int(value)
+    if dtype is DataType.FLOAT:
+        return _coerce_float(value)
+    if dtype is DataType.STRING:
+        return _coerce_string(value)
+    if dtype is DataType.DATE:
+        return _coerce_date(value)
+    if dtype is DataType.BOOL:
+        return _coerce_bool(value)
+    raise TypeMismatchError(f"unsupported data type: {dtype!r}")  # pragma: no cover
+
+
+def _coerce_int(value: Any) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, str):
+        text = value.strip()
+        try:
+            return int(text)
+        except ValueError:
+            pass
+    raise TypeMismatchError(f"cannot store {value!r} in an int column")
+
+
+def _coerce_float(value: Any) -> float:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            pass
+    raise TypeMismatchError(f"cannot store {value!r} in a float column")
+
+
+def _coerce_string(value: Any) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    raise TypeMismatchError(f"cannot store {value!r} in a string column")
+
+
+def _coerce_date(value: Any) -> datetime.date:
+    if isinstance(value, datetime.datetime):
+        return value.date()
+    if isinstance(value, datetime.date):
+        return value
+    if isinstance(value, str):
+        text = value.strip()
+        try:
+            return datetime.date.fromisoformat(text)
+        except ValueError:
+            pass
+    raise TypeMismatchError(f"cannot store {value!r} in a date column")
+
+
+def _coerce_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return bool(value)
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text in ("true", "t", "1", "yes"):
+            return True
+        if text in ("false", "f", "0", "no"):
+            return False
+    raise TypeMismatchError(f"cannot store {value!r} in a bool column")
+
+
+def format_value(value: Any, dtype: Optional[DataType] = None) -> str:
+    """Render a stored value for display (HTML rendering, logs, DDL defaults)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        # Avoid trailing noise for round floats (grade weights etc.).
+        if value.is_integer():
+            return str(int(value))
+        return f"{value:g}"
+    return str(value)

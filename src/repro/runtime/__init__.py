@@ -1,0 +1,28 @@
+"""The Hilda runtime: activation forests, execution phases, sessions,
+conflict detection, concurrency strategies and execution histories."""
+
+from repro.runtime.activation import ActivationBuilder, PreservedInstance
+from repro.runtime.engine import HildaEngine
+from repro.runtime.forest import ActivationForest
+from repro.runtime.history import ExecutionHistory, HistoryChecker, HistoryEntry
+from repro.runtime.instance import AUnitInstance, activation_key
+from repro.runtime.operations import ApplyResult, HandlerFired, Operation, OperationStatus
+from repro.runtime.returns import ReturnOutcome, ReturnProcessor
+
+__all__ = [
+    "ActivationBuilder",
+    "ActivationForest",
+    "ApplyResult",
+    "AUnitInstance",
+    "ExecutionHistory",
+    "HandlerFired",
+    "HildaEngine",
+    "HistoryChecker",
+    "HistoryEntry",
+    "Operation",
+    "OperationStatus",
+    "PreservedInstance",
+    "ReturnOutcome",
+    "ReturnProcessor",
+    "activation_key",
+]

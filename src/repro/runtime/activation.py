@@ -1,0 +1,266 @@
+"""The activation (and reactivation) phase.
+
+The :class:`ActivationBuilder` constructs activation trees: starting from a
+root AUnit instance it evaluates each activator's activation query, applies
+any activation filters (added by inheritance, Figure 12), creates one child
+instance per activation tuple, computes the child's input tables with the
+activator's input query, and recurses.
+
+The *reactivation* phase (Section 3.2.5) is the same construction with one
+difference: an instance whose label already existed before the return phase
+and which did not return keeps its local-table contents and its instance ID.
+That prior state is supplied to the builder as a *preservation map*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.errors import ActivationError
+from repro.hilda.ast import ActivatorDecl, Assignment, AUnitDecl
+from repro.relational.table import Table
+from repro.runtime.context import (
+    DictCatalog,
+    build_read_catalog,
+    make_activation_tuple_table,
+    run_assignments,
+)
+from repro.runtime.instance import AUnitInstance, InstanceLabel, activation_key
+from repro.sql.executor import SQLExecutor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.engine import HildaEngine
+
+__all__ = ["ActivationBuilder", "PreservedInstance"]
+
+
+class PreservedInstance:
+    """Local state carried over from a surviving instance (same label)."""
+
+    __slots__ = ("instance_id", "local_tables")
+
+    def __init__(self, instance_id: int, local_tables: Dict[str, Table]) -> None:
+        self.instance_id = instance_id
+        self.local_tables = local_tables
+
+
+class ActivationBuilder:
+    """Builds activation trees for the engine."""
+
+    def __init__(self, engine: "HildaEngine") -> None:
+        self.engine = engine
+        self.program = engine.program
+
+    # -- public API ---------------------------------------------------------------
+
+    def build_session_tree(
+        self,
+        session_id: str,
+        input_rows: Dict[str, List[Sequence[Any]]],
+        preserved: Optional[Dict[InstanceLabel, PreservedInstance]] = None,
+    ) -> AUnitInstance:
+        """Build (or rebuild) the activation tree of one session."""
+        preserved = preserved or {}
+        root_decl = self.program.root
+        self.engine.ensure_persistent(root_decl)
+        label: InstanceLabel = ("session", session_id)
+        root = self._new_instance(
+            decl=root_decl,
+            label=label,
+            parent=None,
+            activator=None,
+            activation_tuple=None,
+            session_id=session_id,
+            preserved=preserved,
+        )
+        root.create_input_tables()
+        for table_name, rows in (input_rows or {}).items():
+            table = root.input_tables.get(table_name)
+            if table is None:
+                raise ActivationError(
+                    f"root AUnit {root_decl.name!r} has no input table {table_name!r}"
+                )
+            table.replace(rows)
+        self._initialise_local(root, preserved)
+        self._activate_children(root, preserved)
+        return root
+
+    # -- instance construction --------------------------------------------------------
+
+    def _new_instance(
+        self,
+        decl: AUnitDecl,
+        label: InstanceLabel,
+        parent: Optional[AUnitInstance],
+        activator: Optional[ActivatorDecl],
+        activation_tuple: Optional[Tuple[Any, ...]],
+        session_id: Optional[str],
+        preserved: Dict[InstanceLabel, PreservedInstance],
+    ) -> AUnitInstance:
+        prior = preserved.get(label)
+        instance_id = prior.instance_id if prior is not None else self.engine.next_instance_id()
+        return AUnitInstance(
+            instance_id=instance_id,
+            label=label,
+            decl=decl,
+            parent=parent,
+            activator_name=activator.name if activator is not None else None,
+            child_ref_name=activator.child.name if activator is not None else None,
+            activation_tuple=activation_tuple,
+            activation_schema=activator.activation_schema if activator is not None else None,
+            session_id=session_id,
+        )
+
+    def _initialise_local(
+        self,
+        instance: AUnitInstance,
+        preserved: Dict[InstanceLabel, PreservedInstance],
+    ) -> None:
+        """Initialise (or carry over) the instance's local tables."""
+        prior = preserved.get(instance.label)
+        if prior is not None and not instance.decl.synchronized:
+            instance.adopt_local_tables(prior.local_tables)
+            # Tables added to the schema after the snapshot (only possible for
+            # programmatically constructed programs) are created empty.
+            for schema in instance.decl.local_schema:
+                if schema.name not in instance.local_tables:
+                    instance.local_tables[schema.name] = Table(schema)
+            return
+
+        instance.create_local_tables()
+        if not instance.decl.local_query:
+            return
+        persist = self.engine.persist_tables(instance.decl.name)
+        catalog = build_read_catalog(instance, persist, include_output=False)
+        run_assignments(
+            instance.decl.local_query,
+            catalog,
+            self.engine.functions,
+            lambda assignment: instance.local_tables.get(assignment.simple_target),
+            optimize=self.engine.optimize,
+            location=f"{instance.decl.name}.local_query",
+        )
+
+    # -- children ------------------------------------------------------------------------
+
+    def _activate_children(
+        self,
+        instance: AUnitInstance,
+        preserved: Dict[InstanceLabel, PreservedInstance],
+    ) -> None:
+        for activator in instance.decl.activators:
+            child_decl = self.program.resolve_child(activator.child)
+            self.engine.ensure_persistent(child_decl)
+            for activation_tuple in self._activation_tuples(instance, activator):
+                key = activation_key(activator.activation_schema, activation_tuple)
+                label: InstanceLabel = (instance.label, activator.name, key)
+                child = self._new_instance(
+                    decl=child_decl,
+                    label=label,
+                    parent=instance,
+                    activator=activator,
+                    activation_tuple=activation_tuple,
+                    session_id=instance.session_id,
+                    preserved=preserved,
+                )
+                child.create_input_tables()
+                self._compute_child_input(instance, activator, child)
+                instance.children.append(child)
+                self._initialise_local(child, preserved)
+                self._activate_children(child, preserved)
+
+    def _activation_tuples(
+        self, instance: AUnitInstance, activator: ActivatorDecl
+    ) -> List[Optional[Tuple[Any, ...]]]:
+        """The activation tuples of one activator (None = single unconditional child)."""
+        if activator.activation_query is None:
+            if activator.activation_filters:
+                # A filtered activator without an activation query activates
+                # its single child only when every filter returns rows.
+                persist = self.engine.persist_tables(instance.decl.name)
+                catalog = build_read_catalog(instance, persist, include_output=False)
+                executor = SQLExecutor(
+                    catalog, functions=self.engine.functions, optimize=self.engine.optimize
+                )
+                for filter_block in activator.activation_filters:
+                    if not executor.execute_query(filter_block.query).rows:
+                        return []
+            return [None]
+
+        persist = self.engine.persist_tables(instance.decl.name)
+        catalog = build_read_catalog(instance, persist, include_output=False)
+        executor = SQLExecutor(
+            catalog, functions=self.engine.functions, optimize=self.engine.optimize
+        )
+        cached = self.engine.activation_cache_lookup(instance, activator)
+        if cached is not None:
+            rows = cached
+        else:
+            try:
+                rows = executor.execute_query(activator.activation_query.query).as_tuples()
+            except Exception as exc:
+                raise ActivationError(
+                    f"activation query of {instance.decl.name}.{activator.name} failed: {exc}"
+                ) from exc
+            self.engine.activation_cache_store(instance, activator, rows)
+
+        if not activator.activation_filters:
+            return list(rows)
+
+        schema = activator.activation_schema
+        kept: List[Optional[Tuple[Any, ...]]] = []
+        for row in rows:
+            tuple_table = make_activation_tuple_table(schema, row)
+            filter_catalog = build_read_catalog(
+                instance, persist, activation_tuple=tuple_table, include_output=False
+            )
+            filter_executor = SQLExecutor(
+                filter_catalog, functions=self.engine.functions, optimize=self.engine.optimize
+            )
+            if all(
+                filter_executor.execute_query(filter_block.query).rows
+                for filter_block in activator.activation_filters
+            ):
+                kept.append(row)
+        return kept
+
+    def _compute_child_input(
+        self,
+        instance: AUnitInstance,
+        activator: ActivatorDecl,
+        child: AUnitInstance,
+    ) -> None:
+        """Evaluate the activator's input query to fill the child's input tables."""
+        if not activator.input_query:
+            return
+        persist = self.engine.persist_tables(instance.decl.name)
+        activation_tuple_table = None
+        if activator.activation_schema is not None and child.activation_tuple is not None:
+            activation_tuple_table = make_activation_tuple_table(
+                activator.activation_schema, child.activation_tuple
+            )
+        # The child's input tables are readable under their qualified names so
+        # later assignments of the same input query may refer to earlier ones.
+        child_qualified = {
+            f"{activator.child.name}.{name}": table
+            for name, table in child.input_tables.items()
+        }
+        catalog = build_read_catalog(
+            instance,
+            persist,
+            activation_tuple=activation_tuple_table,
+            child_tables=child_qualified,
+            include_output=False,
+        )
+
+        def resolve_target(assignment: Assignment) -> Optional[Table]:
+            return child.input_tables.get(assignment.simple_target)
+
+        run_assignments(
+            activator.input_query,
+            catalog,
+            self.engine.functions,
+            resolve_target,
+            optimize=self.engine.optimize,
+            location=f"{instance.decl.name}.{activator.name}.input_query",
+        )

@@ -1,0 +1,259 @@
+"""Concurrency-control strategies for application-level preconditions.
+
+Section 6.2 of the paper notes that because Hilda preconditions are
+declarative (activation queries), the system is free to choose *how* to
+enforce them:
+
+* **optimistic** — let users act on possibly stale pages; re-check the
+  precondition (is the Basic AUnit instance still active?) when the action
+  arrives.  Conflicting actions are rejected after the fact.  This is what
+  the engine does natively.
+* **pessimistic** — when a user views an actionable instance, lock it (and
+  the rows it depends on); conflicting actions by other users block or are
+  refused up front, so no work is wasted, at the cost of holding locks for
+  the whole think time.
+* **trigger-based** — watch the persistent tables; as soon as an update
+  invalidates an instance that some user is viewing, push an invalidation so
+  the user's later action is refused immediately without re-running the
+  precondition.
+
+:class:`ConcurrencySimulator` replays a workload of *intents* (a user views
+an instance, thinks, then acts) under each strategy and reports the
+throughput/conflict/blocking profile; the E11 benchmark sweeps contention.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.runtime.engine import HildaEngine
+from repro.runtime.operations import ApplyResult, OperationStatus
+
+__all__ = [
+    "Intent",
+    "StrategyResult",
+    "LockManager",
+    "ConcurrencySimulator",
+    "OPTIMISTIC",
+    "PESSIMISTIC",
+    "TRIGGER_BASED",
+]
+
+OPTIMISTIC = "optimistic"
+PESSIMISTIC = "pessimistic"
+TRIGGER_BASED = "trigger"
+
+
+@dataclass
+class Intent:
+    """A user's intention to act on a Basic AUnit instance.
+
+    ``view_time`` is when the user loaded the page showing the instance;
+    ``act_time`` is when the action is submitted.  Between the two, other
+    users' actions may invalidate the instance.
+    """
+
+    user: str
+    instance_id: int
+    values: Optional[Sequence[Any]] = None
+    view_time: float = 0.0
+    act_time: float = 0.0
+    description: str = ""
+
+
+@dataclass
+class StrategyResult:
+    """Outcome counts of running a workload under one strategy."""
+
+    strategy: str
+    attempted: int = 0
+    applied: int = 0
+    conflicts: int = 0
+    refused_up_front: int = 0
+    lock_waits: int = 0
+    lock_wait_time: float = 0.0
+    wasted_work: int = 0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "strategy": self.strategy,
+            "attempted": self.attempted,
+            "applied": self.applied,
+            "conflicts": self.conflicts,
+            "refused_up_front": self.refused_up_front,
+            "lock_waits": self.lock_waits,
+            "lock_wait_time": round(self.lock_wait_time, 3),
+            "wasted_work": self.wasted_work,
+        }
+
+
+class LockManager:
+    """Instance-granularity locks for the pessimistic strategy."""
+
+    def __init__(self) -> None:
+        self._locks: Dict[int, str] = {}
+        self.waits = 0
+
+    def acquire(self, instance_id: int, owner: str) -> bool:
+        holder = self._locks.get(instance_id)
+        if holder is None or holder == owner:
+            self._locks[instance_id] = owner
+            return True
+        self.waits += 1
+        return False
+
+    def release_all(self, owner: str) -> None:
+        for instance_id in [iid for iid, holder in self._locks.items() if holder == owner]:
+            del self._locks[instance_id]
+
+    def holder(self, instance_id: int) -> Optional[str]:
+        return self._locks.get(instance_id)
+
+
+class ConcurrencySimulator:
+    """Replay a workload of intents under a precondition-enforcement strategy.
+
+    The simulator serialises intents by their ``act_time`` (the engine's
+    semantics are serial anyway); the strategies differ in *when* the
+    precondition is enforced and therefore in how much work is wasted or how
+    long locks are held.
+    """
+
+    def __init__(self, engine: HildaEngine) -> None:
+        self.engine = engine
+
+    # -- strategies -----------------------------------------------------------------
+
+    def run(self, intents: List[Intent], strategy: str = OPTIMISTIC) -> StrategyResult:
+        ordered = sorted(intents, key=lambda intent: intent.act_time)
+        if strategy == OPTIMISTIC:
+            return self._run_optimistic(ordered)
+        if strategy == PESSIMISTIC:
+            return self._run_pessimistic(ordered)
+        if strategy == TRIGGER_BASED:
+            return self._run_trigger(ordered)
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    def _run_optimistic(self, intents: List[Intent]) -> StrategyResult:
+        result = StrategyResult(strategy=OPTIMISTIC)
+        for intent in intents:
+            result.attempted += 1
+            outcome = self.engine.perform(intent.instance_id, intent.values)
+            if outcome.status == OperationStatus.APPLIED:
+                result.applied += 1
+            elif outcome.status == OperationStatus.CONFLICT:
+                result.conflicts += 1
+                result.wasted_work += 1  # the user filled in / clicked for nothing
+            else:
+                result.conflicts += 1
+        return result
+
+    def _run_pessimistic(self, intents: List[Intent]) -> StrategyResult:
+        result = StrategyResult(strategy=PESSIMISTIC)
+        locks = LockManager()
+        # Locks are taken in view order (when the page was rendered) and held
+        # until the action completes.
+        for intent in sorted(intents, key=lambda item: item.view_time):
+            locks.acquire(intent.instance_id, intent.user) or None
+        lock_owner: Dict[int, str] = {}
+        for intent in sorted(intents, key=lambda item: item.view_time):
+            if intent.instance_id not in lock_owner:
+                lock_owner[intent.instance_id] = intent.user
+        for intent in sorted(intents, key=lambda item: item.act_time):
+            result.attempted += 1
+            owner = lock_owner.get(intent.instance_id)
+            if owner is not None and owner != intent.user:
+                # Someone else holds the lock on the instance this action
+                # targets: the action is refused before any work happens.
+                result.refused_up_front += 1
+                result.lock_waits += 1
+                result.lock_wait_time += max(0.0, intent.act_time - intent.view_time)
+                continue
+            outcome = self.engine.perform(intent.instance_id, intent.values)
+            if outcome.status == OperationStatus.APPLIED:
+                result.applied += 1
+            elif outcome.status == OperationStatus.CONFLICT:
+                result.conflicts += 1
+        return result
+
+    def _run_trigger(self, intents: List[Intent]) -> StrategyResult:
+        result = StrategyResult(strategy=TRIGGER_BASED)
+        invalidated: Set[int] = set()
+        for intent in sorted(intents, key=lambda item: item.act_time):
+            result.attempted += 1
+            if intent.instance_id in invalidated:
+                # The trigger already told this user their action is void; no
+                # server round trip, no wasted handler evaluation.
+                result.refused_up_front += 1
+                continue
+            before_ids = {node.instance_id for node in self.engine.forest.all_instances()}
+            outcome = self.engine.perform(intent.instance_id, intent.values)
+            if outcome.status == OperationStatus.APPLIED:
+                result.applied += 1
+                after_ids = {node.instance_id for node in self.engine.forest.all_instances()}
+                invalidated |= before_ids - after_ids
+            elif outcome.status == OperationStatus.CONFLICT:
+                result.conflicts += 1
+        return result
+
+
+def conflicting_invitation_workload(
+    engine: HildaEngine,
+    session_pairs: List[Tuple[str, str]],
+    conflict_rate: float = 0.5,
+    seed: int = 7,
+) -> List[Intent]:
+    """Build an invitation withdraw/accept workload with a given conflict rate.
+
+    For each (inviter session, invitee session) pair an outstanding
+    invitation is expected to exist; with probability ``conflict_rate`` both
+    the withdraw and the accept intents are issued (only one can win),
+    otherwise only the accept is issued.
+    """
+    rng = random.Random(seed)
+    intents: List[Intent] = []
+    clock = 0.0
+    for inviter_session, invitee_session in session_pairs:
+        withdraws = engine.find_instances(
+            "SelectRow", session_id=inviter_session, activator="ActWithdrawInv"
+        )
+        accepts = engine.find_instances(
+            "SelectRow", session_id=invitee_session, activator="ActAcceptInv"
+        )
+        if not accepts:
+            continue
+        accept = accepts[0]
+        clock += 1.0
+        if withdraws and rng.random() < conflict_rate:
+            withdraw = withdraws[0]
+            intents.append(
+                Intent(
+                    user=inviter_session,
+                    instance_id=withdraw.instance_id,
+                    view_time=clock,
+                    act_time=clock + 0.5,
+                    description="withdraw invitation",
+                )
+            )
+            intents.append(
+                Intent(
+                    user=invitee_session,
+                    instance_id=accept.instance_id,
+                    view_time=clock,
+                    act_time=clock + 1.0,
+                    description="accept invitation (conflicting)",
+                )
+            )
+        else:
+            intents.append(
+                Intent(
+                    user=invitee_session,
+                    instance_id=accept.instance_id,
+                    view_time=clock,
+                    act_time=clock + 1.0,
+                    description="accept invitation",
+                )
+            )
+    return intents

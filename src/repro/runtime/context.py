@@ -1,0 +1,183 @@
+"""Query-evaluation contexts for AUnit instances.
+
+Every SQL query in a Hilda program runs against the namespace its context
+defines (Section 3.2 of the paper):
+
+* activation and local queries see the instance's input, local and
+  persistent tables;
+* input queries additionally see ``activationTuple`` and the child's input
+  tables (qualified as ``Child.table``);
+* handler conditions and actions additionally see the returning child's
+  output tables (``Child.table``, ``Child.output``) and, for inout tables,
+  the ``Child.in.X`` / ``Child.out.X`` views;
+* inside an AUnit, an inout table read as a plain name refers to its *input*
+  version, ``in.X`` / ``out.X`` select a version explicitly, and assignments
+  to the plain name write the *output* version.
+
+This module builds those namespaces as :class:`DictCatalog` objects the SQL
+executor can query, and provides the assignment-execution helper shared by
+the activation, return and reactivation phases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, TYPE_CHECKING
+
+from repro.errors import HandlerError, UnknownTableError
+from repro.hilda.ast import Assignment
+from repro.relational.database import Catalog
+from repro.relational.functions import FunctionRegistry
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+from repro.sql.executor import SQLExecutor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.instance import AUnitInstance
+
+__all__ = [
+    "DictCatalog",
+    "build_read_catalog",
+    "child_visible_tables",
+    "make_activation_tuple_table",
+    "run_assignments",
+]
+
+
+class DictCatalog(Catalog):
+    """A catalog backed by a plain name -> Table mapping."""
+
+    def __init__(self, tables: Optional[Dict[str, Table]] = None) -> None:
+        self._tables: Dict[str, Table] = dict(tables or {})
+
+    def add(self, name: str, table: Table, overwrite: bool = False) -> None:
+        if not overwrite and name in self._tables:
+            return
+        self._tables[name] = table
+
+    def update(self, tables: Dict[str, Table], overwrite: bool = False) -> None:
+        for name, table in tables.items():
+            self.add(name, table, overwrite=overwrite)
+
+    def resolve_table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+    def as_dict(self) -> Dict[str, Table]:
+        return dict(self._tables)
+
+
+def build_read_catalog(
+    instance: "AUnitInstance",
+    persist_tables: Dict[str, Table],
+    activation_tuple: Optional[Table] = None,
+    child_tables: Optional[Dict[str, Table]] = None,
+    include_output: bool = True,
+    output_shadows_input: bool = False,
+) -> DictCatalog:
+    """The tables readable from queries evaluated in ``instance``'s context.
+
+    ``output_shadows_input`` is set while executing handler actions: there, a
+    plain inout table name refers to the *output* version being built (the
+    input version stays reachable as ``in.X``), so later assignments of the
+    same action can read what earlier ones wrote.  Everywhere else a plain
+    inout name refers to the input version.
+    """
+    catalog = DictCatalog()
+
+    # Local tables shadow nothing (the validator rejects collisions), but
+    # register them first so reads inside handlers see the freshest state.
+    catalog.update(instance.local_tables)
+
+    # Input tables under their plain names and the in.X view for inout tables.
+    for name, table in instance.input_tables.items():
+        catalog.add(name, table)
+    for name in instance.decl.inout_tables:
+        table = instance.input_tables.get(name)
+        if table is not None:
+            catalog.add(f"in.{name}", table)
+
+    # Output tables (once created by a return handler) are readable both as
+    # plain names (later assignments of the same action read earlier ones,
+    # e.g. newproblem reads newassign) and as out.X for inout tables.
+    if include_output:
+        for name, table in instance.output_tables.items():
+            catalog.add(name, table, overwrite=output_shadows_input)
+            if name in instance.decl.inout_tables:
+                catalog.add(f"out.{name}", table, overwrite=True)
+
+    # Persistent tables, shared across instances of this AUnit type.
+    catalog.update(persist_tables)
+
+    if activation_tuple is not None:
+        catalog.add("activationTuple", activation_tuple, overwrite=True)
+    if child_tables:
+        catalog.update(child_tables, overwrite=True)
+    return catalog
+
+
+def child_visible_tables(child_ref_name: str, child: "AUnitInstance") -> Dict[str, Table]:
+    """The returning child's tables as visible to its parent's handlers."""
+    tables: Dict[str, Table] = {}
+    for name, table in child.output_tables.items():
+        tables[f"{child_ref_name}.{name}"] = table
+    for name in child.decl.inout_tables:
+        if name in child.input_tables:
+            tables[f"{child_ref_name}.in.{name}"] = child.input_tables[name]
+        if name in child.output_tables:
+            tables[f"{child_ref_name}.out.{name}"] = child.output_tables[name]
+    # The child's input tables are also readable qualified (CMSRoot reads
+    # CourseAdmin.in.assign; some programs read Child.input for Basic AUnits).
+    for name, table in child.input_tables.items():
+        tables.setdefault(f"{child_ref_name}.{name}", table)
+    return tables
+
+
+def make_activation_tuple_table(schema: TableSchema, values) -> Table:
+    """A one-row table named ``activationTuple`` holding an activation tuple."""
+    table = Table(schema.renamed("activationTuple"))
+    table.insert(values)
+    return table
+
+
+def run_assignments(
+    assignments: Iterable[Assignment],
+    catalog: Catalog,
+    functions: FunctionRegistry,
+    resolve_target,
+    optimize: bool = True,
+    location: str = "",
+) -> List[str]:
+    """Execute a list of assignments sequentially.
+
+    ``resolve_target`` maps an :class:`Assignment` to the :class:`Table` it
+    writes.  Each query is fully materialised before its target is replaced,
+    so an assignment may read the previous contents of the table it writes
+    (``problem :- SELECT ... FROM problem UNION ...``).
+
+    Returns the list of written table names (as given in the assignments).
+    """
+    executor = SQLExecutor(catalog, functions=functions, optimize=optimize)
+    written: List[str] = []
+    for assignment in assignments:
+        target = resolve_target(assignment)
+        if target is None:
+            raise HandlerError(
+                f"{location}: assignment target {assignment.target!r} is not writable here"
+            )
+        relation = executor.execute_query(assignment.query.query)
+        try:
+            target.replace(relation.rows)
+        except Exception as exc:
+            raise HandlerError(
+                f"{location}: assignment to {assignment.target!r} failed: {exc}"
+            ) from exc
+        written.append(assignment.target)
+    return written

@@ -1,0 +1,440 @@
+"""The Hilda engine: sessions, operations and the three execution phases.
+
+:class:`HildaEngine` is the interpreter for resolved Hilda programs.  It
+owns the persistent store (one set of tables per AUnit type, shared by all
+instances, initialised by the persist query the first time the type is
+used), the activation forest, and the operation log.
+
+Life cycle of one user action (Definition 8 of the paper):
+
+1. the user performs an action on a Basic AUnit instance (identified by ID);
+2. **conflict check** — if that ID is no longer in the activation forest the
+   operation is rejected (Section 3.2.6);
+3. **return phase** — handlers fire up the tree (:mod:`repro.runtime.returns`);
+4. **reactivation phase** — the forest is rebuilt; surviving instances keep
+   their local state and IDs (:mod:`repro.runtime.activation`).
+
+Reactivation can be *eager* (every session's tree is rebuilt immediately,
+the default) or *lazy* (other sessions' trees are rebuilt when next
+accessed), which models the paper's remark that changes need only be
+propagated when a user reloads the page.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import ConflictError, HandlerError, SessionError
+from repro.hilda.ast import ActivatorDecl, AUnitDecl
+from repro.hilda.program import HildaProgram
+from repro.relational.functions import FunctionRegistry
+from repro.relational.table import Table
+from repro.runtime.activation import ActivationBuilder, PreservedInstance
+from repro.runtime.forest import ActivationForest
+from repro.runtime.history import ExecutionHistory
+from repro.runtime.instance import AUnitInstance, InstanceLabel
+from repro.runtime.operations import ApplyResult, Operation, OperationStatus
+from repro.runtime.returns import ReturnProcessor
+
+__all__ = ["HildaEngine"]
+
+
+class HildaEngine:
+    """Interpreter for a resolved Hilda program.
+
+    Parameters
+    ----------
+    program:
+        A resolved :class:`~repro.hilda.program.HildaProgram`.
+    functions:
+        Scalar function registry.  By default a fresh registry with a
+        deterministic sequential ``genkey()`` is used so examples, tests and
+        benchmarks are reproducible.
+    optimize:
+        Passed to the SQL engine (hash joins vs nested loops).
+    reactivation:
+        ``"eager"`` rebuilds every session's tree after each operation;
+        ``"lazy"`` rebuilds only the acting session's tree and defers the
+        others until they are accessed.
+    cache_activation_queries:
+        Memoise activation-query results between state changes (the data
+        caching opportunity of Section 6.2).
+    record_history:
+        Keep an :class:`ExecutionHistory` of applied operations.
+    """
+
+    def __init__(
+        self,
+        program: HildaProgram,
+        functions: Optional[FunctionRegistry] = None,
+        optimize: bool = True,
+        reactivation: str = "eager",
+        cache_activation_queries: bool = False,
+        record_history: bool = True,
+    ) -> None:
+        if reactivation not in ("eager", "lazy"):
+            raise ValueError("reactivation must be 'eager' or 'lazy'")
+        self.program = program
+        self.functions = functions or self._default_functions()
+        self.optimize = optimize
+        self.reactivation = reactivation
+        self.cache_activation_queries = cache_activation_queries
+        self.forest = ActivationForest()
+        self.history: Optional[ExecutionHistory] = ExecutionHistory() if record_history else None
+
+        self._persist: Dict[str, Dict[str, Table]] = {}
+        self._persist_initialised: Set[str] = set()
+        self._session_inputs: Dict[str, Dict[str, List[Sequence[Any]]]] = {}
+        self._session_counter = itertools.count(1)
+        self._instance_counter = itertools.count(1)
+        self._state_version = 0
+        self._dirty_sessions: Set[str] = set()
+        self._activation_cache: Dict[Tuple, Tuple[int, List[Tuple[Any, ...]]]] = {}
+
+        self._builder = ActivationBuilder(self)
+        self._returns = ReturnProcessor(self)
+
+    # ------------------------------------------------------------------
+    # Low-level services used by the phase implementations
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _default_functions() -> FunctionRegistry:
+        registry = FunctionRegistry()
+        registry.use_sequential_keys(start=1000)
+        return registry
+
+    def next_instance_id(self) -> int:
+        return next(self._instance_counter)
+
+    @property
+    def state_version(self) -> int:
+        return self._state_version
+
+    def bump_state_version(self) -> None:
+        self._state_version += 1
+
+    def ensure_persistent(self, decl: AUnitDecl) -> None:
+        """Create and initialise the persistent tables of an AUnit type once."""
+        if decl.name in self._persist_initialised:
+            return
+        self._persist_initialised.add(decl.name)
+        tables = {schema.name: Table(schema) for schema in decl.persist_schema}
+        self._persist[decl.name] = tables
+        if decl.persist_query:
+            from repro.runtime.context import DictCatalog, run_assignments
+
+            catalog = DictCatalog(dict(tables))
+            run_assignments(
+                decl.persist_query,
+                catalog,
+                self.functions,
+                lambda assignment: tables.get(assignment.simple_target),
+                optimize=self.optimize,
+                location=f"{decl.name}.persist_query",
+            )
+
+    def persist_tables(self, aunit_name: str) -> Dict[str, Table]:
+        """The shared persistent tables of one AUnit type (may be empty)."""
+        return self._persist.get(aunit_name, {})
+
+    # -- activation-query cache (Section 6.2 data caching) ----------------------------
+
+    def activation_cache_lookup(
+        self, instance: AUnitInstance, activator: ActivatorDecl
+    ) -> Optional[List[Tuple[Any, ...]]]:
+        if not self.cache_activation_queries:
+            return None
+        key = (instance.label, activator.name)
+        cached = self._activation_cache.get(key)
+        if cached is None:
+            return None
+        version, rows = cached
+        if version != self._state_version:
+            return None
+        return rows
+
+    def activation_cache_store(
+        self,
+        instance: AUnitInstance,
+        activator: ActivatorDecl,
+        rows: List[Tuple[Any, ...]],
+    ) -> None:
+        if not self.cache_activation_queries:
+            return
+        self._activation_cache[(instance.label, activator.name)] = (
+            self._state_version,
+            list(rows),
+        )
+
+    # ------------------------------------------------------------------
+    # Persistent-data helpers (fixtures, tests, baselines)
+    # ------------------------------------------------------------------
+
+    def persistent_table(self, table_name: str, aunit_name: Optional[str] = None) -> Table:
+        """Direct access to a persistent table (defaults to the root AUnit's)."""
+        owner = aunit_name or self.program.root_name
+        self.ensure_persistent(self.program.aunit(owner))
+        tables = self.persist_tables(owner)
+        if table_name not in tables:
+            raise SessionError(
+                f"AUnit {owner!r} has no persistent table {table_name!r}"
+            )
+        return tables[table_name]
+
+    def seed_persistent(
+        self,
+        rows_by_table: Dict[str, List[Sequence[Any]]],
+        aunit_name: Optional[str] = None,
+        refresh: bool = True,
+    ) -> None:
+        """Bulk-load persistent tables (used by fixtures and benchmarks)."""
+        for table_name, rows in rows_by_table.items():
+            table = self.persistent_table(table_name, aunit_name)
+            table.insert_many(rows)
+        self.bump_state_version()
+        if refresh and self.forest.session_ids():
+            self.reactivate_all()
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+
+    def start_session(
+        self,
+        input_rows: Optional[Dict[str, List[Sequence[Any]]]] = None,
+        session_id: Optional[str] = None,
+    ) -> str:
+        """Activate a new root AUnit instance (a user session) and return its id."""
+        if session_id is None:
+            session_id = f"S{next(self._session_counter)}"
+        if self.forest.has_session(session_id):
+            raise SessionError(f"session {session_id!r} already exists")
+        inputs = {name: list(rows) for name, rows in (input_rows or {}).items()}
+        self._session_inputs[session_id] = inputs
+        root = self._builder.build_session_tree(session_id, inputs)
+        self.forest.add_root(session_id, root)
+        return session_id
+
+    def close_session(self, session_id: str) -> None:
+        """Deactivate a session's root instance (and thereby its whole tree)."""
+        self.forest.remove_session(session_id)
+        self._session_inputs.pop(session_id, None)
+        self._dirty_sessions.discard(session_id)
+
+    def session_ids(self) -> List[str]:
+        return self.forest.session_ids()
+
+    def session_tree(self, session_id: str) -> AUnitInstance:
+        """The activation tree of a session (rebuilding it first if stale)."""
+        self._ensure_fresh(session_id)
+        return self.forest.root_for_session(session_id)
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+
+    def instance(self, instance_id: int) -> Optional[AUnitInstance]:
+        return self.forest.instance_by_id(instance_id)
+
+    def find_instances(
+        self,
+        aunit_name: Optional[str] = None,
+        session_id: Optional[str] = None,
+        activator: Optional[str] = None,
+    ) -> List[AUnitInstance]:
+        """Find active instances, refreshing lazily-reactivated sessions first."""
+        if session_id is not None:
+            self._ensure_fresh(session_id)
+        else:
+            for stale in list(self._dirty_sessions):
+                self._ensure_fresh(stale)
+        return self.forest.find_instances(
+            aunit_name=aunit_name, session_id=session_id, activator=activator
+        )
+
+    def render_forest(self) -> str:
+        for stale in list(self._dirty_sessions):
+            self._ensure_fresh(stale)
+        return self.forest.render()
+
+    # ------------------------------------------------------------------
+    # Operations (user actions)
+    # ------------------------------------------------------------------
+
+    def perform(
+        self,
+        instance_id: int,
+        values: Optional[Sequence[Any]] = None,
+        description: str = "",
+    ) -> ApplyResult:
+        """Perform a user action on a Basic AUnit instance by ID."""
+        operation = Operation(
+            instance_id=instance_id,
+            values=values,
+            observed_state_version=self._state_version,
+            description=description,
+        )
+        return self.apply(operation)
+
+    #: Alias matching the paper's vocabulary ("the returning of an instance").
+    submit = perform
+
+    def apply(self, operation: Operation) -> ApplyResult:
+        """Apply one operation: conflict check, return phase, reactivation phase."""
+        active_before = {node.instance_id for node in self.forest.all_instances()}
+        version_before = self._state_version
+
+        instance = self.forest.instance_by_id(operation.instance_id)
+        if instance is None:
+            result = ApplyResult(
+                operation=operation,
+                status=OperationStatus.CONFLICT,
+                message=(
+                    f"AUnit instance {operation.instance_id} is no longer active; "
+                    "the operation conflicts with a concurrent update"
+                ),
+                state_version=self._state_version,
+            )
+            self._record(operation, result, active_before, version_before)
+            return result
+
+        if not instance.is_basic:
+            result = ApplyResult(
+                operation=operation,
+                status=OperationStatus.REJECTED,
+                message=f"instance {operation.instance_id} is not a Basic AUnit instance",
+                state_version=self._state_version,
+            )
+            self._record(operation, result, active_before, version_before)
+            return result
+
+        operation.session_id = instance.session_id
+
+        # If the acting session is stale (lazy mode), refresh it first: the
+        # user is interacting with it, which is exactly the "page reload"
+        # moment at which changes must be propagated.  The conflict check is
+        # then repeated against the fresh tree.
+        if instance.session_id in self._dirty_sessions:
+            self._ensure_fresh(instance.session_id)
+            instance = self.forest.instance_by_id(operation.instance_id)
+            if instance is None:
+                result = ApplyResult(
+                    operation=operation,
+                    status=OperationStatus.CONFLICT,
+                    message=(
+                        f"AUnit instance {operation.instance_id} disappeared when its "
+                        "session was refreshed; the operation conflicts with a concurrent update"
+                    ),
+                    state_version=self._state_version,
+                )
+                self._record(operation, result, active_before, version_before)
+                return result
+
+        spec_kind = instance.decl.basic_kind
+        if spec_kind in ("ShowRow", "ShowTable"):
+            result = ApplyResult(
+                operation=operation,
+                status=OperationStatus.REJECTED,
+                message=f"Basic AUnit {spec_kind} is display-only and cannot return",
+                state_version=self._state_version,
+            )
+            self._record(operation, result, active_before, version_before)
+            return result
+
+        try:
+            outcome = self._returns.process(instance, operation.values)
+        except HandlerError as exc:
+            result = ApplyResult(
+                operation=operation,
+                status=OperationStatus.REJECTED,
+                message=str(exc),
+                state_version=self._state_version,
+            )
+            self._record(operation, result, active_before, version_before)
+            return result
+
+        self._reactivate_after(operation, outcome)
+
+        status = (
+            OperationStatus.APPLIED if outcome.any_handler_fired else OperationStatus.NO_HANDLER
+        )
+        result = ApplyResult(
+            operation=operation,
+            status=status,
+            handlers=outcome.handlers_fired,
+            returned_instance_ids=[node.instance_id for node in outcome.returned_instances],
+            state_version=self._state_version,
+        )
+        self._record(operation, result, active_before, version_before)
+        return result
+
+    # ------------------------------------------------------------------
+    # Reactivation
+    # ------------------------------------------------------------------
+
+    def reactivate_all(self) -> None:
+        """Rebuild every session's activation tree immediately."""
+        for session_id in self.forest.session_ids():
+            self._rebuild_session(session_id)
+        self._dirty_sessions.clear()
+
+    def refresh(self, session_id: Optional[str] = None) -> None:
+        """Explicitly refresh one session (the user's page reload) or all."""
+        if session_id is None:
+            self.reactivate_all()
+        else:
+            self._rebuild_session(session_id)
+            self._dirty_sessions.discard(session_id)
+
+    def _reactivate_after(self, operation: Operation, outcome) -> None:
+        acting_session = operation.session_id
+        if self.reactivation == "eager":
+            self.reactivate_all()
+            return
+        if acting_session is not None:
+            self._rebuild_session(acting_session)
+            self._dirty_sessions.discard(acting_session)
+        for session_id in self.forest.session_ids():
+            if session_id != acting_session:
+                self._dirty_sessions.add(session_id)
+
+    def _ensure_fresh(self, session_id: str) -> None:
+        if session_id in self._dirty_sessions:
+            self._rebuild_session(session_id)
+            self._dirty_sessions.discard(session_id)
+
+    def _rebuild_session(self, session_id: str) -> None:
+        old_root = self.forest.root_for_session(session_id)
+        preserved: Dict[InstanceLabel, PreservedInstance] = {}
+        for node in old_root.walk():
+            if not node.returned:
+                preserved[node.label] = PreservedInstance(
+                    instance_id=node.instance_id, local_tables=node.local_tables
+                )
+        inputs = self._session_inputs.get(session_id, {})
+        new_root = self._builder.build_session_tree(session_id, inputs, preserved)
+        self.forest.replace_root(session_id, new_root)
+
+    # ------------------------------------------------------------------
+    # History
+    # ------------------------------------------------------------------
+
+    def _record(
+        self,
+        operation: Operation,
+        result: ApplyResult,
+        active_before: Set[int],
+        version_before: int,
+    ) -> None:
+        if self.history is None:
+            return
+        self.history.record(
+            operation=operation,
+            result=result,
+            active_ids_before=active_before,
+            state_version_before=version_before,
+            state_version_after=self._state_version,
+            forest_size_after=self.forest.size(),
+        )

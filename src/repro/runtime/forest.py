@@ -1,0 +1,137 @@
+"""The activation forest (Section 3.2.3 of the paper).
+
+The forest holds one activation tree per active session (root AUnit
+instance).  It supports the lookups the runtime needs:
+
+* instance by ID (user actions are addressed to IDs — conflict detection);
+* instance by label (the reactivation phase matches old and new instances);
+* traversal and counting for tests, examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import SessionError
+from repro.runtime.instance import AUnitInstance, InstanceLabel
+
+__all__ = ["ActivationForest"]
+
+
+class ActivationForest:
+    """All activation trees of the running application."""
+
+    def __init__(self) -> None:
+        self._roots: Dict[str, AUnitInstance] = {}
+        self._by_id: Dict[int, AUnitInstance] = {}
+        self._by_label: Dict[InstanceLabel, AUnitInstance] = {}
+
+    # -- roots / sessions ----------------------------------------------------------
+
+    @property
+    def roots(self) -> List[AUnitInstance]:
+        return list(self._roots.values())
+
+    def session_ids(self) -> List[str]:
+        return list(self._roots)
+
+    def root_for_session(self, session_id: str) -> AUnitInstance:
+        try:
+            return self._roots[session_id]
+        except KeyError:
+            raise SessionError(f"unknown session {session_id!r}") from None
+
+    def has_session(self, session_id: str) -> bool:
+        return session_id in self._roots
+
+    def add_root(self, session_id: str, root: AUnitInstance) -> None:
+        if session_id in self._roots:
+            raise SessionError(f"session {session_id!r} already exists")
+        self._roots[session_id] = root
+        self.index_tree(root)
+
+    def remove_session(self, session_id: str) -> AUnitInstance:
+        root = self.root_for_session(session_id)
+        del self._roots[session_id]
+        for node in root.walk():
+            self._by_id.pop(node.instance_id, None)
+            self._by_label.pop(node.label, None)
+        return root
+
+    def replace_root(self, session_id: str, root: AUnitInstance) -> None:
+        """Swap in a rebuilt activation tree for a session (reactivation)."""
+        old = self._roots.get(session_id)
+        if old is not None:
+            for node in old.walk():
+                self._by_id.pop(node.instance_id, None)
+                self._by_label.pop(node.label, None)
+        self._roots[session_id] = root
+        self.index_tree(root)
+
+    # -- indexing -------------------------------------------------------------------
+
+    def index_tree(self, root: AUnitInstance) -> None:
+        for node in root.walk():
+            self._by_id[node.instance_id] = node
+            self._by_label[node.label] = node
+
+    # -- lookups -----------------------------------------------------------------------
+
+    def instance_by_id(self, instance_id: int) -> Optional[AUnitInstance]:
+        return self._by_id.get(instance_id)
+
+    def instance_by_label(self, label: InstanceLabel) -> Optional[AUnitInstance]:
+        return self._by_label.get(label)
+
+    def has_instance(self, instance_id: int) -> bool:
+        return instance_id in self._by_id
+
+    def all_instances(self) -> Iterator[AUnitInstance]:
+        for root in self._roots.values():
+            yield from root.walk()
+
+    def find_instances(
+        self,
+        aunit_name: Optional[str] = None,
+        session_id: Optional[str] = None,
+        activator: Optional[str] = None,
+    ) -> List[AUnitInstance]:
+        """Instances filtered by AUnit name / Basic kind, session and activator."""
+        if session_id is not None:
+            nodes: Iterator[AUnitInstance] = self.root_for_session(session_id).walk()
+        else:
+            nodes = self.all_instances()
+        matches = []
+        for node in nodes:
+            if aunit_name is not None and not (
+                node.aunit_name == aunit_name or node.decl.basic_kind == aunit_name
+            ):
+                continue
+            if activator is not None and node.activator_name != activator:
+                continue
+            matches.append(node)
+        return matches
+
+    # -- statistics --------------------------------------------------------------------
+
+    def size(self) -> int:
+        """Total number of active AUnit instances."""
+        return sum(1 for _ in self.all_instances())
+
+    def depth(self) -> int:
+        """Depth of the deepest activation tree."""
+        best = 0
+        for node in self.all_instances():
+            best = max(best, node.depth + 1)
+        return best
+
+    def render(self) -> str:
+        """ASCII rendering of the whole forest (used by examples and tests)."""
+        sections = []
+        for session_id, root in self._roots.items():
+            sections.append(f"Session {session_id}:")
+            sections.append(root.render_tree())
+        return "\n".join(sections)
+
+    def __len__(self) -> int:
+        return self.size()

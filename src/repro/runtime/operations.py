@@ -1,0 +1,95 @@
+"""Operations and apply results.
+
+An *operation* (Definition 7 of the paper) is the return of a Basic AUnit
+instance, triggered by a user: pressing a submit button, entering a row,
+selecting a row, editing a row.  Operations are addressed by the ID of the
+Basic AUnit instance the user interacted with; if that instance is no longer
+part of the activation forest when the operation is applied, the operation
+is rejected as an application-level conflict (Section 3.2.6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+__all__ = ["Operation", "HandlerFired", "ApplyResult", "OperationStatus"]
+
+_operation_counter = itertools.count(1)
+
+
+class OperationStatus:
+    """Outcome categories of applying an operation."""
+
+    APPLIED = "applied"
+    CONFLICT = "conflict"
+    NO_HANDLER = "no_handler"
+    REJECTED = "rejected"
+
+
+@dataclass
+class Operation:
+    """A user action: return the Basic AUnit instance with ``instance_id``.
+
+    ``values`` is the output row the user supplies (None for SubmitBasic and
+    for SelectRow instances whose input has exactly one row).
+    ``observed_state_version`` records the engine state version at the time
+    the user saw the page containing the instance — used by the concurrency
+    simulation and the history checker.
+    """
+
+    instance_id: int
+    values: Optional[Sequence[Any]] = None
+    session_id: Optional[str] = None
+    observed_state_version: Optional[int] = None
+    operation_id: int = field(default_factory=lambda: next(_operation_counter))
+    description: str = ""
+
+    def __repr__(self) -> str:
+        return (
+            f"Operation(#{self.operation_id} on instance {self.instance_id}"
+            + (f", values={tuple(self.values)}" if self.values is not None else "")
+            + ")"
+        )
+
+
+@dataclass
+class HandlerFired:
+    """One handler that fired while processing a return chain."""
+
+    aunit_name: str
+    activator_name: str
+    handler_name: str
+    is_return: bool
+    written_tables: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        kind = "return handler" if self.is_return else "handler"
+        return f"{self.aunit_name}.{self.activator_name}.{self.handler_name} ({kind})"
+
+
+@dataclass
+class ApplyResult:
+    """The result of applying one operation."""
+
+    operation: Operation
+    status: str
+    handlers: List[HandlerFired] = field(default_factory=list)
+    returned_instance_ids: List[int] = field(default_factory=list)
+    message: str = ""
+    state_version: int = 0
+
+    @property
+    def accepted(self) -> bool:
+        return self.status == OperationStatus.APPLIED
+
+    @property
+    def conflicted(self) -> bool:
+        return self.status == OperationStatus.CONFLICT
+
+    def __repr__(self) -> str:
+        return (
+            f"ApplyResult({self.status}, handlers={[str(h) for h in self.handlers]}, "
+            f"message={self.message!r})"
+        )

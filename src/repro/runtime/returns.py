@@ -1,0 +1,224 @@
+"""The return phase (Section 3.2.4 of the paper).
+
+A return is triggered by a user action on a Basic AUnit instance.  The
+instance's output tables are populated from the user's input, then the
+return is processed by the handlers of the activator that activated it:
+
+* the conditions of the activator's handlers are evaluated; one satisfied
+  handler is chosen (the first in declaration order — the paper allows a
+  nondeterministic choice) and its action executed;
+* a *return* handler writes the parent's output and persistent tables and
+  causes the parent to return in turn, recursively;
+* a non-return handler writes the parent's local and persistent tables and
+  ends the return phase;
+* if no handler condition holds, nothing happens and the system proceeds to
+  reactivation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.errors import HandlerError
+from repro.hilda.ast import ActivatorDecl, Assignment, HandlerDecl
+from repro.relational.table import Table
+from repro.runtime.context import (
+    build_read_catalog,
+    child_visible_tables,
+    make_activation_tuple_table,
+    run_assignments,
+)
+from repro.runtime.instance import AUnitInstance
+from repro.runtime.operations import HandlerFired
+from repro.sql.executor import SQLExecutor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.engine import HildaEngine
+
+__all__ = ["ReturnProcessor", "ReturnOutcome"]
+
+
+class ReturnOutcome:
+    """What happened during one return phase."""
+
+    def __init__(self) -> None:
+        self.handlers_fired: List[HandlerFired] = []
+        self.returned_instances: List[AUnitInstance] = []
+        self.persistent_written = False
+
+    @property
+    def any_handler_fired(self) -> bool:
+        return bool(self.handlers_fired)
+
+
+class ReturnProcessor:
+    """Processes the return of a Basic AUnit instance up the activation tree."""
+
+    def __init__(self, engine: "HildaEngine") -> None:
+        self.engine = engine
+        self.program = engine.program
+
+    # -- public API -----------------------------------------------------------------
+
+    def process(
+        self, basic_instance: AUnitInstance, output_values: Optional[Sequence[Any]]
+    ) -> ReturnOutcome:
+        outcome = ReturnOutcome()
+        self._populate_basic_output(basic_instance, output_values)
+        basic_instance.returned = True
+        outcome.returned_instances.append(basic_instance)
+
+        child = basic_instance
+        while True:
+            parent = child.parent
+            if parent is None:
+                break
+            activator = parent.decl.activator(child.activator_name)
+            handler = self._select_handler(parent, activator, child)
+            if handler is None:
+                break
+            written = self._execute_handler(parent, activator, child, handler, outcome)
+            outcome.handlers_fired.append(
+                HandlerFired(
+                    aunit_name=parent.decl.name,
+                    activator_name=activator.name,
+                    handler_name=handler.name,
+                    is_return=handler.is_return,
+                    written_tables=tuple(written),
+                )
+            )
+            if handler.is_return:
+                if parent.is_root:
+                    raise HandlerError(
+                        f"return handler {handler.name!r} fired on the root AUnit "
+                        f"{parent.decl.name!r}, but the root cannot return"
+                    )
+                parent.returned = True
+                outcome.returned_instances.append(parent)
+                child = parent
+                continue
+            break
+        return outcome
+
+    # -- pieces ------------------------------------------------------------------------
+
+    def _populate_basic_output(
+        self, instance: AUnitInstance, output_values: Optional[Sequence[Any]]
+    ) -> None:
+        """Fill the Basic AUnit's output table from the user-supplied row."""
+        if not instance.decl.output_schema.is_empty():
+            instance.create_output_tables()
+            output_table = instance.output_tables.get("output")
+            if output_table is None:  # pragma: no cover - defensive
+                return
+            values = output_values
+            if values is None and instance.decl.basic_kind == "SelectRow":
+                # Selecting is implicit when exactly one row is on display.
+                input_table = instance.input_tables.get("input")
+                if input_table is not None and len(input_table) == 1:
+                    values = input_table.rows[0]
+            if values is None:
+                raise HandlerError(
+                    f"Basic AUnit {instance.decl.name!r} (id={instance.instance_id}) "
+                    "requires a row of values to return"
+                )
+            output_table.insert(values)
+        elif instance.decl.output_schema.is_empty() and not instance.is_basic:
+            instance.create_output_tables()
+
+    def _select_handler(
+        self,
+        parent: AUnitInstance,
+        activator: ActivatorDecl,
+        child: AUnitInstance,
+    ) -> Optional[HandlerDecl]:
+        """The first handler whose condition is satisfied (or has no condition)."""
+        if not activator.handlers:
+            return None
+        catalog = self._handler_catalog(parent, activator, child)
+        executor = SQLExecutor(
+            catalog, functions=self.engine.functions, optimize=self.engine.optimize
+        )
+        for handler in activator.handlers:
+            if handler.condition is None:
+                return handler
+            try:
+                relation = executor.execute_query(handler.condition.query)
+            except Exception as exc:
+                raise HandlerError(
+                    f"condition of handler {parent.decl.name}.{activator.name}."
+                    f"{handler.name} failed: {exc}"
+                ) from exc
+            if relation.rows:
+                return handler
+        return None
+
+    def _execute_handler(
+        self,
+        parent: AUnitInstance,
+        activator: ActivatorDecl,
+        child: AUnitInstance,
+        handler: HandlerDecl,
+        outcome: ReturnOutcome,
+    ) -> List[str]:
+        """Run a handler's action; returns the names of the tables written."""
+        if handler.is_return:
+            parent.create_output_tables()
+
+        catalog = self._handler_catalog(
+            parent, activator, child, output_shadows_input=handler.is_return
+        )
+        persist = self.engine.persist_tables(parent.decl.name)
+
+        def resolve_target(assignment: Assignment) -> Optional[Table]:
+            name = assignment.simple_target
+            if assignment.target.startswith("out.") and name in parent.output_tables:
+                return parent.output_tables[name]
+            if handler.is_return:
+                if name in parent.output_tables:
+                    return parent.output_tables[name]
+                if name in persist:
+                    return persist[name]
+                return None
+            if name in parent.local_tables:
+                return parent.local_tables[name]
+            if name in persist:
+                return persist[name]
+            return None
+
+        written = run_assignments(
+            handler.actions,
+            catalog,
+            self.engine.functions,
+            resolve_target,
+            optimize=self.engine.optimize,
+            location=f"{parent.decl.name}.{activator.name}.{handler.name}",
+        )
+        if any(assignment.simple_target in persist for assignment in handler.actions):
+            outcome.persistent_written = True
+        if written:
+            self.engine.bump_state_version()
+        return written
+
+    def _handler_catalog(
+        self,
+        parent: AUnitInstance,
+        activator: ActivatorDecl,
+        child: AUnitInstance,
+        output_shadows_input: bool = False,
+    ):
+        persist = self.engine.persist_tables(parent.decl.name)
+        activation_tuple_table = None
+        if activator.activation_schema is not None and child.activation_tuple is not None:
+            activation_tuple_table = make_activation_tuple_table(
+                activator.activation_schema, child.activation_tuple
+            )
+        child_tables = child_visible_tables(child.child_ref_name or child.decl.name, child)
+        return build_read_catalog(
+            parent,
+            persist,
+            activation_tuple=activation_tuple_table,
+            child_tables=child_tables,
+            include_output=True,
+            output_shadows_input=output_shadows_input,
+        )

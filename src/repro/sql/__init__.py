@@ -1,0 +1,55 @@
+"""A small SQL engine covering the dialect Hilda programs use.
+
+Public surface:
+
+* :func:`parse_query` / :func:`parse_statement` — text to AST.
+* :class:`SQLExecutor` — run queries and DML against a catalog of tables.
+* :class:`Binder` — compile-time name resolution used by the Hilda validator.
+"""
+
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    DeleteStatement,
+    Expression,
+    FunctionCall,
+    InsertStatement,
+    Literal,
+    Query,
+    SelectQuery,
+    Star,
+    UnionQuery,
+    UpdateStatement,
+)
+from repro.sql.binder import Binder, BoundQuery
+from repro.sql.executor import SQLExecutor
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_expression, parse_query, parse_statement
+from repro.sql.planner import Planner, plan_query
+from repro.sql.relation import ColumnInfo, Relation
+
+__all__ = [
+    "BinaryOp",
+    "Binder",
+    "BoundQuery",
+    "ColumnInfo",
+    "ColumnRef",
+    "DeleteStatement",
+    "Expression",
+    "FunctionCall",
+    "InsertStatement",
+    "Literal",
+    "Planner",
+    "Query",
+    "Relation",
+    "SQLExecutor",
+    "SelectQuery",
+    "Star",
+    "UnionQuery",
+    "UpdateStatement",
+    "parse_expression",
+    "parse_query",
+    "parse_statement",
+    "plan_query",
+    "tokenize",
+]

@@ -1,0 +1,517 @@
+"""Abstract syntax tree for the SQL dialect.
+
+The node classes are small immutable-ish dataclasses.  Every expression
+node supports :meth:`Expression.walk` so later passes (binder, the Hilda
+validator, the compiler's partitioning analysis) can inspect queries
+generically, and :meth:`to_sql` so queries can be round-tripped into text
+(used by the code generator and by error messages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Expression",
+    "Literal",
+    "ColumnRef",
+    "Star",
+    "FunctionCall",
+    "BinaryOp",
+    "UnaryOp",
+    "InExpression",
+    "ExistsExpression",
+    "IsNullExpression",
+    "BetweenExpression",
+    "LikeExpression",
+    "CaseExpression",
+    "ScalarSubquery",
+    "SelectItem",
+    "TableRef",
+    "SubqueryRef",
+    "JoinRef",
+    "OrderItem",
+    "SelectQuery",
+    "UnionQuery",
+    "Query",
+    "InsertStatement",
+    "DeleteStatement",
+    "UpdateStatement",
+    "Statement",
+    "AGGREGATE_FUNCTIONS",
+]
+
+#: Function names treated as aggregates by the planner.
+AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Base class for all expression nodes."""
+
+    def children(self) -> Sequence["Expression"]:
+        return ()
+
+    def walk(self) -> Iterator["Expression"]:
+        """Yield this node and all descendant expression nodes (pre-order)."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.to_sql()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant: number, string, boolean or NULL."""
+
+    value: object
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A (possibly qualified) column reference.
+
+    ``qualifier`` is the table alias or dotted table name; ``name`` is the
+    column name, or a 1-based position written as digits (the paper writes
+    ``O.1`` for "the first output column").
+    """
+
+    name: str
+    qualifier: Optional[str] = None
+
+    @property
+    def is_positional(self) -> bool:
+        return self.name.isdigit()
+
+    @property
+    def position(self) -> int:
+        return int(self.name)
+
+    def to_sql(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` or ``alias.*`` in a select list or inside COUNT(*)."""
+
+    qualifier: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.qualifier}.*" if self.qualifier else "*"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A scalar or aggregate function call."""
+
+    name: str
+    arguments: Tuple[Expression, ...] = ()
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name.lower() in AGGREGATE_FUNCTIONS
+
+    def children(self) -> Sequence[Expression]:
+        return self.arguments
+
+    def to_sql(self) -> str:
+        prefix = "DISTINCT " if self.distinct else ""
+        args = ", ".join(arg.to_sql() for arg in self.arguments)
+        return f"{self.name}({prefix}{args})"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary operator: arithmetic, comparison, AND/OR."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def children(self) -> Sequence[Expression]:
+        return (self.left, self.right)
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.operator} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """A unary operator: NOT or arithmetic negation."""
+
+    operator: str
+    operand: Expression
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand,)
+
+    def to_sql(self) -> str:
+        if self.operator.upper() == "NOT":
+            return f"(NOT {self.operand.to_sql()})"
+        return f"({self.operator}{self.operand.to_sql()})"
+
+
+@dataclass(frozen=True)
+class InExpression(Expression):
+    """``expr [NOT] IN (subquery)`` or ``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expression
+    subquery: Optional["Query"] = None
+    values: Tuple[Expression, ...] = ()
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand, *self.values)
+
+    def to_sql(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        if self.subquery is not None:
+            return f"({self.operand.to_sql()} {keyword} ({self.subquery.to_sql()}))"
+        values = ", ".join(value.to_sql() for value in self.values)
+        return f"({self.operand.to_sql()} {keyword} ({values}))"
+
+
+@dataclass(frozen=True)
+class ExistsExpression(Expression):
+    """``[NOT] EXISTS (subquery)``."""
+
+    subquery: "Query"
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        keyword = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"({keyword} ({self.subquery.to_sql()}))"
+
+
+@dataclass(frozen=True)
+class IsNullExpression(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand,)
+
+    def to_sql(self) -> str:
+        keyword = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.to_sql()} {keyword})"
+
+
+@dataclass(frozen=True)
+class BetweenExpression(Expression):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand, self.low, self.high)
+
+    def to_sql(self) -> str:
+        keyword = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return (
+            f"({self.operand.to_sql()} {keyword} "
+            f"{self.low.to_sql()} AND {self.high.to_sql()})"
+        )
+
+
+@dataclass(frozen=True)
+class LikeExpression(Expression):
+    """``expr [NOT] LIKE pattern`` with standard % and _ wildcards."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand, self.pattern)
+
+    def to_sql(self) -> str:
+        keyword = "NOT LIKE" if self.negated else "LIKE"
+        return f"({self.operand.to_sql()} {keyword} {self.pattern.to_sql()})"
+
+
+@dataclass(frozen=True)
+class CaseExpression(Expression):
+    """``CASE WHEN cond THEN value ... [ELSE value] END`` (searched form)."""
+
+    whens: Tuple[Tuple[Expression, Expression], ...]
+    default: Optional[Expression] = None
+
+    def children(self) -> Sequence[Expression]:
+        nodes: List[Expression] = []
+        for condition, value in self.whens:
+            nodes.extend((condition, value))
+        if self.default is not None:
+            nodes.append(self.default)
+        return nodes
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        for condition, value in self.whens:
+            parts.append(f"WHEN {condition.to_sql()} THEN {value.to_sql()}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default.to_sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expression):
+    """A parenthesized subquery used as a scalar value."""
+
+    query: "Query"
+
+    def to_sql(self) -> str:
+        return f"({self.query.to_sql()})"
+
+
+# ---------------------------------------------------------------------------
+# Select structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of a select list: an expression with an optional alias."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+    def to_sql(self) -> str:
+        if self.alias:
+            return f"{self.expression.to_sql()} AS {self.alias}"
+        return self.expression.to_sql()
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A base-table reference with an optional alias.
+
+    ``name`` is the full (possibly dotted) table name as written, e.g.
+    ``assign``, ``CourseAdmin.in.assign`` or ``SelectRow.output``.
+    """
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        """The name expressions use to qualify columns of this table."""
+        return self.alias or self.name
+
+    def to_sql(self) -> str:
+        return f"{self.name} {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef:
+    """A derived table: ``(SELECT ...) alias``."""
+
+    query: "Query"
+    alias: str
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias
+
+    def to_sql(self) -> str:
+        return f"({self.query.to_sql()}) {self.alias}"
+
+
+@dataclass(frozen=True)
+class JoinRef:
+    """An explicit join between two table references."""
+
+    left: "FromItem"
+    right: "FromItem"
+    join_type: str  # "INNER", "LEFT", "CROSS"
+    condition: Optional[Expression] = None
+
+    def to_sql(self) -> str:
+        if self.join_type == "CROSS":
+            return f"{self.left.to_sql()} CROSS JOIN {self.right.to_sql()}"
+        keyword = "LEFT OUTER JOIN" if self.join_type == "LEFT" else "JOIN"
+        on_clause = f" ON {self.condition.to_sql()}" if self.condition else ""
+        return f"{self.left.to_sql()} {keyword} {self.right.to_sql()}{on_clause}"
+
+
+FromItem = Union[TableRef, SubqueryRef, JoinRef]
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY entry."""
+
+    expression: Expression
+    descending: bool = False
+
+    def to_sql(self) -> str:
+        return f"{self.expression.to_sql()} {'DESC' if self.descending else 'ASC'}"
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A single SELECT block."""
+
+    items: Tuple[Union[SelectItem, Star], ...]
+    from_items: Tuple[FromItem, ...] = ()
+    where: Optional[Expression] = None
+    group_by: Tuple[Expression, ...] = ()
+    having: Optional[Expression] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(item.to_sql() for item in self.items))
+        if self.from_items:
+            parts.append("FROM " + ", ".join(item.to_sql() for item in self.from_items))
+        if self.where is not None:
+            parts.append("WHERE " + self.where.to_sql())
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(expr.to_sql() for expr in self.group_by))
+        if self.having is not None:
+            parts.append("HAVING " + self.having.to_sql())
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(item.to_sql() for item in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+    # -- analysis helpers used by the binder / Hilda validator ----------------
+
+    def expressions(self) -> Iterator[Expression]:
+        """Yield every expression appearing anywhere in this SELECT block."""
+        for item in self.items:
+            if isinstance(item, SelectItem):
+                yield item.expression
+            else:
+                yield item
+        for clause in (self.where, self.having):
+            if clause is not None:
+                yield clause
+        yield from self.group_by
+        for order in self.order_by:
+            yield order.expression
+
+    def referenced_tables(self) -> List[str]:
+        """Names of base tables referenced in FROM clauses (non-recursive)."""
+        names: List[str] = []
+
+        def visit(item: FromItem) -> None:
+            if isinstance(item, TableRef):
+                names.append(item.name)
+            elif isinstance(item, JoinRef):
+                visit(item.left)
+                visit(item.right)
+            elif isinstance(item, SubqueryRef):
+                names.extend(item.query.referenced_tables())
+
+        for from_item in self.from_items:
+            visit(from_item)
+        return names
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """``left UNION [ALL] right``; UNION without ALL removes duplicates."""
+
+    left: "Query"
+    right: "Query"
+    all: bool = False
+
+    def to_sql(self) -> str:
+        keyword = "UNION ALL" if self.all else "UNION"
+        return f"{self.left.to_sql()} {keyword} {self.right.to_sql()}"
+
+    def referenced_tables(self) -> List[str]:
+        return self.left.referenced_tables() + self.right.referenced_tables()
+
+
+Query = Union[SelectQuery, UnionQuery]
+
+
+# ---------------------------------------------------------------------------
+# DML statements (used by the hand-coded baseline and the web substrate)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    """``INSERT INTO table [(cols)] VALUES (...), (...)`` or ``INSERT ... SELECT``."""
+
+    table: str
+    columns: Tuple[str, ...] = ()
+    rows: Tuple[Tuple[Expression, ...], ...] = ()
+    query: Optional[Query] = None
+
+    def to_sql(self) -> str:
+        columns = f" ({', '.join(self.columns)})" if self.columns else ""
+        if self.query is not None:
+            return f"INSERT INTO {self.table}{columns} {self.query.to_sql()}"
+        rows = ", ".join(
+            "(" + ", ".join(value.to_sql() for value in row) + ")" for row in self.rows
+        )
+        return f"INSERT INTO {self.table}{columns} VALUES {rows}"
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    """``DELETE FROM table [WHERE ...]``."""
+
+    table: str
+    alias: Optional[str] = None
+    where: Optional[Expression] = None
+
+    def to_sql(self) -> str:
+        alias = f" {self.alias}" if self.alias else ""
+        where = f" WHERE {self.where.to_sql()}" if self.where is not None else ""
+        return f"DELETE FROM {self.table}{alias}{where}"
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    """``UPDATE table SET col = expr, ... [WHERE ...]``."""
+
+    table: str
+    assignments: Tuple[Tuple[str, Expression], ...]
+    alias: Optional[str] = None
+    where: Optional[Expression] = None
+
+    def to_sql(self) -> str:
+        alias = f" {self.alias}" if self.alias else ""
+        sets = ", ".join(f"{column} = {value.to_sql()}" for column, value in self.assignments)
+        where = f" WHERE {self.where.to_sql()}" if self.where is not None else ""
+        return f"UPDATE {self.table}{alias} SET {sets}{where}"
+
+
+Statement = Union[SelectQuery, UnionQuery, InsertStatement, DeleteStatement, UpdateStatement]

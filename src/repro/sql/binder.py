@@ -1,0 +1,227 @@
+"""Static name resolution (binding) for SQL queries.
+
+The binder checks a query against a set of *schemas* (not data): every table
+reference must name a known table, every column reference must resolve to
+exactly one column, and UNION branches must have the same arity.  It also
+computes the output column names and arity of a query, which the Hilda
+validator uses to check assignments (``table :- SELECT ...``) against the
+target table's schema.
+
+The binder is intentionally independent of the executor so that Hilda
+programs can be validated at compile time without any data present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import SQLBindingError
+from repro.relational.schema import TableSchema
+from repro.sql.ast import (
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InExpression,
+    ExistsExpression,
+    JoinRef,
+    Query,
+    ScalarSubquery,
+    SelectItem,
+    SelectQuery,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnionQuery,
+)
+
+__all__ = ["BoundQuery", "Binder", "SchemaProvider"]
+
+#: Callable that maps a (possibly dotted) table name to its schema, or None.
+SchemaProvider = Callable[[str], Optional[TableSchema]]
+
+
+@dataclass
+class BoundColumn:
+    """A column visible in some scope during binding."""
+
+    name: str
+    qualifier: Optional[str]
+
+
+@dataclass
+class BoundQuery:
+    """The result of binding a query: its output shape and referenced tables."""
+
+    column_names: List[str]
+    arity: int
+    referenced_tables: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.arity = len(self.column_names) if self.column_names else self.arity
+
+
+class _Scope:
+    """Columns visible to expressions of one SELECT block."""
+
+    def __init__(self, columns: List[BoundColumn], parent: Optional["_Scope"] = None) -> None:
+        self.columns = columns
+        self.parent = parent
+
+    def resolve(self, reference: ColumnRef) -> bool:
+        matches = [
+            column
+            for column in self.columns
+            if (reference.qualifier is None or column.qualifier == reference.qualifier)
+            and (reference.is_positional or column.name == reference.name)
+        ]
+        if reference.is_positional and reference.qualifier is not None:
+            qualified = [c for c in self.columns if c.qualifier == reference.qualifier]
+            if 1 <= reference.position <= len(qualified):
+                return True
+            if self.parent is not None:
+                return self.parent.resolve(reference)
+            return False
+        if len(matches) == 1:
+            return True
+        if len(matches) > 1 and reference.qualifier is None:
+            raise SQLBindingError(f"ambiguous column reference {reference.to_sql()!r}")
+        if matches:
+            return True
+        if self.parent is not None:
+            return self.parent.resolve(reference)
+        return False
+
+    def has_qualifier(self, qualifier: str) -> bool:
+        if any(column.qualifier == qualifier for column in self.columns):
+            return True
+        return self.parent.has_qualifier(qualifier) if self.parent else False
+
+
+class Binder:
+    """Binds queries against schema metadata."""
+
+    def __init__(self, schema_provider: SchemaProvider, strict_columns: bool = True) -> None:
+        self.schema_provider = schema_provider
+        self.strict_columns = strict_columns
+
+    # -- public API -------------------------------------------------------------
+
+    def bind(self, query: Query) -> BoundQuery:
+        return self._bind_query(query, parent_scope=None)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _bind_query(self, query: Query, parent_scope: Optional[_Scope]) -> BoundQuery:
+        if isinstance(query, UnionQuery):
+            left = self._bind_query(query.left, parent_scope)
+            right = self._bind_query(query.right, parent_scope)
+            if left.arity != right.arity:
+                raise SQLBindingError(
+                    f"UNION branches have different arities: {left.arity} vs {right.arity}"
+                )
+            return BoundQuery(
+                column_names=left.column_names,
+                arity=left.arity,
+                referenced_tables=left.referenced_tables | right.referenced_tables,
+            )
+        if isinstance(query, SelectQuery):
+            return self._bind_select(query, parent_scope)
+        raise SQLBindingError(f"cannot bind query node {type(query).__name__}")
+
+    def _bind_select(self, query: SelectQuery, parent_scope: Optional[_Scope]) -> BoundQuery:
+        columns: List[BoundColumn] = []
+        referenced: Set[str] = set()
+
+        def add_table(name: str, binding: str) -> None:
+            schema = self.schema_provider(name)
+            if schema is None:
+                raise SQLBindingError(f"unknown table {name!r}")
+            referenced.add(name)
+            for column_name in schema.column_names:
+                columns.append(BoundColumn(name=column_name, qualifier=binding))
+
+        def visit_from(item) -> None:
+            if isinstance(item, TableRef):
+                add_table(item.name, item.binding_name)
+            elif isinstance(item, SubqueryRef):
+                bound = self._bind_query(item.query, parent_scope)
+                referenced.update(bound.referenced_tables)
+                for column_name in bound.column_names:
+                    columns.append(BoundColumn(name=column_name, qualifier=item.alias))
+            elif isinstance(item, JoinRef):
+                visit_from(item.left)
+                visit_from(item.right)
+
+        for item in query.from_items:
+            visit_from(item)
+
+        # Implicit tables referenced only through qualifiers (activationTuple etc.).
+        bound_qualifiers = {column.qualifier for column in columns}
+        for expression in query.expressions():
+            for node in expression.walk():
+                if isinstance(node, ColumnRef) and node.qualifier is not None:
+                    qualifier = node.qualifier
+                    if qualifier in bound_qualifiers:
+                        continue
+                    if parent_scope is not None and parent_scope.has_qualifier(qualifier):
+                        continue
+                    schema = self.schema_provider(qualifier)
+                    if schema is not None:
+                        add_table(qualifier, qualifier)
+                        bound_qualifiers.add(qualifier)
+
+        scope = _Scope(columns, parent_scope)
+
+        for expression in query.expressions():
+            self._bind_expression(expression, scope, referenced)
+        if query.having is not None:
+            self._bind_expression(query.having, scope, referenced)
+
+        output_names = self._output_column_names(query, columns)
+        return BoundQuery(
+            column_names=output_names, arity=len(output_names), referenced_tables=referenced
+        )
+
+    def _bind_expression(self, expression: Expression, scope: _Scope, referenced: Set[str]) -> None:
+        for node in expression.walk():
+            if isinstance(node, ColumnRef):
+                if not scope.resolve(node) and self.strict_columns:
+                    raise SQLBindingError(f"cannot resolve column reference {node.to_sql()!r}")
+            elif isinstance(node, (InExpression, ExistsExpression, ScalarSubquery)):
+                subquery = (
+                    node.subquery if not isinstance(node, ScalarSubquery) else node.query
+                )
+                if subquery is not None:
+                    bound = self._bind_query(subquery, scope)
+                    referenced.update(bound.referenced_tables)
+
+    def _output_column_names(
+        self, query: SelectQuery, columns: List[BoundColumn]
+    ) -> List[str]:
+        names: List[str] = []
+        position = 0
+        for item in query.items:
+            if isinstance(item, Star):
+                names.extend(_star_expansion(columns, item.qualifier))
+                continue
+            if isinstance(item, SelectItem):
+                if item.alias:
+                    names.append(item.alias)
+                elif isinstance(item.expression, ColumnRef):
+                    names.append(item.expression.name)
+                elif isinstance(item.expression, FunctionCall):
+                    names.append(item.expression.name.lower())
+                else:
+                    names.append(f"col{position + 1}")
+            position += 1
+        return names
+
+
+def _star_expansion(columns: List[BoundColumn], qualifier: Optional[str]) -> List[str]:
+    """Column names produced by ``*`` / ``alias.*`` given the bound columns."""
+    return [
+        column.name
+        for column in columns
+        if qualifier is None or column.qualifier == qualifier
+    ]

@@ -1,0 +1,230 @@
+"""The SQL executor: the public entry point of the SQL engine.
+
+:class:`SQLExecutor` parses, plans and runs queries and DML statements
+against a :class:`~repro.relational.database.Catalog`.  Parsed ASTs and
+plans are cached per SQL text so the Hilda runtime, which re-evaluates the
+same activation and input queries on every reactivation, does not re-parse
+them each time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import SQLExecutionError, UnknownTableError
+from repro.relational.database import Catalog
+from repro.relational.functions import FunctionRegistry, default_registry
+from repro.sql.ast import (
+    DeleteStatement,
+    InsertStatement,
+    Query,
+    SelectQuery,
+    Statement,
+    UnionQuery,
+    UpdateStatement,
+)
+from repro.sql.evaluator import Evaluator, RowScope
+from repro.sql.operators import ExecutionContext, ExecutionStats, Operator
+from repro.sql.parser import parse_query, parse_statement
+from repro.sql.planner import Planner
+from repro.sql.relation import Relation
+
+__all__ = ["SQLExecutor"]
+
+QueryLike = Union[str, SelectQuery, UnionQuery]
+
+
+class SQLExecutor:
+    """Executes SQL against a catalog of tables.
+
+    Parameters
+    ----------
+    catalog:
+        Any object implementing the :class:`Catalog` protocol (a
+        :class:`~repro.relational.database.Database` or a layered catalog
+        built by the Hilda runtime).
+    functions:
+        Scalar function registry; defaults to the process-wide registry.
+    optimize:
+        When True (default) the planner builds hash joins for equality join
+        predicates; when False every join is a nested loop, which is what
+        the engine ablation benchmark compares against.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        functions: Optional[FunctionRegistry] = None,
+        optimize: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.functions = functions or default_registry()
+        self.optimize = optimize
+        self.stats = ExecutionStats()
+        self._ast_cache: Dict[str, Statement] = {}
+        self._plan_cache: Dict[int, Operator] = {}
+
+    # -- queries --------------------------------------------------------------
+
+    def execute_query(
+        self, query: QueryLike, outer_scope: Optional[RowScope] = None
+    ) -> Relation:
+        """Execute a SELECT/UNION query and return the result relation."""
+        ast = self._parse_query(query)
+        plan = self._plan(ast)
+        context = self._context()
+        return plan.execute(context, outer_scope)
+
+    def query_rows(self, query: QueryLike) -> List[Tuple[Any, ...]]:
+        """Execute a query and return its rows as tuples."""
+        return self.execute_query(query).as_tuples()
+
+    def query_dicts(self, query: QueryLike) -> List[Dict[str, Any]]:
+        """Execute a query and return its rows as dictionaries."""
+        return self.execute_query(query).as_dicts()
+
+    def query_scalar(self, query: QueryLike) -> Any:
+        """Execute a query and return the first column of its first row."""
+        return self.execute_query(query).scalar()
+
+    def explain(self, query: QueryLike) -> str:
+        """Render the physical plan chosen for a query."""
+        return self._plan(self._parse_query(query)).explain()
+
+    # -- statements -------------------------------------------------------------
+
+    def execute(self, statement: Union[str, Statement]) -> Union[Relation, int]:
+        """Execute any supported statement.
+
+        SELECT returns a :class:`Relation`; DML statements return the number
+        of affected rows.
+        """
+        ast = self._parse_statement(statement)
+        if isinstance(ast, (SelectQuery, UnionQuery)):
+            return self.execute_query(ast)
+        if isinstance(ast, InsertStatement):
+            return self._execute_insert(ast)
+        if isinstance(ast, DeleteStatement):
+            return self._execute_delete(ast)
+        if isinstance(ast, UpdateStatement):
+            return self._execute_update(ast)
+        raise SQLExecutionError(f"unsupported statement {type(ast).__name__}")
+
+    # -- DML ------------------------------------------------------------------------
+
+    def _execute_insert(self, statement: InsertStatement) -> int:
+        table = self.catalog.resolve_table(statement.table)
+        evaluator = self._bare_evaluator()
+        inserted = 0
+        if statement.query is not None:
+            relation = self.execute_query(statement.query)
+            rows = relation.as_tuples()
+        else:
+            rows = [
+                tuple(evaluator.evaluate(value, None) for value in row)
+                for row in statement.rows
+            ]
+        for row in rows:
+            if statement.columns:
+                mapping = dict(zip(statement.columns, row))
+                table.insert_mapping(mapping)
+            else:
+                table.insert(row)
+            inserted += 1
+        return inserted
+
+    def _execute_delete(self, statement: DeleteStatement) -> int:
+        table = self.catalog.resolve_table(statement.table)
+        if statement.where is None:
+            removed = len(table)
+            table.clear()
+            return removed
+        binding = statement.alias or statement.table
+        relation = Relation.from_table(table, binding)
+        evaluator = self._bare_evaluator()
+        keep = []
+        removed = 0
+        for row in table.rows:
+            scope = RowScope(relation, row, None)
+            if evaluator.evaluate_predicate(statement.where, scope):
+                removed += 1
+            else:
+                keep.append(row)
+        table.replace(keep)
+        return removed
+
+    def _execute_update(self, statement: UpdateStatement) -> int:
+        table = self.catalog.resolve_table(statement.table)
+        binding = statement.alias or statement.table
+        relation = Relation.from_table(table, binding)
+        evaluator = self._bare_evaluator()
+        positions = {
+            column: table.schema.column_position(column)
+            for column, _ in statement.assignments
+        }
+        updated = 0
+        new_rows = []
+        for row in table.rows:
+            scope = RowScope(relation, row, None)
+            if statement.where is None or evaluator.evaluate_predicate(statement.where, scope):
+                values = list(row)
+                for column, expression in statement.assignments:
+                    values[positions[column]] = evaluator.evaluate(expression, scope)
+                new_rows.append(tuple(values))
+                updated += 1
+            else:
+                new_rows.append(row)
+        table.replace(new_rows)
+        return updated
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _parse_query(self, query: QueryLike) -> Query:
+        if isinstance(query, str):
+            cached = self._ast_cache.get(query)
+            if cached is None:
+                cached = parse_query(query)
+                self._ast_cache[query] = cached
+            if not isinstance(cached, (SelectQuery, UnionQuery)):
+                raise SQLExecutionError("statement is not a query")
+            return cached
+        return query
+
+    def _parse_statement(self, statement: Union[str, Statement]) -> Statement:
+        if isinstance(statement, str):
+            cached = self._ast_cache.get(statement)
+            if cached is None:
+                cached = parse_statement(statement)
+                self._ast_cache[statement] = cached
+            return cached
+        return statement
+
+    def _plan(self, query: Query) -> Operator:
+        key = id(query)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = Planner(self.catalog, optimize=self.optimize).plan(query)
+            self._plan_cache[key] = plan
+        return plan
+
+    def _context(self) -> ExecutionContext:
+        return ExecutionContext(
+            catalog=self.catalog,
+            functions=self.functions,
+            subquery_executor=self._execute_subquery,
+            stats=self.stats,
+        )
+
+    def _execute_subquery(self, query: Query, outer_scope: Optional[RowScope]) -> Relation:
+        plan = self._plan(query)
+        context = self._context()
+        return plan.execute(context, outer_scope)
+
+    def _bare_evaluator(self) -> Evaluator:
+        return Evaluator(self.functions, self._execute_subquery)
+
+    def reset_stats(self) -> ExecutionStats:
+        """Replace and return the statistics accumulator (benchmark helper)."""
+        previous = self.stats
+        self.stats = ExecutionStats()
+        return previous

@@ -1,0 +1,164 @@
+"""Lexer for the SQL dialect used by Hilda programs.
+
+The dialect follows standard SQL with two accommodations for the paper's
+examples: string literals may be written with either single or double
+quotes (the paper writes ``"admin"``), and identifiers may be any mix of
+letters, digits and underscores.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SQLSyntaxError
+from repro.sql.tokens import KEYWORDS, Token, TokenType
+
+__all__ = ["tokenize"]
+
+_OPERATOR_STARTS = "=<>!+-*/%"
+_PUNCTUATION = "(),.;"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Convert SQL text into a list of tokens ending with an EOF token."""
+    tokens: List[Token] = []
+    position = 0
+    line = 1
+    column = 1
+    length = len(text)
+
+    def error(message: str) -> SQLSyntaxError:
+        return SQLSyntaxError(message, line, column)
+
+    while position < length:
+        char = text[position]
+
+        # Whitespace -------------------------------------------------------
+        if char in " \t\r":
+            position += 1
+            column += 1
+            continue
+        if char == "\n":
+            position += 1
+            line += 1
+            column = 1
+            continue
+
+        # Comments ---------------------------------------------------------
+        if char == "-" and text.startswith("--", position):
+            end = text.find("\n", position)
+            if end == -1:
+                position = length
+            else:
+                position = end
+            continue
+        if char == "/" and text.startswith("/*", position):
+            end = text.find("*/", position + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            skipped = text[position : end + 2]
+            line += skipped.count("\n")
+            position = end + 2
+            column = 1
+            continue
+
+        start_line, start_column = line, column
+
+        # String literals ----------------------------------------------------
+        if char in ("'", '"'):
+            value, consumed = _read_string(text, position, char)
+            if consumed == 0:
+                raise error("unterminated string literal")
+            tokens.append(Token(TokenType.STRING, value, start_line, start_column))
+            position += consumed
+            column += consumed
+            continue
+
+        # Numbers -------------------------------------------------------------
+        if char.isdigit():
+            number, consumed = _read_number(text, position)
+            tokens.append(Token(TokenType.NUMBER, number, start_line, start_column))
+            position += consumed
+            column += consumed
+            continue
+
+        # Identifiers / keywords ------------------------------------------------
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[position:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start_line, start_column))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start_line, start_column))
+            column += end - position
+            position = end
+            continue
+
+        # Operators -----------------------------------------------------------
+        if char in _OPERATOR_STARTS:
+            two = text[position : position + 2]
+            if two in ("<=", ">=", "<>", "!=", "=="):
+                tokens.append(Token(TokenType.OPERATOR, two, start_line, start_column))
+                position += 2
+                column += 2
+            else:
+                tokens.append(Token(TokenType.OPERATOR, char, start_line, start_column))
+                position += 1
+                column += 1
+            continue
+
+        # Punctuation -----------------------------------------------------------
+        if char in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCT, char, start_line, start_column))
+            position += 1
+            column += 1
+            continue
+
+        raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token(TokenType.EOF, None, line, column))
+    return tokens
+
+
+def _read_string(text: str, start: int, quote: str) -> tuple:
+    """Read a quoted string starting at ``start``; returns (value, chars consumed)."""
+    position = start + 1
+    length = len(text)
+    parts: List[str] = []
+    while position < length:
+        char = text[position]
+        if char == quote:
+            # Doubled quote is an escaped quote character.
+            if position + 1 < length and text[position + 1] == quote:
+                parts.append(quote)
+                position += 2
+                continue
+            return "".join(parts), position - start + 1
+        parts.append(char)
+        position += 1
+    return "", 0
+
+
+def _read_number(text: str, start: int) -> tuple:
+    """Read an integer or float literal; returns (value, chars consumed)."""
+    position = start
+    length = len(text)
+    while position < length and text[position].isdigit():
+        position += 1
+    is_float = False
+    if (
+        position < length
+        and text[position] == "."
+        and position + 1 < length
+        and text[position + 1].isdigit()
+    ):
+        is_float = True
+        position += 1
+        while position < length and text[position].isdigit():
+            position += 1
+    literal = text[start:position]
+    value = float(literal) if is_float else int(literal)
+    return value, position - start

@@ -1,0 +1,634 @@
+"""Physical operators for SQL execution.
+
+Operators form a tree; each node's :meth:`execute` produces a
+:class:`~repro.sql.relation.Relation`.  The operator set covers what Hilda
+programs need (scans, selections, projections, nested-loop / hash joins,
+left outer joins, unions, distinct, grouping/aggregation, sorting, limits)
+plus derived tables.
+
+Operators receive an :class:`ExecutionContext` that carries the catalog,
+function registry, evaluator and per-query statistics.  ``outer_scope`` is
+the row scope of an enclosing query for correlated subqueries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SQLExecutionError
+from repro.sql.ast import (
+    AGGREGATE_FUNCTIONS,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    OrderItem,
+    SelectItem,
+    Star,
+)
+from repro.sql.evaluator import Evaluator, RowScope
+from repro.sql.relation import ColumnInfo, Relation
+
+__all__ = [
+    "ExecutionContext",
+    "ExecutionStats",
+    "Operator",
+    "ScanOp",
+    "ValuesOp",
+    "FilterOp",
+    "ProjectOp",
+    "NestedLoopJoinOp",
+    "HashJoinOp",
+    "UnionOp",
+    "DistinctOp",
+    "SortOp",
+    "LimitOp",
+    "AggregateOp",
+    "SubqueryScanOp",
+]
+
+
+@dataclass
+class ExecutionStats:
+    """Counters collected while executing a query (used by benchmarks)."""
+
+    rows_scanned: int = 0
+    rows_joined: int = 0
+    join_probes: int = 0
+    operators_executed: int = 0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        self.rows_scanned += other.rows_scanned
+        self.rows_joined += other.rows_joined
+        self.join_probes += other.join_probes
+        self.operators_executed += other.operators_executed
+
+
+class ExecutionContext:
+    """Everything an operator needs to run."""
+
+    def __init__(self, catalog, functions, subquery_executor, stats: Optional[ExecutionStats] = None):
+        self.catalog = catalog
+        self.functions = functions
+        self.stats = stats or ExecutionStats()
+        self.evaluator = Evaluator(functions, subquery_executor)
+
+    def predicate(self, expression: Optional[Expression], scope: Optional[RowScope]) -> bool:
+        if expression is None:
+            return True
+        return self.evaluator.evaluate_predicate(expression, scope)
+
+
+class Operator:
+    """Base class for physical operators."""
+
+    def execute(self, context: ExecutionContext, outer_scope: Optional[RowScope]) -> Relation:
+        raise NotImplementedError
+
+    def children(self) -> Sequence["Operator"]:
+        return ()
+
+    def describe(self) -> str:
+        """One-line description used in EXPLAIN-style output."""
+        return type(self).__name__
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class ScanOp(Operator):
+    """Full scan of a base table under a binding name."""
+
+    table_name: str
+    binding_name: str
+
+    def execute(self, context: ExecutionContext, outer_scope: Optional[RowScope]) -> Relation:
+        context.stats.operators_executed += 1
+        table = context.catalog.resolve_table(self.table_name)
+        relation = Relation.from_table(table, self.binding_name)
+        context.stats.rows_scanned += len(relation.rows)
+        return relation
+
+    def describe(self) -> str:
+        alias = f" AS {self.binding_name}" if self.binding_name != self.table_name else ""
+        return f"Scan({self.table_name}{alias})"
+
+
+@dataclass
+class ValuesOp(Operator):
+    """A constant relation; with no columns and one row it models SELECT-without-FROM."""
+
+    columns: Tuple[ColumnInfo, ...] = ()
+    rows: Tuple[Tuple[Any, ...], ...] = ((),)
+
+    def execute(self, context: ExecutionContext, outer_scope: Optional[RowScope]) -> Relation:
+        context.stats.operators_executed += 1
+        return Relation(self.columns, list(self.rows))
+
+    def describe(self) -> str:
+        return f"Values({len(self.rows)} rows)"
+
+
+@dataclass
+class FilterOp(Operator):
+    """Select rows of the child satisfying a predicate."""
+
+    child: Operator
+    predicate: Expression
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def execute(self, context: ExecutionContext, outer_scope: Optional[RowScope]) -> Relation:
+        context.stats.operators_executed += 1
+        relation = self.child.execute(context, outer_scope)
+        kept = [
+            row
+            for row in relation.rows
+            if context.predicate(self.predicate, RowScope(relation, row, outer_scope))
+        ]
+        return Relation(relation.columns, kept)
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate.to_sql()})"
+
+
+@dataclass
+class ProjectOp(Operator):
+    """Compute the output columns of a SELECT list."""
+
+    child: Operator
+    items: Tuple[Union[SelectItem, Star], ...]
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def execute(self, context: ExecutionContext, outer_scope: Optional[RowScope]) -> Relation:
+        context.stats.operators_executed += 1
+        relation = self.child.execute(context, outer_scope)
+        columns, extractors = _projection_plan(self.items, relation)
+        rows = []
+        for row in relation.rows:
+            scope = RowScope(relation, row, outer_scope)
+            rows.append(tuple(extract(context, scope, row) for extract in extractors))
+        return Relation(columns, rows)
+
+    def describe(self) -> str:
+        return "Project(" + ", ".join(item.to_sql() for item in self.items) + ")"
+
+
+def _projection_plan(
+    items: Sequence[Union[SelectItem, Star]], relation: Relation
+) -> Tuple[List[ColumnInfo], List[Callable]]:
+    """Expand stars and build per-output-column extraction callables."""
+    columns: List[ColumnInfo] = []
+    extractors: List[Callable] = []
+
+    def add_passthrough(index: int, column: ColumnInfo) -> None:
+        columns.append(column)
+        extractors.append(lambda context, scope, row, i=index: row[i])
+
+    position = 0
+    for item in items:
+        if isinstance(item, Star):
+            if item.qualifier is None:
+                indices = range(len(relation.columns))
+            else:
+                indices = relation.qualifier_columns(item.qualifier)
+                if not indices:
+                    raise SQLExecutionError(
+                        f"unknown table alias {item.qualifier!r} in select list"
+                    )
+            for index in indices:
+                source = relation.columns[index]
+                add_passthrough(index, ColumnInfo(name=source.name, qualifier=None))
+            continue
+        expression = item.expression
+        name = item.alias or _default_column_name(expression, position)
+        columns.append(ColumnInfo(name=name, qualifier=None))
+        extractors.append(
+            lambda context, scope, row, expr=expression: context.evaluator.evaluate(expr, scope)
+        )
+        position += 1
+    return columns, extractors
+
+
+def _default_column_name(expression: Expression, position: int) -> str:
+    if isinstance(expression, ColumnRef):
+        return expression.name
+    if isinstance(expression, FunctionCall):
+        return expression.name.lower()
+    return f"col{position + 1}"
+
+
+@dataclass
+class NestedLoopJoinOp(Operator):
+    """Nested-loop join supporting CROSS, INNER and LEFT outer joins."""
+
+    left: Operator
+    right: Operator
+    join_type: str = "CROSS"  # CROSS | INNER | LEFT
+    condition: Optional[Expression] = None
+
+    def children(self) -> Sequence[Operator]:
+        return (self.left, self.right)
+
+    def execute(self, context: ExecutionContext, outer_scope: Optional[RowScope]) -> Relation:
+        context.stats.operators_executed += 1
+        left_relation = self.left.execute(context, outer_scope)
+        right_relation = self.right.execute(context, outer_scope)
+        columns = tuple(left_relation.columns) + tuple(right_relation.columns)
+        combined = Relation(columns, [])
+        null_right = (None,) * right_relation.arity
+        rows: List[Tuple[Any, ...]] = []
+        for left_row in left_relation.rows:
+            matched = False
+            for right_row in right_relation.rows:
+                context.stats.join_probes += 1
+                candidate = left_row + right_row
+                scope = RowScope(combined, candidate, outer_scope)
+                if self.join_type == "CROSS" or context.predicate(self.condition, scope):
+                    rows.append(candidate)
+                    matched = True
+            if self.join_type == "LEFT" and not matched:
+                rows.append(left_row + null_right)
+        context.stats.rows_joined += len(rows)
+        return Relation(columns, rows)
+
+    def describe(self) -> str:
+        condition = f" ON {self.condition.to_sql()}" if self.condition else ""
+        return f"NestedLoopJoin[{self.join_type}]{condition}"
+
+
+@dataclass
+class HashJoinOp(Operator):
+    """Equi-join using a hash table built on the right input.
+
+    ``left_keys`` / ``right_keys`` are expressions evaluated against the left
+    and right inputs respectively; ``residual`` is an optional extra
+    predicate applied to joined rows.
+    """
+
+    left: Operator
+    right: Operator
+    left_keys: Tuple[Expression, ...]
+    right_keys: Tuple[Expression, ...]
+    join_type: str = "INNER"  # INNER | LEFT
+    residual: Optional[Expression] = None
+
+    def children(self) -> Sequence[Operator]:
+        return (self.left, self.right)
+
+    def execute(self, context: ExecutionContext, outer_scope: Optional[RowScope]) -> Relation:
+        context.stats.operators_executed += 1
+        left_relation = self.left.execute(context, outer_scope)
+        right_relation = self.right.execute(context, outer_scope)
+        columns = tuple(left_relation.columns) + tuple(right_relation.columns)
+        combined = Relation(columns, [])
+        null_right = (None,) * right_relation.arity
+
+        # Build phase over the right input.
+        build: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+        for right_row in right_relation.rows:
+            scope = RowScope(right_relation, right_row, outer_scope)
+            key = tuple(context.evaluator.evaluate(expr, scope) for expr in self.right_keys)
+            if any(value is None for value in key):
+                continue
+            build.setdefault(key, []).append(right_row)
+
+        rows: List[Tuple[Any, ...]] = []
+        for left_row in left_relation.rows:
+            scope = RowScope(left_relation, left_row, outer_scope)
+            key = tuple(context.evaluator.evaluate(expr, scope) for expr in self.left_keys)
+            matches = [] if any(value is None for value in key) else build.get(key, [])
+            matched = False
+            for right_row in matches:
+                context.stats.join_probes += 1
+                candidate = left_row + right_row
+                joined_scope = RowScope(combined, candidate, outer_scope)
+                if context.predicate(self.residual, joined_scope):
+                    rows.append(candidate)
+                    matched = True
+            if self.join_type == "LEFT" and not matched:
+                rows.append(left_row + null_right)
+        context.stats.rows_joined += len(rows)
+        return Relation(columns, rows)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{l.to_sql()}={r.to_sql()}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        return f"HashJoin[{self.join_type}]({keys})"
+
+
+@dataclass
+class UnionOp(Operator):
+    """UNION / UNION ALL of two inputs; plain UNION removes duplicates."""
+
+    left: Operator
+    right: Operator
+    all: bool = False
+
+    def children(self) -> Sequence[Operator]:
+        return (self.left, self.right)
+
+    def execute(self, context: ExecutionContext, outer_scope: Optional[RowScope]) -> Relation:
+        context.stats.operators_executed += 1
+        left_relation = self.left.execute(context, outer_scope)
+        right_relation = self.right.execute(context, outer_scope)
+        if left_relation.arity != right_relation.arity:
+            raise SQLExecutionError(
+                "UNION branches have different arities: "
+                f"{left_relation.arity} vs {right_relation.arity}"
+            )
+        rows = list(left_relation.rows) + list(right_relation.rows)
+        if not self.all:
+            rows = _dedupe(rows)
+        return Relation(left_relation.columns, rows)
+
+    def describe(self) -> str:
+        return "UnionAll" if self.all else "Union"
+
+
+@dataclass
+class DistinctOp(Operator):
+    """Remove duplicate rows."""
+
+    child: Operator
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def execute(self, context: ExecutionContext, outer_scope: Optional[RowScope]) -> Relation:
+        context.stats.operators_executed += 1
+        relation = self.child.execute(context, outer_scope)
+        return Relation(relation.columns, _dedupe(relation.rows))
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+@dataclass
+class SortOp(Operator):
+    """ORDER BY implementation (stable sort, NULLs last for ascending)."""
+
+    child: Operator
+    order_by: Tuple[OrderItem, ...]
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def execute(self, context: ExecutionContext, outer_scope: Optional[RowScope]) -> Relation:
+        context.stats.operators_executed += 1
+        relation = self.child.execute(context, outer_scope)
+        rows = list(relation.rows)
+        # Apply sort keys from the last to the first to keep stability.
+        for item in reversed(self.order_by):
+            def sort_key(row, expr=item.expression):
+                scope = RowScope(relation, row, outer_scope)
+                value = context.evaluator.evaluate(expr, scope)
+                return (value is None, _orderable(value))
+
+            rows.sort(key=sort_key, reverse=item.descending)
+        return Relation(relation.columns, rows)
+
+    def describe(self) -> str:
+        return "Sort(" + ", ".join(item.to_sql() for item in self.order_by) + ")"
+
+
+@dataclass
+class LimitOp(Operator):
+    """Keep at most ``limit`` rows."""
+
+    child: Operator
+    limit: int
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def execute(self, context: ExecutionContext, outer_scope: Optional[RowScope]) -> Relation:
+        context.stats.operators_executed += 1
+        relation = self.child.execute(context, outer_scope)
+        return Relation(relation.columns, relation.rows[: self.limit])
+
+    def describe(self) -> str:
+        return f"Limit({self.limit})"
+
+
+@dataclass
+class AggregateOp(Operator):
+    """GROUP BY + aggregate evaluation.
+
+    Each select item is evaluated once per group: aggregate function calls
+    are computed over the group's rows, other expressions over the group's
+    first row (which is well-defined for grouping columns).
+    """
+
+    child: Operator
+    group_by: Tuple[Expression, ...]
+    items: Tuple[SelectItem, ...]
+    having: Optional[Expression] = None
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def execute(self, context: ExecutionContext, outer_scope: Optional[RowScope]) -> Relation:
+        context.stats.operators_executed += 1
+        relation = self.child.execute(context, outer_scope)
+
+        groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+        if self.group_by:
+            for row in relation.rows:
+                scope = RowScope(relation, row, outer_scope)
+                key = tuple(
+                    _hashable(context.evaluator.evaluate(expr, scope)) for expr in self.group_by
+                )
+                groups.setdefault(key, []).append(row)
+        else:
+            # A global aggregate always produces exactly one group, possibly empty.
+            groups[()] = list(relation.rows)
+
+        columns = [
+            ColumnInfo(name=item.alias or _default_column_name(item.expression, index))
+            for index, item in enumerate(self.items)
+        ]
+        output_rows: List[Tuple[Any, ...]] = []
+        for key, group_rows in groups.items():
+            if self.having is not None:
+                value = _evaluate_aggregate_expression(
+                    context, self.having, relation, group_rows, outer_scope
+                )
+                if value is not True:
+                    continue
+            output_rows.append(
+                tuple(
+                    _evaluate_aggregate_expression(
+                        context, item.expression, relation, group_rows, outer_scope
+                    )
+                    for item in self.items
+                )
+            )
+        return Relation(columns, output_rows)
+
+    def describe(self) -> str:
+        by = ", ".join(expr.to_sql() for expr in self.group_by)
+        return f"Aggregate(group by {by})" if by else "Aggregate(global)"
+
+
+@dataclass
+class SubqueryScanOp(Operator):
+    """A derived table: execute a planned subquery and re-qualify its columns."""
+
+    plan: Operator
+    binding_name: str
+
+    def children(self) -> Sequence[Operator]:
+        return (self.plan,)
+
+    def execute(self, context: ExecutionContext, outer_scope: Optional[RowScope]) -> Relation:
+        context.stats.operators_executed += 1
+        relation = self.plan.execute(context, outer_scope)
+        columns = [
+            ColumnInfo(name=column.name, qualifier=self.binding_name)
+            for column in relation.columns
+        ]
+        return Relation(columns, relation.rows)
+
+    def describe(self) -> str:
+        return f"SubqueryScan({self.binding_name})"
+
+
+# ---------------------------------------------------------------------------
+# Aggregate expression evaluation
+# ---------------------------------------------------------------------------
+
+
+def _evaluate_aggregate_expression(
+    context: ExecutionContext,
+    expression: Expression,
+    relation: Relation,
+    group_rows: List[Tuple[Any, ...]],
+    outer_scope: Optional[RowScope],
+) -> Any:
+    """Evaluate an expression in grouping context."""
+    if isinstance(expression, FunctionCall) and expression.is_aggregate:
+        return _compute_aggregate(context, expression, relation, group_rows, outer_scope)
+    if isinstance(expression, (ColumnRef, Star)) or not _contains_aggregate(expression):
+        if not group_rows:
+            return None
+        scope = RowScope(relation, group_rows[0], outer_scope)
+        return context.evaluator.evaluate(expression, scope)
+    # Composite expression containing aggregates, e.g. SUM(x) / COUNT(x).
+    if isinstance(expression, FunctionCall):
+        arguments = [
+            _evaluate_aggregate_expression(context, arg, relation, group_rows, outer_scope)
+            for arg in expression.arguments
+        ]
+        return context.functions.call(expression.name, arguments)
+    from repro.sql.ast import BinaryOp as _BinaryOp
+    from repro.sql.ast import UnaryOp as _UnaryOp
+
+    if isinstance(expression, _BinaryOp):
+        left = _evaluate_aggregate_expression(
+            context, expression.left, relation, group_rows, outer_scope
+        )
+        right = _evaluate_aggregate_expression(
+            context, expression.right, relation, group_rows, outer_scope
+        )
+        from repro.sql.ast import Literal as _Literal
+
+        rewritten = _BinaryOp(expression.operator, _Literal(left), _Literal(right))
+        return context.evaluator.evaluate(rewritten, None)
+    if isinstance(expression, _UnaryOp):
+        operand = _evaluate_aggregate_expression(
+            context, expression.operand, relation, group_rows, outer_scope
+        )
+        from repro.sql.ast import Literal as _Literal
+
+        rewritten = _UnaryOp(expression.operator, _Literal(operand))
+        return context.evaluator.evaluate(rewritten, None)
+    raise SQLExecutionError(
+        f"unsupported aggregate expression: {expression.to_sql()}"
+    )
+
+
+def _compute_aggregate(
+    context: ExecutionContext,
+    call: FunctionCall,
+    relation: Relation,
+    group_rows: List[Tuple[Any, ...]],
+    outer_scope: Optional[RowScope],
+) -> Any:
+    name = call.name.lower()
+    argument = call.arguments[0] if call.arguments else Star()
+    values: List[Any] = []
+    for row in group_rows:
+        scope = RowScope(relation, row, outer_scope)
+        values.append(context.evaluator.evaluate(argument, scope))
+    if isinstance(argument, Star):
+        non_null = values
+    else:
+        non_null = [value for value in values if value is not None]
+    if call.distinct:
+        non_null = _dedupe_values(non_null)
+    if name == "count":
+        return len(non_null)
+    if not non_null:
+        return None
+    if name == "sum":
+        return sum(non_null)
+    if name == "avg":
+        return sum(non_null) / len(non_null)
+    if name == "min":
+        return min(non_null)
+    if name == "max":
+        return max(non_null)
+    raise SQLExecutionError(f"unknown aggregate function {call.name!r}")  # pragma: no cover
+
+
+def _contains_aggregate(expression: Expression) -> bool:
+    return any(
+        isinstance(node, FunctionCall) and node.is_aggregate for node in expression.walk()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Small helpers
+# ---------------------------------------------------------------------------
+
+
+def _hashable(value: Any) -> Any:
+    return value
+
+
+def _dedupe(rows: List[Tuple[Any, ...]]) -> List[Tuple[Any, ...]]:
+    seen = set()
+    unique: List[Tuple[Any, ...]] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            unique.append(row)
+    return unique
+
+
+def _dedupe_values(values: List[Any]) -> List[Any]:
+    seen = set()
+    unique: List[Any] = []
+    for value in values:
+        if value not in seen:
+            seen.add(value)
+            unique.append(value)
+    return unique
+
+
+def _orderable(value: Any) -> Any:
+    """A sort key usable across the value types the substrate stores."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return int(value)
+    return value

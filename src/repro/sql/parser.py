@@ -1,0 +1,622 @@
+"""Recursive-descent parser for the SQL dialect.
+
+Entry points:
+
+* :func:`parse_query` — a SELECT (possibly with UNIONs); what Hilda queries,
+  activation queries, conditions and assignments contain.
+* :func:`parse_statement` — additionally accepts INSERT/DELETE/UPDATE, which
+  the hand-coded baseline application and the web substrate use.
+
+Two accommodations are made for names that appear in the paper's programs:
+
+* table names may be dotted (``CourseAdmin.in.assign``, ``SelectRow.output``,
+  ``in.problem``) and may contain the keywords ``IN`` and ``GROUP`` as path
+  segments (MiniCMS has a table called ``group``);
+* column references may be positional (``O.1`` is the first column of ``O``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import SQLSyntaxError
+from repro.sql.ast import (
+    BetweenExpression,
+    BinaryOp,
+    CaseExpression,
+    ColumnRef,
+    DeleteStatement,
+    ExistsExpression,
+    Expression,
+    FunctionCall,
+    InExpression,
+    InsertStatement,
+    IsNullExpression,
+    JoinRef,
+    LikeExpression,
+    Literal,
+    OrderItem,
+    Query,
+    ScalarSubquery,
+    SelectItem,
+    SelectQuery,
+    Star,
+    Statement,
+    SubqueryRef,
+    TableRef,
+    UnionQuery,
+    UpdateStatement,
+)
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenType
+
+__all__ = ["parse_query", "parse_statement", "parse_expression", "Parser"]
+
+#: Keywords allowed to appear as a path segment of a table name.
+_NAME_KEYWORDS = {"IN", "GROUP", "ALL", "LEFT", "RIGHT", "SET", "VALUES"}
+
+
+def parse_query(text: str) -> Query:
+    """Parse a SELECT/UNION query and require that all input is consumed."""
+    parser = Parser(text)
+    query = parser.parse_query()
+    parser.expect_eof()
+    return query
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse a single SQL statement (SELECT, INSERT, DELETE or UPDATE)."""
+    parser = Parser(text)
+    statement = parser.parse_statement()
+    parser.expect_eof()
+    return statement
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone expression (used by tests and by the compiler)."""
+    parser = Parser(text)
+    expression = parser.parse_expr()
+    parser.expect_eof()
+    return expression
+
+
+class Parser:
+    """A hand-written recursive-descent SQL parser."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type != TokenType.EOF:
+            self.position += 1
+        return token
+
+    def error(self, message: str) -> SQLSyntaxError:
+        token = self.current
+        return SQLSyntaxError(message, token.line, token.column)
+
+    def match_keyword(self, *names: str) -> bool:
+        if self.current.is_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, name: str) -> Token:
+        if not self.current.is_keyword(name):
+            raise self.error(f"expected {name}, found {self.current.value!r}")
+        return self.advance()
+
+    def match_punct(self, symbol: str) -> bool:
+        if self.current.type == TokenType.PUNCT and self.current.value == symbol:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, symbol: str) -> Token:
+        if self.current.type != TokenType.PUNCT or self.current.value != symbol:
+            raise self.error(f"expected {symbol!r}, found {self.current.value!r}")
+        return self.advance()
+
+    def match_operator(self, *symbols: str) -> Optional[str]:
+        if self.current.type == TokenType.OPERATOR and self.current.value in symbols:
+            return self.advance().value
+        return None
+
+    def expect_eof(self) -> None:
+        # A trailing semicolon is tolerated.
+        self.match_punct(";")
+        if self.current.type != TokenType.EOF:
+            raise self.error(f"unexpected trailing input: {self.current.value!r}")
+
+    # -- statements --------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        if self.current.is_keyword("SELECT"):
+            return self.parse_query()
+        if self.current.is_keyword("INSERT"):
+            return self.parse_insert()
+        if self.current.is_keyword("DELETE"):
+            return self.parse_delete()
+        if self.current.is_keyword("UPDATE"):
+            return self.parse_update()
+        raise self.error(f"expected a SQL statement, found {self.current.value!r}")
+
+    def parse_insert(self) -> InsertStatement:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.parse_table_name()
+        columns: Tuple[str, ...] = ()
+        if self.match_punct("("):
+            names = [self.parse_identifier()]
+            while self.match_punct(","):
+                names.append(self.parse_identifier())
+            self.expect_punct(")")
+            columns = tuple(names)
+        if self.current.is_keyword("SELECT"):
+            return InsertStatement(table=table, columns=columns, query=self.parse_query())
+        self.expect_keyword("VALUES")
+        rows: List[Tuple[Expression, ...]] = []
+        while True:
+            self.expect_punct("(")
+            values = [self.parse_expr()]
+            while self.match_punct(","):
+                values.append(self.parse_expr())
+            self.expect_punct(")")
+            rows.append(tuple(values))
+            if not self.match_punct(","):
+                break
+        return InsertStatement(table=table, columns=columns, rows=tuple(rows))
+
+    def parse_delete(self) -> DeleteStatement:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.parse_table_name()
+        alias = self.parse_optional_alias()
+        where = self.parse_expr() if self.match_keyword("WHERE") else None
+        return DeleteStatement(table=table, alias=alias, where=where)
+
+    def parse_update(self) -> UpdateStatement:
+        self.expect_keyword("UPDATE")
+        table = self.parse_table_name()
+        alias = self.parse_optional_alias()
+        self.expect_keyword("SET")
+        assignments: List[Tuple[str, Expression]] = []
+        while True:
+            column = self.parse_identifier()
+            operator = self.match_operator("=")
+            if operator is None:
+                raise self.error("expected '=' in UPDATE assignment")
+            assignments.append((column, self.parse_expr()))
+            if not self.match_punct(","):
+                break
+        where = self.parse_expr() if self.match_keyword("WHERE") else None
+        return UpdateStatement(
+            table=table, assignments=tuple(assignments), alias=alias, where=where
+        )
+
+    # -- queries --------------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        query: Query = self.parse_select()
+        while self.current.is_keyword("UNION"):
+            self.advance()
+            all_rows = self.match_keyword("ALL")
+            right = self.parse_select()
+            query = UnionQuery(left=query, right=right, all=all_rows)
+        return query
+
+    def parse_select(self) -> SelectQuery:
+        if self.match_punct("("):
+            # Parenthesized SELECT used as a UNION branch.
+            inner = self.parse_query()
+            self.expect_punct(")")
+            if isinstance(inner, SelectQuery):
+                return inner
+            raise self.error("nested UNION must not be parenthesized in this dialect")
+        self.expect_keyword("SELECT")
+        distinct = self.match_keyword("DISTINCT")
+        self.match_keyword("ALL")
+        items = self.parse_select_list()
+        from_items: Tuple = ()
+        if self.match_keyword("FROM"):
+            from_items = self.parse_from_list()
+        where = self.parse_expr() if self.match_keyword("WHERE") else None
+        group_by: Tuple[Expression, ...] = ()
+        if self.current.is_keyword("GROUP") and self.peek().is_keyword("BY"):
+            self.advance()
+            self.advance()
+            expressions = [self.parse_expr()]
+            while self.match_punct(","):
+                expressions.append(self.parse_expr())
+            group_by = tuple(expressions)
+        having = self.parse_expr() if self.match_keyword("HAVING") else None
+        order_by: Tuple[OrderItem, ...] = ()
+        if self.current.is_keyword("ORDER") and self.peek().is_keyword("BY"):
+            self.advance()
+            self.advance()
+            orders = [self.parse_order_item()]
+            while self.match_punct(","):
+                orders.append(self.parse_order_item())
+            order_by = tuple(orders)
+        limit: Optional[int] = None
+        if self.match_keyword("LIMIT"):
+            token = self.current
+            if token.type != TokenType.NUMBER:
+                raise self.error("LIMIT expects a number")
+            self.advance()
+            limit = int(token.value)
+        return SelectQuery(
+            items=items,
+            from_items=from_items,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def parse_order_item(self) -> OrderItem:
+        expression = self.parse_expr()
+        descending = False
+        if self.match_keyword("DESC"):
+            descending = True
+        else:
+            self.match_keyword("ASC")
+        return OrderItem(expression=expression, descending=descending)
+
+    def parse_select_list(self) -> Tuple[Union[SelectItem, Star], ...]:
+        items: List[Union[SelectItem, Star]] = [self.parse_select_item()]
+        while self.match_punct(","):
+            items.append(self.parse_select_item())
+        return tuple(items)
+
+    def parse_select_item(self) -> Union[SelectItem, Star]:
+        if self.current.type == TokenType.OPERATOR and self.current.value == "*":
+            self.advance()
+            return Star()
+        # alias.* (possibly with a dotted alias)
+        checkpoint = self.position
+        if self.current.type in (TokenType.IDENT, TokenType.KEYWORD):
+            qualifier = self._try_parse_star_qualifier()
+            if qualifier is not None:
+                return Star(qualifier=qualifier)
+            self.position = checkpoint
+        expression = self.parse_expr()
+        alias = None
+        if self.match_keyword("AS"):
+            alias = self.parse_identifier()
+        elif self.current.type == TokenType.IDENT:
+            alias = self.advance().value
+        return SelectItem(expression=expression, alias=alias)
+
+    def _try_parse_star_qualifier(self) -> Optional[str]:
+        """Parse ``name(.name)*.*`` and return the qualifier, or None."""
+        parts: List[str] = []
+        while True:
+            token = self.current
+            if token.type == TokenType.IDENT or (
+                token.type == TokenType.KEYWORD and token.value in _NAME_KEYWORDS
+            ):
+                parts.append(str(token.value) if token.type == TokenType.IDENT else token.value.lower())
+                self.advance()
+            else:
+                return None
+            if not self.match_punct("."):
+                return None
+            if self.current.type == TokenType.OPERATOR and self.current.value == "*":
+                self.advance()
+                return ".".join(parts)
+
+    # -- FROM clause -------------------------------------------------------------------
+
+    def parse_from_list(self) -> Tuple:
+        items = [self.parse_join_chain()]
+        while self.match_punct(","):
+            items.append(self.parse_join_chain())
+        return tuple(items)
+
+    def parse_join_chain(self):
+        left = self.parse_table_factor()
+        while True:
+            if self.current.is_keyword("CROSS") and self.peek().is_keyword("JOIN"):
+                self.advance()
+                self.advance()
+                right = self.parse_table_factor()
+                left = JoinRef(left=left, right=right, join_type="CROSS")
+                continue
+            join_type = None
+            if self.current.is_keyword("LEFT"):
+                # LEFT [OUTER] JOIN
+                if self.peek().is_keyword("OUTER") and self.peek(2).is_keyword("JOIN"):
+                    self.advance()
+                    self.advance()
+                    self.advance()
+                    join_type = "LEFT"
+                elif self.peek().is_keyword("JOIN"):
+                    self.advance()
+                    self.advance()
+                    join_type = "LEFT"
+            elif self.current.is_keyword("INNER") and self.peek().is_keyword("JOIN"):
+                self.advance()
+                self.advance()
+                join_type = "INNER"
+            elif self.current.is_keyword("JOIN"):
+                self.advance()
+                join_type = "INNER"
+            if join_type is None:
+                return left
+            right = self.parse_table_factor()
+            condition = None
+            if self.match_keyword("ON"):
+                condition = self.parse_expr()
+            left = JoinRef(left=left, right=right, join_type=join_type, condition=condition)
+
+    def parse_table_factor(self):
+        if self.match_punct("("):
+            query = self.parse_query()
+            self.expect_punct(")")
+            alias = self.parse_optional_alias()
+            if alias is None:
+                raise self.error("derived table requires an alias")
+            return SubqueryRef(query=query, alias=alias)
+        name = self.parse_table_name()
+        alias = self.parse_optional_alias()
+        return TableRef(name=name, alias=alias)
+
+    def parse_optional_alias(self) -> Optional[str]:
+        if self.match_keyword("AS"):
+            return self.parse_identifier()
+        if self.current.type == TokenType.IDENT:
+            return self.advance().value
+        return None
+
+    def parse_table_name(self) -> str:
+        """A dotted table name; keywords IN/GROUP etc. allowed as segments."""
+        parts = [self.parse_name_part()]
+        while (
+            self.current.type == TokenType.PUNCT
+            and self.current.value == "."
+            and self._next_is_name_part()
+        ):
+            self.advance()
+            parts.append(self.parse_name_part())
+        return ".".join(parts)
+
+    def _next_is_name_part(self) -> bool:
+        token = self.peek()
+        return token.type == TokenType.IDENT or (
+            token.type == TokenType.KEYWORD and token.value in _NAME_KEYWORDS
+        )
+
+    def parse_name_part(self) -> str:
+        token = self.current
+        if token.type == TokenType.IDENT:
+            self.advance()
+            return token.value
+        if token.type == TokenType.KEYWORD and token.value in _NAME_KEYWORDS:
+            self.advance()
+            return token.value.lower()
+        raise self.error(f"expected a name, found {token.value!r}")
+
+    def parse_identifier(self) -> str:
+        token = self.current
+        if token.type != TokenType.IDENT:
+            raise self.error(f"expected an identifier, found {token.value!r}")
+        self.advance()
+        return token.value
+
+    # -- expressions --------------------------------------------------------------------
+
+    def parse_expr(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        left = self.parse_and()
+        while self.match_keyword("OR"):
+            right = self.parse_and()
+            left = BinaryOp("OR", left, right)
+        return left
+
+    def parse_and(self) -> Expression:
+        left = self.parse_not()
+        while self.match_keyword("AND"):
+            right = self.parse_not()
+            left = BinaryOp("AND", left, right)
+        return left
+
+    def parse_not(self) -> Expression:
+        if self.match_keyword("NOT"):
+            return UnaryNot(self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expression:
+        if self.current.is_keyword("EXISTS"):
+            self.advance()
+            self.expect_punct("(")
+            query = self.parse_query()
+            self.expect_punct(")")
+            return ExistsExpression(subquery=query)
+        left = self.parse_additive()
+        return self.parse_predicate_tail(left)
+
+    def parse_predicate_tail(self, left: Expression) -> Expression:
+        negated = False
+        if self.current.is_keyword("NOT") and self.peek().is_keyword("IN", "BETWEEN", "LIKE"):
+            self.advance()
+            negated = True
+        if self.match_keyword("IN"):
+            self.expect_punct("(")
+            if self.current.is_keyword("SELECT"):
+                subquery = self.parse_query()
+                self.expect_punct(")")
+                return InExpression(operand=left, subquery=subquery, negated=negated)
+            values = [self.parse_expr()]
+            while self.match_punct(","):
+                values.append(self.parse_expr())
+            self.expect_punct(")")
+            return InExpression(operand=left, values=tuple(values), negated=negated)
+        if self.match_keyword("BETWEEN"):
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return BetweenExpression(operand=left, low=low, high=high, negated=negated)
+        if self.match_keyword("LIKE"):
+            pattern = self.parse_additive()
+            return LikeExpression(operand=left, pattern=pattern, negated=negated)
+        if self.match_keyword("IS"):
+            is_negated = self.match_keyword("NOT")
+            self.expect_keyword("NULL")
+            return IsNullExpression(operand=left, negated=is_negated)
+        operator = self.match_operator("=", "==", "<>", "!=", "<", "<=", ">", ">=")
+        if operator is not None:
+            normalized = {"==": "=", "!=": "<>"}.get(operator, operator)
+            right = self.parse_additive()
+            return BinaryOp(normalized, left, right)
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while True:
+            operator = self.match_operator("+", "-")
+            if operator is None:
+                return left
+            right = self.parse_multiplicative()
+            left = BinaryOp(operator, left, right)
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_unary()
+        while True:
+            operator = self.match_operator("*", "/", "%")
+            if operator is None:
+                return left
+            right = self.parse_unary()
+            left = BinaryOp(operator, left, right)
+
+    def parse_unary(self) -> Expression:
+        operator = self.match_operator("-", "+")
+        if operator == "-":
+            return UnaryNeg(self.parse_unary())
+        if operator == "+":
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        token = self.current
+
+        if token.type == TokenType.NUMBER:
+            self.advance()
+            return Literal(token.value)
+        if token.type == TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.is_keyword("CASE"):
+            return self.parse_case()
+        if self.match_punct("("):
+            if self.current.is_keyword("SELECT"):
+                query = self.parse_query()
+                self.expect_punct(")")
+                return ScalarSubquery(query=query)
+            expression = self.parse_expr()
+            self.expect_punct(")")
+            return expression
+
+        if token.type in (TokenType.IDENT, TokenType.KEYWORD):
+            return self.parse_name_expression()
+
+        raise self.error(f"unexpected token {token.value!r} in expression")
+
+    def parse_case(self) -> Expression:
+        self.expect_keyword("CASE")
+        whens: List[Tuple[Expression, Expression]] = []
+        while self.match_keyword("WHEN"):
+            condition = self.parse_expr()
+            self.expect_keyword("THEN")
+            value = self.parse_expr()
+            whens.append((condition, value))
+        default = None
+        if self.match_keyword("ELSE"):
+            default = self.parse_expr()
+        self.expect_keyword("END")
+        if not whens:
+            raise self.error("CASE requires at least one WHEN branch")
+        return CaseExpression(whens=tuple(whens), default=default)
+
+    def parse_name_expression(self) -> Expression:
+        """Parse a column reference or a function call starting at a name."""
+        token = self.current
+        if token.type == TokenType.KEYWORD and token.value not in _NAME_KEYWORDS:
+            raise self.error(f"unexpected keyword {token.value!r} in expression")
+        first = self.parse_name_part()
+
+        # Function call: name immediately followed by '('.
+        if self.current.type == TokenType.PUNCT and self.current.value == "(":
+            self.advance()
+            if self.current.type == TokenType.OPERATOR and self.current.value == "*":
+                self.advance()
+                self.expect_punct(")")
+                return FunctionCall(name=first, arguments=(Star(),))
+            distinct = self.match_keyword("DISTINCT")
+            arguments: List[Expression] = []
+            if not (self.current.type == TokenType.PUNCT and self.current.value == ")"):
+                arguments.append(self.parse_expr())
+                while self.match_punct(","):
+                    arguments.append(self.parse_expr())
+            self.expect_punct(")")
+            return FunctionCall(name=first, arguments=tuple(arguments), distinct=distinct)
+
+        # Dotted column reference: qualifier(.part)*.column, column may be a number.
+        parts = [first]
+        while self.current.type == TokenType.PUNCT and self.current.value == ".":
+            next_token = self.peek()
+            if next_token.type == TokenType.NUMBER:
+                self.advance()
+                self.advance()
+                parts.append(str(int(next_token.value)))
+                break
+            if next_token.type == TokenType.IDENT or (
+                next_token.type == TokenType.KEYWORD and next_token.value in _NAME_KEYWORDS
+            ):
+                self.advance()
+                parts.append(self.parse_name_part())
+                continue
+            break
+        if len(parts) == 1:
+            return ColumnRef(name=parts[0])
+        return ColumnRef(name=parts[-1], qualifier=".".join(parts[:-1]))
+
+
+def UnaryNot(operand: Expression) -> Expression:
+    """Build a NOT node (factory keeps the parser body terse)."""
+    from repro.sql.ast import UnaryOp
+
+    return UnaryOp("NOT", operand)
+
+
+def UnaryNeg(operand: Expression) -> Expression:
+    """Build an arithmetic negation node."""
+    from repro.sql.ast import UnaryOp
+
+    return UnaryOp("-", operand)

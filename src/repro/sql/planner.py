@@ -1,0 +1,449 @@
+"""Translate query ASTs into physical operator trees.
+
+The planner is deliberately simple but captures the structure the paper's
+compiler would need: FROM items become scans and joins, WHERE becomes a
+filter (or feeds equi-join keys to hash joins when optimization is enabled),
+aggregates become an :class:`AggregateOp`, and the select list becomes a
+projection.
+
+Hilda-specific accommodation: queries such as ``SELECT activationTuple.name``
+reference tables that never appear in a FROM clause.  The planner detects
+column qualifiers that are not bound by the FROM list but name a table in
+the catalog, and adds an implicit scan for them (they behave like an extra
+cross-joined table, which for the single-row ``activationTuple`` matches the
+paper's semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import SQLExecutionError
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    JoinRef,
+    OrderItem,
+    Query,
+    SelectItem,
+    SelectQuery,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnionQuery,
+)
+from repro.sql.operators import (
+    AggregateOp,
+    DistinctOp,
+    FilterOp,
+    HashJoinOp,
+    LimitOp,
+    NestedLoopJoinOp,
+    Operator,
+    ProjectOp,
+    ScanOp,
+    SortOp,
+    SubqueryScanOp,
+    UnionOp,
+    ValuesOp,
+)
+
+__all__ = ["Planner", "plan_query"]
+
+
+def plan_query(query: Query, catalog, optimize: bool = True) -> Operator:
+    """Plan a parsed query against a catalog."""
+    return Planner(catalog, optimize=optimize).plan(query)
+
+
+class Planner:
+    """Builds operator trees for queries."""
+
+    def __init__(self, catalog, optimize: bool = True) -> None:
+        self.catalog = catalog
+        self.optimize = optimize
+
+    # -- entry points -----------------------------------------------------------
+
+    def plan(self, query: Query) -> Operator:
+        if isinstance(query, UnionQuery):
+            return UnionOp(self.plan(query.left), self.plan(query.right), all=query.all)
+        if isinstance(query, SelectQuery):
+            return self.plan_select(query)
+        raise SQLExecutionError(f"cannot plan query node {type(query).__name__}")
+
+    # -- SELECT planning -----------------------------------------------------------
+
+    def plan_select(self, query: SelectQuery) -> Operator:
+        bound_names = self._from_binding_names(query.from_items)
+        plan, bound_names = self._plan_from(query, bound_names)
+
+        where_conjuncts = _split_conjuncts(query.where)
+        if self.optimize:
+            plan, remaining = self._apply_hash_joins(plan, where_conjuncts, bound_names, query)
+        else:
+            remaining = where_conjuncts
+        if remaining:
+            plan = FilterOp(plan, _combine_conjuncts(remaining))
+
+        has_aggregates = self._select_has_aggregates(query)
+        if has_aggregates or query.group_by:
+            items = self._aggregate_items(query)
+            plan = AggregateOp(
+                plan, group_by=query.group_by, items=items, having=query.having
+            )
+            if query.order_by:
+                plan = SortOp(plan, self._rewrite_order_for_output(query, items))
+        else:
+            if query.having is not None:
+                plan = FilterOp(plan, query.having)
+            if query.order_by:
+                plan = SortOp(plan, self._rewrite_order_for_input(query))
+            plan = ProjectOp(plan, query.items)
+
+        if query.distinct:
+            plan = DistinctOp(plan)
+        if query.limit is not None:
+            plan = LimitOp(plan, query.limit)
+        return plan
+
+    # -- FROM clause -------------------------------------------------------------------
+
+    def _plan_from(
+        self, query: SelectQuery, bound_names: Set[str]
+    ) -> Tuple[Operator, Set[str]]:
+        plans: List[Operator] = [self._plan_from_item(item) for item in query.from_items]
+
+        # Implicit tables referenced only through column qualifiers.
+        implicit = self._implicit_tables(query, bound_names)
+        for name in implicit:
+            plans.append(ScanOp(table_name=name, binding_name=name))
+            bound_names.add(name)
+
+        if not plans:
+            return ValuesOp(), bound_names
+        plan = plans[0]
+        for extra in plans[1:]:
+            plan = NestedLoopJoinOp(plan, extra, join_type="CROSS")
+        return plan, bound_names
+
+    def _plan_from_item(self, item) -> Operator:
+        if isinstance(item, TableRef):
+            return ScanOp(table_name=item.name, binding_name=item.binding_name)
+        if isinstance(item, SubqueryRef):
+            return SubqueryScanOp(self.plan(item.query), binding_name=item.alias)
+        if isinstance(item, JoinRef):
+            left = self._plan_from_item(item.left)
+            right = self._plan_from_item(item.right)
+            if item.join_type == "CROSS":
+                return NestedLoopJoinOp(left, right, join_type="CROSS")
+            join_type = "LEFT" if item.join_type == "LEFT" else "INNER"
+            if self.optimize and item.condition is not None:
+                hash_join = self._try_hash_join(left, right, item, join_type)
+                if hash_join is not None:
+                    return hash_join
+            return NestedLoopJoinOp(
+                left, right, join_type=join_type, condition=item.condition
+            )
+        raise SQLExecutionError(f"unsupported FROM item {item!r}")
+
+    def _try_hash_join(
+        self, left: Operator, right: Operator, item: JoinRef, join_type: str
+    ) -> Optional[Operator]:
+        """Use a hash join when the ON condition is a conjunction of equalities."""
+        left_names = _binding_names_of(item.left)
+        right_names = _binding_names_of(item.right)
+        conjuncts = _split_conjuncts(item.condition)
+        left_keys: List[Expression] = []
+        right_keys: List[Expression] = []
+        residual: List[Expression] = []
+        for conjunct in conjuncts:
+            keys = _equi_join_keys(conjunct, left_names, right_names)
+            if keys is None:
+                residual.append(conjunct)
+            else:
+                left_keys.append(keys[0])
+                right_keys.append(keys[1])
+        if not left_keys:
+            return None
+        return HashJoinOp(
+            left,
+            right,
+            left_keys=tuple(left_keys),
+            right_keys=tuple(right_keys),
+            join_type=join_type,
+            residual=_combine_conjuncts(residual) if residual else None,
+        )
+
+    def _from_binding_names(self, from_items: Sequence) -> Set[str]:
+        names: Set[str] = set()
+
+        def visit(item) -> None:
+            if isinstance(item, TableRef):
+                names.add(item.binding_name)
+                names.add(item.name)
+            elif isinstance(item, SubqueryRef):
+                names.add(item.alias)
+            elif isinstance(item, JoinRef):
+                visit(item.left)
+                visit(item.right)
+
+        for item in from_items:
+            visit(item)
+        return names
+
+    def _implicit_tables(self, query: SelectQuery, bound_names: Set[str]) -> List[str]:
+        """Column qualifiers that name catalog tables not present in FROM."""
+        implicit: List[str] = []
+        seen: Set[str] = set()
+        for expression in query.expressions():
+            for node in expression.walk():
+                if not isinstance(node, ColumnRef) or node.qualifier is None:
+                    continue
+                qualifier = node.qualifier
+                if qualifier in bound_names or qualifier in seen:
+                    continue
+                if self.catalog is not None and self.catalog.has_table(qualifier):
+                    implicit.append(qualifier)
+                    seen.add(qualifier)
+        return implicit
+
+    # -- WHERE-driven hash joins ----------------------------------------------------
+
+    def _apply_hash_joins(
+        self,
+        plan: Operator,
+        conjuncts: List[Expression],
+        bound_names: Set[str],
+        query: SelectQuery,
+    ) -> Tuple[Operator, List[Expression]]:
+        """Convert comma-join + WHERE equality patterns into hash joins.
+
+        The classic Hilda activation query shape is
+        ``FROM course C, staff S, user U WHERE C.cid = S.cid AND ...``.
+        The planner greedily builds hash joins for equality conjuncts whose
+        two sides reference exactly one base scan each while those scans are
+        still adjacent cross-join children; anything it cannot place stays
+        in the residual filter.
+
+        The transformation is applied only to a pure left-deep chain of
+        CROSS nested-loop joins over scans (the comma-join case); other
+        shapes are left untouched.
+        """
+        chain = _flatten_cross_chain(plan)
+        if chain is None or len(chain) < 2:
+            return plan, conjuncts
+
+        # Greedy left-deep construction: start from the first scan, repeatedly
+        # pick a remaining scan that has an equality predicate with the built
+        # prefix, and join it with a hash join.
+        remaining_ops = list(chain)
+        remaining_conjuncts = list(conjuncts)
+        built = remaining_ops.pop(0)
+        built_names = _operator_binding_names(built)
+
+        progress = True
+        while remaining_ops and progress:
+            progress = False
+            for index, candidate in enumerate(remaining_ops):
+                candidate_names = _operator_binding_names(candidate)
+                keys = _find_equi_keys(remaining_conjuncts, built_names, candidate_names)
+                if keys is None:
+                    continue
+                left_keys, right_keys, used = keys
+                built = HashJoinOp(
+                    built,
+                    candidate,
+                    left_keys=tuple(left_keys),
+                    right_keys=tuple(right_keys),
+                    join_type="INNER",
+                )
+                built_names |= candidate_names
+                remaining_ops.pop(index)
+                remaining_conjuncts = [
+                    conjunct for conjunct in remaining_conjuncts if conjunct not in used
+                ]
+                progress = True
+                break
+
+        # Cross-join whatever could not be connected by an equality predicate.
+        for leftover in remaining_ops:
+            built = NestedLoopJoinOp(built, leftover, join_type="CROSS")
+        return built, remaining_conjuncts
+
+    # -- aggregates and ordering ------------------------------------------------------
+
+    def _select_has_aggregates(self, query: SelectQuery) -> bool:
+        for item in query.items:
+            if isinstance(item, SelectItem) and _contains_aggregate(item.expression):
+                return True
+        if query.having is not None and _contains_aggregate(query.having):
+            return True
+        return False
+
+    def _aggregate_items(self, query: SelectQuery) -> Tuple[SelectItem, ...]:
+        items: List[SelectItem] = []
+        for item in query.items:
+            if isinstance(item, Star):
+                raise SQLExecutionError("SELECT * cannot be combined with GROUP BY/aggregates")
+            items.append(item)
+        return tuple(items)
+
+    def _rewrite_order_for_input(self, query: SelectQuery) -> Tuple[OrderItem, ...]:
+        """Rewrite ORDER BY aliases to their select expressions (sort runs pre-projection)."""
+        alias_map = {}
+        for item in query.items:
+            if isinstance(item, SelectItem) and item.alias:
+                alias_map[item.alias] = item.expression
+        rewritten: List[OrderItem] = []
+        for order in query.order_by:
+            expression = order.expression
+            if isinstance(expression, ColumnRef) and expression.qualifier is None:
+                expression = alias_map.get(expression.name, expression)
+            rewritten.append(OrderItem(expression=expression, descending=order.descending))
+        return tuple(rewritten)
+
+    def _rewrite_order_for_output(
+        self, query: SelectQuery, items: Tuple[SelectItem, ...]
+    ) -> Tuple[OrderItem, ...]:
+        """After aggregation the sort runs over the aggregate's output columns.
+
+        ORDER BY expressions that textually match a select item (or name its
+        alias) are rewritten to reference that output column; anything else
+        is left alone and must already be expressed over the output.
+        """
+        from repro.sql.operators import _default_column_name
+
+        by_sql: Dict[str, str] = {}
+        for position, item in enumerate(items):
+            output_name = item.alias or _default_column_name(item.expression, position)
+            by_sql[item.expression.to_sql()] = output_name
+            if item.alias:
+                by_sql[item.alias] = output_name
+        rewritten: List[OrderItem] = []
+        for order in query.order_by:
+            expression = order.expression
+            output_name = by_sql.get(expression.to_sql())
+            if output_name is None and isinstance(expression, ColumnRef):
+                output_name = by_sql.get(expression.name)
+            if output_name is not None:
+                expression = ColumnRef(name=output_name)
+            rewritten.append(OrderItem(expression=expression, descending=order.descending))
+        return tuple(rewritten)
+
+
+# ---------------------------------------------------------------------------
+# Helpers shared with the optimizer
+# ---------------------------------------------------------------------------
+
+
+def _split_conjuncts(expression: Optional[Expression]) -> List[Expression]:
+    if expression is None:
+        return []
+    if isinstance(expression, BinaryOp) and expression.operator.upper() == "AND":
+        return _split_conjuncts(expression.left) + _split_conjuncts(expression.right)
+    return [expression]
+
+
+def _combine_conjuncts(conjuncts: Sequence[Expression]) -> Expression:
+    combined = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        combined = BinaryOp("AND", combined, conjunct)
+    return combined
+
+
+def _contains_aggregate(expression: Expression) -> bool:
+    return any(
+        isinstance(node, FunctionCall) and node.is_aggregate for node in expression.walk()
+    )
+
+
+def _binding_names_of(item) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(item, TableRef):
+        names.add(item.binding_name)
+        names.add(item.name)
+    elif isinstance(item, SubqueryRef):
+        names.add(item.alias)
+    elif isinstance(item, JoinRef):
+        names |= _binding_names_of(item.left)
+        names |= _binding_names_of(item.right)
+    return names
+
+
+def _operator_binding_names(operator: Operator) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(operator, ScanOp):
+        names.add(operator.binding_name)
+        names.add(operator.table_name)
+    elif isinstance(operator, SubqueryScanOp):
+        names.add(operator.binding_name)
+    else:
+        for child in operator.children():
+            names |= _operator_binding_names(child)
+    return names
+
+
+def _column_qualifiers(expression: Expression) -> Set[str]:
+    qualifiers: Set[str] = set()
+    for node in expression.walk():
+        if isinstance(node, ColumnRef) and node.qualifier is not None:
+            qualifiers.add(node.qualifier)
+    return qualifiers
+
+
+def _references_only(expression: Expression, names: Set[str]) -> bool:
+    qualifiers = _column_qualifiers(expression)
+    return bool(qualifiers) and qualifiers <= names
+
+
+def _equi_join_keys(
+    conjunct: Expression, left_names: Set[str], right_names: Set[str]
+) -> Optional[Tuple[Expression, Expression]]:
+    """If ``conjunct`` is ``left_expr = right_expr`` across the two sides, return the keys."""
+    if not isinstance(conjunct, BinaryOp) or conjunct.operator != "=":
+        return None
+    left_expr, right_expr = conjunct.left, conjunct.right
+    if _references_only(left_expr, left_names) and _references_only(right_expr, right_names):
+        return left_expr, right_expr
+    if _references_only(left_expr, right_names) and _references_only(right_expr, left_names):
+        return right_expr, left_expr
+    return None
+
+
+def _find_equi_keys(
+    conjuncts: List[Expression], left_names: Set[str], right_names: Set[str]
+) -> Optional[Tuple[List[Expression], List[Expression], List[Expression]]]:
+    """Collect every equality conjunct joining ``left_names`` to ``right_names``."""
+    left_keys: List[Expression] = []
+    right_keys: List[Expression] = []
+    used: List[Expression] = []
+    for conjunct in conjuncts:
+        keys = _equi_join_keys(conjunct, left_names, right_names)
+        if keys is not None:
+            left_keys.append(keys[0])
+            right_keys.append(keys[1])
+            used.append(conjunct)
+    if not left_keys:
+        return None
+    return left_keys, right_keys, used
+
+
+def _flatten_cross_chain(plan: Operator) -> Optional[List[Operator]]:
+    """Flatten a left-deep chain of CROSS nested-loop joins into its leaves.
+
+    Returns None when the plan is not such a chain (e.g. it already contains
+    explicit JOIN ... ON operators), in which case the WHERE-driven hash-join
+    rewrite is skipped.
+    """
+    if isinstance(plan, (ScanOp, SubqueryScanOp, ValuesOp)):
+        return [plan]
+    if isinstance(plan, NestedLoopJoinOp) and plan.join_type == "CROSS" and plan.condition is None:
+        left = _flatten_cross_chain(plan.left)
+        right = _flatten_cross_chain(plan.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    return None

@@ -1,0 +1,144 @@
+"""Intermediate relations flowing between SQL operators.
+
+A :class:`Relation` is a list of column descriptors plus a list of row
+tuples.  Columns keep the binding name (table alias) they came from so
+qualified references like ``A.cid`` resolve correctly after joins, and so
+positional references like ``O.1`` can pick "the first column of O".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SQLBindingError
+from repro.relational.table import Table
+
+__all__ = ["ColumnInfo", "Relation"]
+
+
+@dataclass(frozen=True)
+class ColumnInfo:
+    """Metadata for one column of an intermediate relation."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+class Relation:
+    """An ordered set of columns plus the rows that instantiate them."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns: Sequence[ColumnInfo], rows: Iterable[Tuple[Any, ...]]) -> None:
+        self.columns: Tuple[ColumnInfo, ...] = tuple(columns)
+        self.rows: List[Tuple[Any, ...]] = list(rows)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: Table, binding_name: Optional[str] = None) -> "Relation":
+        qualifier = binding_name or table.name
+        columns = [ColumnInfo(name=name, qualifier=qualifier) for name in table.schema.column_names]
+        return cls(columns, list(table.rows))
+
+    @classmethod
+    def empty(cls, columns: Sequence[ColumnInfo] = ()) -> "Relation":
+        return cls(columns, [])
+
+    @classmethod
+    def single_empty_row(cls) -> "Relation":
+        """A relation with no columns and exactly one row (SELECT without FROM)."""
+        return cls((), [()])
+
+    # -- metadata -------------------------------------------------------------
+
+    @property
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    # -- column resolution -------------------------------------------------------
+
+    def find_column(self, name: str, qualifier: Optional[str] = None) -> int:
+        """Index of the column matching (qualifier, name).
+
+        Unqualified names must be unambiguous across the relation.  Raises
+        :class:`SQLBindingError` when the column is unknown or ambiguous.
+        """
+        matches = [
+            index
+            for index, column in enumerate(self.columns)
+            if column.name == name and (qualifier is None or column.qualifier == qualifier)
+        ]
+        if not matches:
+            raise SQLBindingError(self._unknown_message(name, qualifier))
+        if len(matches) > 1 and qualifier is None:
+            raise SQLBindingError(f"ambiguous column reference: {name!r}")
+        return matches[0]
+
+    def try_find_column(self, name: str, qualifier: Optional[str] = None) -> Optional[int]:
+        try:
+            return self.find_column(name, qualifier)
+        except SQLBindingError:
+            return None
+
+    def find_positional(self, qualifier: str, position: int) -> int:
+        """Index of the ``position``-th (1-based) column of binding ``qualifier``."""
+        indices = [
+            index for index, column in enumerate(self.columns) if column.qualifier == qualifier
+        ]
+        if not indices:
+            raise SQLBindingError(f"unknown table alias {qualifier!r} in positional reference")
+        if position < 1 or position > len(indices):
+            raise SQLBindingError(
+                f"positional reference {qualifier}.{position} out of range "
+                f"(alias has {len(indices)} columns)"
+            )
+        return indices[position - 1]
+
+    def has_qualifier(self, qualifier: str) -> bool:
+        return any(column.qualifier == qualifier for column in self.columns)
+
+    def qualifier_columns(self, qualifier: str) -> List[int]:
+        return [index for index, column in enumerate(self.columns) if column.qualifier == qualifier]
+
+    def _unknown_message(self, name: str, qualifier: Optional[str]) -> str:
+        reference = f"{qualifier}.{name}" if qualifier else name
+        available = ", ".join(column.qualified_name for column in self.columns) or "<none>"
+        return f"unknown column reference {reference!r}; available: {available}"
+
+    # -- conversion --------------------------------------------------------------
+
+    def as_tuples(self) -> List[Tuple[Any, ...]]:
+        return list(self.rows)
+
+    def as_dicts(self) -> List[dict]:
+        names = self.column_names
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def first(self) -> Optional[Tuple[Any, ...]]:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 relation (aggregate results, scalar subqueries)."""
+        if not self.rows or not self.columns:
+            return None
+        return self.rows[0][0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(column.qualified_name for column in self.columns)
+        return f"Relation([{names}], {len(self.rows)} rows)"

@@ -1,0 +1,89 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Token", "TokenType", "KEYWORDS"]
+
+
+class TokenType:
+    """Token categories produced by the SQL lexer (simple string constants)."""
+
+    IDENT = "IDENT"
+    KEYWORD = "KEYWORD"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+#: Reserved words recognised by the parser.  Aggregate function names are not
+#: keywords; they are parsed as ordinary function calls.
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "OFFSET",
+        "UNION",
+        "ALL",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "EXISTS",
+        "BETWEEN",
+        "LIKE",
+        "IS",
+        "NULL",
+        "AS",
+        "JOIN",
+        "LEFT",
+        "RIGHT",
+        "FULL",
+        "OUTER",
+        "INNER",
+        "CROSS",
+        "ON",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "DELETE",
+        "UPDATE",
+        "SET",
+        "TRUE",
+        "FALSE",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with source position (1-based line/column)."""
+
+    type: str
+    value: Any
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type == TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"

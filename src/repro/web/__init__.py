@@ -1,0 +1,21 @@
+"""The web substrate: request/response objects, cookie sessions, form
+decoding and the in-process application container."""
+
+from repro.web.container import BrowserClient, HildaApplication
+from repro.web.forms import decode_action, encode_action
+from repro.web.http import Request, Response, encode_form, parse_query_string
+from repro.web.sessions import SESSION_COOKIE, SessionManager, WebSession
+
+__all__ = [
+    "BrowserClient",
+    "HildaApplication",
+    "Request",
+    "Response",
+    "SESSION_COOKIE",
+    "SessionManager",
+    "WebSession",
+    "decode_action",
+    "encode_action",
+    "encode_form",
+    "parse_query_string",
+]

@@ -1,0 +1,192 @@
+"""The application container ("application server").
+
+:class:`HildaApplication` serves a Hilda program over the in-process HTTP
+substrate: it owns a :class:`~repro.runtime.engine.HildaEngine`, a
+:class:`~repro.presentation.renderer.PageRenderer` and a
+:class:`~repro.web.sessions.SessionManager`, and handles the three routes a
+generated three-tier application needs:
+
+* ``GET /login?user=<name>`` — start an engine session for the user, set the
+  session cookie and redirect to ``/``;
+* ``GET /`` — render the user's page (the root AUnit instance's HTML);
+* ``POST /action`` — decode the posted Basic AUnit form, apply the operation
+  (conflict detection included) and re-render the page, reporting conflicts;
+* ``GET /logout`` — close the session.
+
+A tiny WSGI adapter is provided so the application can also be mounted in
+any standard Python web server, though the tests and examples call
+:meth:`handle` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import FormDecodingError, SessionError
+from repro.hilda.program import HildaProgram
+from repro.presentation.renderer import PageRenderer
+from repro.presentation.html import escape, tag
+from repro.runtime.engine import HildaEngine
+from repro.runtime.operations import ApplyResult, OperationStatus
+from repro.web.forms import decode_action
+from repro.web.http import Request, Response, parse_query_string
+from repro.web.sessions import SESSION_COOKIE, SessionManager
+
+__all__ = ["HildaApplication", "BrowserClient"]
+
+
+class HildaApplication:
+    """Serves one Hilda program to many users."""
+
+    def __init__(
+        self,
+        program: HildaProgram,
+        engine: Optional[HildaEngine] = None,
+        cache_fragments: bool = False,
+        **engine_options: Any,
+    ) -> None:
+        self.program = program
+        self.engine = engine or HildaEngine(program, **engine_options)
+        self.renderer = PageRenderer(self.engine, cache_fragments=cache_fragments)
+        self.sessions = SessionManager()
+
+    # -- request handling -------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Route and handle one request."""
+        if request.path == "/login":
+            return self._handle_login(request)
+        if request.path == "/logout":
+            return self._handle_logout(request)
+        if request.path == "/action" and request.method == "POST":
+            return self._handle_action(request)
+        if request.path == "/":
+            return self._handle_page(request)
+        return Response.not_found(f"no route for {request.method} {request.path}")
+
+    # -- routes ---------------------------------------------------------------------
+
+    def _handle_login(self, request: Request) -> Response:
+        user = request.param("user")
+        if not user:
+            return Response.error("login requires a ?user=<name> parameter", status=400)
+        engine_session = self.engine.start_session({"user": [(user,)]})
+        session = self.sessions.create(user, engine_session)
+        return Response.redirect("/", set_cookies={SESSION_COOKIE: session.token})
+
+    def _handle_logout(self, request: Request) -> Response:
+        token = request.cookies.get(SESSION_COOKIE)
+        session = self.sessions.lookup(token)
+        if session is not None:
+            self.sessions.destroy(session.token)
+            try:
+                self.engine.close_session(session.engine_session_id)
+            except SessionError:
+                pass
+        return Response.redirect("/login")
+
+    def _handle_page(self, request: Request, banner: str = "") -> Response:
+        try:
+            session = self.sessions.require(request.cookies.get(SESSION_COOKIE))
+        except SessionError:
+            return Response.redirect("/login")
+        page = self.renderer.render_session(session.engine_session_id)
+        if banner:
+            page = page.replace("<body>", "<body>" + banner, 1)
+        return Response(status=200, body=page)
+
+    def _handle_action(self, request: Request) -> Response:
+        try:
+            session = self.sessions.require(request.cookies.get(SESSION_COOKIE))
+        except SessionError:
+            return Response.redirect("/login")
+        try:
+            instance_id, values = decode_action(self.engine, request.params)
+        except FormDecodingError as exc:
+            return self._handle_page(request, banner=_banner(str(exc), kind="error"))
+        result = self.engine.perform(instance_id, values)
+        return self._handle_page(request, banner=_result_banner(result))
+
+    # -- WSGI adapter ------------------------------------------------------------------
+
+    def wsgi_app(self, environ: Dict[str, Any], start_response: Callable) -> Iterable[bytes]:
+        """A minimal WSGI adapter (mount the application in any WSGI server)."""
+        method = environ.get("REQUEST_METHOD", "GET")
+        path = environ.get("PATH_INFO", "/")
+        params = parse_query_string(environ.get("QUERY_STRING", ""))
+        if method == "POST":
+            try:
+                length = int(environ.get("CONTENT_LENGTH") or 0)
+            except ValueError:
+                length = 0
+            body = environ["wsgi.input"].read(length).decode("utf-8") if length else ""
+            params.update(parse_query_string(body))
+        cookies = _parse_cookie_header(environ.get("HTTP_COOKIE", ""))
+        response = self.handle(
+            Request(method=method, path=path, params=params, cookies=cookies)
+        )
+        headers = list(response.headers.items())
+        for name, value in response.set_cookies.items():
+            headers.append(("Set-Cookie", f"{name}={value}; Path=/"))
+        start_response(f"{response.status} {'OK' if response.ok else 'ERR'}", headers)
+        return [response.body.encode("utf-8")]
+
+
+def _parse_cookie_header(header: str) -> Dict[str, str]:
+    cookies: Dict[str, str] = {}
+    for part in header.split(";"):
+        if "=" in part:
+            name, _, value = part.strip().partition("=")
+            cookies[name] = value
+    return cookies
+
+
+def _banner(message: str, kind: str = "info") -> str:
+    return tag("div", escape(message), **{"class": f"hilda-banner hilda-{kind}"})
+
+
+def _result_banner(result: ApplyResult) -> str:
+    if result.status == OperationStatus.APPLIED:
+        fired = ", ".join(str(handler) for handler in result.handlers)
+        return _banner(f"Action applied ({fired})", kind="success")
+    if result.status == OperationStatus.CONFLICT:
+        return _banner(
+            "Your action could not be performed because the application state changed: "
+            + result.message,
+            kind="conflict",
+        )
+    if result.status == OperationStatus.NO_HANDLER:
+        return _banner("Nothing to do for this action.", kind="info")
+    return _banner(result.message or "The action was rejected.", kind="error")
+
+
+class BrowserClient:
+    """A tiny cookie-carrying client for driving a :class:`HildaApplication`.
+
+    Used by the examples and integration tests to emulate a browser: it keeps
+    the session cookie between requests and follows redirects.
+    """
+
+    def __init__(self, application: HildaApplication) -> None:
+        self.application = application
+        self.cookies: Dict[str, str] = {}
+
+    def get(self, path: str, follow_redirects: bool = True) -> Response:
+        response = self.application.handle(Request.get(path, cookies=self.cookies))
+        self._absorb_cookies(response)
+        if follow_redirects and response.is_redirect and response.location:
+            return self.get(response.location, follow_redirects=follow_redirects)
+        return response
+
+    def post(self, path: str, params: Dict[str, Any], follow_redirects: bool = True) -> Response:
+        response = self.application.handle(Request.post(path, params, cookies=self.cookies))
+        self._absorb_cookies(response)
+        if follow_redirects and response.is_redirect and response.location:
+            return self.get(response.location, follow_redirects=follow_redirects)
+        return response
+
+    def login(self, user: str) -> Response:
+        return self.get(f"/login?user={user}")
+
+    def _absorb_cookies(self, response: Response) -> None:
+        self.cookies.update(response.set_cookies)

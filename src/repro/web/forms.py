@@ -1,0 +1,102 @@
+"""Decoding of posted forms into Basic AUnit operations.
+
+The default Basic PUnits render forms whose fields follow a simple
+convention: a hidden ``instance_id`` plus one field per output column of the
+Basic AUnit, named after the column (``c1 .. cn``).  The decoder looks up
+the target instance, reads its output schema and coerces each posted string
+to the declared column type — this is exactly the impedance-mapping code the
+paper complains application developers write by hand; here it is written
+once, against the unified relational model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import FormDecodingError
+from repro.relational.types import coerce_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.engine import HildaEngine
+    from repro.runtime.instance import AUnitInstance
+
+__all__ = ["decode_action", "encode_action"]
+
+
+def decode_action(
+    engine: "HildaEngine", params: Dict[str, str]
+) -> Tuple[int, Optional[List[Any]]]:
+    """Decode posted form fields into (instance_id, output row values).
+
+    Raises :class:`FormDecodingError` when the instance id is missing or
+    malformed, or a field cannot be coerced to its column type.  A stale
+    instance id is *not* an error here — conflict detection is the engine's
+    job, so the id is passed through untouched.
+    """
+    raw_id = params.get("instance_id")
+    if raw_id is None:
+        raise FormDecodingError("posted form is missing the instance_id field")
+    try:
+        instance_id = int(raw_id)
+    except ValueError:
+        raise FormDecodingError(f"instance_id {raw_id!r} is not an integer") from None
+
+    instance = engine.instance(instance_id)
+    if instance is None:
+        # Let the engine report the conflict; no values can be decoded.
+        return instance_id, _raw_values(params)
+
+    output_schema = instance.decl.output_schema.get("output")
+    if output_schema is None:
+        return instance_id, None
+
+    values: List[Any] = []
+    any_field = False
+    for column in output_schema.columns:
+        raw = params.get(column.name)
+        if raw is None:
+            values.append(None)
+            continue
+        any_field = True
+        if raw == "":
+            values.append("" if column.dtype.value == "string" else None)
+            continue
+        try:
+            values.append(coerce_value(raw, column.dtype))
+        except Exception as exc:
+            raise FormDecodingError(
+                f"field {column.name!r}: cannot interpret {raw!r} as {column.dtype.value}: {exc}"
+            ) from exc
+    if not any_field:
+        return instance_id, None
+    return instance_id, values
+
+
+def _raw_values(params: Dict[str, str]) -> Optional[List[Any]]:
+    """Best-effort extraction of c1..cn fields when the instance is unknown."""
+    values: List[Any] = []
+    index = 1
+    while f"c{index}" in params:
+        values.append(params[f"c{index}"])
+        index += 1
+    return values or None
+
+
+def encode_action(instance: "AUnitInstance", values: Optional[List[Any]] = None) -> Dict[str, Any]:
+    """Build the form parameters a browser would post for an action.
+
+    Used by tests and examples to drive the container the way the rendered
+    forms would.
+    """
+    params: Dict[str, Any] = {"instance_id": instance.instance_id}
+    if values is None:
+        return params
+    output_schema = instance.decl.output_schema.get("output")
+    names = (
+        list(output_schema.column_names)
+        if output_schema is not None
+        else [f"c{index + 1}" for index in range(len(values))]
+    )
+    for name, value in zip(names, values):
+        params[name] = value
+    return params

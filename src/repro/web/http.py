@@ -1,0 +1,108 @@
+"""Minimal HTTP request/response objects for the application container.
+
+The paper's generated applications run as Java Servlets inside a web
+application server.  This module provides the equivalent substrate in
+process: :class:`Request` and :class:`Response` objects that the container
+handles directly (examples and tests drive it programmatically), plus
+query-string helpers.  No sockets are involved, which keeps everything
+deterministic and offline.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Request", "Response", "parse_query_string", "encode_form"]
+
+
+def parse_query_string(query: str) -> Dict[str, str]:
+    """Parse ``a=1&b=2`` into a dict (last value wins for duplicates)."""
+    parsed = urllib.parse.parse_qs(query, keep_blank_values=True)
+    return {key: values[-1] for key, values in parsed.items()}
+
+
+def encode_form(params: Dict[str, Any]) -> str:
+    """Encode a dict as an ``application/x-www-form-urlencoded`` body."""
+    return urllib.parse.urlencode({key: "" if value is None else value for key, value in params.items()})
+
+
+@dataclass
+class Request:
+    """An incoming HTTP request."""
+
+    method: str = "GET"
+    path: str = "/"
+    params: Dict[str, str] = field(default_factory=dict)
+    cookies: Dict[str, str] = field(default_factory=dict)
+    body: str = ""
+
+    @classmethod
+    def get(cls, path: str, cookies: Optional[Dict[str, str]] = None) -> "Request":
+        """Build a GET request from a path that may include a query string."""
+        parsed = urllib.parse.urlsplit(path)
+        return cls(
+            method="GET",
+            path=parsed.path or "/",
+            params=parse_query_string(parsed.query),
+            cookies=dict(cookies or {}),
+        )
+
+    @classmethod
+    def post(
+        cls,
+        path: str,
+        params: Dict[str, Any],
+        cookies: Optional[Dict[str, str]] = None,
+    ) -> "Request":
+        """Build a form POST request."""
+        return cls(
+            method="POST",
+            path=path,
+            params={key: "" if value is None else str(value) for key, value in params.items()},
+            cookies=dict(cookies or {}),
+            body=encode_form(params),
+        )
+
+    def param(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.params.get(name, default)
+
+
+@dataclass
+class Response:
+    """An outgoing HTTP response."""
+
+    status: int = 200
+    body: str = ""
+    headers: Dict[str, str] = field(default_factory=lambda: {"Content-Type": "text/html; charset=utf-8"})
+    set_cookies: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in (301, 302, 303, 307)
+
+    @property
+    def location(self) -> Optional[str]:
+        return self.headers.get("Location")
+
+    @classmethod
+    def redirect(cls, location: str, set_cookies: Optional[Dict[str, str]] = None) -> "Response":
+        return cls(
+            status=302,
+            body="",
+            headers={"Location": location, "Content-Type": "text/html; charset=utf-8"},
+            set_cookies=dict(set_cookies or {}),
+        )
+
+    @classmethod
+    def not_found(cls, message: str = "not found") -> "Response":
+        return cls(status=404, body=f"<h1>404</h1><p>{message}</p>")
+
+    @classmethod
+    def error(cls, message: str, status: int = 500) -> "Response":
+        return cls(status=status, body=f"<h1>Error</h1><p>{message}</p>")

@@ -1,0 +1,63 @@
+"""Cookie-based web-session management.
+
+The web container maps an opaque cookie token to an engine session (a root
+AUnit instance) and the logged-in user.  Logging in starts a new engine
+session whose root input ``user`` table holds the user's name — exactly how
+CMSRoot receives its input in the paper (authentication itself is external).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SessionError
+
+__all__ = ["WebSession", "SessionManager", "SESSION_COOKIE"]
+
+#: Name of the cookie carrying the web-session token.
+SESSION_COOKIE = "hilda_session"
+
+
+@dataclass
+class WebSession:
+    """One logged-in browser session."""
+
+    token: str
+    user: str
+    engine_session_id: str
+
+
+class SessionManager:
+    """Maps cookie tokens to engine sessions."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, WebSession] = {}
+        self._counter = itertools.count(1)
+
+    def create(self, user: str, engine_session_id: str) -> WebSession:
+        token = f"tok{next(self._counter):06d}"
+        session = WebSession(token=token, user=user, engine_session_id=engine_session_id)
+        self._sessions[token] = session
+        return session
+
+    def lookup(self, token: Optional[str]) -> Optional[WebSession]:
+        if token is None:
+            return None
+        return self._sessions.get(token)
+
+    def require(self, token: Optional[str]) -> WebSession:
+        session = self.lookup(token)
+        if session is None:
+            raise SessionError("no active web session; log in first")
+        return session
+
+    def destroy(self, token: str) -> Optional[WebSession]:
+        return self._sessions.pop(token, None)
+
+    def active_count(self) -> int:
+        return len(self._sessions)
+
+    def all_sessions(self) -> Dict[str, WebSession]:
+        return dict(self._sessions)

@@ -1,0 +1,190 @@
+"""Tests for the MiniCMS application package and the hand-coded baseline."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.apps.baseline import HandCodedCMS
+from repro.apps.minicms import (
+    ADMIN_USER,
+    STUDENT1_USER,
+    STUDENT2_USER,
+    load_minicms,
+    load_navcms,
+    seed_paper_scenario,
+    seed_scaled,
+)
+from repro.apps.minicms.workload import (
+    create_assignment_via_ui,
+    invitation_pairs,
+    read_mostly_page_workload,
+    start_admin_session,
+    start_student_sessions,
+)
+from repro.runtime.engine import HildaEngine
+
+
+class TestMiniCMSProgram:
+    def test_program_contains_the_papers_aunits(self, minicms_program):
+        assert set(minicms_program.aunit_names()) == {
+            "CMSRoot",
+            "CourseAdmin",
+            "CreateAssignment",
+            "Student",
+            "SysAdmin",
+        }
+        assert minicms_program.root_name == "CMSRoot"
+
+    def test_cmsroot_persistent_schema_matches_figure_2(self, minicms_program):
+        persist = minicms_program.aunit("CMSRoot").persist_schema
+        for table in ("course", "staff", "student", "assign", "problem", "group",
+                      "groupmember", "invitation"):
+            assert persist.has_table(table)
+
+    def test_student_aunit_has_the_figure_8_activators(self, minicms_program):
+        student = minicms_program.aunit("Student")
+        names = {activator.name for activator in student.activators}
+        assert {"ActShowGrades", "ActWithdrawInv", "ActAcceptInv"} <= names
+
+    def test_navcms_extends_cmsroot(self, navcms_program):
+        nav = navcms_program.aunit("NavCMS")
+        assert nav.local_schema.has_table("currcourse")
+        assert nav.has_activator("ActCourseAdmin")  # inherited
+        assert navcms_program.root_name == "NavCMS"
+
+    def test_every_user_defined_aunit_has_a_punit(self, minicms_program):
+        for decl in minicms_program.reachable_aunits():
+            assert minicms_program.punits_for(decl.name), decl.name
+
+    def test_seed_scaled_row_counts(self, minicms_program):
+        engine = HildaEngine(minicms_program)
+        counts = seed_scaled(engine, n_courses=3, n_students=4, n_assignments=2)
+        assert counts["course"] == 3
+        assert counts["assign"] == 6
+        assert counts["student"] == 12
+        assert len(engine.persistent_table("course")) == 3
+
+
+class TestWorkloadHelpers:
+    def test_create_assignment_via_ui(self, minicms_engine):
+        session = start_admin_session(minicms_engine)
+        ok = create_assignment_via_ui(
+            minicms_engine,
+            session,
+            course_id=10,
+            name="Generated HW",
+            problems=[("P1", 40.0), ("P2", 60.0)],
+        )
+        assert ok
+        names = [row[2] for row in minicms_engine.persistent_table("assign").rows]
+        assert "Generated HW" in names
+        assert len(minicms_engine.persistent_table("problem")) == 4
+
+    def test_create_assignment_with_bad_dates_fails(self, minicms_engine):
+        session = start_admin_session(minicms_engine)
+        ok = create_assignment_via_ui(
+            minicms_engine,
+            session,
+            course_id=10,
+            name="Bad",
+            release=datetime.date(2006, 5, 10),
+            due=datetime.date(2006, 5, 1),
+        )
+        assert not ok
+
+    def test_invitation_pairs_places_invitations(self, minicms_engine):
+        # Remove the pre-existing invitation so ActPlaceInv is exercised cleanly.
+        minicms_engine.persistent_table("invitation").clear()
+        minicms_engine.refresh()
+        sessions = start_student_sessions(minicms_engine, [STUDENT1_USER, STUDENT2_USER])
+        placed = invitation_pairs(
+            minicms_engine, sessions, course_id=10, pairs=[(STUDENT1_USER, STUDENT2_USER)]
+        )
+        assert placed == 1
+        assert len(minicms_engine.persistent_table("invitation")) == 1
+
+    def test_read_mostly_workload_shape(self):
+        events = read_mostly_page_workload(n_reads_per_write=10, n_writes=3)
+        assert events.count("write") == 3
+        assert events.count("read") == 30
+
+
+class TestBaseline:
+    @pytest.fixture
+    def cms(self):
+        cms = HandCodedCMS()
+        cms.load_fixture(
+            {
+                "course": [(10, "Databases"), (11, "OS")],
+                "student": [(1, 10, "s1"), (2, 10, "s2"), (3, 11, "s1")],
+                "assign": [
+                    (100, 10, "HW1", datetime.date(2006, 3, 1), datetime.date(2006, 3, 15)),
+                    (110, 11, "Lab1", datetime.date(2006, 3, 1), datetime.date(2006, 3, 15)),
+                ],
+                "group": [(300, 100)],
+                "groupmember": [(500, 300, 1, 88.0)],
+            }
+        )
+        return cms
+
+    def test_nested_loops_and_sql_agree(self, cms):
+        nested = cms.grades_for_student_nested_loops("s1")
+        declarative = cms.grades_for_student_sql("s1")
+        assert sorted(nested) == sorted(declarative)
+        assert sorted(nested) == [("Databases", "HW1", 88.0)]
+
+    def test_assignment_creation_valid_and_invalid(self, cms):
+        page = cms.create_assignment_page(
+            10, "HW2", datetime.date(2006, 4, 1), datetime.date(2006, 4, 15), [("P1", 100.0)]
+        )
+        assert "created" in page
+        error_page = cms.create_assignment_page(
+            10, "Bad", datetime.date(2006, 4, 20), datetime.date(2006, 4, 1)
+        )
+        assert "error" in error_page
+        assert len(cms.database.table("assign")) == 3  # only the valid one was added
+
+    def test_baseline_misses_the_withdraw_accept_conflict(self, cms):
+        iid = cms.place_invitation(aid=100, inviter_sid=1, invitee_sid=2)
+        gid = cms.database.table("invitation").find_by_key((iid,))[1]
+        cms.withdraw_invitation(iid)
+        # The stale accept silently adds the invitee to the group anyway.
+        assert cms.accept_invitation_with_cached_gid(gid, invitee_sid=2)
+        assert len(cms.group_members(gid)) == 2  # inconsistent state
+
+    def test_hilda_prevents_the_same_interleaving(self, minicms_engine):
+        engine = minicms_engine
+        session1 = engine.start_session({"user": [(STUDENT1_USER,)]})
+        session2 = engine.start_session({"user": [(STUDENT2_USER,)]})
+        withdraw = engine.find_instances(
+            "SelectRow", session_id=session1, activator="ActWithdrawInv"
+        )[0]
+        accept = engine.find_instances(
+            "SelectRow", session_id=session2, activator="ActAcceptInv"
+        )[0]
+        engine.perform(withdraw.instance_id)
+        result = engine.perform(accept.instance_id)
+        assert result.conflicted
+        # Group membership unchanged (only the original inviter remains).
+        assert {row[2] for row in engine.persistent_table("groupmember").rows} == {1}
+
+    def test_accept_after_withdraw_by_iid_returns_false(self, cms):
+        iid = cms.place_invitation(aid=100, inviter_sid=1, invitee_sid=2)
+        cms.withdraw_invitation(iid)
+        assert cms.accept_invitation(iid, invitee_sid=2) is False
+
+
+class TestSysAdminBranch:
+    def test_sysadmin_can_add_a_course_through_the_ui(self, minicms_engine):
+        from repro.apps.minicms import SYSADMIN_USER
+
+        session = minicms_engine.start_session({"user": [(SYSADMIN_USER,)]})
+        sysadmins = minicms_engine.find_instances("SysAdmin", session_id=session)
+        assert len(sysadmins) == 1
+        add_course = sysadmins[0].find_children("GetRow", activator="ActAddCourse")[0]
+        result = minicms_engine.perform(add_course.instance_id, ["Distributed Systems"])
+        assert result.accepted
+        names = [row[1] for row in minicms_engine.persistent_table("course").rows]
+        assert "Distributed Systems" in names

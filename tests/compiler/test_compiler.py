@@ -1,0 +1,140 @@
+"""Tests for the compiler: DDL generation, code generation, partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.minicms import ADMIN_USER, MINICMS_SOURCE, seed_paper_scenario
+from repro.compiler import (
+    PartitioningSimulator,
+    analyse_program,
+    compile_program,
+    compile_source,
+    generate_ddl,
+    physical_table_schemas,
+    servlet_class_name,
+)
+from repro.errors import CompilerError
+from repro.web.container import BrowserClient
+
+
+class TestDDLGeneration:
+    def test_every_persistent_table_has_a_create_statement(self, minicms_program):
+        ddl = generate_ddl(minicms_program)
+        for table in ("course", "assign", "problem", "invitation", "groupmember"):
+            assert f'"CMSRoot_{table}"' in ddl
+
+    def test_local_tables_get_instance_id_column(self, minicms_program):
+        schemas = {schema.name: schema for schema in physical_table_schemas(minicms_program)}
+        local = schemas["CreateAssignment_local_assign"]
+        assert local.column_names[0] == "hilda_instance_id"
+
+    def test_drop_script_reverses_creation(self, minicms_program):
+        compiled = compile_program(minicms_program)
+        assert compiled.drop_script.count("DROP TABLE") == compiled.ddl_script.count(
+            "CREATE TABLE"
+        )
+
+
+class TestCodeGeneration:
+    def test_servlet_class_per_reachable_aunit(self, minicms_program):
+        compiled = compile_program(minicms_program)
+        for name in ("CMSRoot", "CourseAdmin", "CreateAssignment", "Student", "SysAdmin"):
+            assert f"class {servlet_class_name(name)}(HildaServlet):" in compiled.module_source
+
+    def test_generated_module_imports_and_exposes_metadata(self, minicms_program):
+        module = compile_program(minicms_program).load_module()
+        servlet = module.SERVLETS["CourseAdmin"]
+        assert "ActCreateAssign" in servlet.ACTIVATORS
+        child, activation_sql, targets = servlet.ACTIVATORS["ActShowAssignment"]
+        assert child == "ShowRow(string)"
+        assert "SELECT" in activation_sql
+        assert targets == ("ShowRow.input",)
+        assert servlet.HANDLERS[("ActCreateAssign", "NewAssignment")][0] is True
+
+    def test_generated_application_serves_pages(self, minicms_program):
+        compiled = compile_program(minicms_program)
+        application = compiled.build_application()
+        seed_paper_scenario(application.engine)
+        browser = BrowserClient(application)
+        page = browser.login(ADMIN_USER)
+        assert page.ok and "Homework 1" in page.body
+
+    def test_generated_engine_runs_operations(self, minicms_program):
+        engine = compile_program(minicms_program).build_engine()
+        seed_paper_scenario(engine)
+        session = engine.start_session({"user": [(ADMIN_USER,)]})
+        assert engine.find_instances("CourseAdmin", session_id=session)
+
+    def test_summary_metrics(self, minicms_program):
+        summary = compile_program(minicms_program).summary()
+        assert summary["aunits"] == 5
+        assert summary["servlet_classes"] == 5
+        assert summary["ddl_statements"] > 5
+
+    def test_artifact_files_and_write_to(self, minicms_program, tmp_path):
+        compiled = compile_program(minicms_program)
+        written = compiled.write_to(tmp_path)
+        assert set(written) == {"schema.sql", "drop_schema.sql", "hilda_generated_app.py"}
+        for path in written.values():
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_compile_source_round_trip(self):
+        compiled = compile_source(MINICMS_SOURCE, module_name="cms_again")
+        assert compiled.module_name == "cms_again"
+        assert "HILDA_SOURCE" in compiled.module_source
+
+    def test_program_without_source_rejected(self, minicms_program):
+        program_copy = type(minicms_program)(
+            aunits=minicms_program.aunits,
+            punits=minicms_program.punits,
+            root_name=minicms_program.root_name,
+            source=None,
+        )
+        with pytest.raises(CompilerError):
+            compile_program(program_copy)
+
+
+class TestPartitioning:
+    def test_create_assignment_checks_are_client_side(self, minicms_program):
+        report = analyse_program(minicms_program)
+        placements = {
+            (placement.aunit, placement.handler): placement for placement in report.placements
+        }
+        assert placements[("CreateAssignment", "success")].client_side
+        assert placements[("CreateAssignment", "fail")].client_side
+
+    def test_persistent_condition_is_server_side(self):
+        source = """
+        root aunit R {
+            persist schema { p(x:int) }
+            activator A : SubmitBasic {
+                handler H {
+                    condition { SELECT P.x FROM p P WHERE P.x > 0 }
+                    action { p :- SELECT P.x FROM p P }
+                }
+            }
+        }
+        """
+        from repro.hilda.program import load_program
+
+        report = analyse_program(load_program(source))
+        assert len(report.server_side) == 1
+        assert "persistent" in report.server_side[0].reason
+
+    def test_summary_counts(self, minicms_program):
+        summary = analyse_program(minicms_program).summary()
+        assert summary["conditions"] == summary["client_side"] + summary["server_side"]
+
+    def test_simulator_client_side_saves_round_trips(self):
+        simulator = PartitioningSimulator(network_latency_ms=50.0)
+        server = simulator.simulate(attempts=100, invalid_rate=0.3, client_side=False)
+        client = simulator.simulate(attempts=100, invalid_rate=0.3, client_side=True)
+        assert client["round_trips"] == 70 and server["round_trips"] == 100
+        assert client["total_ms"] < server["total_ms"]
+
+    def test_simulator_no_invalid_attempts_costs_similar(self):
+        simulator = PartitioningSimulator()
+        server = simulator.simulate(attempts=50, invalid_rate=0.0, client_side=False)
+        client = simulator.simulate(attempts=50, invalid_rate=0.0, client_side=True)
+        assert client["round_trips"] == server["round_trips"]

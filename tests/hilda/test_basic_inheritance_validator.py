@@ -1,0 +1,274 @@
+"""Tests for Basic AUnits, inheritance flattening and the static validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HildaValidationError, UnknownAUnitError
+from repro.hilda.basic_aunits import (
+    BASIC_AUNIT_SPECS,
+    basic_signature,
+    is_basic_aunit,
+    make_basic_aunit,
+)
+from repro.hilda.ast import ChildRef
+from repro.hilda.parser import parse_program
+from repro.hilda.program import load_program
+from repro.hilda.inheritance import resolve_inheritance
+from repro.hilda.validator import validate_program
+from repro.relational.types import DataType
+
+
+class TestBasicAUnits:
+    def test_catalog_contains_the_papers_basic_aunits(self):
+        for name in ("ShowRow", "GetRow", "UpdateRow", "SelectRow", "SubmitBasic", "ShowTable"):
+            assert name in BASIC_AUNIT_SPECS
+            assert is_basic_aunit(name)
+
+    def test_alias_submit(self):
+        assert is_basic_aunit("Submit")
+        assert make_basic_aunit("Submit").basic_kind == "SubmitBasic"
+
+    def test_showrow_has_input_only(self):
+        decl = make_basic_aunit("ShowRow", [DataType.STRING, DataType.FLOAT])
+        assert decl.input_schema.table("input").column_types == (DataType.STRING, DataType.FLOAT)
+        assert decl.output_schema.is_empty()
+        assert decl.is_basic
+
+    def test_getrow_has_output_only(self):
+        decl = make_basic_aunit("GetRow", [DataType.STRING, DataType.INT])
+        assert decl.input_schema.is_empty()
+        assert decl.output_schema.table("output").arity == 2
+
+    def test_updaterow_has_both(self):
+        decl = make_basic_aunit("UpdateRow", [DataType.STRING])
+        assert decl.input_schema.has_table("input")
+        assert decl.output_schema.has_table("output")
+
+    def test_submit_has_neither(self):
+        decl = make_basic_aunit("SubmitBasic")
+        assert decl.input_schema.is_empty() and decl.output_schema.is_empty()
+
+    def test_signature_names(self):
+        assert basic_signature("ShowRow", (DataType.STRING,)) == "ShowRow(string)"
+        assert basic_signature("SubmitBasic", ()) == "SubmitBasic"
+
+    def test_unknown_basic_raises(self):
+        with pytest.raises(UnknownAUnitError):
+            make_basic_aunit("Bogus")
+
+    def test_column_names_are_positional(self):
+        decl = make_basic_aunit("SelectRow", [DataType.INT, DataType.INT])
+        assert decl.output_schema.table("output").column_names == ("c1", "c2")
+
+
+BASE_PROGRAM = """
+aunit Base {
+    persist schema { item(iid:int key, label:string) }
+    local schema { scratch(x:int) }
+    activator ActShow : ShowRow(string) {
+        activation schema { a(iid:int, label:string) }
+        activation query { SELECT I.iid, I.label FROM item I }
+        input query { ShowRow.input :- SELECT activationTuple.label }
+    }
+}
+aunit Derived extends Base {
+    local schema { picked(iid:int) }
+    activator ActPick : SelectRow(int, string) {
+        input query { SelectRow.input :- SELECT I.iid, I.label FROM item I }
+        handler Pick { picked :- SELECT O.c1 FROM SelectRow.output O }
+    }
+    activator extending ActShow {
+        filter activation {
+            SELECT P.iid FROM picked P WHERE P.iid = activationTuple.iid
+        }
+    }
+}
+"""
+
+
+class TestInheritance:
+    def test_flattening_merges_schemas_and_activators(self):
+        program = parse_program(BASE_PROGRAM)
+        resolved = resolve_inheritance(program)
+        derived = resolved["Derived"]
+        assert set(derived.local_schema.table_names) == {"scratch", "picked"}
+        assert derived.has_activator("ActShow") and derived.has_activator("ActPick")
+
+    def test_filter_attached_to_inherited_activator(self):
+        resolved = resolve_inheritance(parse_program(BASE_PROGRAM))
+        show = resolved["Derived"].activator("ActShow")
+        assert len(show.activation_filters) == 1
+        # The base AUnit's own activator is untouched.
+        assert resolved["Base"].activator("ActShow").activation_filters == []
+
+    def test_added_handlers_appended(self):
+        source = BASE_PROGRAM.replace(
+            "filter activation {\n            SELECT P.iid FROM picked P WHERE P.iid = activationTuple.iid\n        }",
+            "handler Extra { scratch :- SELECT 1 }",
+        )
+        resolved = resolve_inheritance(parse_program(source))
+        show = resolved["Derived"].activator("ActShow")
+        assert [handler.name for handler in show.handlers] == ["Extra"]
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(UnknownAUnitError):
+            resolve_inheritance(parse_program("aunit D extends Missing { }"))
+
+    def test_cycle_rejected(self):
+        with pytest.raises(HildaValidationError):
+            resolve_inheritance(
+                parse_program("aunit A extends B { }\naunit B extends A { }")
+            )
+
+    def test_redeclaring_base_activator_rejected(self):
+        source = """
+        aunit Base {
+            activator A : SubmitBasic { }
+        }
+        aunit D extends Base {
+            activator A : SubmitBasic { }
+        }
+        """
+        with pytest.raises(HildaValidationError):
+            resolve_inheritance(parse_program(source))
+
+    def test_extending_unknown_activator_rejected(self):
+        source = """
+        aunit Base { }
+        aunit D extends Base {
+            extend activator Nope { handler H { } }
+        }
+        """
+        with pytest.raises(HildaValidationError):
+            resolve_inheritance(parse_program(source))
+
+
+class TestValidator:
+    def _issues(self, source, root=None):
+        program = load_program(source, root=root, validate=False)
+        return [str(issue) for issue in validate_program(program, strict=False)]
+
+    def test_minicms_is_clean(self, minicms_program):
+        assert validate_program(minicms_program, strict=False) == []
+
+    def test_navcms_is_clean(self, navcms_program):
+        assert validate_program(navcms_program, strict=False) == []
+
+    def test_root_with_output_rejected(self):
+        issues = self._issues("root aunit R { output schema { o(x:int) } }")
+        assert any("output schema" in issue for issue in issues)
+
+    def test_unknown_child_aunit(self):
+        issues = self._issues(
+            "root aunit R { activator A : Missing { } }"
+        )
+        assert any("unknown child AUnit" in issue for issue in issues)
+
+    def test_activation_query_without_schema(self):
+        issues = self._issues(
+            """
+            root aunit R {
+                persist schema { p(x:int) }
+                activator A : ShowRow(int) {
+                    activation query { SELECT P.x FROM p P }
+                    input query { ShowRow.input :- SELECT 1 }
+                }
+            }
+            """
+        )
+        assert any("must be specified together" in issue for issue in issues)
+
+    def test_non_return_handler_cannot_write_output(self):
+        issues = self._issues(
+            """
+            aunit Child {
+                output schema { o(x:int) }
+                activator A : SubmitBasic {
+                    return handler Done { o :- SELECT 1 }
+                }
+            }
+            root aunit R {
+                activator A : Child {
+                    handler H { o :- SELECT O.x FROM Child.o O }
+                }
+            }
+            """
+        )
+        assert any("not writable" in issue for issue in issues)
+
+    def test_arity_mismatch_detected(self):
+        issues = self._issues(
+            """
+            root aunit R {
+                persist schema { p(x:int, y:int) }
+                activator A : GetRow(int) {
+                    handler H { p :- SELECT O.c1 FROM GetRow.output O }
+                }
+            }
+            """
+        )
+        assert any("column(s) but the target table has" in issue for issue in issues)
+
+    def test_unknown_table_in_query_detected(self):
+        issues = self._issues(
+            """
+            root aunit R {
+                persist schema { p(x:int) }
+                activator A : GetRow(int) {
+                    handler H { p :- SELECT M.v FROM missing M }
+                }
+            }
+            """
+        )
+        assert any("does not bind" in issue for issue in issues)
+
+    def test_table_collision_between_schemas(self):
+        issues = self._issues(
+            """
+            root aunit R {
+                persist schema { t(x:int) }
+                local schema { t(x:int) }
+            }
+            """
+        )
+        assert any("declared in both" in issue for issue in issues)
+
+    def test_duplicate_activator_names(self):
+        issues = self._issues(
+            """
+            root aunit R {
+                activator A : SubmitBasic { }
+                activator A : SubmitBasic { }
+            }
+            """
+        )
+        assert any("duplicate activator" in issue for issue in issues)
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(HildaValidationError):
+            load_program("root aunit R { output schema { o(x:int) } }")
+
+
+class TestProgramLoading:
+    def test_single_aunit_becomes_root(self):
+        program = load_program("aunit OnlyOne { }")
+        assert program.root_name == "OnlyOne"
+
+    def test_missing_root_designation_rejected(self):
+        with pytest.raises(HildaValidationError):
+            load_program("aunit A { }\naunit B { }")
+
+    def test_explicit_root_override(self):
+        program = load_program("aunit A { }\naunit B { }", root="B")
+        assert program.root.name == "B"
+
+    def test_resolve_child_caches_basic_parameterizations(self, minicms_program):
+        ref = ChildRef(name="ShowRow", type_args=(DataType.STRING,))
+        first = minicms_program.resolve_child(ref)
+        second = minicms_program.resolve_child(ref)
+        assert first is second
+
+    def test_reachable_aunits(self, minicms_program):
+        names = {decl.name for decl in minicms_program.reachable_aunits()}
+        assert names == {"CMSRoot", "CourseAdmin", "CreateAssignment", "Student", "SysAdmin"}

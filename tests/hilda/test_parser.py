@@ -1,0 +1,241 @@
+"""Tests for the Hilda language parser (Figure 1 / Figure 12 grammars)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HildaSyntaxError
+from repro.hilda.parser import parse_aunit, parse_assignments_text, parse_program
+from repro.relational.types import DataType
+
+SIMPLE_AUNIT = """
+aunit Counter {
+    input schema { user(name:string) }
+    persist schema { hits(hid:int key, who:string) }
+    local schema { note(text:string) }
+    local query { note :- SELECT "hello" }
+
+    activator ActRecord : GetRow(string) {
+        handler Record {
+            action {
+                hits :-
+                    SELECT H.hid, H.who FROM hits H
+                    UNION
+                    SELECT genkey(), O.c1 FROM GetRow.output O
+            }
+        }
+    }
+}
+"""
+
+
+class TestAUnitParsing:
+    def test_schemas_parsed(self):
+        aunit = parse_aunit(SIMPLE_AUNIT)
+        assert aunit.name == "Counter"
+        assert aunit.input_schema.table("user").column_names == ("name",)
+        assert aunit.persist_schema.table("hits").primary_key == ("hid",)
+        assert aunit.local_schema.has_table("note")
+
+    def test_local_query_parsed(self):
+        aunit = parse_aunit(SIMPLE_AUNIT)
+        assert len(aunit.local_query) == 1
+        assert aunit.local_query[0].target == "note"
+
+    def test_activator_and_handler(self):
+        aunit = parse_aunit(SIMPLE_AUNIT)
+        activator = aunit.activator("ActRecord")
+        assert activator.child.name == "GetRow"
+        assert activator.child.type_args == (DataType.STRING,)
+        handler = activator.handlers[0]
+        assert handler.name == "Record" and not handler.is_return
+        assert handler.actions[0].target == "hits"
+
+    def test_inout_schema_expands_to_input_and_output(self):
+        aunit = parse_aunit(
+            """
+            aunit X {
+                inout schema { thing(tid:int, name:string) }
+            }
+            """
+        )
+        assert aunit.input_schema.has_table("thing")
+        assert aunit.output_schema.has_table("thing")
+        assert aunit.inout_tables == ("thing",)
+
+    def test_activation_schema_must_have_one_table(self):
+        with pytest.raises(HildaSyntaxError):
+            parse_aunit(
+                """
+                aunit X {
+                    activator A : ShowRow(string) {
+                        activation schema { a(x:int) b(y:int) }
+                        activation query { SELECT 1 }
+                    }
+                }
+                """
+            )
+
+    def test_return_handler_flag(self):
+        aunit = parse_aunit(
+            """
+            aunit X {
+                output schema { out(x:int) }
+                activator A : SubmitBasic {
+                    return handler Done {
+                        action { out :- SELECT 1 }
+                    }
+                }
+            }
+            """
+        )
+        assert aunit.activator("A").handlers[0].is_return
+
+    def test_handler_with_condition(self):
+        aunit = parse_aunit(
+            """
+            aunit X {
+                local schema { t(x:int) }
+                activator A : SubmitBasic {
+                    handler OnlyPositive {
+                        condition { SELECT T.x FROM t T WHERE T.x > 0 }
+                        action { t :- SELECT T.x + 1 FROM t T }
+                    }
+                }
+            }
+            """
+        )
+        handler = aunit.activator("A").handlers[0]
+        assert handler.condition is not None
+        assert "x > 0" in handler.condition.text
+
+    def test_bare_assignments_in_handler_body(self):
+        aunit = parse_aunit(
+            """
+            aunit X {
+                local schema { t(x:int) }
+                activator A : GetRow(int) {
+                    handler Inline {
+                        t :- SELECT O.c1 FROM GetRow.output O
+                    }
+                }
+            }
+            """
+        )
+        assert aunit.activator("A").handlers[0].actions[0].target == "t"
+
+    def test_anonymous_return_handler_gets_a_name(self):
+        aunit = parse_aunit(
+            """
+            aunit X {
+                output schema { y(v:int) }
+                activator A : SubmitBasic {
+                    return handler { y :- SELECT 1 }
+                }
+            }
+            """
+        )
+        handler = aunit.activator("A").handlers[0]
+        assert handler.is_return and handler.name.startswith("handler_")
+
+    def test_comments_are_ignored(self):
+        aunit = parse_aunit(
+            """
+            // leading comment
+            aunit X { /* block
+            comment */ local schema { t(x:int) } }
+            """
+        )
+        assert aunit.local_schema.has_table("t")
+
+    def test_syntax_error_reports_position(self):
+        with pytest.raises(HildaSyntaxError):
+            parse_aunit("aunit X { input schema { broken }")
+
+
+class TestProgramParsing:
+    def test_root_keyword(self):
+        program = parse_program("root aunit R { }\naunit Other { }")
+        assert program.root_name == "R"
+        assert program.aunit("R").is_root
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(HildaSyntaxError):
+            parse_program("root aunit A { }\nroot aunit B { }")
+
+    def test_extends_clause(self):
+        program = parse_program(
+            """
+            aunit Base { local schema { t(x:int) } }
+            aunit Derived extends Base {
+                local schema { extra(y:int) }
+            }
+            """
+        )
+        assert program.aunit("Derived").extends == "Base"
+
+    def test_extend_activator_both_spellings(self):
+        source_template = """
+            aunit Base {{
+                persist schema {{ p(x:int) }}
+                activator A : ShowRow(int) {{
+                    activation schema {{ a(x:int) }}
+                    activation query {{ SELECT P.x FROM p P }}
+                    input query {{ ShowRow.input :- SELECT activationTuple.x }}
+                }}
+            }}
+            aunit D extends Base {{
+                {spelling} {{
+                    filter activation {{ SELECT P.x FROM p P WHERE P.x = activationTuple.x }}
+                }}
+            }}
+        """
+        for spelling in ("extend activator A", "activator extending A"):
+            program = parse_program(source_template.format(spelling=spelling))
+            derived = program.aunit("D")
+            assert derived.activator_extensions[0].base_name == "A"
+            assert derived.activator_extensions[0].activation_filter is not None
+
+    def test_punit_parsing(self):
+        program = parse_program(
+            """
+            aunit X { }
+            punit ShowX for X {
+                <div class="x">
+                <punit activator="A" name="ShowChild">
+                </div>
+            }
+            """
+        )
+        punit = program.punits[0]
+        assert punit.name == "ShowX" and punit.aunit_name == "X"
+        assert punit.includes[0].activator == "A"
+        assert punit.includes[0].punit_name == "ShowChild"
+
+
+class TestAssignmentBlockParsing:
+    def test_multiple_assignments(self):
+        assignments = parse_assignments_text(
+            """
+            a :- SELECT 1
+            Child.b :- SELECT X.v FROM x X WHERE X.v > 2
+            """
+        )
+        assert [assignment.target for assignment in assignments] == ["a", "Child.b"]
+        assert assignments[1].target_prefix == "Child"
+        assert assignments[1].simple_target == "b"
+
+    def test_dotted_target_with_in(self):
+        assignments = parse_assignments_text("out.t :- SELECT 1")
+        assert assignments[0].target == "out.t"
+
+    def test_empty_block(self):
+        assert parse_assignments_text("   \n  ") == []
+
+    def test_garbage_block_rejected(self):
+        with pytest.raises(HildaSyntaxError):
+            parse_assignments_text("SELECT 1")
+
+    def test_invalid_sql_rejected(self):
+        with pytest.raises(HildaSyntaxError):
+            parse_assignments_text("t :- SELEKT 1")

@@ -1,0 +1,85 @@
+"""Tests for the HTML helpers, default Basic PUnits and the page renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.minicms import ADMIN_USER, STUDENT1_USER
+from repro.presentation.html import escape, render_form, render_table, tag
+from repro.presentation.renderer import PageRenderer
+
+
+class TestHtmlHelpers:
+    def test_escape(self):
+        assert escape('<b>&"') == "&lt;b&gt;&amp;&quot;"
+        assert escape(None) == ""
+        assert escape(50.0) == "50"
+
+    def test_tag_with_attributes(self):
+        assert tag("div", "hi", **{"class": "x"}) == '<div class="x">hi</div>'
+        assert tag("input", type="text", name="c1") == '<input type="text" name="c1">'
+
+    def test_render_table(self):
+        html = render_table(["a", "b"], [(1, "x"), (2, None)])
+        assert html.count("<tr>") == 3
+        assert "<th>a</th>" in html and "<td>x</td>" in html
+
+    def test_render_form_includes_hidden_instance(self):
+        html = render_form("/action", "", instance_id=42)
+        assert 'name="instance_id" value="42"' in html
+        assert 'action="/action"' in html
+
+
+class TestPageRenderer:
+    def test_render_admin_page_contains_punit_structure(self, minicms_engine):
+        session = minicms_engine.start_session({"user": [(ADMIN_USER,)]})
+        html = PageRenderer(minicms_engine).render_session(session)
+        assert "Courses you administer" in html  # from the ShowCMSRoot PUnit
+        assert "Homework 1" in html  # ShowRow for the existing assignment
+        assert 'name="instance_id"' in html  # actionable forms exist
+
+    def test_student_page_lists_invitations(self, minicms_engine):
+        session = minicms_engine.start_session({"user": [(STUDENT1_USER,)]})
+        html = PageRenderer(minicms_engine).render_session(session)
+        assert "Invitations you sent" in html
+        assert "hilda-selectrow" in html
+
+    def test_default_layout_used_without_punit(self, minicms_engine):
+        # Render a CourseAdmin subtree directly: it has a PUnit; render one of
+        # its Basic children to exercise the default Basic PUnits too.
+        session = minicms_engine.start_session({"user": [(ADMIN_USER,)]})
+        admin = minicms_engine.find_instances("CourseAdmin", session_id=session)[0]
+        renderer = PageRenderer(minicms_engine)
+        html = renderer.render_instance(admin)
+        assert "Create an assignment" in html
+
+    def test_update_row_form_is_prefilled(self, minicms_engine):
+        session = minicms_engine.start_session({"user": [(ADMIN_USER,)]})
+        create = minicms_engine.find_instances("CreateAssignment", session_id=session)[0]
+        update = create.find_children("UpdateRow")[0]
+        html = PageRenderer(minicms_engine).render_instance(update)
+        assert 'name="c2"' in html and 'name="c3"' in html
+
+    def test_fragment_cache_hits_when_state_unchanged(self, minicms_engine):
+        session = minicms_engine.start_session({"user": [(ADMIN_USER,)]})
+        renderer = PageRenderer(minicms_engine, cache_fragments=True)
+        renderer.render_session(session)
+        misses_first = renderer.stats.cache_misses
+        renderer.render_session(session)
+        assert renderer.stats.cache_hits > 0
+        assert renderer.stats.cache_misses == misses_first
+
+    def test_fragment_cache_invalidated_by_state_change(self, minicms_engine):
+        session = minicms_engine.start_session({"user": [(ADMIN_USER,)]})
+        renderer = PageRenderer(minicms_engine, cache_fragments=True)
+        renderer.render_session(session)
+        create = minicms_engine.find_instances("CreateAssignment", session_id=session)[0]
+        update = create.find_children("UpdateRow")[0]
+        import datetime
+
+        minicms_engine.perform(
+            update.instance_id, ["X", datetime.date(2006, 1, 1), datetime.date(2006, 1, 2)]
+        )
+        before_hits = renderer.stats.cache_hits
+        html = renderer.render_session(session)
+        assert "X" in html  # fresh content, not the cached fragment

@@ -1,0 +1,170 @@
+"""Tests for the database catalog, snapshots, layered catalogs, DDL and functions."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.errors import DuplicateTableError, SQLExecutionError, UnknownTableError
+from repro.relational.database import Database, LayeredCatalog
+from repro.relational.ddl import create_schema_script, create_table_statement, drop_schema_script
+from repro.relational.functions import FixedClock, FunctionRegistry, SequentialKeyGenerator
+from repro.relational.schema import Column, Schema, TableSchema
+from repro.relational.types import DataType
+
+
+def schema(name="t"):
+    return TableSchema(name, [Column("a", DataType.INT), Column("b", DataType.STRING)])
+
+
+class TestDatabase:
+    def test_create_and_resolve(self):
+        db = Database()
+        db.create_table(schema())
+        assert db.has_table("t")
+        assert db.resolve_table("t").name == "t"
+        with pytest.raises(UnknownTableError):
+            db.resolve_table("missing")
+
+    def test_duplicate_create_rejected(self):
+        db = Database()
+        db.create_table(schema())
+        with pytest.raises(DuplicateTableError):
+            db.create_table(schema())
+
+    def test_create_with_dotted_name(self):
+        db = Database()
+        db.create_table(schema(), name="CourseAdmin.in.assign")
+        assert db.has_table("CourseAdmin.in.assign")
+        assert db.resolve_table("CourseAdmin.in.assign").schema.name == "CourseAdmin.in.assign"
+
+    def test_create_schema_block(self):
+        db = Database()
+        created = db.create_schema(Schema([schema("x"), schema("y")]), prefix="P.")
+        assert {table.name for table in created} == {"P.x", "P.y"}
+
+    def test_attach_detach(self):
+        db = Database()
+        table = db.create_table(schema())
+        other = Database()
+        other.attach("shared", table)
+        table.insert((1, "v"))
+        assert len(other.resolve_table("shared")) == 1
+        other.detach("shared")
+        assert not other.has_table("shared")
+
+    def test_snapshot_restore(self):
+        db = Database()
+        db.create_table(schema())
+        db.insert("t", (1, "before"))
+        snap = db.snapshot()
+        db.insert("t", (2, "after"))
+        db.restore(snap)
+        assert db.rows("t") == [(1, "before")]
+
+    def test_copy_independent(self):
+        db = Database()
+        db.create_table(schema())
+        db.insert("t", (1, "x"))
+        clone = db.copy()
+        clone.insert("t", (2, "y"))
+        assert len(db.table("t")) == 1 and len(clone.table("t")) == 2
+
+
+class TestLayeredCatalog:
+    def test_priority_order(self):
+        low = Database("low")
+        high = Database("high")
+        low.create_table(schema())
+        high.create_table(schema())
+        low.insert("t", (1, "low"))
+        high.insert("t", (2, "high"))
+        catalog = LayeredCatalog([high, low])
+        assert catalog.resolve_table("t").rows[0] == (2, "high")
+        assert catalog.has_table("t")
+        assert "t" in catalog.table_names()
+
+    def test_falls_through_layers(self):
+        first = Database()
+        second = Database()
+        second.create_table(schema("only_in_second"))
+        catalog = LayeredCatalog([first, second])
+        assert catalog.resolve_table("only_in_second") is second.table("only_in_second")
+        with pytest.raises(UnknownTableError):
+            catalog.resolve_table("nowhere")
+
+    def test_push_adds_highest_priority(self):
+        base = Database()
+        base.create_table(schema())
+        override = Database()
+        override.create_table(schema())
+        override.insert("t", (9, "override"))
+        catalog = LayeredCatalog([base])
+        catalog.push(override)
+        assert catalog.resolve_table("t").rows == [(9, "override")]
+
+
+class TestDDL:
+    def test_create_table_statement_contains_columns_and_key(self):
+        statement = create_table_statement(
+            TableSchema(
+                "assign",
+                [Column("aid", DataType.INT), Column("due", DataType.DATE)],
+                ["aid"],
+            )
+        )
+        assert 'CREATE TABLE IF NOT EXISTS "assign"' in statement
+        assert '"aid" INTEGER' in statement
+        assert '"due" DATE' in statement
+        assert 'PRIMARY KEY ("aid")' in statement
+
+    def test_dotted_names_are_flattened(self):
+        statement = create_table_statement(schema("CMSRoot.assign"))
+        assert '"CMSRoot_assign"' in statement
+
+    def test_schema_script_and_drop_script(self):
+        schemas = [schema("a"), schema("b")]
+        script = create_schema_script(schemas, header="hello\nworld")
+        assert script.startswith("-- hello")
+        assert script.count("CREATE TABLE") == 2
+        drop = drop_schema_script(schemas)
+        assert drop.splitlines()[0] == 'DROP TABLE IF EXISTS "b";'
+
+
+class TestFunctions:
+    def test_genkey_is_monotonic(self):
+        registry = FunctionRegistry()
+        registry.use_sequential_keys(start=5)
+        values = [registry.call("genkey", []) for _ in range(3)]
+        assert values == [5, 6, 7]
+
+    def test_fixed_clock(self):
+        registry = FunctionRegistry()
+        clock = registry.use_fixed_clock(datetime.date(2006, 4, 3))
+        assert registry.call("curr_date", []) == datetime.date(2006, 4, 3)
+        clock.advance(2)
+        assert registry.call("curr_date", []) == datetime.date(2006, 4, 5)
+
+    def test_string_helpers(self):
+        registry = FunctionRegistry()
+        assert registry.call("lower", ["ABC"]) == "abc"
+        assert registry.call("length", ["abcd"]) == 4
+        assert registry.call("coalesce", [None, None, 3]) == 3
+        assert registry.call("concat", ["a", None, "b"]) == "ab"
+
+    def test_unknown_function(self):
+        registry = FunctionRegistry()
+        with pytest.raises(SQLExecutionError):
+            registry.call("nope", [])
+
+    def test_copy_is_isolated(self):
+        registry = FunctionRegistry()
+        clone = registry.copy()
+        clone.register("only_in_clone", lambda: 1)
+        assert clone.has("only_in_clone")
+        assert not registry.has("only_in_clone")
+
+    def test_sequential_generator_thread_safety_shape(self):
+        generator = SequentialKeyGenerator()
+        assert generator() + 1 == generator()

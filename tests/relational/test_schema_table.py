@@ -1,0 +1,156 @@
+"""Tests for schemas, tables and key enforcement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IntegrityError, SchemaError, UnknownColumnError, UnknownTableError
+from repro.relational.schema import Column, Schema, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+def course_schema(primary_key=("cid",)):
+    return TableSchema(
+        "course",
+        [Column("cid", DataType.INT), Column("cname", DataType.STRING)],
+        list(primary_key) if primary_key else None,
+    )
+
+
+class TestTableSchema:
+    def test_basic_properties(self):
+        schema = course_schema()
+        assert schema.column_names == ("cid", "cname")
+        assert schema.arity == 2
+        assert schema.column_position("cname") == 1
+        assert schema.has_column("cid")
+        assert not schema.has_column("missing")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", DataType.INT), Column("a", DataType.INT)])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", DataType.INT)], ["b"])
+
+    def test_unknown_column_lookup(self):
+        with pytest.raises(UnknownColumnError):
+            course_schema().column_position("nope")
+
+    def test_coerce_row_checks_arity(self):
+        schema = course_schema()
+        with pytest.raises(SchemaError):
+            schema.coerce_row([1])
+        assert schema.coerce_row(["10", "DB"]) == (10, "DB")
+
+    def test_row_from_mapping(self):
+        schema = course_schema()
+        assert schema.row_from_mapping({"cid": 1, "cname": "x"}) == (1, "x")
+        assert schema.row_from_mapping({"cid": 1}) == (1, None)
+        with pytest.raises(UnknownColumnError):
+            schema.row_from_mapping({"bogus": 1})
+
+    def test_key_positions_default_to_whole_row(self):
+        schema = course_schema(primary_key=None)
+        assert schema.key_positions() == (0, 1)
+        assert course_schema().key_positions() == (0,)
+
+    def test_renamed_copy(self):
+        renamed = course_schema().renamed("activationTuple")
+        assert renamed.name == "activationTuple"
+        assert renamed.column_names == ("cid", "cname")
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        schema = Schema([course_schema()])
+        assert schema.has_table("course")
+        assert schema.table("course").arity == 2
+        with pytest.raises(UnknownTableError):
+            schema.table("missing")
+
+    def test_duplicate_table_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([course_schema(), course_schema()])
+
+    def test_merge(self):
+        other = Schema([TableSchema("staff", [Column("sid", DataType.INT)])])
+        merged = Schema([course_schema()]).merge(other)
+        assert set(merged.table_names) == {"course", "staff"}
+
+    def test_is_empty(self):
+        assert Schema().is_empty()
+        assert not Schema([course_schema()]).is_empty()
+
+
+class TestTable:
+    def test_insert_and_iterate(self):
+        table = Table(course_schema())
+        table.insert((1, "DB"))
+        table.insert_mapping({"cid": 2, "cname": "OS"})
+        assert len(table) == 2
+        assert list(table) == [(1, "DB"), (2, "OS")]
+        assert table.column_values("cname") == ["DB", "OS"]
+
+    def test_primary_key_enforced(self):
+        table = Table(course_schema())
+        table.insert((1, "DB"))
+        with pytest.raises(IntegrityError):
+            table.insert((1, "duplicate"))
+
+    def test_replace_semantics(self):
+        table = Table(course_schema())
+        table.insert((1, "DB"))
+        table.replace([(2, "OS"), (3, "Nets")])
+        assert [row[0] for row in table] == [2, 3]
+
+    def test_replace_enforces_key(self):
+        table = Table(course_schema())
+        with pytest.raises(IntegrityError):
+            table.replace([(1, "a"), (1, "b")])
+
+    def test_delete_and_update(self):
+        table = Table(course_schema())
+        table.insert_many([(1, "DB"), (2, "OS"), (3, "Nets")])
+        removed = table.delete_where(lambda row: row[0] == 2)
+        assert removed == 1 and len(table) == 2
+        updated = table.update_where(
+            lambda row: row[0] == 3, lambda row: (row[0], "Networking")
+        )
+        assert updated == 1
+        assert table.find_by_key((3,)) == (3, "Networking")
+
+    def test_find_by_key_without_declared_key(self):
+        table = Table(course_schema(primary_key=None))
+        table.insert((1, "DB"))
+        assert table.find_by_key((1, "DB")) == (1, "DB")
+        assert table.find_by_key((1, "nope")) is None
+
+    def test_copy_is_independent(self):
+        table = Table(course_schema())
+        table.insert((1, "DB"))
+        clone = table.copy()
+        clone.insert((2, "OS"))
+        assert len(table) == 1 and len(clone) == 2
+
+    def test_same_contents_ignores_order(self):
+        a = Table(course_schema(primary_key=None), [(1, "x"), (2, "y")])
+        b = Table(course_schema(primary_key=None), [(2, "y"), (1, "x")])
+        assert a.same_contents(b)
+        b.insert((3, "z"))
+        assert not a.same_contents(b)
+
+    def test_as_dicts(self):
+        table = Table(course_schema(), [(1, "DB")])
+        assert table.as_dicts() == [{"cid": 1, "cname": "DB"}]
+
+    def test_coercion_on_insert(self):
+        table = Table(course_schema())
+        table.insert(("7", 123))
+        assert table.rows[0] == (7, "123")

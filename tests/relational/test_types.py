@@ -1,0 +1,109 @@
+"""Tests for the primitive data types of the relational substrate."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.relational.types import (
+    DataType,
+    coerce_value,
+    format_value,
+    is_null,
+    parse_type_name,
+)
+
+
+class TestParseTypeName:
+    def test_paper_type_names(self):
+        assert parse_type_name("int") is DataType.INT
+        assert parse_type_name("integer") is DataType.INT
+        assert parse_type_name("string") is DataType.STRING
+        assert parse_type_name("date") is DataType.DATE
+        assert parse_type_name("float") is DataType.FLOAT
+
+    def test_aliases_and_case(self):
+        assert parse_type_name("VARCHAR") is DataType.STRING
+        assert parse_type_name("Boolean") is DataType.BOOL
+        assert parse_type_name(" text ") is DataType.STRING
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            parse_type_name("blob")
+
+
+class TestCoercion:
+    def test_null_passes_through_every_type(self):
+        for dtype in DataType:
+            assert coerce_value(None, dtype) is None
+
+    def test_int_coercion(self):
+        assert coerce_value(5, DataType.INT) == 5
+        assert coerce_value("42", DataType.INT) == 42
+        assert coerce_value(7.0, DataType.INT) == 7
+        assert coerce_value(True, DataType.INT) == 1
+
+    def test_int_rejects_fractional_and_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(3.5, DataType.INT)
+        with pytest.raises(TypeMismatchError):
+            coerce_value("abc", DataType.INT)
+
+    def test_float_coercion(self):
+        assert coerce_value(3, DataType.FLOAT) == 3.0
+        assert coerce_value("2.5", DataType.FLOAT) == 2.5
+
+    def test_string_coercion(self):
+        assert coerce_value(10, DataType.STRING) == "10"
+        assert coerce_value(datetime.date(2006, 1, 2), DataType.STRING) == "2006-01-02"
+
+    def test_date_coercion(self):
+        assert coerce_value("2006-03-15", DataType.DATE) == datetime.date(2006, 3, 15)
+        assert coerce_value(datetime.date(2006, 3, 15), DataType.DATE) == datetime.date(2006, 3, 15)
+        assert coerce_value(
+            datetime.datetime(2006, 3, 15, 12, 30), DataType.DATE
+        ) == datetime.date(2006, 3, 15)
+
+    def test_date_rejects_bad_strings(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("15/03/2006", DataType.DATE)
+
+    def test_bool_coercion(self):
+        assert coerce_value("true", DataType.BOOL) is True
+        assert coerce_value("no", DataType.BOOL) is False
+        assert coerce_value(1, DataType.BOOL) is True
+        with pytest.raises(TypeMismatchError):
+            coerce_value("maybe", DataType.BOOL)
+
+
+class TestFormatting:
+    def test_null_renders_as_NULL(self):
+        assert format_value(None) == "NULL"
+
+    def test_dates_render_iso(self):
+        assert format_value(datetime.date(2006, 3, 1)) == "2006-03-01"
+
+    def test_round_floats_lose_trailing_zero(self):
+        assert format_value(50.0) == "50"
+        assert format_value(33.5) == "33.5"
+
+    def test_bools(self):
+        assert format_value(True) == "true"
+        assert format_value(False) == "false"
+
+    def test_is_null(self):
+        assert is_null(None)
+        assert not is_null(0)
+        assert not is_null("")
+
+
+class TestDefaults:
+    def test_default_values_match_types(self):
+        for dtype in DataType:
+            assert isinstance(dtype.default_value(), dtype.python_type)
+
+    def test_python_types(self):
+        assert DataType.INT.python_type is int
+        assert DataType.DATE.python_type is datetime.date

@@ -1,0 +1,243 @@
+"""Tests for the activation, return and reactivation phases (Figures 5-7)."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.apps.minicms import ADMIN_USER, STUDENT1_USER, load_minicms, seed_paper_scenario
+from repro.runtime.engine import HildaEngine
+from repro.runtime.instance import activation_key
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+
+
+@pytest.fixture
+def admin_session(minicms_engine):
+    session = minicms_engine.start_session({"user": [(ADMIN_USER,)]})
+    return minicms_engine, session
+
+
+def course_admin(engine, session, cid):
+    return [
+        node
+        for node in engine.find_instances("CourseAdmin", session_id=session)
+        if node.activation_tuple == (cid,)
+    ][0]
+
+
+class TestActivationPhase:
+    def test_one_course_admin_per_administered_course(self, admin_session):
+        engine, session = admin_session
+        admins = engine.find_instances("CourseAdmin", session_id=session)
+        assert sorted(admin.activation_tuple[0] for admin in admins) == [10, 11]
+
+    def test_no_student_branch_for_an_admin(self, admin_session):
+        engine, session = admin_session
+        assert engine.find_instances("Student", session_id=session) == []
+
+    def test_show_row_per_assignment(self, admin_session):
+        engine, session = admin_session
+        admin10 = course_admin(engine, session, 10)
+        shows = admin10.find_children("ShowRow")
+        assert len(shows) == 1
+        assert shows[0].input_tables["input"].rows == [("Homework 1",)]
+
+    def test_child_input_computed_from_activation_tuple(self, admin_session):
+        engine, session = admin_session
+        admin10 = course_admin(engine, session, 10)
+        assert [row[0] for row in admin10.input_tables["assign"].rows] == [100]
+        admin11 = course_admin(engine, session, 11)
+        assert [row[0] for row in admin11.input_tables["assign"].rows] == [110]
+
+    def test_local_query_initialises_create_assignment(self, admin_session):
+        engine, session = admin_session
+        create = course_admin(engine, session, 10).find_children("CreateAssignment")[0]
+        assign_rows = create.local_tables["assign"].rows
+        assert len(assign_rows) == 1
+        assert assign_rows[0][0] == ""  # default empty name
+        assert create.local_tables["problem"].rows == []
+
+    def test_sessions_share_persistent_state_but_not_trees(self, minicms_engine):
+        session1 = minicms_engine.start_session({"user": [(ADMIN_USER,)]})
+        session2 = minicms_engine.start_session({"user": [(ADMIN_USER,)]})
+        tree1 = minicms_engine.session_tree(session1)
+        tree2 = minicms_engine.session_tree(session2)
+        ids1 = {node.instance_id for node in tree1.walk()}
+        ids2 = {node.instance_id for node in tree2.walk()}
+        assert ids1.isdisjoint(ids2)
+
+    def test_instance_ids_unique_across_forest(self, minicms_engine):
+        minicms_engine.start_session({"user": [(ADMIN_USER,)]})
+        minicms_engine.start_session({"user": [(STUDENT1_USER,)]})
+        ids = [node.instance_id for node in minicms_engine.forest.all_instances()]
+        assert len(ids) == len(set(ids))
+
+    def test_labels_unique_and_structural(self, admin_session):
+        engine, session = admin_session
+        labels = [node.label for node in engine.session_tree(session).walk()]
+        assert len(labels) == len(set(labels))
+        admin10 = course_admin(engine, session, 10)
+        assert admin10.label == (("session", session), "ActCourseAdmin", (10,))
+
+    def test_activation_key_uses_declared_key_or_first_column(self):
+        schema = TableSchema("a", [Column("x", DataType.INT), Column("y", DataType.STRING)])
+        assert activation_key(schema, (7, "name")) == (7,)
+        keyed = TableSchema(
+            "a", [Column("x", DataType.INT), Column("y", DataType.STRING)], ["y"]
+        )
+        assert activation_key(keyed, (7, "name")) == ("name",)
+        assert activation_key(None, None) == ()
+
+    def test_forest_statistics(self, admin_session):
+        engine, session = admin_session
+        assert engine.forest.size() == len(list(engine.forest.all_instances()))
+        assert engine.forest.depth() >= 4  # root -> CourseAdmin -> CreateAssignment -> basic
+
+
+class TestReturnPhase:
+    def test_non_return_handler_updates_local_only(self, admin_session):
+        engine, session = admin_session
+        create = course_admin(engine, session, 10).find_children("CreateAssignment")[0]
+        update = create.find_children("UpdateRow")[0]
+        result = engine.perform(
+            update.instance_id, ["HW2", datetime.date(2006, 4, 1), datetime.date(2006, 4, 10)]
+        )
+        assert result.accepted
+        assert [handler.handler_name for handler in result.handlers] == ["updateAssign"]
+        # Persistent data unchanged; only the CreateAssignment local state moved.
+        assert len(engine.persistent_table("assign")) == 2
+
+    def test_return_chain_reaches_the_root_handler(self, admin_session):
+        engine, session = admin_session
+        create = course_admin(engine, session, 10).find_children("CreateAssignment")[0]
+        update = create.find_children("UpdateRow")[0]
+        engine.perform(
+            update.instance_id, ["HW2", datetime.date(2006, 4, 1), datetime.date(2006, 4, 10)]
+        )
+        submit = course_admin(engine, session, 10).find_children("CreateAssignment")[0]
+        submit_button = submit.find_children("SubmitBasic")[0]
+        result = engine.perform(submit_button.instance_id)
+        names = [handler.handler_name for handler in result.handlers]
+        assert names == ["success", "NewAssignment", "UpdateAssignments"]
+        assert [handler.is_return for handler in result.handlers] == [True, True, False]
+        assert len(engine.persistent_table("assign")) == 3
+
+    def test_condition_selects_fail_handler(self, admin_session):
+        engine, session = admin_session
+        create = course_admin(engine, session, 10).find_children("CreateAssignment")[0]
+        update = create.find_children("UpdateRow")[0]
+        engine.perform(
+            update.instance_id, ["Bad", datetime.date(2006, 4, 20), datetime.date(2006, 4, 10)]
+        )
+        create = course_admin(engine, session, 10).find_children("CreateAssignment")[0]
+        submit_button = create.find_children("SubmitBasic")[0]
+        result = engine.perform(submit_button.instance_id)
+        assert [handler.handler_name for handler in result.handlers] == ["fail"]
+        # No new assignment; the dialogue's local state was reset by the handler.
+        assert len(engine.persistent_table("assign")) == 2
+
+    def test_display_only_basic_aunits_cannot_return(self, admin_session):
+        engine, session = admin_session
+        show = course_admin(engine, session, 10).find_children("ShowRow")[0]
+        result = engine.perform(show.instance_id)
+        assert result.status == "rejected"
+        assert "display-only" in result.message
+
+    def test_missing_values_for_data_entry_rejected(self, admin_session):
+        engine, session = admin_session
+        get_row = (
+            course_admin(engine, session, 10)
+            .find_children("CreateAssignment")[0]
+            .find_children("GetRow")[0]
+        )
+        result = engine.perform(get_row.instance_id)  # no values supplied
+        assert result.status == "rejected"
+
+    def test_perform_on_non_basic_instance_rejected(self, admin_session):
+        engine, session = admin_session
+        admin10 = course_admin(engine, session, 10)
+        result = engine.perform(admin10.instance_id)
+        assert result.status == "rejected"
+
+
+class TestReactivationPhase:
+    def test_surviving_instances_keep_ids_and_local_state(self, admin_session):
+        engine, session = admin_session
+        create_before = course_admin(engine, session, 10).find_children("CreateAssignment")[0]
+        other_create_before = course_admin(engine, session, 11).find_children(
+            "CreateAssignment"
+        )[0]
+        update = create_before.find_children("UpdateRow")[0]
+        engine.perform(
+            update.instance_id, ["HW2", datetime.date(2006, 4, 1), datetime.date(2006, 4, 10)]
+        )
+        create_after = course_admin(engine, session, 10).find_children("CreateAssignment")[0]
+        other_create_after = course_admin(engine, session, 11).find_children(
+            "CreateAssignment"
+        )[0]
+        # Same labels -> same IDs; the edited dialogue kept its local edit.
+        assert create_after.instance_id == create_before.instance_id
+        assert other_create_after.instance_id == other_create_before.instance_id
+        assert create_after.local_tables["assign"].rows[0][0] == "HW2"
+        assert other_create_after.local_tables["assign"].rows[0][0] == ""
+
+    def test_returned_instance_loses_local_state_but_other_session_keeps_it(self, minicms_engine):
+        engine = minicms_engine
+        session1 = engine.start_session({"user": [(ADMIN_USER,)]})
+        session2 = engine.start_session({"user": [(ADMIN_USER,)]})
+
+        # Session 2 types into its course-10 dialogue but does not submit.
+        create_s2 = course_admin(engine, session2, 10).find_children("CreateAssignment")[0]
+        engine.perform(
+            create_s2.find_children("UpdateRow")[0].instance_id,
+            ["Draft in session 2", datetime.date(2006, 4, 1), datetime.date(2006, 4, 2)],
+        )
+
+        # Session 1 creates an assignment (its dialogue returns).
+        create_s1 = course_admin(engine, session1, 10).find_children("CreateAssignment")[0]
+        engine.perform(
+            create_s1.find_children("UpdateRow")[0].instance_id,
+            ["HW2", datetime.date(2006, 4, 1), datetime.date(2006, 4, 10)],
+        )
+        create_s1 = course_admin(engine, session1, 10).find_children("CreateAssignment")[0]
+        engine.perform(create_s1.find_children("SubmitBasic")[0].instance_id)
+
+        # Session 1's dialogue was re-initialised (it returned) ...
+        fresh = course_admin(engine, session1, 10).find_children("CreateAssignment")[0]
+        assert fresh.local_tables["assign"].rows[0][0] == ""
+        # ... while session 2's unsubmitted draft survived (Figure 7, session 2).
+        draft = course_admin(engine, session2, 10).find_children("CreateAssignment")[0]
+        assert draft.local_tables["assign"].rows[0][0] == "Draft in session 2"
+
+    def test_new_show_row_appears_in_every_session(self, minicms_engine):
+        engine = minicms_engine
+        session1 = engine.start_session({"user": [(ADMIN_USER,)]})
+        session2 = engine.start_session({"user": [(ADMIN_USER,)]})
+        before = course_admin(engine, session2, 10).find_children("ShowRow")
+        create = course_admin(engine, session1, 10).find_children("CreateAssignment")[0]
+        engine.perform(
+            create.find_children("UpdateRow")[0].instance_id,
+            ["HW2", datetime.date(2006, 4, 1), datetime.date(2006, 4, 10)],
+        )
+        create = course_admin(engine, session1, 10).find_children("CreateAssignment")[0]
+        engine.perform(create.find_children("SubmitBasic")[0].instance_id)
+        after = course_admin(engine, session2, 10).find_children("ShowRow")
+        assert len(after) == len(before) + 1
+        # The pre-existing ShowRow kept its instance ID, the new one got a fresh one.
+        surviving = {node.instance_id for node in before} & {node.instance_id for node in after}
+        assert len(surviving) == len(before)
+
+    def test_refresh_is_idempotent_without_changes(self, admin_session):
+        engine, session = admin_session
+        before = {node.label: node.instance_id for node in engine.session_tree(session).walk()}
+        engine.refresh()
+        after = {node.label: node.instance_id for node in engine.session_tree(session).walk()}
+        assert before == after
+
+    def test_closing_a_session_removes_its_instances(self, admin_session):
+        engine, session = admin_session
+        engine.close_session(session)
+        assert engine.forest.session_ids() == []
+        assert engine.forest.size() == 0

@@ -1,0 +1,172 @@
+"""Tests for aggregates, DML statements and the binder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SQLBindingError
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.sql.binder import Binder
+from repro.sql.executor import SQLExecutor
+from repro.sql.parser import parse_query
+
+
+class TestAggregates:
+    def test_count_star(self, sql):
+        assert sql.query_scalar("SELECT count(*) FROM course") == 3
+
+    def test_count_column_skips_nulls(self, sql):
+        assert sql.query_scalar("SELECT count(score) FROM grade") == 3
+        assert sql.query_scalar("SELECT count(*) FROM grade") == 4
+
+    def test_sum_avg_min_max(self, sql):
+        row = sql.query_rows(
+            "SELECT sum(score), avg(score), min(score), max(score) FROM grade"
+        )[0]
+        assert row[0] == 240.0
+        assert row[1] == pytest.approx(80.0)
+        assert row[2] == 70.0 and row[3] == 90.0
+
+    def test_group_by(self, sql):
+        rows = sql.query_rows(
+            "SELECT cid, count(*) FROM student GROUP BY cid ORDER BY cid"
+        )
+        assert rows == [(10, 2), (11, 1), (12, 1)]
+
+    def test_group_by_with_having(self, sql):
+        rows = sql.query_rows(
+            "SELECT cid, count(*) AS n FROM student GROUP BY cid HAVING count(*) > 1"
+        )
+        assert rows == [(10, 2)]
+
+    def test_global_aggregate_on_empty_group(self, sql):
+        row = sql.query_rows("SELECT count(*), max(cid) FROM course WHERE cid > 99")[0]
+        assert row == (0, None)
+
+    def test_aggregate_with_expression(self, sql):
+        value = sql.query_scalar("SELECT max(score) - min(score) FROM grade")
+        assert value == 20.0
+
+    def test_count_distinct(self, sql):
+        assert sql.query_scalar("SELECT count(DISTINCT sname) FROM staff") == 3
+
+    def test_aggregate_join(self, sql):
+        rows = sql.query_rows(
+            "SELECT C.cname, count(*) FROM course C, student T WHERE C.cid = T.cid "
+            "GROUP BY C.cname ORDER BY C.cname"
+        )
+        assert rows == [("Databases", 2), ("Networks", 1), ("Operating Systems", 1)]
+
+
+class TestDML:
+    def test_insert_values_and_select(self, sample_db):
+        executor = SQLExecutor(sample_db)
+        inserted = executor.execute("INSERT INTO course (cid, cname) VALUES (20, 'Compilers')")
+        assert inserted == 1
+        assert (20, "Compilers") in executor.query_rows("SELECT * FROM course")
+
+    def test_insert_from_select(self, sample_db):
+        executor = SQLExecutor(sample_db)
+        executor.execute("INSERT INTO student SELECT sid + 100, cid, sname FROM student")
+        assert len(sample_db.table("student")) == 8
+
+    def test_delete_with_where(self, sample_db):
+        executor = SQLExecutor(sample_db)
+        removed = executor.execute("DELETE FROM staff WHERE role = 'ta'")
+        assert removed == 1
+        assert executor.query_scalar("SELECT count(*) FROM staff") == 3
+
+    def test_delete_all(self, sample_db):
+        executor = SQLExecutor(sample_db)
+        assert executor.execute("DELETE FROM grade") == 4
+        assert executor.query_scalar("SELECT count(*) FROM grade") == 0
+
+    def test_update(self, sample_db):
+        executor = SQLExecutor(sample_db)
+        changed = executor.execute("UPDATE course SET cname = 'DB Systems' WHERE cid = 10")
+        assert changed == 1
+        assert executor.query_scalar("SELECT cname FROM course WHERE cid = 10") == "DB Systems"
+
+    def test_update_with_expression(self, sample_db):
+        executor = SQLExecutor(sample_db)
+        executor.execute("UPDATE grade SET score = score + 5 WHERE score IS NOT NULL")
+        assert executor.query_scalar("SELECT max(score) FROM grade") == 95.0
+
+
+def _schema_provider():
+    tables = {
+        "course": TableSchema(
+            "course", [Column("cid", DataType.INT), Column("cname", DataType.STRING)]
+        ),
+        "staff": TableSchema(
+            "staff",
+            [
+                Column("stid", DataType.INT),
+                Column("cid", DataType.INT),
+                Column("sname", DataType.STRING),
+                Column("role", DataType.STRING),
+            ],
+        ),
+        "activationTuple": TableSchema(
+            "activationTuple", [Column("cid", DataType.INT)]
+        ),
+    }
+    return lambda name: tables.get(name)
+
+
+class TestBinder:
+    def test_output_columns_and_arity(self):
+        binder = Binder(_schema_provider())
+        bound = binder.bind(parse_query("SELECT C.cid, C.cname FROM course C"))
+        assert bound.column_names == ["cid", "cname"]
+        assert bound.arity == 2
+
+    def test_star_expansion(self):
+        binder = Binder(_schema_provider())
+        bound = binder.bind(parse_query("SELECT * FROM course C, staff S"))
+        assert bound.arity == 6
+
+    def test_unknown_table(self):
+        binder = Binder(_schema_provider())
+        with pytest.raises(SQLBindingError):
+            binder.bind(parse_query("SELECT * FROM missing"))
+
+    def test_unknown_column_strict(self):
+        binder = Binder(_schema_provider(), strict_columns=True)
+        with pytest.raises(SQLBindingError):
+            binder.bind(parse_query("SELECT C.bogus FROM course C"))
+
+    def test_ambiguous_column(self):
+        binder = Binder(_schema_provider(), strict_columns=True)
+        with pytest.raises(SQLBindingError):
+            binder.bind(parse_query("SELECT cid FROM course C, staff S"))
+
+    def test_union_arity_mismatch(self):
+        binder = Binder(_schema_provider())
+        with pytest.raises(SQLBindingError):
+            binder.bind(parse_query("SELECT cid FROM course UNION SELECT cid, cname FROM course"))
+
+    def test_implicit_activation_tuple_table(self):
+        binder = Binder(_schema_provider())
+        bound = binder.bind(parse_query("SELECT activationTuple.cid"))
+        assert bound.arity == 1
+
+    def test_referenced_tables_collected(self):
+        binder = Binder(_schema_provider())
+        bound = binder.bind(
+            parse_query(
+                "SELECT C.cid FROM course C WHERE C.cid IN (SELECT cid FROM staff)"
+            )
+        )
+        assert bound.referenced_tables == {"course", "staff"}
+
+    def test_subquery_correlation_to_outer_alias(self):
+        binder = Binder(_schema_provider(), strict_columns=True)
+        bound = binder.bind(
+            parse_query(
+                "SELECT C.cname FROM course C WHERE EXISTS "
+                "(SELECT 1 FROM staff S WHERE S.cid = C.cid)"
+            )
+        )
+        assert bound.arity == 1

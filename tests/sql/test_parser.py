@@ -1,0 +1,206 @@
+"""Tests for the SQL lexer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    DeleteStatement,
+    ExistsExpression,
+    FunctionCall,
+    InExpression,
+    InsertStatement,
+    JoinRef,
+    Literal,
+    SelectItem,
+    SelectQuery,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnionQuery,
+    UpdateStatement,
+)
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_expression, parse_query, parse_statement
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("SELECT name FROM course")
+        assert [token.type for token in tokens[:-1]] == ["KEYWORD", "IDENT", "KEYWORD", "IDENT"]
+
+    def test_string_literals_single_and_double_quotes(self):
+        tokens = tokenize("SELECT 'admin', \"ta\"")
+        values = [token.value for token in tokens if token.type == "STRING"]
+        assert values == ["admin", "ta"]
+
+    def test_escaped_quote(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert [t.value for t in tokens if t.type == "STRING"] == ["it's"]
+
+    def test_numbers(self):
+        tokens = tokenize("SELECT 42, 3.5")
+        assert [t.value for t in tokens if t.type == "NUMBER"] == [42, 3.5]
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing\n/* block */ , 2")
+        assert [t.value for t in tokens if t.type == "NUMBER"] == [1, 2]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_two_character_operators(self):
+        tokens = tokenize("a <= b <> c >= d != e")
+        ops = [t.value for t in tokens if t.type == "OPERATOR"]
+        assert ops == ["<=", "<>", ">=", "!="]
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        query = parse_query("SELECT cid, cname FROM course")
+        assert isinstance(query, SelectQuery)
+        assert len(query.items) == 2
+        assert isinstance(query.from_items[0], TableRef)
+
+    def test_select_star_and_alias_star(self):
+        query = parse_query("SELECT *, C.* FROM course C")
+        assert isinstance(query.items[0], Star)
+        assert isinstance(query.items[1], Star) and query.items[1].qualifier == "C"
+
+    def test_comma_join_with_aliases(self):
+        query = parse_query(
+            'SELECT C.cid FROM course C, staff S WHERE C.cid = S.cid AND S.role = "admin"'
+        )
+        assert len(query.from_items) == 2
+        assert query.from_items[1].alias == "S"
+        assert isinstance(query.where, BinaryOp) and query.where.operator == "AND"
+
+    def test_dotted_table_names_with_keywords(self):
+        query = parse_query("SELECT I.aid FROM CourseAdmin.in.assign I")
+        assert query.from_items[0].name == "CourseAdmin.in.assign"
+
+    def test_group_table_name(self):
+        query = parse_query("SELECT G.gid FROM group G, invitation I WHERE G.gid = I.gid")
+        assert query.from_items[0].name == "group"
+
+    def test_positional_column_reference(self):
+        expression = parse_expression("O.1")
+        assert isinstance(expression, ColumnRef)
+        assert expression.qualifier == "O" and expression.is_positional
+
+    def test_left_outer_join(self):
+        query = parse_query(
+            "SELECT A.name FROM assign A LEFT OUTER JOIN group G ON A.aid = G.aid"
+        )
+        join = query.from_items[0]
+        assert isinstance(join, JoinRef) and join.join_type == "LEFT"
+        assert join.condition is not None
+
+    def test_inner_join_keyword(self):
+        query = parse_query("SELECT * FROM a JOIN b ON a.x = b.x")
+        assert query.from_items[0].join_type == "INNER"
+
+    def test_union_and_union_all(self):
+        union = parse_query("SELECT 1 UNION SELECT 2 UNION ALL SELECT 3")
+        assert isinstance(union, UnionQuery) and union.all
+        assert isinstance(union.left, UnionQuery) and not union.left.all
+
+    def test_not_in_subquery(self):
+        query = parse_query(
+            "SELECT * FROM assign A WHERE A.aid NOT IN (SELECT aid FROM problem)"
+        )
+        assert isinstance(query.where, InExpression)
+        assert query.where.negated and query.where.subquery is not None
+
+    def test_in_value_list(self):
+        expression = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expression, InExpression)
+        assert len(expression.values) == 3
+
+    def test_exists(self):
+        expression = parse_expression("EXISTS (SELECT 1 FROM t)")
+        assert isinstance(expression, ExistsExpression)
+
+    def test_group_by_having_order_by_limit(self):
+        query = parse_query(
+            "SELECT cid, count(*) AS n FROM student GROUP BY cid "
+            "HAVING count(*) > 1 ORDER BY n DESC LIMIT 5"
+        )
+        assert len(query.group_by) == 1
+        assert query.having is not None
+        assert query.order_by[0].descending
+        assert query.limit == 5
+
+    def test_select_without_from(self):
+        query = parse_query('SELECT "", curr_date(), genkey()')
+        assert query.from_items == ()
+        assert isinstance(query.items[0].expression, Literal)
+        assert isinstance(query.items[1].expression, FunctionCall)
+
+    def test_derived_table(self):
+        query = parse_query("SELECT d.n FROM (SELECT count(*) AS n FROM course) d")
+        assert isinstance(query.from_items[0], SubqueryRef)
+        assert query.from_items[0].alias == "d"
+
+    def test_case_expression(self):
+        expression = parse_expression("CASE WHEN x > 1 THEN 'big' ELSE 'small' END")
+        assert expression.to_sql().startswith("CASE WHEN")
+
+    def test_between_and_like_and_is_null(self):
+        between = parse_expression("x BETWEEN 1 AND 10")
+        like = parse_expression("name LIKE 'Hom%'")
+        null = parse_expression("grade IS NOT NULL")
+        assert between.to_sql().count("BETWEEN") == 1
+        assert like.to_sql().count("LIKE") == 1
+        assert null.negated
+
+    def test_arithmetic_precedence(self):
+        expression = parse_expression("1 + 2 * 3")
+        assert isinstance(expression, BinaryOp) and expression.operator == "+"
+        assert isinstance(expression.right, BinaryOp) and expression.right.operator == "*"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT 1 SELECT 2")
+
+    def test_missing_from_table_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT * FROM")
+
+    def test_to_sql_round_trip_reparses(self):
+        original = parse_query(
+            "SELECT C.cid, count(*) AS n FROM course C, staff S "
+            "WHERE C.cid = S.cid AND S.role = 'admin' GROUP BY C.cid ORDER BY n DESC"
+        )
+        reparsed = parse_query(original.to_sql())
+        assert reparsed.to_sql() == original.to_sql()
+
+
+class TestDMLParsing:
+    def test_insert_values(self):
+        statement = parse_statement("INSERT INTO course (cid, cname) VALUES (1, 'DB'), (2, 'OS')")
+        assert isinstance(statement, InsertStatement)
+        assert statement.columns == ("cid", "cname")
+        assert len(statement.rows) == 2
+
+    def test_insert_select(self):
+        statement = parse_statement("INSERT INTO archive SELECT * FROM course")
+        assert isinstance(statement, InsertStatement) and statement.query is not None
+
+    def test_delete(self):
+        statement = parse_statement("DELETE FROM course WHERE cid = 3")
+        assert isinstance(statement, DeleteStatement)
+        assert statement.where is not None
+
+    def test_update(self):
+        statement = parse_statement("UPDATE course SET cname = 'X' WHERE cid = 1")
+        assert isinstance(statement, UpdateStatement)
+        assert statement.assignments[0][0] == "cname"
+
+    def test_unknown_statement(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("DROP TABLE course")

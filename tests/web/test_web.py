@@ -1,0 +1,167 @@
+"""Tests for the web substrate: requests, forms, sessions, the container."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.apps.minicms import ADMIN_USER, STUDENT1_USER, STUDENT2_USER, seed_paper_scenario
+from repro.errors import FormDecodingError
+from repro.runtime.engine import HildaEngine
+from repro.web.container import BrowserClient, HildaApplication
+from repro.web.forms import decode_action, encode_action
+from repro.web.http import Request, Response, encode_form, parse_query_string
+from repro.web.sessions import SESSION_COOKIE, SessionManager
+
+
+class TestHttpPrimitives:
+    def test_parse_query_string(self):
+        assert parse_query_string("a=1&b=two&b=three") == {"a": "1", "b": "three"}
+        assert parse_query_string("") == {}
+
+    def test_request_get_splits_query(self):
+        request = Request.get("/login?user=alice")
+        assert request.path == "/login" and request.params == {"user": "alice"}
+
+    def test_request_post_encodes_body(self):
+        request = Request.post("/action", {"instance_id": 4, "c1": "x"})
+        assert request.method == "POST"
+        assert "instance_id=4" in request.body
+
+    def test_response_redirect(self):
+        response = Response.redirect("/", set_cookies={"k": "v"})
+        assert response.is_redirect and response.location == "/"
+        assert response.set_cookies == {"k": "v"}
+
+    def test_encode_form_handles_none(self):
+        assert "a=" in encode_form({"a": None})
+
+
+class TestSessionManager:
+    def test_create_lookup_destroy(self):
+        manager = SessionManager()
+        session = manager.create("alice", "S1")
+        assert manager.lookup(session.token).user == "alice"
+        manager.destroy(session.token)
+        assert manager.lookup(session.token) is None
+
+    def test_require_raises_for_unknown(self):
+        from repro.errors import SessionError
+
+        with pytest.raises(SessionError):
+            SessionManager().require("nope")
+
+
+class TestFormDecoding:
+    @pytest.fixture
+    def engine(self, minicms_engine):
+        minicms_engine.start_session({"user": [(ADMIN_USER,)]})
+        return minicms_engine
+
+    def test_round_trip_encode_decode(self, engine):
+        update = engine.find_instances("UpdateRow")[0]
+        params = encode_action(update, ["HW", "2006-04-01", "2006-04-02"])
+        instance_id, values = decode_action(engine, {k: str(v) for k, v in params.items()})
+        assert instance_id == update.instance_id
+        assert values == ["HW", datetime.date(2006, 4, 1), datetime.date(2006, 4, 2)]
+
+    def test_missing_instance_id(self, engine):
+        with pytest.raises(FormDecodingError):
+            decode_action(engine, {"c1": "x"})
+
+    def test_bad_instance_id(self, engine):
+        with pytest.raises(FormDecodingError):
+            decode_action(engine, {"instance_id": "abc"})
+
+    def test_type_error_reported(self, engine):
+        update = engine.find_instances("UpdateRow")[0]
+        with pytest.raises(FormDecodingError):
+            decode_action(
+                engine,
+                {"instance_id": str(update.instance_id), "c1": "x", "c2": "not-a-date", "c3": ""},
+            )
+
+    def test_submit_without_fields_decodes_to_none(self, engine):
+        submit = engine.find_instances("SubmitBasic")[0]
+        instance_id, values = decode_action(engine, {"instance_id": str(submit.instance_id)})
+        assert instance_id == submit.instance_id and values is None
+
+    def test_stale_instance_passes_through(self, engine):
+        instance_id, values = decode_action(engine, {"instance_id": "987654", "c1": "x"})
+        assert instance_id == 987654
+        assert values == ["x"]
+
+
+class TestContainer:
+    @pytest.fixture
+    def application(self, minicms_program):
+        application = HildaApplication(minicms_program)
+        seed_paper_scenario(application.engine)
+        return application
+
+    def test_login_sets_cookie_and_renders_page(self, application):
+        browser = BrowserClient(application)
+        page = browser.login(ADMIN_USER)
+        assert page.ok
+        assert SESSION_COOKIE in browser.cookies
+        assert "Homework 1" in page.body
+
+    def test_page_requires_login(self, application):
+        response = application.handle(Request.get("/"))
+        assert response.is_redirect and response.location == "/login"
+
+    def test_login_requires_user_parameter(self, application):
+        response = application.handle(Request.get("/login"))
+        assert response.status == 400
+
+    def test_unknown_route_is_404(self, application):
+        assert application.handle(Request.get("/nope")).status == 404
+
+    def test_action_round_trip_updates_application(self, application):
+        browser = BrowserClient(application)
+        browser.login(ADMIN_USER)
+        engine = application.engine
+        create = engine.find_instances("CreateAssignment")[0]
+        update = create.find_children("UpdateRow")[0]
+        page = browser.post(
+            "/action", encode_action(update, ["HW77", "2006-04-01", "2006-04-02"])
+        )
+        assert "Action applied" in page.body
+        assert "HW77" in page.body
+
+    def test_conflicting_action_shows_banner(self, application):
+        alice = BrowserClient(application)
+        s1_browser = BrowserClient(application)
+        s2_browser = BrowserClient(application)
+        s1_browser.login(STUDENT1_USER)
+        s2_browser.login(STUDENT2_USER)
+        engine = application.engine
+
+        withdraw = engine.find_instances("SelectRow", activator="ActWithdrawInv")[0]
+        accept = engine.find_instances("SelectRow", activator="ActAcceptInv")[0]
+        s1_browser.post("/action", encode_action(withdraw))
+        page = s2_browser.post("/action", encode_action(accept))
+        assert "could not be performed" in page.body
+
+    def test_logout_closes_engine_session(self, application):
+        browser = BrowserClient(application)
+        browser.login(ADMIN_USER)
+        assert application.engine.session_ids()
+        browser.get("/logout", follow_redirects=False)
+        assert application.engine.session_ids() == []
+
+    def test_wsgi_adapter(self, application):
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = status
+            captured["headers"] = headers
+
+        body = application.wsgi_app(
+            {"REQUEST_METHOD": "GET", "PATH_INFO": "/login", "QUERY_STRING": f"user={ADMIN_USER}"},
+            start_response,
+        )
+        assert captured["status"].startswith("302")
+        assert any(name == "Set-Cookie" for name, _ in captured["headers"])
+        assert isinstance(body[0], bytes)
