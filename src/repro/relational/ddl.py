@@ -14,7 +14,13 @@ from typing import Iterable, List
 from repro.relational.schema import Schema, TableSchema
 from repro.relational.types import DataType
 
-__all__ = ["sql_type_name", "create_table_statement", "create_schema_script", "drop_schema_script"]
+__all__ = [
+    "sql_type_name",
+    "create_table_statement",
+    "create_index_statements",
+    "create_schema_script",
+    "drop_schema_script",
+]
 
 
 _SQL_TYPES = {
@@ -49,6 +55,20 @@ def create_table_statement(schema: TableSchema, if_not_exists: bool = True) -> s
     return f"CREATE TABLE {guard}{_quote_identifier(schema.name)} (\n{body}\n);"
 
 
+def create_index_statements(schema: TableSchema, if_not_exists: bool = True) -> List[str]:
+    """Render CREATE INDEX statements for a table's declared secondary indexes."""
+    guard = "IF NOT EXISTS " if if_not_exists else ""
+    statements: List[str] = []
+    for position, columns in enumerate(schema.indexes, start=1):
+        index_name = schema.name.replace(".", "_") + f"_idx{position}"
+        column_list = ", ".join(_quote_identifier(column) for column in columns)
+        statements.append(
+            f"CREATE INDEX {guard}{_quote_identifier(index_name)} "
+            f"ON {_quote_identifier(schema.name)} ({column_list});"
+        )
+    return statements
+
+
 def create_schema_script(
     schemas: Iterable[TableSchema], header: str = "", if_not_exists: bool = True
 ) -> str:
@@ -59,6 +79,7 @@ def create_schema_script(
         parts.append("")
     for table_schema in schemas:
         parts.append(create_table_statement(table_schema, if_not_exists=if_not_exists))
+        parts.extend(create_index_statements(table_schema, if_not_exists=if_not_exists))
         parts.append("")
     return "\n".join(parts).rstrip() + "\n"
 

@@ -55,6 +55,7 @@ class TableSchema:
         name: str,
         columns: Sequence[Column],
         primary_key: Optional[Sequence[str]] = None,
+        indexes: Sequence[Sequence[str]] = (),
     ) -> None:
         if not name:
             raise SchemaError("table name must be non-empty")
@@ -81,6 +82,18 @@ class TableSchema:
             self.primary_key: Tuple[str, ...] = tuple(primary_key)
         else:
             self.primary_key = ()
+        normalized_indexes = []
+        for index_columns in indexes:
+            index_tuple = tuple(index_columns)
+            missing = [col for col in index_tuple if col not in self._index]
+            if missing:
+                raise SchemaError(
+                    f"index column(s) {missing} not in table {name!r}"
+                )
+            normalized_indexes.append(index_tuple)
+        #: Secondary hash indexes declared with the schema; :class:`Table`
+        #: creates and maintains them automatically.
+        self.indexes: Tuple[Tuple[str, ...], ...] = tuple(normalized_indexes)
 
     # -- introspection ------------------------------------------------------
 
@@ -141,7 +154,7 @@ class TableSchema:
 
     def renamed(self, name: str) -> "TableSchema":
         """A copy of this schema under a different table name."""
-        return TableSchema(name, self.columns, self.primary_key or None)
+        return TableSchema(name, self.columns, self.primary_key or None, self.indexes)
 
     def is_union_compatible(self, other: "TableSchema") -> bool:
         """True when rows of ``other`` can be stored in this table."""
@@ -156,10 +169,11 @@ class TableSchema:
             self.name == other.name
             and self.columns == other.columns
             and self.primary_key == other.primary_key
+            and self.indexes == other.indexes
         )
 
     def __hash__(self) -> int:
-        return hash((self.name, self.columns, self.primary_key))
+        return hash((self.name, self.columns, self.primary_key, self.indexes))
 
     def __repr__(self) -> str:
         cols = ", ".join(str(column) for column in self.columns)

@@ -5,18 +5,29 @@ mutation.  Hilda assignments (``table :- SELECT ...``) replace the entire
 contents of the target table, so :meth:`Table.replace` is the primitive the
 runtime uses; the web baseline and the SQL DML statements additionally use
 insert/delete/update.
+
+Beyond the primary-key map, a table can carry **secondary hash indexes**
+(declared on the schema or created on demand by the SQL planner via
+:meth:`ensure_index`).  Each index maps a tuple of column values to the list
+of rows holding those values and is maintained incrementally on
+insert/delete/update; whole-table ``replace`` rebuilds it.  The primary-key
+map itself maps key -> row, so point mutations touch only the changed keys
+instead of rebuilding the map per statement.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import IntegrityError
+from repro.errors import IntegrityError, SchemaError, UnknownColumnError
 from repro.relational.schema import TableSchema
 
 __all__ = ["Table"]
 
 Row = Tuple[Any, ...]
+
+#: A secondary index: key-value tuple -> rows holding those values.
+IndexMap = Dict[Tuple[Any, ...], List[Row]]
 
 
 class Table:
@@ -30,9 +41,13 @@ class Table:
     def __init__(self, schema: TableSchema, rows: Iterable[Sequence[Any]] = ()) -> None:
         self.schema = schema
         self._rows: List[Row] = []
-        self._key_index: Optional[Dict[Tuple[Any, ...], int]] = (
+        self._key_index: Optional[Dict[Tuple[Any, ...], Row]] = (
             {} if schema.primary_key else None
         )
+        self._indexes: Dict[Tuple[str, ...], IndexMap] = {}
+        self._index_positions: Dict[Tuple[str, ...], Tuple[int, ...]] = {}
+        for columns in schema.indexes:
+            self.create_index(columns)
         for row in rows:
             self.insert(row)
 
@@ -70,8 +85,10 @@ class Table:
                 raise IntegrityError(
                     f"duplicate primary key {key!r} in table {self.name!r}"
                 )
-            self._key_index[key] = len(self._rows)
+            self._key_index[key] = row
         self._rows.append(row)
+        if self._indexes:
+            self._index_add(row)
         return row
 
     def insert_mapping(self, mapping: Dict[str, Any]) -> Row:
@@ -86,30 +103,75 @@ class Table:
         return count
 
     def delete_where(self, predicate: Callable[[Row], bool]) -> int:
-        """Delete all rows matching ``predicate``; returns the number removed."""
-        kept = [row for row in self._rows if not predicate(row)]
-        removed = len(self._rows) - len(kept)
+        """Delete all rows matching ``predicate``; returns the number removed.
+
+        Indexes (primary and secondary) are maintained incrementally: only
+        the removed rows are unindexed instead of rebuilding every map.
+        """
+        kept: List[Row] = []
+        removed: List[Row] = []
+        for row in self._rows:
+            (removed if predicate(row) else kept).append(row)
         if removed:
-            self._set_rows(kept)
-        return removed
+            self._rows = kept
+            if self._key_index is not None:
+                key_of = self.schema.key_of
+                for row in removed:
+                    del self._key_index[key_of(row)]
+            if self._indexes:
+                for row in removed:
+                    self._index_remove(row)
+        return len(removed)
 
     def update_where(
         self,
         predicate: Callable[[Row], bool],
         updater: Callable[[Row], Sequence[Any]],
     ) -> int:
-        """Replace each matching row with ``updater(row)``; returns count updated."""
-        changed = 0
+        """Replace each matching row with ``updater(row)``; returns count updated.
+
+        Only the rows whose contents actually change are re-indexed; key
+        uniqueness is validated against the post-update state before any
+        structure is touched, so a violation leaves the table unchanged.
+        """
+        matched = 0
+        changed: List[Tuple[Row, Row]] = []
         new_rows: List[Row] = []
         for row in self._rows:
             if predicate(row):
-                new_rows.append(self.schema.coerce_row(updater(row)))
-                changed += 1
+                new_row = self.schema.coerce_row(updater(row))
+                new_rows.append(new_row)
+                matched += 1
+                if new_row != row:
+                    changed.append((row, new_row))
             else:
                 new_rows.append(row)
+        if not matched:
+            return 0
+        if self._key_index is not None and changed:
+            key_of = self.schema.key_of
+            old_keys = {key_of(old) for old, _ in changed}
+            seen = set()
+            for _, new_row in changed:
+                key = key_of(new_row)
+                if key in seen or (key in self._key_index and key not in old_keys):
+                    raise IntegrityError(
+                        f"duplicate primary key {key!r} in table {self.name!r}"
+                    )
+                seen.add(key)
+        self._rows = new_rows
         if changed:
-            self._set_rows(new_rows)
-        return changed
+            if self._key_index is not None:
+                key_of = self.schema.key_of
+                for old, _ in changed:
+                    del self._key_index[key_of(old)]
+                for _, new_row in changed:
+                    self._key_index[key_of(new_row)] = new_row
+            if self._indexes:
+                for old, new_row in changed:
+                    self._index_remove(old)
+                    self._index_add(new_row)
+        return matched
 
     def replace(self, rows: Iterable[Sequence[Any]]) -> int:
         """Replace the entire contents of the table (Hilda assignment semantics)."""
@@ -122,16 +184,97 @@ class Table:
 
     def _set_rows(self, rows: List[Row]) -> None:
         if self._key_index is not None:
-            index: Dict[Tuple[Any, ...], int] = {}
-            for position, row in enumerate(rows):
+            index: Dict[Tuple[Any, ...], Row] = {}
+            for row in rows:
                 key = self.schema.key_of(row)
                 if key in index:
                     raise IntegrityError(
                         f"duplicate primary key {key!r} in table {self.name!r}"
                     )
-                index[key] = position
+                index[key] = row
             self._key_index = index
         self._rows = rows
+        if self._indexes:
+            for columns in self._indexes:
+                self._indexes[columns] = self._build_index(columns)
+
+    # -- secondary indexes ----------------------------------------------------
+
+    def create_index(self, columns: Sequence[str]) -> Tuple[str, ...]:
+        """Create a hash index over ``columns`` (a no-op when it exists).
+
+        Returns the canonical column tuple (schema order) identifying it.
+        """
+        canonical = self._canonical_index_columns(columns)
+        if canonical not in self._indexes:
+            self._index_positions[canonical] = tuple(
+                self.schema.column_position(name) for name in canonical
+            )
+            self._indexes[canonical] = self._build_index(canonical)
+        return canonical
+
+    def ensure_index(self, columns: Sequence[str]) -> Tuple[str, ...]:
+        """Alias of :meth:`create_index`; reads better at call sites."""
+        return self.create_index(columns)
+
+    def has_index(self, columns: Sequence[str]) -> bool:
+        try:
+            canonical = self._canonical_index_columns(columns)
+        except (SchemaError, UnknownColumnError):
+            return False
+        return canonical in self._indexes
+
+    def index_lookup(self, columns: Sequence[str], values: Sequence[Any]) -> Sequence[Row]:
+        """Rows whose ``columns`` equal ``values`` (a direct reference; do not mutate)."""
+        canonical = tuple(columns)
+        index = self._indexes.get(canonical)
+        key = tuple(values)
+        if index is None:
+            ordered = sorted(
+                zip(canonical, key), key=lambda pair: self.schema.column_position(pair[0])
+            )
+            canonical = tuple(name for name, _ in ordered)
+            key = tuple(value for _, value in ordered)
+            index = self._indexes[canonical]
+        return index.get(key, ())
+
+    @property
+    def indexes(self) -> List[Tuple[str, ...]]:
+        """The canonical column tuples of the secondary indexes."""
+        return list(self._indexes)
+
+    def _canonical_index_columns(self, columns: Sequence[str]) -> Tuple[str, ...]:
+        cols = tuple(columns)
+        if not cols:
+            raise SchemaError(f"index on table {self.name!r} needs at least one column")
+        if len(set(cols)) != len(cols):
+            raise SchemaError(f"duplicate column in index on table {self.name!r}: {cols}")
+        return tuple(sorted(cols, key=self.schema.column_position))
+
+    def _build_index(self, canonical: Tuple[str, ...]) -> IndexMap:
+        positions = self._index_positions[canonical]
+        index: IndexMap = {}
+        for row in self._rows:
+            key = tuple(row[position] for position in positions)
+            index.setdefault(key, []).append(row)
+        return index
+
+    def _index_add(self, row: Row) -> None:
+        for canonical, index in self._indexes.items():
+            positions = self._index_positions[canonical]
+            key = tuple(row[position] for position in positions)
+            index.setdefault(key, []).append(row)
+
+    def _index_remove(self, row: Row) -> None:
+        for canonical, index in self._indexes.items():
+            positions = self._index_positions[canonical]
+            key = tuple(row[position] for position in positions)
+            bucket = index.get(key)
+            if bucket is None:
+                continue
+            bucket.remove(row)
+            if not bucket:
+                del index[key]
 
     # -- lookup ---------------------------------------------------------------
 
@@ -139,8 +282,7 @@ class Table:
         """Find a row by primary key (or full-row key when none declared)."""
         key_tuple = tuple(key)
         if self._key_index is not None:
-            position = self._key_index.get(key_tuple)
-            return self._rows[position] if position is not None else None
+            return self._key_index.get(key_tuple)
         for row in self._rows:
             if self.schema.key_of(row) == key_tuple:
                 return row
@@ -166,6 +308,11 @@ class Table:
         clone._rows = list(self._rows)
         if self._key_index is not None:
             clone._key_index = dict(self._key_index)
+        clone._index_positions = dict(self._index_positions)
+        clone._indexes = {
+            columns: {key: list(bucket) for key, bucket in index.items()}
+            for columns, index in self._indexes.items()
+        }
         return clone
 
     def same_contents(self, other: "Table") -> bool:

@@ -26,7 +26,7 @@ from repro.runtime.context import (
     run_assignments,
 )
 from repro.runtime.instance import AUnitInstance, InstanceLabel, activation_key
-from repro.sql.executor import SQLExecutor
+
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.engine import HildaEngine
@@ -137,8 +137,8 @@ class ActivationBuilder:
             catalog,
             self.engine.functions,
             lambda assignment: instance.local_tables.get(assignment.simple_target),
-            optimize=self.engine.optimize,
             location=f"{instance.decl.name}.local_query",
+            executor_factory=self.engine.make_executor,
         )
 
     # -- children ------------------------------------------------------------------------
@@ -179,9 +179,7 @@ class ActivationBuilder:
                 # its single child only when every filter returns rows.
                 persist = self.engine.persist_tables(instance.decl.name)
                 catalog = build_read_catalog(instance, persist, include_output=False)
-                executor = SQLExecutor(
-                    catalog, functions=self.engine.functions, optimize=self.engine.optimize
-                )
+                executor = self.engine.make_executor(catalog)
                 for filter_block in activator.activation_filters:
                     if not executor.execute_query(filter_block.query).rows:
                         return []
@@ -189,9 +187,7 @@ class ActivationBuilder:
 
         persist = self.engine.persist_tables(instance.decl.name)
         catalog = build_read_catalog(instance, persist, include_output=False)
-        executor = SQLExecutor(
-            catalog, functions=self.engine.functions, optimize=self.engine.optimize
-        )
+        executor = self.engine.make_executor(catalog)
         cached = self.engine.activation_cache_lookup(instance, activator)
         if cached is not None:
             rows = cached
@@ -214,9 +210,7 @@ class ActivationBuilder:
             filter_catalog = build_read_catalog(
                 instance, persist, activation_tuple=tuple_table, include_output=False
             )
-            filter_executor = SQLExecutor(
-                filter_catalog, functions=self.engine.functions, optimize=self.engine.optimize
-            )
+            filter_executor = self.engine.make_executor(filter_catalog)
             if all(
                 filter_executor.execute_query(filter_block.query).rows
                 for filter_block in activator.activation_filters
@@ -261,6 +255,6 @@ class ActivationBuilder:
             catalog,
             self.engine.functions,
             resolve_target,
-            optimize=self.engine.optimize,
             location=f"{instance.decl.name}.{activator.name}.input_query",
+            executor_factory=self.engine.make_executor,
         )

@@ -154,6 +154,7 @@ def run_assignments(
     resolve_target,
     optimize: bool = True,
     location: str = "",
+    executor_factory=None,
 ) -> List[str]:
     """Execute a list of assignments sequentially.
 
@@ -162,9 +163,18 @@ def run_assignments(
     so an assignment may read the previous contents of the table it writes
     (``problem :- SELECT ... FROM problem UNION ...``).
 
+    ``executor_factory`` (catalog -> :class:`SQLExecutor`) lets the engine
+    supply executors wired to its shared parse/plan/compile caches and
+    indexing policy.  When given, it fully determines the executor and the
+    ``functions`` / ``optimize`` arguments are unused; otherwise a
+    standalone executor is built from them.
+
     Returns the list of written table names (as given in the assignments).
     """
-    executor = SQLExecutor(catalog, functions=functions, optimize=optimize)
+    if executor_factory is not None:
+        executor = executor_factory(catalog)
+    else:
+        executor = SQLExecutor(catalog, functions=functions, optimize=optimize)
     written: List[str] = []
     for assignment in assignments:
         target = resolve_target(assignment)

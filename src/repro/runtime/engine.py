@@ -36,6 +36,7 @@ from repro.runtime.history import ExecutionHistory
 from repro.runtime.instance import AUnitInstance, InstanceLabel
 from repro.runtime.operations import ApplyResult, Operation, OperationStatus
 from repro.runtime.returns import ReturnProcessor
+from repro.sql.executor import SQLCaches, SQLExecutor
 
 __all__ = ["HildaEngine"]
 
@@ -53,6 +54,13 @@ class HildaEngine:
         benchmarks are reproducible.
     optimize:
         Passed to the SQL engine (hash joins vs nested loops).
+    auto_index:
+        Passed to the SQL engine: let the planner create secondary hash
+        indexes for equality predicates and equi-join keys (they are
+        maintained incrementally by the tables afterwards).
+    compile_expressions:
+        Passed to the SQL engine: compile per-row expressions to closures
+        instead of tree-walking them (the compilation ablation switch).
     reactivation:
         ``"eager"`` rebuilds every session's tree after each operation;
         ``"lazy"`` rebuilds only the acting session's tree and defers the
@@ -69,6 +77,8 @@ class HildaEngine:
         program: HildaProgram,
         functions: Optional[FunctionRegistry] = None,
         optimize: bool = True,
+        auto_index: bool = False,
+        compile_expressions: bool = True,
         reactivation: str = "eager",
         cache_activation_queries: bool = False,
         record_history: bool = True,
@@ -78,6 +88,13 @@ class HildaEngine:
         self.program = program
         self.functions = functions or self._default_functions()
         self.optimize = optimize
+        self.auto_index = auto_index
+        self.compile_expressions = compile_expressions
+        #: Parse/plan/compile caches shared by every executor the engine
+        #: builds: program queries are parsed once at load time, so their
+        #: ASTs (and hence plans and compiled closures) are reusable across
+        #: the short-lived per-context executors of every phase.
+        self.sql_caches = SQLCaches()
         self.reactivation = reactivation
         self.cache_activation_queries = cache_activation_queries
         self.forest = ActivationForest()
@@ -108,6 +125,17 @@ class HildaEngine:
     def next_instance_id(self) -> int:
         return next(self._instance_counter)
 
+    def make_executor(self, catalog) -> SQLExecutor:
+        """A SQL executor over ``catalog`` wired to the engine's shared caches."""
+        return SQLExecutor(
+            catalog,
+            functions=self.functions,
+            optimize=self.optimize,
+            auto_index=self.auto_index,
+            compile_expressions=self.compile_expressions,
+            caches=self.sql_caches,
+        )
+
     @property
     def state_version(self) -> int:
         return self._state_version
@@ -131,8 +159,8 @@ class HildaEngine:
                 catalog,
                 self.functions,
                 lambda assignment: tables.get(assignment.simple_target),
-                optimize=self.optimize,
                 location=f"{decl.name}.persist_query",
+                executor_factory=self.make_executor,
             )
 
     def persist_tables(self, aunit_name: str) -> Dict[str, Table]:

@@ -30,7 +30,7 @@ from repro.runtime.context import (
 )
 from repro.runtime.instance import AUnitInstance
 from repro.runtime.operations import HandlerFired
-from repro.sql.executor import SQLExecutor
+
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.engine import HildaEngine
@@ -136,9 +136,7 @@ class ReturnProcessor:
         if not activator.handlers:
             return None
         catalog = self._handler_catalog(parent, activator, child)
-        executor = SQLExecutor(
-            catalog, functions=self.engine.functions, optimize=self.engine.optimize
-        )
+        executor = self.engine.make_executor(catalog)
         for handler in activator.handlers:
             if handler.condition is None:
                 return handler
@@ -191,8 +189,8 @@ class ReturnProcessor:
             catalog,
             self.engine.functions,
             resolve_target,
-            optimize=self.engine.optimize,
             location=f"{parent.decl.name}.{activator.name}.{handler.name}",
+            executor_factory=self.engine.make_executor,
         )
         if any(assignment.simple_target in persist for assignment in handler.actions):
             outcome.persistent_written = True

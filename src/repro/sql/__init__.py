@@ -22,11 +22,13 @@ from repro.sql.ast import (
     UpdateStatement,
 )
 from repro.sql.binder import Binder, BoundQuery
-from repro.sql.executor import SQLExecutor
+from repro.sql.compile import compile_expression, compile_predicate
+from repro.sql.executor import SQLCaches, SQLExecutor
 from repro.sql.lexer import tokenize
 from repro.sql.parser import parse_expression, parse_query, parse_statement
 from repro.sql.planner import Planner, plan_query
 from repro.sql.relation import ColumnInfo, Relation
+from repro.sql.stats import ExecutionStats
 
 __all__ = [
     "BinaryOp",
@@ -35,6 +37,7 @@ __all__ = [
     "ColumnInfo",
     "ColumnRef",
     "DeleteStatement",
+    "ExecutionStats",
     "Expression",
     "FunctionCall",
     "InsertStatement",
@@ -42,7 +45,10 @@ __all__ = [
     "Planner",
     "Query",
     "Relation",
+    "SQLCaches",
     "SQLExecutor",
+    "compile_expression",
+    "compile_predicate",
     "SelectQuery",
     "Star",
     "UnionQuery",

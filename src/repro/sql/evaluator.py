@@ -13,6 +13,7 @@ The evaluator implements a pragmatic subset of SQL semantics:
 
 from __future__ import annotations
 
+import functools
 import re
 from typing import Any, Callable, List, Optional, Tuple
 
@@ -35,6 +36,7 @@ from repro.sql.ast import (
     UnaryOp,
 )
 from repro.sql.relation import Relation
+from repro.sql.stats import ExecutionStats
 
 __all__ = ["RowScope", "Evaluator"]
 
@@ -95,13 +97,16 @@ class Evaluator:
         self,
         functions,
         subquery_executor: Callable[[Query, Optional[RowScope]], Relation],
+        stats: Optional[ExecutionStats] = None,
     ) -> None:
         self.functions = functions
         self.subquery_executor = subquery_executor
+        self.stats = stats if stats is not None else ExecutionStats()
 
     # -- public API -------------------------------------------------------------
 
     def evaluate(self, expression: Expression, scope: Optional[RowScope]) -> Any:
+        self.stats.interpreted_evals += 1
         method = self._DISPATCH.get(type(expression))
         if method is None:
             raise SQLExecutionError(
@@ -357,6 +362,7 @@ def _normalize_pair(left: Any, right: Any) -> Tuple[Any, Any]:
     return left, right
 
 
+@functools.lru_cache(maxsize=512)
 def _like_to_regex(pattern: str) -> "re.Pattern":
     """Translate a SQL LIKE pattern into a compiled regular expression."""
     parts: List[str] = []

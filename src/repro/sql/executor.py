@@ -1,21 +1,38 @@
 """The SQL executor: the public entry point of the SQL engine.
 
 :class:`SQLExecutor` parses, plans and runs queries and DML statements
-against a :class:`~repro.relational.database.Catalog`.  Parsed ASTs and
-plans are cached per SQL text so the Hilda runtime, which re-evaluates the
-same activation and input queries on every reactivation, does not re-parse
-them each time.
+against a :class:`~repro.relational.database.Catalog`.  Three caches back
+the hot path, bundled in :class:`SQLCaches` so the Hilda runtime (which
+builds a short-lived executor per instance context) can share them across
+executors:
+
+* the **AST cache** maps SQL text to parsed statements;
+* the **plan cache** maps parsed queries to physical plans;
+* the **compile cache** maps (expression, row layout) pairs to the compiled
+  closures produced by :mod:`repro.sql.compile`.
+
+A shared :class:`SQLCaches` must only be used by executors with the same
+``optimize`` / ``auto_index`` settings and the same function registry,
+since plans and closures bake those decisions in.  Catalogs served by a
+shared cache should also agree on the schemas of same-named tables: plans
+are keyed by query identity, so a plan built against one schema is reused
+against the others (resolution happens by name at execution time, and
+:class:`~repro.sql.operators.IndexScanOp` re-validates its keys against
+the table it actually resolves).  The Hilda runtime satisfies this because
+each declaration's queries are distinct AST objects that always run in
+identically-shaped contexts.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import SQLExecutionError, UnknownTableError
 from repro.relational.database import Catalog
 from repro.relational.functions import FunctionRegistry, default_registry
 from repro.sql.ast import (
     DeleteStatement,
+    Expression,
     InsertStatement,
     Query,
     SelectQuery,
@@ -23,15 +40,29 @@ from repro.sql.ast import (
     UnionQuery,
     UpdateStatement,
 )
+from repro.sql.compile import cached_compile
 from repro.sql.evaluator import Evaluator, RowScope
 from repro.sql.operators import ExecutionContext, ExecutionStats, Operator
 from repro.sql.parser import parse_query, parse_statement
 from repro.sql.planner import Planner
-from repro.sql.relation import Relation
+from repro.sql.relation import ColumnInfo, Relation
 
-__all__ = ["SQLExecutor"]
+__all__ = ["SQLExecutor", "SQLCaches"]
 
 QueryLike = Union[str, SelectQuery, UnionQuery]
+
+
+class SQLCaches:
+    """Parse/plan/compile caches shareable across executors (see module doc)."""
+
+    __slots__ = ("asts", "plans", "compiled")
+
+    def __init__(self) -> None:
+        self.asts: Dict[str, Statement] = {}
+        #: id(query) -> (query, plan); the AST is stored to pin its identity.
+        self.plans: Dict[int, Tuple[Query, Operator]] = {}
+        #: (id(expression), columns) -> (expression, closure-or-None).
+        self.compiled: Dict[Any, Tuple[Expression, Optional[Callable]]] = {}
 
 
 class SQLExecutor:
@@ -49,6 +80,17 @@ class SQLExecutor:
         When True (default) the planner builds hash joins for equality join
         predicates; when False every join is a nested loop, which is what
         the engine ablation benchmark compares against.
+    auto_index:
+        When True the planner may answer equality predicates and equi-join
+        keys with secondary hash indexes it creates on first use (see
+        :class:`~repro.sql.planner.Planner`).  Off by default: existing
+        indexes (declared on schemas) are always considered.
+    compile_expressions:
+        When True (default) per-row expressions are compiled to closures
+        over the row layout; when False everything runs through the
+        tree-walking evaluator (the compilation ablation).
+    caches:
+        A shared :class:`SQLCaches`; a private one is created when omitted.
     """
 
     def __init__(
@@ -56,13 +98,20 @@ class SQLExecutor:
         catalog: Catalog,
         functions: Optional[FunctionRegistry] = None,
         optimize: bool = True,
+        auto_index: bool = False,
+        compile_expressions: bool = True,
+        caches: Optional[SQLCaches] = None,
     ) -> None:
         self.catalog = catalog
         self.functions = functions or default_registry()
         self.optimize = optimize
+        self.auto_index = auto_index
+        self.compile_expressions = compile_expressions
         self.stats = ExecutionStats()
-        self._ast_cache: Dict[str, Statement] = {}
-        self._plan_cache: Dict[int, Operator] = {}
+        self.caches = caches if caches is not None else SQLCaches()
+        self._ast_cache = self.caches.asts
+        self._plan_cache = self.caches.plans
+        self._compile_cache = self.caches.compiled
 
     # -- queries --------------------------------------------------------------
 
@@ -140,42 +189,57 @@ class SQLExecutor:
             table.clear()
             return removed
         binding = statement.alias or statement.table
-        relation = Relation.from_table(table, binding)
-        evaluator = self._bare_evaluator()
-        keep = []
-        removed = 0
-        for row in table.rows:
-            scope = RowScope(relation, row, None)
-            if evaluator.evaluate_predicate(statement.where, scope):
-                removed += 1
-            else:
-                keep.append(row)
-        table.replace(keep)
-        return removed
+        columns = _table_columns(table, binding)
+        predicate = self._row_predicate(statement.where, columns, len(table))
+        return table.delete_where(predicate)
 
     def _execute_update(self, statement: UpdateStatement) -> int:
         table = self.catalog.resolve_table(statement.table)
         binding = statement.alias or statement.table
-        relation = Relation.from_table(table, binding)
-        evaluator = self._bare_evaluator()
+        columns = _table_columns(table, binding)
+        if statement.where is None:
+            predicate = lambda row: True  # noqa: E731 - trivial match-all
+        else:
+            predicate = self._row_predicate(statement.where, columns, len(table))
         positions = {
             column: table.schema.column_position(column)
             for column, _ in statement.assignments
         }
-        updated = 0
-        new_rows = []
-        for row in table.rows:
-            scope = RowScope(relation, row, None)
-            if statement.where is None or evaluator.evaluate_predicate(statement.where, scope):
-                values = list(row)
-                for column, expression in statement.assignments:
-                    values[positions[column]] = evaluator.evaluate(expression, scope)
-                new_rows.append(tuple(values))
-                updated += 1
-            else:
-                new_rows.append(row)
-        table.replace(new_rows)
-        return updated
+        assignment_fns = [
+            (positions[column], expression, self._compiled(expression, columns))
+            for column, expression in statement.assignments
+        ]
+        scope_relation = Relation(columns, ())
+        evaluator = self._bare_evaluator()
+
+        def updater(row: Tuple[Any, ...]) -> List[Any]:
+            values = list(row)
+            scope: Optional[RowScope] = None
+            for position, expression, fn in assignment_fns:
+                if fn is not None:
+                    self.stats.compiled_evals += 1
+                    values[position] = fn(row)
+                else:
+                    if scope is None:
+                        scope = RowScope(scope_relation, row, None)
+                    values[position] = evaluator.evaluate(expression, scope)
+            return values
+
+        return table.update_where(predicate, updater)
+
+    def _row_predicate(
+        self, where: Expression, columns: Tuple[ColumnInfo, ...], n_rows: int
+    ) -> Callable[[Tuple[Any, ...]], bool]:
+        """A row -> bool predicate, compiled against the table layout if possible."""
+        fn = self._compiled(where, columns)
+        if fn is not None:
+            self.stats.compiled_evals += n_rows
+            return lambda row: fn(row) is True
+        scope_relation = Relation(columns, ())
+        evaluator = self._bare_evaluator()
+        return lambda row: (
+            evaluator.evaluate(where, RowScope(scope_relation, row, None)) is True
+        )
 
     # -- internals ------------------------------------------------------------------------
 
@@ -201,11 +265,21 @@ class SQLExecutor:
 
     def _plan(self, query: Query) -> Operator:
         key = id(query)
-        plan = self._plan_cache.get(key)
-        if plan is None:
-            plan = Planner(self.catalog, optimize=self.optimize).plan(query)
-            self._plan_cache[key] = plan
-        return plan
+        entry = self._plan_cache.get(key)
+        if entry is None:
+            plan = Planner(
+                self.catalog, optimize=self.optimize, auto_index=self.auto_index
+            ).plan(query)
+            self._plan_cache[key] = (query, plan)
+            return plan
+        return entry[1]
+
+    def _compiled(
+        self, expression: Expression, columns: Tuple[ColumnInfo, ...]
+    ) -> Optional[Callable]:
+        if not self.compile_expressions:
+            return None
+        return cached_compile(self._compile_cache, expression, columns, self.functions)
 
     def _context(self) -> ExecutionContext:
         return ExecutionContext(
@@ -213,6 +287,8 @@ class SQLExecutor:
             functions=self.functions,
             subquery_executor=self._execute_subquery,
             stats=self.stats,
+            compile_cache=self._compile_cache,
+            compile_expressions=self.compile_expressions,
         )
 
     def _execute_subquery(self, query: Query, outer_scope: Optional[RowScope]) -> Relation:
@@ -221,10 +297,17 @@ class SQLExecutor:
         return plan.execute(context, outer_scope)
 
     def _bare_evaluator(self) -> Evaluator:
-        return Evaluator(self.functions, self._execute_subquery)
+        return Evaluator(self.functions, self._execute_subquery, stats=self.stats)
 
     def reset_stats(self) -> ExecutionStats:
         """Replace and return the statistics accumulator (benchmark helper)."""
         previous = self.stats
         self.stats = ExecutionStats()
         return previous
+
+
+def _table_columns(table, binding: str) -> Tuple[ColumnInfo, ...]:
+    """The column layout of a base table under a binding name."""
+    return tuple(
+        ColumnInfo(name=name, qualifier=binding) for name in table.schema.column_names
+    )

@@ -16,15 +16,16 @@ paper's semantics).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.errors import SQLExecutionError
+from repro.errors import SQLExecutionError, UnknownTableError
 from repro.sql.ast import (
     BinaryOp,
     ColumnRef,
     Expression,
     FunctionCall,
     JoinRef,
+    Literal,
     OrderItem,
     Query,
     SelectItem,
@@ -32,6 +33,7 @@ from repro.sql.ast import (
     Star,
     SubqueryRef,
     TableRef,
+    UnaryOp,
     UnionQuery,
 )
 from repro.sql.operators import (
@@ -39,6 +41,8 @@ from repro.sql.operators import (
     DistinctOp,
     FilterOp,
     HashJoinOp,
+    IndexNestedLoopJoinOp,
+    IndexScanOp,
     LimitOp,
     NestedLoopJoinOp,
     Operator,
@@ -48,22 +52,34 @@ from repro.sql.operators import (
     SubqueryScanOp,
     UnionOp,
     ValuesOp,
+    _indexable_literal,
 )
 
 __all__ = ["Planner", "plan_query"]
 
 
-def plan_query(query: Query, catalog, optimize: bool = True) -> Operator:
+def plan_query(query: Query, catalog, optimize: bool = True, auto_index: bool = False) -> Operator:
     """Plan a parsed query against a catalog."""
-    return Planner(catalog, optimize=optimize).plan(query)
+    return Planner(catalog, optimize=optimize, auto_index=auto_index).plan(query)
 
 
 class Planner:
-    """Builds operator trees for queries."""
+    """Builds operator trees for queries.
 
-    def __init__(self, catalog, optimize: bool = True) -> None:
+    ``auto_index`` lets the planner *create* access paths: an equality
+    predicate or an equi-join key over a base-table column is answered with
+    an :class:`IndexScanOp` / :class:`IndexNestedLoopJoinOp` even when the
+    table has no matching index yet (the operator builds it on first
+    execution and the table maintains it incrementally afterwards).  When
+    ``auto_index`` is off, index operators are chosen only for indexes that
+    already exist — declared on the schema or created by an earlier
+    auto-indexing executor.
+    """
+
+    def __init__(self, catalog, optimize: bool = True, auto_index: bool = False) -> None:
         self.catalog = catalog
         self.optimize = optimize
+        self.auto_index = auto_index
 
     # -- entry points -----------------------------------------------------------
 
@@ -82,6 +98,7 @@ class Planner:
 
         where_conjuncts = _split_conjuncts(query.where)
         if self.optimize:
+            plan, where_conjuncts = self._apply_index_scans(plan, where_conjuncts)
             plan, remaining = self._apply_hash_joins(plan, where_conjuncts, bound_names, query)
         else:
             remaining = where_conjuncts
@@ -168,13 +185,20 @@ class Planner:
                 right_keys.append(keys[1])
         if not left_keys:
             return None
+        residual_expr = _combine_conjuncts(residual) if residual else None
+        if join_type == "INNER":
+            index_join = self._try_index_join(
+                left, right, tuple(left_keys), tuple(right_keys), residual_expr
+            )
+            if index_join is not None:
+                return index_join
         return HashJoinOp(
             left,
             right,
             left_keys=tuple(left_keys),
             right_keys=tuple(right_keys),
             join_type=join_type,
-            residual=_combine_conjuncts(residual) if residual else None,
+            residual=residual_expr,
         )
 
     def _from_binding_names(self, from_items: Sequence) -> Set[str]:
@@ -253,13 +277,19 @@ class Planner:
                 if keys is None:
                     continue
                 left_keys, right_keys, used = keys
-                built = HashJoinOp(
-                    built,
-                    candidate,
-                    left_keys=tuple(left_keys),
-                    right_keys=tuple(right_keys),
-                    join_type="INNER",
+                index_join = self._try_index_join(
+                    built, candidate, tuple(left_keys), tuple(right_keys), None
                 )
+                if index_join is not None:
+                    built = index_join
+                else:
+                    built = HashJoinOp(
+                        built,
+                        candidate,
+                        left_keys=tuple(left_keys),
+                        right_keys=tuple(right_keys),
+                        join_type="INNER",
+                    )
                 built_names |= candidate_names
                 remaining_ops.pop(index)
                 remaining_conjuncts = [
@@ -272,6 +302,132 @@ class Planner:
         for leftover in remaining_ops:
             built = NestedLoopJoinOp(built, leftover, join_type="CROSS")
         return built, remaining_conjuncts
+
+    # -- index access paths -------------------------------------------------------
+
+    def _apply_index_scans(
+        self, plan: Operator, conjuncts: List[Expression]
+    ) -> Tuple[Operator, List[Expression]]:
+        """Answer constant equality predicates with index lookups.
+
+        Each base-table scan whose binding has ``column = literal``
+        conjuncts becomes an :class:`IndexScanOp` when the table has (or,
+        with ``auto_index``, may build) a hash index over those columns.
+        Only applied to the comma-join cross-chain shape so the remaining
+        conjuncts still line up for the hash-join rewrite.
+        """
+        if self.catalog is None or not conjuncts:
+            return plan, conjuncts
+        chain = _flatten_cross_chain(plan)
+        if chain is None:
+            return plan, conjuncts
+        remaining = list(conjuncts)
+        allow_unqualified = len(chain) == 1
+        rebuilt: List[Operator] = []
+        changed = False
+        for leaf in chain:
+            if isinstance(leaf, ScanOp):
+                replacement, remaining = self._try_index_scan(
+                    leaf, remaining, allow_unqualified
+                )
+                if replacement is not None:
+                    leaf = replacement
+                    changed = True
+            rebuilt.append(leaf)
+        if not changed:
+            return plan, conjuncts
+        new_plan = rebuilt[0]
+        for extra in rebuilt[1:]:
+            new_plan = NestedLoopJoinOp(new_plan, extra, join_type="CROSS")
+        return new_plan, remaining
+
+    def _try_index_scan(
+        self, scan: ScanOp, conjuncts: List[Expression], allow_unqualified: bool
+    ) -> Tuple[Optional[Operator], List[Expression]]:
+        try:
+            table = self.catalog.resolve_table(scan.table_name)
+        except UnknownTableError:
+            return None, conjuncts
+        names = {scan.binding_name, scan.table_name}
+        pairs: List[Tuple[str, Any, Expression]] = []
+        used_columns: Set[str] = set()
+        for conjunct in conjuncts:
+            extracted = _index_equality(conjunct, names, table.schema, allow_unqualified)
+            if extracted is None:
+                continue
+            column, value = extracted
+            if column in used_columns:
+                continue
+            pairs.append((column, value, conjunct))
+            used_columns.add(column)
+        if not pairs:
+            return None, conjuncts
+        columns = tuple(pair[0] for pair in pairs)
+        if not (table.has_index(columns) or self.auto_index):
+            # Fall back to a single-column index that already exists.
+            pairs = [pair for pair in pairs if table.has_index((pair[0],))][:1]
+            if not pairs:
+                return None, conjuncts
+        # Canonical (schema) column order; the probe values follow along.
+        pairs.sort(key=lambda pair: table.schema.column_position(pair[0]))
+        used = {id(pair[2]) for pair in pairs}
+        operator = IndexScanOp(
+            table_name=scan.table_name,
+            binding_name=scan.binding_name,
+            key_columns=tuple(pair[0] for pair in pairs),
+            key_values=tuple(pair[1] for pair in pairs),
+        )
+        remaining = [conjunct for conjunct in conjuncts if id(conjunct) not in used]
+        return operator, remaining
+
+    def _try_index_join(
+        self,
+        left: Operator,
+        candidate: Operator,
+        left_keys: Tuple[Expression, ...],
+        right_keys: Tuple[Expression, ...],
+        residual: Optional[Expression],
+    ) -> Optional[Operator]:
+        """An index-nested-loop join probing ``candidate``'s table, if possible.
+
+        Requires the right side to be a bare scan whose join keys are plain
+        column references, so each probe is a hash-index lookup with the
+        same key semantics as :class:`HashJoinOp`.
+        """
+        if not isinstance(candidate, ScanOp) or self.catalog is None:
+            return None
+        try:
+            table = self.catalog.resolve_table(candidate.table_name)
+        except UnknownTableError:
+            return None
+        names = {candidate.binding_name, candidate.table_name}
+        columns: List[str] = []
+        for expr in right_keys:
+            if (
+                not isinstance(expr, ColumnRef)
+                or expr.is_positional
+                or expr.qualifier not in names
+                or not table.schema.has_column(expr.name)
+            ):
+                return None
+            columns.append(expr.name)
+        if len(set(columns)) != len(columns):
+            return None
+        # Canonical (schema) column order; the probing left keys follow along.
+        ordered = sorted(
+            zip(columns, left_keys), key=lambda pair: table.schema.column_position(pair[0])
+        )
+        column_tuple = tuple(name for name, _ in ordered)
+        if not (table.has_index(column_tuple) or self.auto_index):
+            return None
+        return IndexNestedLoopJoinOp(
+            left,
+            table_name=candidate.table_name,
+            binding_name=candidate.binding_name,
+            left_keys=tuple(key for _, key in ordered),
+            right_columns=column_tuple,
+            residual=residual,
+        )
 
     # -- aggregates and ordering ------------------------------------------------------
 
@@ -375,12 +531,15 @@ def _binding_names_of(item) -> Set[str]:
 
 def _operator_binding_names(operator: Operator) -> Set[str]:
     names: Set[str] = set()
-    if isinstance(operator, ScanOp):
+    if isinstance(operator, (ScanOp, IndexScanOp)):
         names.add(operator.binding_name)
         names.add(operator.table_name)
     elif isinstance(operator, SubqueryScanOp):
         names.add(operator.binding_name)
     else:
+        if isinstance(operator, IndexNestedLoopJoinOp):
+            names.add(operator.binding_name)
+            names.add(operator.table_name)
         for child in operator.children():
             names |= _operator_binding_names(child)
     return names
@@ -413,6 +572,57 @@ def _equi_join_keys(
     return None
 
 
+#: Sentinel for "this expression is not a plan-time constant".
+_NOT_CONSTANT = object()
+
+
+def _constant_value(expression: Expression) -> Any:
+    """The plan-time value of a literal (or negated numeric literal)."""
+    if isinstance(expression, Literal):
+        return expression.value
+    if (
+        isinstance(expression, UnaryOp)
+        and expression.operator == "-"
+        and isinstance(expression.operand, Literal)
+        and isinstance(expression.operand.value, (int, float))
+        and not isinstance(expression.operand.value, bool)
+    ):
+        return -expression.operand.value
+    return _NOT_CONSTANT
+
+
+def _index_equality(
+    conjunct: Expression,
+    names: Set[str],
+    schema,
+    allow_unqualified: bool,
+) -> Optional[Tuple[str, Any]]:
+    """Match ``column = constant`` (either side) against one scan's binding."""
+    if not isinstance(conjunct, BinaryOp) or conjunct.operator != "=":
+        return None
+    for column_side, value_side in (
+        (conjunct.left, conjunct.right),
+        (conjunct.right, conjunct.left),
+    ):
+        if not isinstance(column_side, ColumnRef) or column_side.is_positional:
+            continue
+        qualifier = column_side.qualifier
+        if qualifier is None:
+            if not allow_unqualified:
+                continue
+        elif qualifier not in names:
+            continue
+        if not schema.has_column(column_side.name):
+            continue
+        value = _constant_value(value_side)
+        if value is _NOT_CONSTANT:
+            continue
+        if not _indexable_literal(value, schema.column(column_side.name).dtype):
+            continue
+        return column_side.name, value
+    return None
+
+
 def _find_equi_keys(
     conjuncts: List[Expression], left_names: Set[str], right_names: Set[str]
 ) -> Optional[Tuple[List[Expression], List[Expression], List[Expression]]]:
@@ -438,7 +648,7 @@ def _flatten_cross_chain(plan: Operator) -> Optional[List[Operator]]:
     explicit JOIN ... ON operators), in which case the WHERE-driven hash-join
     rewrite is skipped.
     """
-    if isinstance(plan, (ScanOp, SubqueryScanOp, ValuesOp)):
+    if isinstance(plan, (ScanOp, IndexScanOp, SubqueryScanOp, ValuesOp)):
         return [plan]
     if isinstance(plan, NestedLoopJoinOp) and plan.join_type == "CROSS" and plan.condition is None:
         left = _flatten_cross_chain(plan.left)

@@ -1,0 +1,43 @@
+"""Execution counters shared by the evaluator, operators and executor.
+
+:class:`ExecutionStats` lives in its own module so the evaluator (which
+counts per-node interpreter dispatches) does not have to import the operator
+module that imports it.  ``repro.sql.operators`` re-exports the class, so
+existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExecutionStats"]
+
+
+@dataclass
+class ExecutionStats:
+    """Counters collected while executing a query (used by benchmarks).
+
+    ``interpreted_evals`` counts AST-node dispatches through the tree-walking
+    :class:`~repro.sql.evaluator.Evaluator`; ``compiled_evals`` counts row
+    evaluations served by compiled closures instead.  ``index_lookups`` /
+    ``index_hits`` count secondary-index probes and the rows they returned.
+    """
+
+    rows_scanned: int = 0
+    rows_joined: int = 0
+    join_probes: int = 0
+    operators_executed: int = 0
+    compiled_evals: int = 0
+    interpreted_evals: int = 0
+    index_lookups: int = 0
+    index_hits: int = 0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        self.rows_scanned += other.rows_scanned
+        self.rows_joined += other.rows_joined
+        self.join_probes += other.join_probes
+        self.operators_executed += other.operators_executed
+        self.compiled_evals += other.compiled_evals
+        self.interpreted_evals += other.interpreted_evals
+        self.index_lookups += other.index_lookups
+        self.index_hits += other.index_hits

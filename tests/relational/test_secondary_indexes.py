@@ -1,0 +1,142 @@
+"""Secondary hash indexes and incremental primary-key maintenance on Table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IntegrityError, SchemaError
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+def _schema(primary_key=None, indexes=()):
+    return TableSchema(
+        "t",
+        [
+            Column("id", DataType.INT),
+            Column("grp", DataType.INT),
+            Column("name", DataType.STRING),
+        ],
+        primary_key,
+        indexes,
+    )
+
+
+def _table(primary_key=None, indexes=(), n=10):
+    table = Table(_schema(primary_key, indexes))
+    table.insert_many((i, i % 3, f"n{i}") for i in range(n))
+    return table
+
+
+class TestSchemaDeclaredIndexes:
+    def test_schema_declares_and_table_creates(self):
+        table = _table(indexes=[("grp",)])
+        assert table.has_index(("grp",))
+        assert len(table.index_lookup(("grp",), (0,))) == 4
+
+    def test_unknown_index_column_rejected(self):
+        with pytest.raises(SchemaError):
+            _schema(indexes=[("nope",)])
+
+    def test_renamed_schema_keeps_indexes(self):
+        renamed = _schema(indexes=[("grp",)]).renamed("u")
+        assert renamed.indexes == (("grp",),)
+        assert Table(renamed).has_index(("grp",))
+
+
+class TestIndexMaintenance:
+    def test_insert_updates_index(self):
+        table = _table(indexes=[("grp",)])
+        table.insert((100, 0, "new"))
+        assert (100, 0, "new") in table.index_lookup(("grp",), (0,))
+
+    def test_delete_where_updates_index(self):
+        table = _table(indexes=[("grp",)])
+        removed = table.delete_where(lambda row: row[1] == 0)
+        assert removed == 4
+        assert len(table.index_lookup(("grp",), (0,))) == 0
+        assert len(table.index_lookup(("grp",), (1,))) == 3
+
+    def test_update_where_moves_rows_between_buckets(self):
+        table = _table(indexes=[("grp",)])
+        table.update_where(lambda row: row[0] == 0, lambda row: (0, 2, "moved"))
+        assert all(row[0] != 0 for row in table.index_lookup(("grp",), (0,)))
+        assert (0, 2, "moved") in table.index_lookup(("grp",), (2,))
+
+    def test_replace_rebuilds_index(self):
+        table = _table(indexes=[("grp",)])
+        table.replace([(1, 9, "only")])
+        assert table.index_lookup(("grp",), (0,)) == ()
+        assert list(table.index_lookup(("grp",), (9,))) == [(1, 9, "only")]
+
+    def test_duplicate_rows_survive_partial_delete(self):
+        table = Table(_schema(indexes=[("grp",)]))
+        table.insert((1, 5, "dup"))
+        table.insert((1, 5, "dup"))
+        deleted_one = [False]
+
+        def delete_first(row):
+            if row == (1, 5, "dup") and not deleted_one[0]:
+                deleted_one[0] = True
+                return True
+            return False
+
+        assert table.delete_where(delete_first) == 1
+        assert list(table.index_lookup(("grp",), (5,))) == [(1, 5, "dup")]
+
+    def test_copy_is_independent(self):
+        table = _table(indexes=[("grp",)])
+        clone = table.copy()
+        clone.insert((100, 0, "clone-only"))
+        assert len(clone.index_lookup(("grp",), (0,))) == 5
+        assert len(table.index_lookup(("grp",), (0,))) == 4
+
+    def test_ensure_index_is_idempotent_and_canonical(self):
+        table = _table()
+        first = table.ensure_index(("name", "grp"))
+        second = table.ensure_index(("grp", "name"))
+        assert first == second == ("grp", "name")
+        assert table.indexes == [("grp", "name")]
+
+    def test_lookup_accepts_any_column_order(self):
+        table = _table(indexes=[("grp", "name")])
+        by_canonical = table.index_lookup(("grp", "name"), (1, "n1"))
+        by_reversed = table.index_lookup(("name", "grp"), ("n1", 1))
+        assert list(by_canonical) == list(by_reversed) == [(1, 1, "n1")]
+
+
+class TestIncrementalPrimaryKey:
+    def test_delete_keeps_key_lookup_working(self):
+        table = _table(primary_key=["id"])
+        table.delete_where(lambda row: row[0] == 3)
+        assert table.find_by_key((3,)) is None
+        assert table.find_by_key((4,)) == (4, 1, "n4")
+
+    def test_update_moves_key(self):
+        table = _table(primary_key=["id"])
+        table.update_where(lambda row: row[0] == 3, lambda row: (300, row[1], row[2]))
+        assert table.find_by_key((3,)) is None
+        assert table.find_by_key((300,)) == (300, 0, "n3")
+
+    def test_update_into_existing_key_raises_and_leaves_table_intact(self):
+        table = _table(primary_key=["id"])
+        before = list(table.rows)
+        with pytest.raises(IntegrityError):
+            table.update_where(lambda row: row[0] == 3, lambda row: (4, row[1], row[2]))
+        assert list(table.rows) == before
+        assert table.find_by_key((3,)) == (3, 0, "n3")
+
+    def test_update_swapping_keys_is_allowed(self):
+        table = _table(primary_key=["id"], n=2)
+
+        def swap(row):
+            return (1 - row[0], row[1], row[2])
+
+        assert table.update_where(lambda row: True, swap) == 2
+        assert table.find_by_key((0,))[2] == "n1"
+        assert table.find_by_key((1,))[2] == "n0"
+
+    def test_noop_update_counts_matches(self):
+        table = _table(primary_key=["id"])
+        assert table.update_where(lambda row: row[1] == 0, lambda row: row) == 4
