@@ -1,0 +1,80 @@
+-- Hilda-generated schema for program rooted at CMSRoot
+-- persistent tables: <AUnit>_<table>; local tables: <AUnit>_local_<table> (keyed by hilda_instance_id)
+
+CREATE TABLE IF NOT EXISTS "CMSRoot_sysadmin" (
+    "aname" VARCHAR(255)
+);
+
+CREATE TABLE IF NOT EXISTS "CMSRoot_course" (
+    "cid" INTEGER,
+    "cname" VARCHAR(255),
+    PRIMARY KEY ("cid")
+);
+
+CREATE TABLE IF NOT EXISTS "CMSRoot_staff" (
+    "stid" INTEGER,
+    "cid" INTEGER,
+    "sname" VARCHAR(255),
+    "role" VARCHAR(255),
+    PRIMARY KEY ("stid")
+);
+
+CREATE TABLE IF NOT EXISTS "CMSRoot_student" (
+    "sid" INTEGER,
+    "cid" INTEGER,
+    "sname" VARCHAR(255),
+    PRIMARY KEY ("sid")
+);
+
+CREATE TABLE IF NOT EXISTS "CMSRoot_assign" (
+    "aid" INTEGER,
+    "cid" INTEGER,
+    "name" VARCHAR(255),
+    "release" DATE,
+    "due" DATE,
+    PRIMARY KEY ("aid")
+);
+
+CREATE TABLE IF NOT EXISTS "CMSRoot_problem" (
+    "pid" INTEGER,
+    "aid" INTEGER,
+    "name" VARCHAR(255),
+    "weight" DOUBLE PRECISION,
+    PRIMARY KEY ("pid")
+);
+
+CREATE TABLE IF NOT EXISTS "CMSRoot_group" (
+    "gid" INTEGER,
+    "aid" INTEGER,
+    PRIMARY KEY ("gid")
+);
+
+CREATE TABLE IF NOT EXISTS "CMSRoot_groupmember" (
+    "gmid" INTEGER,
+    "gid" INTEGER,
+    "sid" INTEGER,
+    "grade" DOUBLE PRECISION,
+    PRIMARY KEY ("gmid")
+);
+
+CREATE TABLE IF NOT EXISTS "CMSRoot_invitation" (
+    "iid" INTEGER,
+    "gid" INTEGER,
+    "invitersid" INTEGER,
+    "inviteesid" INTEGER,
+    PRIMARY KEY ("iid")
+);
+
+CREATE TABLE IF NOT EXISTS "CreateAssignment_local_assign" (
+    "hilda_instance_id" INTEGER,
+    "name" VARCHAR(255),
+    "release" DATE,
+    "due" DATE
+);
+
+CREATE TABLE IF NOT EXISTS "CreateAssignment_local_problem" (
+    "hilda_instance_id" INTEGER,
+    "pid" INTEGER,
+    "name" VARCHAR(255),
+    "weight" DOUBLE PRECISION
+);

@@ -4,17 +4,22 @@ A :class:`Relation` is a list of column descriptors plus a list of row
 tuples.  Columns keep the binding name (table alias) they came from so
 qualified references like ``A.cid`` resolve correctly after joins, and so
 positional references like ``O.1`` can pick "the first column of O".
+
+Column resolution is O(1): every distinct column tuple gets one memoized
+:class:`RowLayout` holding ``(qualifier, name) -> index`` dictionaries, so
+the per-row hot paths (filters, projections, join keys) never scan the
+column list and never raise/catch exceptions for speculative lookups.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SQLBindingError
 from repro.relational.table import Table
 
-__all__ = ["ColumnInfo", "Relation"]
+__all__ = ["ColumnInfo", "Relation", "RowLayout", "AMBIGUOUS", "layout_for"]
 
 
 @dataclass(frozen=True)
@@ -29,14 +34,74 @@ class ColumnInfo:
         return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
 
 
+#: Sentinel returned by :meth:`RowLayout.resolve` for ambiguous unqualified names.
+AMBIGUOUS = object()
+
+
+class RowLayout:
+    """Precomputed name-resolution maps for one column tuple.
+
+    * ``(qualifier, name)`` resolves qualified references (first match wins,
+      mirroring the historical scan order);
+    * a bare name resolves unqualified references, or to :data:`AMBIGUOUS`
+      when several columns share the name;
+    * per-qualifier index lists serve positional references and ``alias.*``.
+    """
+
+    __slots__ = ("columns", "_by_qualified", "_by_name", "_by_qualifier")
+
+    def __init__(self, columns: Tuple[ColumnInfo, ...]) -> None:
+        self.columns = columns
+        by_qualified: Dict[Tuple[Optional[str], str], int] = {}
+        by_name: Dict[str, Any] = {}
+        by_qualifier: Dict[str, List[int]] = {}
+        for index, column in enumerate(columns):
+            by_qualified.setdefault((column.qualifier, column.name), index)
+            if column.name in by_name:
+                by_name[column.name] = AMBIGUOUS
+            else:
+                by_name[column.name] = index
+            if column.qualifier is not None:
+                by_qualifier.setdefault(column.qualifier, []).append(index)
+        self._by_qualified = by_qualified
+        self._by_name = by_name
+        self._by_qualifier = by_qualifier
+
+    def resolve(self, name: str, qualifier: Optional[str]) -> Any:
+        """The column index, ``None`` when unknown, :data:`AMBIGUOUS` when ambiguous."""
+        if qualifier is None:
+            return self._by_name.get(name)
+        return self._by_qualified.get((qualifier, name))
+
+    def has_qualifier(self, qualifier: str) -> bool:
+        return qualifier in self._by_qualifier
+
+    def qualifier_columns(self, qualifier: str) -> List[int]:
+        return self._by_qualifier.get(qualifier, [])
+
+
+#: Layouts memoized per column tuple; the set of distinct layouts is bounded
+#: by the queries of the program, not by the data, so no eviction is needed.
+_LAYOUT_CACHE: Dict[Tuple[ColumnInfo, ...], RowLayout] = {}
+
+
+def layout_for(columns: Tuple[ColumnInfo, ...]) -> RowLayout:
+    """The memoized :class:`RowLayout` for a column tuple."""
+    layout = _LAYOUT_CACHE.get(columns)
+    if layout is None:
+        layout = _LAYOUT_CACHE[columns] = RowLayout(columns)
+    return layout
+
+
 class Relation:
     """An ordered set of columns plus the rows that instantiate them."""
 
-    __slots__ = ("columns", "rows")
+    __slots__ = ("columns", "rows", "_layout")
 
     def __init__(self, columns: Sequence[ColumnInfo], rows: Iterable[Tuple[Any, ...]]) -> None:
         self.columns: Tuple[ColumnInfo, ...] = tuple(columns)
         self.rows: List[Tuple[Any, ...]] = list(rows)
+        self._layout: Optional[RowLayout] = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -65,6 +130,13 @@ class Relation:
     def arity(self) -> int:
         return len(self.columns)
 
+    @property
+    def layout(self) -> RowLayout:
+        layout = self._layout
+        if layout is None:
+            layout = self._layout = layout_for(self.columns)
+        return layout
+
     def __len__(self) -> int:
         return len(self.rows)
 
@@ -79,28 +151,28 @@ class Relation:
         Unqualified names must be unambiguous across the relation.  Raises
         :class:`SQLBindingError` when the column is unknown or ambiguous.
         """
-        matches = [
-            index
-            for index, column in enumerate(self.columns)
-            if column.name == name and (qualifier is None or column.qualifier == qualifier)
-        ]
-        if not matches:
+        index = self.layout.resolve(name, qualifier)
+        if index is None:
             raise SQLBindingError(self._unknown_message(name, qualifier))
-        if len(matches) > 1 and qualifier is None:
+        if index is AMBIGUOUS:
             raise SQLBindingError(f"ambiguous column reference: {name!r}")
-        return matches[0]
+        return index
 
     def try_find_column(self, name: str, qualifier: Optional[str] = None) -> Optional[int]:
-        try:
-            return self.find_column(name, qualifier)
-        except SQLBindingError:
+        """Like :meth:`find_column` but returns None instead of raising.
+
+        This is the per-row hot path (scope lookups consult it for every
+        column reference of every row), so unknown and ambiguous names are
+        plain dictionary misses rather than raised-and-caught exceptions.
+        """
+        index = self.layout.resolve(name, qualifier)
+        if index is None or index is AMBIGUOUS:
             return None
+        return index
 
     def find_positional(self, qualifier: str, position: int) -> int:
         """Index of the ``position``-th (1-based) column of binding ``qualifier``."""
-        indices = [
-            index for index, column in enumerate(self.columns) if column.qualifier == qualifier
-        ]
+        indices = self.layout.qualifier_columns(qualifier)
         if not indices:
             raise SQLBindingError(f"unknown table alias {qualifier!r} in positional reference")
         if position < 1 or position > len(indices):
@@ -111,10 +183,10 @@ class Relation:
         return indices[position - 1]
 
     def has_qualifier(self, qualifier: str) -> bool:
-        return any(column.qualifier == qualifier for column in self.columns)
+        return self.layout.has_qualifier(qualifier)
 
     def qualifier_columns(self, qualifier: str) -> List[int]:
-        return [index for index, column in enumerate(self.columns) if column.qualifier == qualifier]
+        return list(self.layout.qualifier_columns(qualifier))
 
     def _unknown_message(self, name: str, qualifier: Optional[str]) -> str:
         reference = f"{qualifier}.{name}" if qualifier else name
