@@ -10,10 +10,17 @@ withdrawal, so it is rejected and the database stays consistent.  The same
 interleaving against the hand-coded baseline silently corrupts the group
 membership — which is exactly the Section 2.3 motivation.
 
-Run with:  python examples/concurrent_invitations.py
+The final act replays the race for real: both actions are fired
+*simultaneously*, from two threads, over HTTP against the threaded server
+(`repro.web.server`).  The engine serialises them first-committer-wins and
+the loser's page names the operation that beat it (docs/concurrency.md).
+
+Run with:  PYTHONPATH=src python examples/concurrent_invitations.py
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.apps.baseline import HandCodedCMS
 from repro.apps.minicms import (
@@ -23,6 +30,8 @@ from repro.apps.minicms import (
     seed_paper_scenario,
 )
 from repro.runtime.engine import HildaEngine
+from repro.web import HildaApplication, HttpBrowser, ThreadedHildaServer
+from repro.web.forms import encode_action
 
 
 def hilda_version() -> None:
@@ -83,9 +92,55 @@ def baseline_version() -> None:
           "the inconsistent state Section 2.3 warns about")
 
 
+def threaded_http_version() -> None:
+    print("\n=== The same race over HTTP, truly concurrent ===")
+    application = HildaApplication(load_minicms())
+    seed_paper_scenario(application.engine)
+    engine = application.engine
+
+    with ThreadedHildaServer(application) as server:
+        print(f"serving MiniCMS on {server.url}")
+        s1_browser = HttpBrowser(server.url)
+        s2_browser = HttpBrowser(server.url)
+        s1_browser.login(STUDENT1_USER)
+        s2_browser.login(STUDENT2_USER)
+
+        withdraw = engine.find_instances("SelectRow", activator="ActWithdrawInv")[0]
+        accept = engine.find_instances("SelectRow", activator="ActAcceptInv")[0]
+
+        barrier = threading.Barrier(2)
+        pages = {}
+
+        def act(name, browser, instance):
+            params = encode_action(instance)
+            barrier.wait()  # both POSTs leave the gate together
+            pages[name] = browser.post("/action", params).body
+
+        threads = [
+            threading.Thread(target=act, args=("withdraw", s1_browser, withdraw)),
+            threading.Thread(target=act, args=("accept", s2_browser, accept)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    for name, body in sorted(pages.items()):
+        if "Action applied" in body:
+            print(f"  {name}: applied (committed first)")
+        else:
+            conflict = body.split("hilda-conflict", 1)[-1]
+            detail = conflict.split("<", 1)[0].lstrip('">')
+            print(f"  {name}: rejected — {detail}")
+    print("  invitation table:", engine.persistent_table("invitation").rows)
+    print("  group members:   ", engine.persistent_table("groupmember").rows)
+    print("  -> one winner, one attributed conflict, consistent database")
+
+
 def main() -> None:
     hilda_version()
     baseline_version()
+    threaded_http_version()
 
 
 if __name__ == "__main__":

@@ -1,11 +1,18 @@
-"""Quickstart: write a small Hilda program, run it, and interact with it.
+"""Quickstart: write a small Hilda program, run it, serve it, interact.
 
 This example builds a tiny guestbook application from scratch — a root AUnit
 with a persistent table of entries, a GetRow to post a new entry, and a
-ShowTable to display them — then drives it through the runtime engine and
-renders its HTML page.
+ShowTable to display them — drives it through the runtime engine, renders
+its HTML page, and finally serves it over the threaded HTTP server while
+two browsers (real sockets) use it at the same time.
 
-Run with:  python examples/quickstart.py
+Run with:  PYTHONPATH=src python examples/quickstart.py
+
+To keep a server running for your own browser instead, replace the
+`ThreadedHildaServer` block at the bottom with::
+
+    from repro.web import serve
+    serve(HildaApplication(program), port=8080)
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from __future__ import annotations
 from repro.hilda.program import load_program
 from repro.presentation.renderer import PageRenderer
 from repro.runtime.engine import HildaEngine
+from repro.web import HildaApplication, HttpBrowser, ThreadedHildaServer
 
 GUESTBOOK_SOURCE = """
 // A one-AUnit Hilda application: a shared guestbook.
@@ -80,6 +88,21 @@ def main() -> None:
     #    the action would be rejected.  Here we simply show the happy path.
     print("\nEngine processed", len(engine.history), "operations;",
           len(engine.history.conflicts()), "conflicts")
+
+    # 7. The same program served over HTTP: mount it in the application
+    #    container, start the threaded server on an ephemeral port, and let
+    #    two browsers hit it over real sockets.
+    application = HildaApplication(program)
+    with ThreadedHildaServer(application) as server:
+        print(f"\nServing the guestbook on {server.url}")
+        carol = HttpBrowser(server.url)
+        dave = HttpBrowser(server.url)
+        carol.login("carol")
+        dave.login("dave")
+        page = carol.get("/")
+        print("Carol is served her page over HTTP:", page.ok)
+        print("Sessions live on the server:", application.sessions.active_count())
+    print("Server shut down cleanly.")
 
 
 if __name__ == "__main__":

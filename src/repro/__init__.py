@@ -21,7 +21,10 @@ The package provides, from the bottom up:
   three-tier baseline.
 
 Most users start from :func:`repro.load_program` and
-:class:`repro.HildaEngine`; see ``examples/quickstart.py``.
+:class:`repro.HildaEngine`; see ``examples/quickstart.py``.  The full
+pipeline is documented in ``docs/architecture.md``, the multi-user serving
+model in ``docs/concurrency.md`` and the query hot path in
+``docs/sql_engine.md``.
 """
 
 from repro.errors import ReproError

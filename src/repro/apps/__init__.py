@@ -1,2 +1,3 @@
 """Applications built on the library: the MiniCMS case study (the paper's
-running example) and a hand-coded three-tier baseline used for comparison."""
+running example) and a hand-coded three-tier baseline used for comparison
+(``docs/architecture.md`` § "repro.apps")."""

@@ -1,4 +1,5 @@
-"""The hand-coded three-tier baseline (the development style Section 2 critiques)."""
+"""The hand-coded three-tier baseline (the development style Section 2
+critiques; ``docs/architecture.md`` § "repro.apps")."""
 
 from repro.apps.baseline.beans import (
     AssignmentBean,

@@ -1,4 +1,5 @@
-"""MiniCMS: the paper's running example as a loadable Hilda application."""
+"""MiniCMS: the paper's running example as a loadable Hilda application
+(``docs/architecture.md`` § "repro.apps")."""
 
 from repro.apps.minicms.fixtures import (
     ADMIN_USER,

@@ -1,5 +1,6 @@
 """The Hilda compiler (Figure 14): DDL scripts + generated servlet module,
-plus the cross-layer optimization analyses of Section 6.2."""
+plus the cross-layer optimization analyses of Section 6.2
+(``docs/architecture.md`` § "repro.compiler")."""
 
 from repro.compiler.artifacts import CompiledApplication, compile_program, compile_source
 from repro.compiler.codegen import generate_module, servlet_class_name

@@ -1,4 +1,4 @@
-"""The Hilda language front end.
+"""The Hilda language front end (``docs/architecture.md`` § "repro.hilda").
 
 * :func:`parse_program` — Hilda text to a :class:`~repro.hilda.ast.ProgramDecl`.
 * :func:`load_program` — parse + flatten inheritance + validate, producing a

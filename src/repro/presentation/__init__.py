@@ -1,4 +1,5 @@
-"""Presentation layer: PUnit-driven recursive HTML rendering of activation trees."""
+"""Presentation layer: PUnit-driven recursive HTML rendering of activation
+trees (``docs/architecture.md`` § "repro.presentation")."""
 
 from repro.presentation.default_punits import DEFAULT_ACTION_URL, render_basic_instance
 from repro.presentation.html import escape, render_form, render_table, tag

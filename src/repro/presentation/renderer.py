@@ -18,6 +18,7 @@ times under a read-mostly workload.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
 from repro.hilda.ast import PUnitDecl, PUnitInclude
@@ -61,13 +62,23 @@ class PageRenderer:
         self.cache_fragments = cache_fragments
         self.stats = RenderStats()
         self._fragment_cache: Dict[Tuple[int, int], str] = {}
+        #: Guards the fragment cache and its hit/miss counters when several
+        #: request threads render concurrently (see docs/concurrency.md).
+        self._cache_lock = threading.Lock()
 
     # -- public API -------------------------------------------------------------
 
     def render_session(self, session_id: str) -> str:
-        """Render the full page for one session."""
-        root = self.engine.session_tree(session_id)
-        body = self.render_instance(root)
+        """Render the full page for one session.
+
+        The whole render happens under the engine's read lock so a
+        concurrent operation cannot reactivate the forest (or rewrite the
+        tables the page is reading) midway through the page.
+        """
+        self.engine.session_tree(session_id)  # rebuild first if stale (lazy mode)
+        with self.engine.read_locked():
+            root = self.engine.forest.root_for_session(session_id)
+            body = self.render_instance(root)
         return (
             "<!DOCTYPE html>\n"
             + tag(
@@ -81,11 +92,12 @@ class PageRenderer:
         """Render one AUnit instance (and its subtree) to an HTML fragment."""
         cache_key = (instance.instance_id, self.engine.state_version)
         if self.cache_fragments:
-            cached = self._fragment_cache.get(cache_key)
-            if cached is not None:
-                self.stats.cache_hits += 1
-                return cached
-            self.stats.cache_misses += 1
+            with self._cache_lock:
+                cached = self._fragment_cache.get(cache_key)
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    return cached
+                self.stats.cache_misses += 1
 
         self.stats.fragments_rendered += 1
         if instance.is_basic:
@@ -98,11 +110,13 @@ class PageRenderer:
                 fragment = self._render_default(instance)
 
         if self.cache_fragments:
-            self._fragment_cache[cache_key] = fragment
+            with self._cache_lock:
+                self._fragment_cache[cache_key] = fragment
         return fragment
 
     def clear_cache(self) -> None:
-        self._fragment_cache.clear()
+        with self._cache_lock:
+            self._fragment_cache.clear()
 
     # -- internals -----------------------------------------------------------------
 

@@ -2,7 +2,9 @@
 
 Hilda represents *all* application state — database contents, per-instance
 local state, user input, activation tuples — in the relational model.  This
-package provides that substrate for the rest of the library.
+package provides that substrate for the rest of the library
+(``docs/architecture.md`` § "repro.relational"; table-level locking in
+``docs/concurrency.md``).
 """
 
 from repro.relational.database import Catalog, Database, DatabaseSnapshot, LayeredCatalog

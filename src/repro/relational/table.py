@@ -17,6 +17,7 @@ instead of rebuilding the map per statement.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import IntegrityError, SchemaError, UnknownColumnError
@@ -46,6 +47,11 @@ class Table:
         )
         self._indexes: Dict[Tuple[str, ...], IndexMap] = {}
         self._index_positions: Dict[Tuple[str, ...], Tuple[int, ...]] = {}
+        #: Guards structural mutation (rows, key map, secondary indexes) so
+        #: concurrent sessions sharing a persistent table cannot corrupt it;
+        #: notably the planner's on-demand ``ensure_index`` may race between
+        #: two concurrent read-only queries (see docs/concurrency.md).
+        self._lock = threading.RLock()
         for columns in schema.indexes:
             self.create_index(columns)
         for row in rows:
@@ -79,16 +85,17 @@ class Table:
     def insert(self, values: Sequence[Any]) -> Row:
         """Insert a row after coercing it to the schema; returns the stored row."""
         row = self.schema.coerce_row(values)
-        if self._key_index is not None:
-            key = self.schema.key_of(row)
-            if key in self._key_index:
-                raise IntegrityError(
-                    f"duplicate primary key {key!r} in table {self.name!r}"
-                )
-            self._key_index[key] = row
-        self._rows.append(row)
-        if self._indexes:
-            self._index_add(row)
+        with self._lock:
+            if self._key_index is not None:
+                key = self.schema.key_of(row)
+                if key in self._key_index:
+                    raise IntegrityError(
+                        f"duplicate primary key {key!r} in table {self.name!r}"
+                    )
+                self._key_index[key] = row
+            self._rows.append(row)
+            if self._indexes:
+                self._index_add(row)
         return row
 
     def insert_mapping(self, mapping: Dict[str, Any]) -> Row:
@@ -108,20 +115,21 @@ class Table:
         Indexes (primary and secondary) are maintained incrementally: only
         the removed rows are unindexed instead of rebuilding every map.
         """
-        kept: List[Row] = []
-        removed: List[Row] = []
-        for row in self._rows:
-            (removed if predicate(row) else kept).append(row)
-        if removed:
-            self._rows = kept
-            if self._key_index is not None:
-                key_of = self.schema.key_of
-                for row in removed:
-                    del self._key_index[key_of(row)]
-            if self._indexes:
-                for row in removed:
-                    self._index_remove(row)
-        return len(removed)
+        with self._lock:
+            kept: List[Row] = []
+            removed: List[Row] = []
+            for row in self._rows:
+                (removed if predicate(row) else kept).append(row)
+            if removed:
+                self._rows = kept
+                if self._key_index is not None:
+                    key_of = self.schema.key_of
+                    for row in removed:
+                        del self._key_index[key_of(row)]
+                if self._indexes:
+                    for row in removed:
+                        self._index_remove(row)
+            return len(removed)
 
     def update_where(
         self,
@@ -134,44 +142,45 @@ class Table:
         uniqueness is validated against the post-update state before any
         structure is touched, so a violation leaves the table unchanged.
         """
-        matched = 0
-        changed: List[Tuple[Row, Row]] = []
-        new_rows: List[Row] = []
-        for row in self._rows:
-            if predicate(row):
-                new_row = self.schema.coerce_row(updater(row))
-                new_rows.append(new_row)
-                matched += 1
-                if new_row != row:
-                    changed.append((row, new_row))
-            else:
-                new_rows.append(row)
-        if not matched:
-            return 0
-        if self._key_index is not None and changed:
-            key_of = self.schema.key_of
-            old_keys = {key_of(old) for old, _ in changed}
-            seen = set()
-            for _, new_row in changed:
-                key = key_of(new_row)
-                if key in seen or (key in self._key_index and key not in old_keys):
-                    raise IntegrityError(
-                        f"duplicate primary key {key!r} in table {self.name!r}"
-                    )
-                seen.add(key)
-        self._rows = new_rows
-        if changed:
-            if self._key_index is not None:
+        with self._lock:
+            matched = 0
+            changed: List[Tuple[Row, Row]] = []
+            new_rows: List[Row] = []
+            for row in self._rows:
+                if predicate(row):
+                    new_row = self.schema.coerce_row(updater(row))
+                    new_rows.append(new_row)
+                    matched += 1
+                    if new_row != row:
+                        changed.append((row, new_row))
+                else:
+                    new_rows.append(row)
+            if not matched:
+                return 0
+            if self._key_index is not None and changed:
                 key_of = self.schema.key_of
-                for old, _ in changed:
-                    del self._key_index[key_of(old)]
+                old_keys = {key_of(old) for old, _ in changed}
+                seen = set()
                 for _, new_row in changed:
-                    self._key_index[key_of(new_row)] = new_row
-            if self._indexes:
-                for old, new_row in changed:
-                    self._index_remove(old)
-                    self._index_add(new_row)
-        return matched
+                    key = key_of(new_row)
+                    if key in seen or (key in self._key_index and key not in old_keys):
+                        raise IntegrityError(
+                            f"duplicate primary key {key!r} in table {self.name!r}"
+                        )
+                    seen.add(key)
+            self._rows = new_rows
+            if changed:
+                if self._key_index is not None:
+                    key_of = self.schema.key_of
+                    for old, _ in changed:
+                        del self._key_index[key_of(old)]
+                    for _, new_row in changed:
+                        self._key_index[key_of(new_row)] = new_row
+                if self._indexes:
+                    for old, new_row in changed:
+                        self._index_remove(old)
+                        self._index_add(new_row)
+            return matched
 
     def replace(self, rows: Iterable[Sequence[Any]]) -> int:
         """Replace the entire contents of the table (Hilda assignment semantics)."""
@@ -183,20 +192,21 @@ class Table:
         self._set_rows([])
 
     def _set_rows(self, rows: List[Row]) -> None:
-        if self._key_index is not None:
-            index: Dict[Tuple[Any, ...], Row] = {}
-            for row in rows:
-                key = self.schema.key_of(row)
-                if key in index:
-                    raise IntegrityError(
-                        f"duplicate primary key {key!r} in table {self.name!r}"
-                    )
-                index[key] = row
-            self._key_index = index
-        self._rows = rows
-        if self._indexes:
-            for columns in self._indexes:
-                self._indexes[columns] = self._build_index(columns)
+        with self._lock:
+            if self._key_index is not None:
+                index: Dict[Tuple[Any, ...], Row] = {}
+                for row in rows:
+                    key = self.schema.key_of(row)
+                    if key in index:
+                        raise IntegrityError(
+                            f"duplicate primary key {key!r} in table {self.name!r}"
+                        )
+                    index[key] = row
+                self._key_index = index
+            self._rows = rows
+            if self._indexes:
+                for columns in self._indexes:
+                    self._indexes[columns] = self._build_index(columns)
 
     # -- secondary indexes ----------------------------------------------------
 
@@ -206,11 +216,12 @@ class Table:
         Returns the canonical column tuple (schema order) identifying it.
         """
         canonical = self._canonical_index_columns(columns)
-        if canonical not in self._indexes:
-            self._index_positions[canonical] = tuple(
-                self.schema.column_position(name) for name in canonical
-            )
-            self._indexes[canonical] = self._build_index(canonical)
+        with self._lock:
+            if canonical not in self._indexes:
+                self._index_positions[canonical] = tuple(
+                    self.schema.column_position(name) for name in canonical
+                )
+                self._indexes[canonical] = self._build_index(canonical)
         return canonical
 
     def ensure_index(self, columns: Sequence[str]) -> Tuple[str, ...]:
@@ -299,6 +310,40 @@ class Table:
     def as_dicts(self) -> List[Dict[str, Any]]:
         names = self.schema.column_names
         return [dict(zip(names, row)) for row in self._rows]
+
+    # -- integrity ------------------------------------------------------------
+
+    def check_integrity(self) -> List[str]:
+        """Verify that the key map and every secondary index agree with the rows.
+
+        Returns a list of human-readable problems (empty when consistent).
+        Used by the concurrent-mutation stress tests to prove that interleaved
+        sessions cannot corrupt shared relational state.
+        """
+        problems: List[str] = []
+        with self._lock:
+            if self._key_index is not None:
+                expected = {}
+                for row in self._rows:
+                    key = self.schema.key_of(row)
+                    if key in expected:
+                        problems.append(f"{self.name}: duplicate key {key!r} in rows")
+                    expected[key] = row
+                if expected != self._key_index:
+                    problems.append(
+                        f"{self.name}: primary-key map disagrees with rows "
+                        f"({len(self._key_index)} keys vs {len(expected)} rows)"
+                    )
+            for canonical in self._indexes:
+                actual = self._indexes[canonical]
+                rebuilt = self._build_index(canonical)
+                if {k: sorted(map(_sort_key, v)) for k, v in actual.items()} != {
+                    k: sorted(map(_sort_key, v)) for k, v in rebuilt.items()
+                }:
+                    problems.append(
+                        f"{self.name}: secondary index on {canonical} is stale"
+                    )
+        return problems
 
     # -- copying --------------------------------------------------------------
 

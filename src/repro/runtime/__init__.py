@@ -1,5 +1,7 @@
 """The Hilda runtime: activation forests, execution phases, sessions,
-conflict detection, concurrency strategies and execution histories."""
+conflict detection, concurrency strategies and execution histories
+(``docs/architecture.md`` § "repro.runtime"; locking and
+first-committer-wins conflict semantics in ``docs/concurrency.md``)."""
 
 from repro.runtime.activation import ActivationBuilder, PreservedInstance
 from repro.runtime.engine import HildaEngine

@@ -1,8 +1,19 @@
-"""Concurrency-control strategies for application-level preconditions.
+"""Concurrency control: thread-safety primitives and precondition strategies.
 
-Section 6.2 of the paper notes that because Hilda preconditions are
-declarative (activation queries), the system is free to choose *how* to
-enforce them:
+This module has two halves (documented in ``docs/concurrency.md``):
+
+**Thread-safety primitives** used by :class:`~repro.runtime.engine.HildaEngine`
+and the web container to serve many simultaneous users from one process:
+
+* :class:`ReadWriteLock` — a reentrant, writer-preferring reader/writer lock
+  guarding the shared database and the activation forest.  Page renders are
+  readers; operations (and reactivation) are writers.
+* :class:`SessionLockTable` — a lock per session key, so requests belonging
+  to one session are serialised without blocking other sessions.
+
+**Precondition-enforcement strategies** — Section 6.2 of the paper notes
+that because Hilda preconditions are declarative (activation queries), the
+system is free to choose *how* to enforce them:
 
 * **optimistic** — let users act on possibly stale pages; re-check the
   precondition (is the Basic AUnit instance still active?) when the action
@@ -25,21 +36,189 @@ throughput/conflict/blocking profile; the E11 benchmark sweeps contention.
 from __future__ import annotations
 
 import random
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
-from repro.runtime.engine import HildaEngine
 from repro.runtime.operations import ApplyResult, OperationStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.runtime.engine import HildaEngine
 
 __all__ = [
     "Intent",
     "StrategyResult",
     "LockManager",
+    "ReadWriteLock",
+    "SessionLockTable",
     "ConcurrencySimulator",
     "OPTIMISTIC",
     "PESSIMISTIC",
     "TRIGGER_BASED",
 ]
+
+
+class ReadWriteLock:
+    """A reentrant, writer-preferring reader/writer lock.
+
+    Any number of threads may hold the read side at once; the write side is
+    exclusive.  Reentrancy rules:
+
+    * a thread holding the **write** lock may re-acquire either side (the
+      engine's mutating entry points call its reading helpers);
+    * a thread holding the **read** lock may re-acquire the read side;
+    * upgrading read → write is refused with :class:`RuntimeError` — it
+      deadlocks as soon as two threads try it, so the engine is structured
+      to decide read-vs-write *before* acquiring (see ``docs/concurrency.md``).
+
+    Writer preference: once a writer is waiting, new first-time readers
+    queue behind it, so a steady stream of page renders cannot starve
+    actions.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers: Dict[int, int] = {}
+        self._writer: Optional[int] = None
+        self._writer_depth = 0
+        self._writers_waiting = 0
+
+    # -- read side -----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if me in self._readers:
+                self._readers[me] += 1
+                return
+            while self._writer is not None or self._writers_waiting:
+                self._cond.wait()
+            self._readers[me] = 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth -= 1
+                return
+            count = self._readers.get(me)
+            if count is None:
+                raise RuntimeError("release_read without a matching acquire_read")
+            if count > 1:
+                self._readers[me] = count - 1
+            else:
+                del self._readers[me]
+                self._cond.notify_all()
+
+    # -- write side ----------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if me in self._readers:
+                raise RuntimeError(
+                    "read -> write lock upgrade would deadlock; acquire the "
+                    "write lock before (instead of while) holding the read lock"
+                )
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._writer_depth = 1
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise RuntimeError("release_write by a thread not holding the write lock")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # -- context managers ------------------------------------------------------
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection (tests) -------------------------------------------------
+
+    def held_for_write(self) -> bool:
+        with self._cond:
+            return self._writer is not None
+
+    def reader_count(self) -> int:
+        with self._cond:
+            return len(self._readers)
+
+
+class SessionLockTable:
+    """A table of per-key reentrant locks, created on demand.
+
+    The engine keys it by engine-session id and the web container by cookie
+    token: two requests belonging to the *same* session are serialised (a
+    browser double-submit cannot interleave mid-pipeline) while requests of
+    different sessions only contend on the shared reader/writer lock.
+    """
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        self._locks: Dict[str, threading.RLock] = {}
+
+    def lock(self, key: str) -> threading.RLock:
+        """The lock for ``key`` (created on first use)."""
+        with self._guard:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = self._locks[key] = threading.RLock()
+            return lock
+
+    @contextmanager
+    def holding(self, key: str) -> Iterator[None]:
+        lock = self.lock(key)
+        with lock:
+            yield
+
+    def discard(self, key: str) -> None:
+        """Forget the lock for a closed session (safe if absent or held).
+
+        Discarding is inherently racy with late arrivals: a request that
+        already holds (or is waiting on) the old lock object is not
+        serialised against one that mints a fresh lock afterwards.  That is
+        acceptable because discard is only called once the session is dead —
+        both such requests fail the session lookup and bounce to login, and
+        state safety never rests on this table (the reader/writer lock
+        guarantees it); this table only orders requests of *live* sessions.
+        """
+        with self._guard:
+            self._locks.pop(key, None)
+
+    def __len__(self) -> int:
+        with self._guard:
+            return len(self._locks)
 
 OPTIMISTIC = "optimistic"
 PESSIMISTIC = "pessimistic"

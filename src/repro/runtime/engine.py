@@ -18,11 +18,21 @@ Reactivation can be *eager* (every session's tree is rebuilt immediately,
 the default) or *lazy* (other sessions' trees are rebuilt when next
 accessed), which models the paper's remark that changes need only be
 propagated when a user reloads the page.
+
+The engine is **thread-safe** (see ``docs/concurrency.md``): a shared
+reader/writer lock lets any number of page renders proceed concurrently
+while operations, session creation and reactivation are exclusive, and a
+per-session lock table serialises requests belonging to one session.
+Operations interleave with first-committer-wins semantics per instance: the
+first operation to commit under the write lock wins, and any later
+operation targeting an instance it invalidated receives a deterministic
+conflict report naming the winning operation.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import ConflictError, HandlerError, SessionError
@@ -31,6 +41,7 @@ from repro.hilda.program import HildaProgram
 from repro.relational.functions import FunctionRegistry
 from repro.relational.table import Table
 from repro.runtime.activation import ActivationBuilder, PreservedInstance
+from repro.runtime.concurrency import ReadWriteLock, SessionLockTable
 from repro.runtime.forest import ActivationForest
 from repro.runtime.history import ExecutionHistory
 from repro.runtime.instance import AUnitInstance, InstanceLabel
@@ -39,6 +50,10 @@ from repro.runtime.returns import ReturnProcessor
 from repro.sql.executor import SQLCaches, SQLExecutor
 
 __all__ = ["HildaEngine"]
+
+#: How many invalidation records to keep for conflict attribution before the
+#: oldest are dropped (bounds memory on long-running servers).
+_INVALIDATION_LOG_LIMIT = 10_000
 
 
 class HildaEngine:
@@ -109,8 +124,34 @@ class HildaEngine:
         self._dirty_sessions: Set[str] = set()
         self._activation_cache: Dict[Tuple, Tuple[int, List[Tuple[Any, ...]]]] = {}
 
+        #: Shared-database reader/writer lock: page renders and lookups are
+        #: readers, operations / session lifecycle / reactivation are writers.
+        self._rw = ReadWriteLock()
+        #: One lock per session id, serialising requests of the same session.
+        self.session_locks = SessionLockTable()
+        #: instance_id -> (winning operation_id, winning session_id) for
+        #: instances removed from the forest by a committed operation; used
+        #: for deterministic first-committer-wins conflict reports.
+        self._invalidated_by: Dict[int, Tuple[int, Optional[str]]] = {}
+        #: session_id -> the first committed operation that marked it stale
+        #: (lazy mode); instances that vanish in the deferred rebuild are
+        #: attributed to it.
+        self._dirty_markers: Dict[str, Tuple[int, Optional[str]]] = {}
+
         self._builder = ActivationBuilder(self)
         self._returns = ReturnProcessor(self)
+
+    # ------------------------------------------------------------------
+    # Locking helpers (docs/concurrency.md)
+    # ------------------------------------------------------------------
+
+    def read_locked(self):
+        """Context manager: hold the shared lock for reading (page renders)."""
+        return self._rw.read()
+
+    def write_locked(self):
+        """Context manager: hold the shared lock exclusively (mutations)."""
+        return self._rw.write()
 
     # ------------------------------------------------------------------
     # Low-level services used by the phase implementations
@@ -147,7 +188,12 @@ class HildaEngine:
         """Create and initialise the persistent tables of an AUnit type once."""
         if decl.name in self._persist_initialised:
             return
-        self._persist_initialised.add(decl.name)
+        with self._rw.write():
+            self._ensure_persistent_locked(decl)
+
+    def _ensure_persistent_locked(self, decl: AUnitDecl) -> None:
+        if decl.name in self._persist_initialised:
+            return
         tables = {schema.name: Table(schema) for schema in decl.persist_schema}
         self._persist[decl.name] = tables
         if decl.persist_query:
@@ -162,6 +208,9 @@ class HildaEngine:
                 location=f"{decl.name}.persist_query",
                 executor_factory=self.make_executor,
             )
+        # Published last: the lock-free fast path in ensure_persistent must
+        # only see the flag once the tables exist and are fully seeded.
+        self._persist_initialised.add(decl.name)
 
     def persist_tables(self, aunit_name: str) -> Dict[str, Table]:
         """The shared persistent tables of one AUnit type (may be empty)."""
@@ -218,12 +267,13 @@ class HildaEngine:
         refresh: bool = True,
     ) -> None:
         """Bulk-load persistent tables (used by fixtures and benchmarks)."""
-        for table_name, rows in rows_by_table.items():
-            table = self.persistent_table(table_name, aunit_name)
-            table.insert_many(rows)
-        self.bump_state_version()
-        if refresh and self.forest.session_ids():
-            self.reactivate_all()
+        with self._rw.write():
+            for table_name, rows in rows_by_table.items():
+                table = self.persistent_table(table_name, aunit_name)
+                table.insert_many(rows)
+            self.bump_state_version()
+            if refresh and self.forest.session_ids():
+                self.reactivate_all()
 
     # ------------------------------------------------------------------
     # Sessions
@@ -235,36 +285,51 @@ class HildaEngine:
         session_id: Optional[str] = None,
     ) -> str:
         """Activate a new root AUnit instance (a user session) and return its id."""
-        if session_id is None:
-            session_id = f"S{next(self._session_counter)}"
-        if self.forest.has_session(session_id):
-            raise SessionError(f"session {session_id!r} already exists")
-        inputs = {name: list(rows) for name, rows in (input_rows or {}).items()}
-        self._session_inputs[session_id] = inputs
-        root = self._builder.build_session_tree(session_id, inputs)
-        self.forest.add_root(session_id, root)
-        return session_id
+        with self._rw.write():
+            if session_id is None:
+                session_id = f"S{next(self._session_counter)}"
+            if self.forest.has_session(session_id):
+                raise SessionError(f"session {session_id!r} already exists")
+            inputs = {name: list(rows) for name, rows in (input_rows or {}).items()}
+            self._session_inputs[session_id] = inputs
+            root = self._builder.build_session_tree(session_id, inputs)
+            self.forest.add_root(session_id, root)
+            return session_id
 
     def close_session(self, session_id: str) -> None:
         """Deactivate a session's root instance (and thereby its whole tree)."""
-        self.forest.remove_session(session_id)
-        self._session_inputs.pop(session_id, None)
-        self._dirty_sessions.discard(session_id)
+        with self.session_locks.holding(session_id):
+            with self._rw.write():
+                self.forest.remove_session(session_id)
+                self._session_inputs.pop(session_id, None)
+                self._dirty_sessions.discard(session_id)
+                self._dirty_markers.pop(session_id, None)
+        self.session_locks.discard(session_id)
 
     def session_ids(self) -> List[str]:
-        return self.forest.session_ids()
+        with self._rw.read():
+            return self.forest.session_ids()
 
     def session_tree(self, session_id: str) -> AUnitInstance:
         """The activation tree of a session (rebuilding it first if stale)."""
-        self._ensure_fresh(session_id)
-        return self.forest.root_for_session(session_id)
+        with self.session_locks.holding(session_id):
+            if session_id not in self._dirty_sessions:
+                with self._rw.read():
+                    # Re-check under the lock: a writer may have marked the
+                    # session stale between the test above and acquisition.
+                    if session_id not in self._dirty_sessions:
+                        return self.forest.root_for_session(session_id)
+            with self._rw.write():
+                self._ensure_fresh(session_id)
+                return self.forest.root_for_session(session_id)
 
     # ------------------------------------------------------------------
     # Lookup helpers
     # ------------------------------------------------------------------
 
     def instance(self, instance_id: int) -> Optional[AUnitInstance]:
-        return self.forest.instance_by_id(instance_id)
+        with self._rw.read():
+            return self.forest.instance_by_id(instance_id)
 
     def find_instances(
         self,
@@ -273,19 +338,27 @@ class HildaEngine:
         activator: Optional[str] = None,
     ) -> List[AUnitInstance]:
         """Find active instances, refreshing lazily-reactivated sessions first."""
-        if session_id is not None:
-            self._ensure_fresh(session_id)
-        else:
-            for stale in list(self._dirty_sessions):
-                self._ensure_fresh(stale)
-        return self.forest.find_instances(
-            aunit_name=aunit_name, session_id=session_id, activator=activator
-        )
+        self._refresh_stale(session_id)
+        with self._rw.read():
+            return self.forest.find_instances(
+                aunit_name=aunit_name, session_id=session_id, activator=activator
+            )
 
     def render_forest(self) -> str:
-        for stale in list(self._dirty_sessions):
-            self._ensure_fresh(stale)
-        return self.forest.render()
+        self._refresh_stale()
+        with self._rw.read():
+            return self.forest.render()
+
+    def _refresh_stale(self, session_id: Optional[str] = None) -> None:
+        """Rebuild stale (lazily-reactivated) sessions, write-locking only if needed."""
+        if session_id is not None:
+            if session_id in self._dirty_sessions:
+                with self._rw.write():
+                    self._ensure_fresh(session_id)
+        elif self._dirty_sessions:
+            with self._rw.write():
+                for stale in list(self._dirty_sessions):
+                    self._ensure_fresh(stale)
 
     # ------------------------------------------------------------------
     # Operations (user actions)
@@ -310,7 +383,17 @@ class HildaEngine:
     submit = perform
 
     def apply(self, operation: Operation) -> ApplyResult:
-        """Apply one operation: conflict check, return phase, reactivation phase."""
+        """Apply one operation: conflict check, return phase, reactivation phase.
+
+        Operations are serialised under the engine's write lock, which yields
+        first-committer-wins semantics per instance: whichever of two racing
+        operations acquires the lock first commits, and the loser receives a
+        deterministic conflict report naming the winning operation.
+        """
+        with self._rw.write():
+            return self._apply_locked(operation)
+
+    def _apply_locked(self, operation: Operation) -> ApplyResult:
         active_before = {node.instance_id for node in self.forest.all_instances()}
         version_before = self._state_version
 
@@ -319,10 +402,12 @@ class HildaEngine:
             result = ApplyResult(
                 operation=operation,
                 status=OperationStatus.CONFLICT,
-                message=(
+                message=self._conflict_message(
+                    operation.instance_id,
                     f"AUnit instance {operation.instance_id} is no longer active; "
-                    "the operation conflicts with a concurrent update"
+                    "the operation conflicts with a concurrent update",
                 ),
+                conflict_with=self._conflict_winner(operation.instance_id),
                 state_version=self._state_version,
             )
             self._record(operation, result, active_before, version_before)
@@ -351,10 +436,12 @@ class HildaEngine:
                 result = ApplyResult(
                     operation=operation,
                     status=OperationStatus.CONFLICT,
-                    message=(
+                    message=self._conflict_message(
+                        operation.instance_id,
                         f"AUnit instance {operation.instance_id} disappeared when its "
-                        "session was refreshed; the operation conflicts with a concurrent update"
+                        "session was refreshed; the operation conflicts with a concurrent update",
                     ),
+                    conflict_with=self._conflict_winner(operation.instance_id),
                     state_version=self._state_version,
                 )
                 self._record(operation, result, active_before, version_before)
@@ -388,6 +475,9 @@ class HildaEngine:
         status = (
             OperationStatus.APPLIED if outcome.any_handler_fired else OperationStatus.NO_HANDLER
         )
+        if status == OperationStatus.APPLIED:
+            active_after = {node.instance_id for node in self.forest.all_instances()}
+            self._note_invalidations(operation, active_before - active_after)
         result = ApplyResult(
             operation=operation,
             status=status,
@@ -398,23 +488,56 @@ class HildaEngine:
         self._record(operation, result, active_before, version_before)
         return result
 
+    # -- first-committer-wins conflict attribution -------------------------------
+
+    def _note_invalidations(self, operation: Operation, vanished: Set[int]) -> None:
+        """Remember which committed operation invalidated each vanished instance."""
+        for instance_id in vanished:
+            self._invalidated_by[instance_id] = (
+                operation.operation_id,
+                operation.session_id,
+            )
+        self._trim_invalidation_log()
+
+    def _trim_invalidation_log(self) -> None:
+        while len(self._invalidated_by) > _INVALIDATION_LOG_LIMIT:
+            self._invalidated_by.pop(next(iter(self._invalidated_by)))
+
+    def _conflict_winner(self, instance_id: int) -> Optional[int]:
+        entry = self._invalidated_by.get(instance_id)
+        return entry[0] if entry is not None else None
+
+    def _conflict_message(self, instance_id: int, fallback: str) -> str:
+        entry = self._invalidated_by.get(instance_id)
+        if entry is None:
+            return fallback
+        winner_id, winner_session = entry
+        who = f" from session {winner_session!r}" if winner_session else ""
+        return (
+            f"AUnit instance {instance_id} is no longer active: it was "
+            f"invalidated by operation #{winner_id}{who}, which committed first; "
+            "the operation conflicts with that concurrent update"
+        )
+
     # ------------------------------------------------------------------
     # Reactivation
     # ------------------------------------------------------------------
 
     def reactivate_all(self) -> None:
         """Rebuild every session's activation tree immediately."""
-        for session_id in self.forest.session_ids():
-            self._rebuild_session(session_id)
-        self._dirty_sessions.clear()
+        with self._rw.write():
+            for session_id in self.forest.session_ids():
+                self._rebuild_session(session_id)
+            self._dirty_sessions.clear()
 
     def refresh(self, session_id: Optional[str] = None) -> None:
         """Explicitly refresh one session (the user's page reload) or all."""
         if session_id is None:
             self.reactivate_all()
         else:
-            self._rebuild_session(session_id)
-            self._dirty_sessions.discard(session_id)
+            with self._rw.write():
+                self._rebuild_session(session_id)
+                self._dirty_sessions.discard(session_id)
 
     def _reactivate_after(self, operation: Operation, outcome) -> None:
         acting_session = operation.session_id
@@ -427,6 +550,9 @@ class HildaEngine:
         for session_id in self.forest.session_ids():
             if session_id != acting_session:
                 self._dirty_sessions.add(session_id)
+                self._dirty_markers.setdefault(
+                    session_id, (operation.operation_id, operation.session_id)
+                )
 
     def _ensure_fresh(self, session_id: str) -> None:
         if session_id in self._dirty_sessions:
@@ -444,6 +570,16 @@ class HildaEngine:
         inputs = self._session_inputs.get(session_id, {})
         new_root = self._builder.build_session_tree(session_id, inputs, preserved)
         self.forest.replace_root(session_id, new_root)
+        marker = self._dirty_markers.pop(session_id, None)
+        if marker is not None:
+            # Deferred (lazy) rebuild: attribute instances that vanished to
+            # the first operation that staled this session, unless a more
+            # precise attribution was already recorded.
+            new_ids = {node.instance_id for node in new_root.walk()}
+            for node in old_root.walk():
+                if node.instance_id not in new_ids:
+                    self._invalidated_by.setdefault(node.instance_id, marker)
+            self._trim_invalidation_log()
 
     # ------------------------------------------------------------------
     # History

@@ -71,7 +71,13 @@ class HandlerFired:
 
 @dataclass
 class ApplyResult:
-    """The result of applying one operation."""
+    """The result of applying one operation.
+
+    ``conflict_with`` carries first-committer-wins attribution: when the
+    status is ``CONFLICT`` and the engine knows which committed operation
+    invalidated the targeted instance, this is that operation's id (see
+    ``docs/concurrency.md``).
+    """
 
     operation: Operation
     status: str
@@ -79,6 +85,7 @@ class ApplyResult:
     returned_instance_ids: List[int] = field(default_factory=list)
     message: str = ""
     state_version: int = 0
+    conflict_with: Optional[int] = None
 
     @property
     def accepted(self) -> bool:

@@ -1,4 +1,6 @@
-"""A small SQL engine covering the dialect Hilda programs use.
+"""A small SQL engine covering the dialect Hilda programs use
+(``docs/sql_engine.md``; its place in the stack in
+``docs/architecture.md`` § "repro.sql").
 
 Public surface:
 

@@ -89,6 +89,11 @@ def cached_compile(
     stays alive for as long as its ``id()`` is used as a key.  Failed
     compilations are cached too (as ``None``) so interpreter-only
     expressions are probed once, not per execution.
+
+    Thread safety: the single ``get`` and single assignment below are each
+    atomic under the GIL; two threads racing on a cold key at worst compile
+    the expression twice, and the entries are interchangeable, so no lock is
+    taken on this per-row-hot path (see docs/concurrency.md).
     """
     key = (id(expression), columns)
     entry = cache.get(key)

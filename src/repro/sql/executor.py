@@ -25,6 +25,7 @@ identically-shaped contexts.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import SQLExecutionError, UnknownTableError
@@ -53,9 +54,17 @@ QueryLike = Union[str, SelectQuery, UnionQuery]
 
 
 class SQLCaches:
-    """Parse/plan/compile caches shareable across executors (see module doc)."""
+    """Parse/plan/compile caches shareable across executors (see module doc).
 
-    __slots__ = ("asts", "plans", "compiled")
+    The caches are shared by every executor the Hilda engine builds, across
+    all concurrently-served sessions, so mutation is guarded by ``lock``:
+    lookups and publications are brief critical sections while the actual
+    parse/plan/compile work happens outside the lock (two threads may
+    duplicate work on a cold cache; the last publication wins, which is
+    harmless because entries for one key are interchangeable).
+    """
+
+    __slots__ = ("asts", "plans", "compiled", "lock")
 
     def __init__(self) -> None:
         self.asts: Dict[str, Statement] = {}
@@ -63,6 +72,7 @@ class SQLCaches:
         self.plans: Dict[int, Tuple[Query, Operator]] = {}
         #: (id(expression), columns) -> (expression, closure-or-None).
         self.compiled: Dict[Any, Tuple[Expression, Optional[Callable]]] = {}
+        self.lock = threading.Lock()
 
 
 class SQLExecutor:
@@ -245,10 +255,12 @@ class SQLExecutor:
 
     def _parse_query(self, query: QueryLike) -> Query:
         if isinstance(query, str):
-            cached = self._ast_cache.get(query)
+            with self.caches.lock:
+                cached = self._ast_cache.get(query)
             if cached is None:
                 cached = parse_query(query)
-                self._ast_cache[query] = cached
+                with self.caches.lock:
+                    self._ast_cache[query] = cached
             if not isinstance(cached, (SelectQuery, UnionQuery)):
                 raise SQLExecutionError("statement is not a query")
             return cached
@@ -256,21 +268,25 @@ class SQLExecutor:
 
     def _parse_statement(self, statement: Union[str, Statement]) -> Statement:
         if isinstance(statement, str):
-            cached = self._ast_cache.get(statement)
+            with self.caches.lock:
+                cached = self._ast_cache.get(statement)
             if cached is None:
                 cached = parse_statement(statement)
-                self._ast_cache[statement] = cached
+                with self.caches.lock:
+                    self._ast_cache[statement] = cached
             return cached
         return statement
 
     def _plan(self, query: Query) -> Operator:
         key = id(query)
-        entry = self._plan_cache.get(key)
+        with self.caches.lock:
+            entry = self._plan_cache.get(key)
         if entry is None:
             plan = Planner(
                 self.catalog, optimize=self.optimize, auto_index=self.auto_index
             ).plan(query)
-            self._plan_cache[key] = (query, plan)
+            with self.caches.lock:
+                self._plan_cache[key] = (query, plan)
             return plan
         return entry[1]
 

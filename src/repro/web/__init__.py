@@ -1,21 +1,27 @@
 """The web substrate: request/response objects, cookie sessions, form
-decoding and the in-process application container."""
+decoding, the in-process application container, and the threaded HTTP
+front end that serves many simultaneous browsers (``docs/architecture.md``
+§ "repro.web"; locking model in ``docs/concurrency.md``)."""
 
 from repro.web.container import BrowserClient, HildaApplication
 from repro.web.forms import decode_action, encode_action
 from repro.web.http import Request, Response, encode_form, parse_query_string
+from repro.web.server import HttpBrowser, ThreadedHildaServer, serve
 from repro.web.sessions import SESSION_COOKIE, SessionManager, WebSession
 
 __all__ = [
     "BrowserClient",
     "HildaApplication",
+    "HttpBrowser",
     "Request",
     "Response",
     "SESSION_COOKIE",
     "SessionManager",
+    "ThreadedHildaServer",
     "WebSession",
     "decode_action",
     "encode_action",
     "encode_form",
     "parse_query_string",
+    "serve",
 ]

@@ -13,9 +13,17 @@ generated three-tier application needs:
   (conflict detection included) and re-render the page, reporting conflicts;
 * ``GET /logout`` — close the session.
 
+The container is **thread-safe** and is what the threaded HTTP front end
+(:mod:`repro.web.server`) mounts: the engine's reader/writer lock makes page
+renders shared and actions exclusive, and a per-cookie lock table serialises
+requests belonging to one browser session (double-submits cannot
+interleave).  See ``docs/concurrency.md`` for the full locking model and
+``docs/architecture.md`` for the request lifecycle.
+
 A tiny WSGI adapter is provided so the application can also be mounted in
-any standard Python web server, though the tests and examples call
-:meth:`handle` directly.
+any standard Python web server; tests and examples either call
+:meth:`handle` directly or go over real sockets via
+:class:`~repro.web.server.ThreadedHildaServer`.
 """
 
 from __future__ import annotations
@@ -26,34 +34,65 @@ from repro.errors import FormDecodingError, SessionError
 from repro.hilda.program import HildaProgram
 from repro.presentation.renderer import PageRenderer
 from repro.presentation.html import escape, tag
+from repro.runtime.concurrency import SessionLockTable
 from repro.runtime.engine import HildaEngine
 from repro.runtime.operations import ApplyResult, OperationStatus
 from repro.web.forms import decode_action
-from repro.web.http import Request, Response, parse_query_string
-from repro.web.sessions import SESSION_COOKIE, SessionManager
+from repro.web.http import (
+    Request,
+    Response,
+    format_set_cookie,
+    parse_cookie_header,
+    parse_query_string,
+)
+from repro.web.sessions import SESSION_COOKIE, SessionManager, WebSession
 
 __all__ = ["HildaApplication", "BrowserClient"]
 
 
 class HildaApplication:
-    """Serves one Hilda program to many users."""
+    """Serves one Hilda program to many users.
+
+    Parameters
+    ----------
+    session_ttl:
+        Idle web-session lifetime in seconds (``None`` = sessions never
+        expire); expired sessions release their engine session.
+    max_sessions:
+        Bound on simultaneous web sessions; the least-recently-used session
+        is evicted (and its engine session closed) past the bound.
+    """
 
     def __init__(
         self,
         program: HildaProgram,
         engine: Optional[HildaEngine] = None,
         cache_fragments: bool = False,
+        session_ttl: Optional[float] = None,
+        max_sessions: Optional[int] = None,
         **engine_options: Any,
     ) -> None:
         self.program = program
         self.engine = engine or HildaEngine(program, **engine_options)
         self.renderer = PageRenderer(self.engine, cache_fragments=cache_fragments)
-        self.sessions = SessionManager()
+        self.sessions = SessionManager(
+            ttl=session_ttl, max_sessions=max_sessions, on_evict=self._release_session
+        )
+        #: One lock per cookie token: requests of the same browser session
+        #: are handled one at a time; different sessions run concurrently.
+        self._request_locks = SessionLockTable()
 
     # -- request handling -------------------------------------------------------
 
     def handle(self, request: Request) -> Response:
-        """Route and handle one request."""
+        """Route and handle one request (safe to call from many threads)."""
+        token = request.cookies.get(SESSION_COOKIE)
+        if token is None:
+            return self._route(request)
+        with self._request_locks.holding(token):
+            return self._route(request)
+
+    def _route(self, request: Request) -> Response:
         if request.path == "/login":
             return self._handle_login(request)
         if request.path == "/logout":
@@ -63,6 +102,14 @@ class HildaApplication:
         if request.path == "/":
             return self._handle_page(request)
         return Response.not_found(f"no route for {request.method} {request.path}")
+
+    def _release_session(self, session: WebSession) -> None:
+        """Close the engine session behind an expired/evicted web session."""
+        self._request_locks.discard(session.token)
+        try:
+            self.engine.close_session(session.engine_session_id)
+        except SessionError:
+            pass
 
     # -- routes ---------------------------------------------------------------------
 
@@ -79,18 +126,18 @@ class HildaApplication:
         session = self.sessions.lookup(token)
         if session is not None:
             self.sessions.destroy(session.token)
-            try:
-                self.engine.close_session(session.engine_session_id)
-            except SessionError:
-                pass
+            self._release_session(session)
         return Response.redirect("/login")
 
     def _handle_page(self, request: Request, banner: str = "") -> Response:
         try:
             session = self.sessions.require(request.cookies.get(SESSION_COOKIE))
+            page = self.renderer.render_session(session.engine_session_id)
         except SessionError:
+            # Either no web session, or the engine session vanished between
+            # the cookie check and the render (TTL expiry / LRU eviction can
+            # close it out from under a request in flight) — re-login.
             return Response.redirect("/login")
-        page = self.renderer.render_session(session.engine_session_id)
         if banner:
             page = page.replace("<body>", "<body>" + banner, 1)
         return Response(status=200, body=page)
@@ -121,24 +168,15 @@ class HildaApplication:
                 length = 0
             body = environ["wsgi.input"].read(length).decode("utf-8") if length else ""
             params.update(parse_query_string(body))
-        cookies = _parse_cookie_header(environ.get("HTTP_COOKIE", ""))
+        cookies = parse_cookie_header(environ.get("HTTP_COOKIE", ""))
         response = self.handle(
             Request(method=method, path=path, params=params, cookies=cookies)
         )
         headers = list(response.headers.items())
         for name, value in response.set_cookies.items():
-            headers.append(("Set-Cookie", f"{name}={value}; Path=/"))
+            headers.append(("Set-Cookie", format_set_cookie(name, value)))
         start_response(f"{response.status} {'OK' if response.ok else 'ERR'}", headers)
         return [response.body.encode("utf-8")]
-
-
-def _parse_cookie_header(header: str) -> Dict[str, str]:
-    cookies: Dict[str, str] = {}
-    for part in header.split(";"):
-        if "=" in part:
-            name, _, value = part.strip().partition("=")
-            cookies[name] = value
-    return cookies
 
 
 def _banner(message: str, kind: str = "info") -> str:

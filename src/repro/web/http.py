@@ -14,13 +14,35 @@ import urllib.parse
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-__all__ = ["Request", "Response", "parse_query_string", "encode_form"]
+__all__ = [
+    "Request",
+    "Response",
+    "encode_form",
+    "format_set_cookie",
+    "parse_cookie_header",
+    "parse_query_string",
+]
 
 
 def parse_query_string(query: str) -> Dict[str, str]:
     """Parse ``a=1&b=2`` into a dict (last value wins for duplicates)."""
     parsed = urllib.parse.parse_qs(query, keep_blank_values=True)
     return {key: values[-1] for key, values in parsed.items()}
+
+
+def parse_cookie_header(header: str) -> Dict[str, str]:
+    """Parse a ``Cookie:`` header (``a=1; b=2``) into a dict."""
+    cookies: Dict[str, str] = {}
+    for part in header.split(";"):
+        if "=" in part:
+            name, _, value = part.strip().partition("=")
+            cookies[name] = value
+    return cookies
+
+
+def format_set_cookie(name: str, value: str) -> str:
+    """Render one ``Set-Cookie:`` header value the way the app issues them."""
+    return f"{name}={value}; Path=/"
 
 
 def encode_form(params: Dict[str, Any]) -> str:

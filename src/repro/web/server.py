@@ -1,0 +1,280 @@
+"""A threaded HTTP front end for :class:`~repro.web.container.HildaApplication`.
+
+The paper's generated applications run as Java Servlets inside a web
+application server that handles many simultaneous browsers.  This module is
+the equivalent front end for the reproduction: a thread-per-connection HTTP
+server (stdlib :class:`http.server.ThreadingHTTPServer`, no third-party
+dependencies) that translates raw requests into the container's
+:class:`~repro.web.http.Request` objects and writes its
+:class:`~repro.web.http.Response` objects back to the socket.
+
+Thread safety is the container's and engine's job (reader/writer lock +
+per-session lock tables — see ``docs/concurrency.md``); the server simply
+lets the OS hand each connection to its own thread.
+
+Two entry points:
+
+* :class:`ThreadedHildaServer` — embed a server in a program or test: binds
+  an ephemeral port by default, serves on a background thread, supports
+  ``with`` for deterministic shutdown.
+* :func:`serve` — run an application in the foreground (examples use it via
+  ``ThreadedHildaServer`` so they can shut down cleanly).
+
+:class:`HttpBrowser` is the socket-level twin of
+:class:`~repro.web.container.BrowserClient`: a cookie-carrying client built
+on :mod:`urllib.request` used by the load benchmark, the server tests and
+the examples to emulate real browsers against a live server.
+"""
+
+from __future__ import annotations
+
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.web.container import HildaApplication
+from repro.web.http import (
+    Request,
+    Response,
+    encode_form,
+    format_set_cookie,
+    parse_cookie_header,
+    parse_query_string,
+)
+
+__all__ = ["ThreadedHildaServer", "HttpBrowser", "serve"]
+
+
+class _HildaRequestHandler(BaseHTTPRequestHandler):
+    """Translates one HTTP exchange to a container ``handle`` call."""
+
+    #: Set by the server factory.
+    application: HildaApplication = None  # type: ignore[assignment]
+    server_version = "HildaServer/0.1"
+    protocol_version = "HTTP/1.1"
+
+    # -- verbs -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
+        parsed = urllib.parse.urlsplit(self.path)
+        request = Request(
+            method="GET",
+            path=parsed.path or "/",
+            params=parse_query_string(parsed.query),
+            cookies=self._cookies(),
+        )
+        self._reply(self.application.handle(request))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming convention
+        parsed = urllib.parse.urlsplit(self.path)
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        body = self.rfile.read(length).decode("utf-8") if length else ""
+        params = parse_query_string(parsed.query)
+        params.update(parse_query_string(body))
+        request = Request(
+            method="POST",
+            path=parsed.path or "/",
+            params=params,
+            cookies=self._cookies(),
+            body=body,
+        )
+        self._reply(self.application.handle(request))
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _cookies(self) -> Dict[str, str]:
+        return parse_cookie_header(self.headers.get("Cookie", ""))
+
+    def _reply(self, response: Response) -> None:
+        payload = response.body.encode("utf-8")
+        self.send_response(response.status)
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        for name, value in response.set_cookies.items():
+            self.send_header("Set-Cookie", format_set_cookie(name, value))
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+class _ThreadingServer(ThreadingHTTPServer):
+    daemon_threads = True
+    #: http.server's default listen backlog of 5 drops SYNs under a burst of
+    #: simultaneous browsers; the kernel's 1s retransmit then serialises the
+    #: herd.  A deeper backlog lets all concurrent connects land at once.
+    request_queue_size = 128
+
+
+class ThreadedHildaServer:
+    """Serve a :class:`HildaApplication` over real sockets, one thread per
+    connection.
+
+    >>> server = ThreadedHildaServer(application)   # binds 127.0.0.1:<ephemeral>
+    >>> with server:                                # starts the acceptor thread
+    ...     browser = HttpBrowser(server.url)
+    ...     browser.login("alice")
+    """
+
+    def __init__(
+        self,
+        application: HildaApplication,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.application = application
+        handler = type(
+            "BoundHildaRequestHandler",
+            (_HildaRequestHandler,),
+            {"application": application},
+        )
+        self._httpd = _ThreadingServer((host, port), handler)
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The (host, port) the server is bound to (port resolved if 0)."""
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ThreadedHildaServer":
+        """Start accepting connections on a daemon thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"hilda-server-{self.address[1]}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting connections and join the acceptor thread."""
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=5)
+        self._httpd.server_close()
+        self._thread = None
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (foreground mode)."""
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+
+    def __enter__(self) -> "ThreadedHildaServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+
+def serve(
+    application: HildaApplication,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = True,
+) -> None:
+    """Run ``application`` in the foreground (Ctrl-C to stop)."""
+    server = ThreadedHildaServer(application, host=host, port=port, verbose=verbose)
+    print(f"Serving {application.program.root_name} on {server.url}")
+    server.serve_forever()
+
+
+class _NoRedirectHandler(urllib.request.HTTPRedirectHandler):
+    """Stop urllib from chasing redirects itself.
+
+    The browser must see every 3xx response: the login redirect carries the
+    session Set-Cookie, which urllib's automatic redirect would silently
+    drop before following.
+    """
+
+    def redirect_request(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+
+class HttpBrowser:
+    """A cookie-carrying HTTP client for driving a live Hilda server.
+
+    The socket-level twin of :class:`~repro.web.container.BrowserClient`:
+    keeps cookies between requests, follows redirects (after absorbing
+    their cookies), and returns the container's
+    :class:`~repro.web.http.Response` shape (status, body, headers) so
+    tests can assert the same way against both.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.cookies: Dict[str, str] = {}
+        self._opener = urllib.request.build_opener(_NoRedirectHandler)
+
+    # -- public API -------------------------------------------------------------
+
+    def get(self, path: str, follow_redirects: bool = True) -> Response:
+        return self._request("GET", path, None, follow_redirects)
+
+    def post(
+        self, path: str, params: Dict[str, Any], follow_redirects: bool = True
+    ) -> Response:
+        body = encode_form(params).encode("utf-8")
+        return self._request("POST", path, body, follow_redirects)
+
+    def login(self, user: str) -> Response:
+        return self.get(f"/login?user={urllib.parse.quote(user)}")
+
+    def logout(self) -> Response:
+        return self.get("/logout", follow_redirects=False)
+
+    # -- internals --------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[bytes], follow_redirects: bool
+    ) -> Response:
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method
+        )
+        if self.cookies:
+            request.add_header(
+                "Cookie", "; ".join(f"{k}={v}" for k, v in self.cookies.items())
+            )
+        if body is not None:
+            request.add_header("Content-Type", "application/x-www-form-urlencoded")
+        try:
+            raw = self._opener.open(request, timeout=self.timeout)
+            status = raw.status
+        except urllib.error.HTTPError as error:  # 3xx/4xx/5xx still carry a body
+            raw = error
+            status = error.code
+        with raw:
+            headers = dict(raw.headers.items())
+            for value in raw.headers.get_all("Set-Cookie") or []:
+                first = value.split(";", 1)[0]
+                if "=" in first:
+                    name, _, cookie_value = first.partition("=")
+                    self.cookies[name.strip()] = cookie_value.strip()
+            payload = raw.read().decode("utf-8")
+        response = Response(status=status, body=payload, headers=headers)
+        if follow_redirects and response.is_redirect and response.location:
+            return self.get(response.location, follow_redirects=True)
+        return response

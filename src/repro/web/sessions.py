@@ -4,13 +4,29 @@ The web container maps an opaque cookie token to an engine session (a root
 AUnit instance) and the logged-in user.  Logging in starts a new engine
 session whose root input ``user`` table holds the user's name — exactly how
 CMSRoot receives its input in the paper (authentication itself is external).
+
+:class:`SessionManager` is thread-safe (one lock guards the token table) and
+bounds its memory on long-running servers two ways, both documented in
+``docs/concurrency.md``:
+
+* **expiry** — sessions idle for longer than ``ttl`` seconds are dropped on
+  their next lookup and opportunistically whenever a session is created;
+* **eviction** — when ``max_sessions`` is set, creating a session beyond the
+  limit evicts the least-recently-used one.
+
+Whenever a session is expired or evicted the optional ``on_evict`` callback
+receives it, which is how :class:`~repro.web.container.HildaApplication`
+closes the underlying engine session and frees its activation tree.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
+import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import SessionError
 
@@ -27,25 +43,81 @@ class WebSession:
     token: str
     user: str
     engine_session_id: str
+    created_at: float = 0.0
+    last_used: float = 0.0
 
 
 class SessionManager:
-    """Maps cookie tokens to engine sessions."""
+    """Maps cookie tokens to engine sessions.
 
-    def __init__(self) -> None:
-        self._sessions: Dict[str, WebSession] = {}
+    Parameters
+    ----------
+    ttl:
+        Idle lifetime in seconds; ``None`` (default) disables expiry.
+    max_sessions:
+        Upper bound on simultaneously-active sessions; creating one past the
+        bound evicts the least recently used.  ``None`` disables the bound.
+    on_evict:
+        Called outside the manager's lock (keep it idempotent) with each
+        :class:`WebSession` that is expired or evicted, so the owner can
+        release per-session resources such as the engine session.
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        ttl: Optional[float] = None,
+        max_sessions: Optional[int] = None,
+        on_evict: Optional[Callable[[WebSession], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.ttl = ttl
+        self.max_sessions = max_sessions
+        self.on_evict = on_evict
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._sessions: "OrderedDict[str, WebSession]" = OrderedDict()
         self._counter = itertools.count(1)
 
     def create(self, user: str, engine_session_id: str) -> WebSession:
-        token = f"tok{next(self._counter):06d}"
-        session = WebSession(token=token, user=user, engine_session_id=engine_session_id)
-        self._sessions[token] = session
+        now = self._clock()
+        evicted: List[WebSession] = []
+        with self._lock:
+            evicted.extend(self._expire_locked(now))
+            token = f"tok{next(self._counter):06d}"
+            session = WebSession(
+                token=token,
+                user=user,
+                engine_session_id=engine_session_id,
+                created_at=now,
+                last_used=now,
+            )
+            self._sessions[token] = session
+            if self.max_sessions is not None:
+                while len(self._sessions) > self.max_sessions:
+                    _, oldest = self._sessions.popitem(last=False)
+                    evicted.append(oldest)
+        self._notify_evicted(evicted)
         return session
 
     def lookup(self, token: Optional[str]) -> Optional[WebSession]:
         if token is None:
             return None
-        return self._sessions.get(token)
+        now = self._clock()
+        with self._lock:
+            session = self._sessions.get(token)
+            if session is None:
+                return None
+            if self.ttl is not None and now - session.last_used > self.ttl:
+                del self._sessions[token]
+                expired = session
+            else:
+                session.last_used = now
+                self._sessions.move_to_end(token)
+                return session
+        self._notify_evicted([expired])
+        return None
 
     def require(self, token: Optional[str]) -> WebSession:
         session = self.lookup(token)
@@ -54,10 +126,43 @@ class SessionManager:
         return session
 
     def destroy(self, token: str) -> Optional[WebSession]:
-        return self._sessions.pop(token, None)
+        with self._lock:
+            return self._sessions.pop(token, None)
+
+    def expire_idle(self) -> List[WebSession]:
+        """Drop (and report) every session idle past the TTL right now."""
+        with self._lock:
+            expired = self._expire_locked(self._clock())
+        self._notify_evicted(expired)
+        return expired
 
     def active_count(self) -> int:
-        return len(self._sessions)
+        with self._lock:
+            return len(self._sessions)
 
     def all_sessions(self) -> Dict[str, WebSession]:
-        return dict(self._sessions)
+        with self._lock:
+            return dict(self._sessions)
+
+    # -- internals -------------------------------------------------------------
+
+    def _expire_locked(self, now: float) -> List[WebSession]:
+        if self.ttl is None:
+            return []
+        expired = [
+            session
+            for session in self._sessions.values()
+            if now - session.last_used > self.ttl
+        ]
+        for session in expired:
+            del self._sessions[session.token]
+        return expired
+
+    def _notify_evicted(self, sessions: List[WebSession]) -> None:
+        if self.on_evict is None:
+            return
+        for session in sessions:
+            try:
+                self.on_evict(session)
+            except Exception:  # noqa: BLE001 - eviction must never break serving
+                pass

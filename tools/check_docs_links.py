@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Check markdown docs for dead relative links.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+inline links and validates every *relative* target against the working
+tree; anchors (`#...`) are checked against the target file's headings.
+External (`http://`, `https://`, `mailto:`) links are ignored — CI must
+stay offline.
+
+Usage:  python tools/check_docs_links.py [file.md ...]
+Exit status 1 when any link is dead (each problem printed on stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_PATTERN = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\s-]", "", slug)
+    return re.sub(r"[\s]+", "-", slug)
+
+
+def check_file(path: Path, repo_root: Path) -> List[str]:
+    problems: List[str] = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        raw, _, anchor = target.partition("#")
+        if not raw:  # pure in-page anchor
+            dest = path
+        else:
+            dest = (path.parent / raw).resolve()
+            try:
+                dest.relative_to(repo_root)
+            except ValueError:
+                problems.append(f"{path}: link escapes the repository: {target}")
+                continue
+            if not dest.exists():
+                problems.append(f"{path}: dead link: {target}")
+                continue
+        if anchor and dest.suffix == ".md":
+            headings = {slugify(h) for h in HEADING_PATTERN.findall(dest.read_text(encoding="utf-8"))}
+            if anchor not in headings:
+                problems.append(f"{path}: dead anchor: {target}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(arg).resolve() for arg in argv]
+    else:
+        files = [repo_root / "README.md", *sorted((repo_root / "docs").glob("*.md"))]
+    problems: List[str] = []
+    for path in files:
+        if not path.exists():
+            problems.append(f"missing file: {path}")
+            continue
+        problems.extend(check_file(path, repo_root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = ", ".join(str(p.relative_to(repo_root)) for p in files if p.exists())
+    print(f"checked {checked}: {len(problems)} dead link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
