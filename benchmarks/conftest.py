@@ -5,9 +5,21 @@ Every benchmark module regenerates one of the paper's figures/experiments
 results).  The data sizes are laptop-scale; the interesting output is the
 *shape* of each series (who wins, by roughly what factor), which is printed
 alongside the timings.
+
+Two environment knobs support the CI smoke job:
+
+* ``BENCH_QUICK=1`` shrinks workload sizes (exposed as :data:`BENCH_QUICK`
+  for benchmark modules to scale themselves down);
+* ``BENCH_ARTIFACT_DIR`` redirects the machine-readable ``BENCH_*.json``
+  artifacts written by :func:`write_bench_json` (default:
+  ``benchmarks/artifacts/``), which track the perf trajectory across PRs.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
 
 import pytest
 
@@ -51,6 +63,40 @@ def scaled_engine(program, n_courses=4, n_students=10, n_assignments=3, **option
         n_assignments=n_assignments,
     )
     return engine
+
+
+#: True when the CI smoke job asked for shrunk workloads.
+BENCH_QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+#: Where the machine-readable benchmark artifacts land.
+ARTIFACT_DIR = os.environ.get("BENCH_ARTIFACT_DIR") or os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "artifacts"
+)
+
+
+def quick(full, reduced):
+    """Pick the workload size for the current mode."""
+    return reduced if BENCH_QUICK else full
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    """Write ``BENCH_<name>.json`` (ops/sec, hit rates, ...) and return its path.
+
+    The JSON shape is stable across PRs so the perf trajectory can be
+    diffed: top-level metadata plus whatever series the benchmark reports.
+    """
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    path = os.path.join(ARTIFACT_DIR, f"BENCH_{name}.json")
+    document = {
+        "benchmark": name,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "quick_mode": BENCH_QUICK,
+    }
+    document.update(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path
 
 
 def print_series(title: str, rows, columns) -> None:

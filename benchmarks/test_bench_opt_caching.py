@@ -24,10 +24,10 @@ from repro.apps.minicms import ADMIN_USER
 from repro.presentation.renderer import PageRenderer
 from repro.runtime.engine import HildaEngine
 
-from .conftest import fresh_engine, print_series, scaled_engine
+from .conftest import fresh_engine, print_series, quick, scaled_engine
 
 
-def _render_workload(renderer, engine, session, reads_per_write=20, writes=3):
+def _render_workload(renderer, engine, session, reads_per_write=quick(20, 8), writes=3):
     """Render pages read-mostly, interleaving a few state-changing actions."""
     import datetime
 
@@ -98,8 +98,8 @@ def test_bench_activation_query_cache_ablation(benchmark, minicms_program):
     def refresh_many(cache: bool) -> float:
         engine = scaled_engine(
             minicms_program,
-            n_courses=4,
-            n_students=8,
+            n_courses=quick(4, 2),
+            n_students=quick(8, 4),
             n_assignments=3,
             cache_activation_queries=cache,
         )

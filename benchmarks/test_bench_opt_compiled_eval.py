@@ -23,7 +23,7 @@ import time
 from repro.runtime.context import DictCatalog
 from repro.sql.executor import SQLExecutor
 
-from .conftest import print_series, scaled_engine
+from .conftest import print_series, quick, scaled_engine, write_bench_json
 
 #: Point-lookup / filter-heavy statements modeled on MiniCMS page queries.
 FILTER_QUERY = (
@@ -35,12 +35,12 @@ JOIN_QUERY = (
     "FROM course C, student S, groupmember M "
     "WHERE C.cid = S.cid AND M.sid = S.sid AND C.cid = 10"
 )
-REPEATS = 40
+REPEATS = quick(40, 15)
 
 
 def _catalog(minicms_program) -> DictCatalog:
     engine = scaled_engine(
-        minicms_program, n_courses=6, n_students=150, n_assignments=3
+        minicms_program, n_courses=6, n_students=quick(150, 60), n_assignments=3
     )
     tables = {
         name: engine.persistent_table(name)
@@ -84,6 +84,17 @@ def test_bench_compiled_vs_interpreted_filter(benchmark, minicms_program):
         ],
         ["variant", "time", "interp dispatches", "compiled evals"],
     )
+    write_bench_json(
+        "compiled_eval",
+        {
+            "repeats": REPEATS,
+            "interpreted": {"elapsed_ms": interp_ms, "stats": interp_stats.as_dict()},
+            "compiled": {"elapsed_ms": comp_ms, "stats": comp_stats.as_dict()},
+            "speedup": interp_ms / comp_ms if comp_ms else None,
+            "dispatch_ratio": dispatch_ratio,
+            "ops_per_sec": REPEATS / (comp_ms / 1000) if comp_ms else None,
+        },
+    )
     # Acceptance: >= 3x fewer per-row interpreter dispatches and no slowdown.
     assert interp_stats.interpreted_evals >= 3 * max(1, comp_stats.interpreted_evals)
     assert comp_stats.compiled_evals > 0
@@ -124,6 +135,16 @@ def test_bench_indexed_vs_full_scan_selection(benchmark, minicms_program):
             ("speedup", f"{scan_ms / index_ms:.2f}x" if index_ms else "inf", "-", "-"),
         ],
         ["variant", "time", "rows scanned", "index hits"],
+    )
+    write_bench_json(
+        "compiled_eval_point_lookups",
+        {
+            "queries": len(queries),
+            "full_scan": {"elapsed_ms": scan_ms, "stats": scan_stats.as_dict()},
+            "index_scan": {"elapsed_ms": index_ms, "stats": index_stats.as_dict()},
+            "speedup": scan_ms / index_ms if index_ms else None,
+            "ops_per_sec": len(queries) / (index_ms / 1000) if index_ms else None,
+        },
     )
     assert index_stats.rows_scanned < scan_stats.rows_scanned / 10
     assert index_stats.index_hits == len(queries)

@@ -33,11 +33,15 @@ from repro.web.container import HildaApplication
 from repro.web.forms import encode_action
 from repro.web.server import HttpBrowser, ThreadedHildaServer
 
-from .conftest import print_series
+from .conftest import print_series, quick, write_bench_json
 
-N_CLIENTS = 8
-REQUESTS_PER_CLIENT = 6
+N_CLIENTS = quick(8, 4)
+REQUESTS_PER_CLIENT = quick(6, 3)
 THINK_TIME = 0.02  # seconds a simulated user spends looking at the page
+
+#: Throughput acceptance; relaxed in the quick smoke pass, where fewer
+#: clients on a small shared runner leave less idle time to overlap.
+MIN_SPEEDUP = quick(2.0, 1.5)
 
 GUESTBOOK_SOURCE = """
 root aunit Guestbook {
@@ -116,7 +120,7 @@ def run_concurrent(server_url: str) -> int:
 
 
 def test_bench_threaded_throughput_vs_serial(benchmark):
-    """Threaded serving must deliver >= 2x serial throughput at 8 clients."""
+    """Threaded serving must deliver >= MIN_SPEEDUP x serial throughput."""
     application = make_application()
     with ThreadedHildaServer(application) as server:
         start = time.perf_counter()
@@ -150,14 +154,28 @@ def test_bench_threaded_throughput_vs_serial(benchmark):
         ],
         ["mode", "requests", "elapsed", "req/s"],
     )
-    assert speedup >= 2.0, (
+    write_bench_json(
+        "web_concurrent",
+        {
+            "clients": N_CLIENTS,
+            "requests": serial_requests,
+            "think_time_ms": THINK_TIME * 1000,
+            "serial": {"elapsed_s": serial_elapsed, "requests_per_sec": serial_rps},
+            "threaded": {
+                "elapsed_s": concurrent_elapsed,
+                "requests_per_sec": concurrent_rps,
+            },
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
         f"threaded throughput only {speedup:.2f}x serial "
-        f"({concurrent_rps:.1f} vs {serial_rps:.1f} req/s)"
+        f"({concurrent_rps:.1f} vs {serial_rps:.1f} req/s, need {MIN_SPEEDUP}x)"
     )
 
 
-POSTS_PER_CLIENT = 4
-STRESS_ACTIONS = 14
+POSTS_PER_CLIENT = quick(4, 2)
+STRESS_ACTIONS = quick(14, 7)
 
 
 def test_bench_concurrent_mutation_stress(benchmark):

@@ -13,10 +13,21 @@ of rows holding those values and is maintained incrementally on
 insert/delete/update; whole-table ``replace`` rebuilds it.  The primary-key
 map itself maps key -> row, so point mutations touch only the changed keys
 instead of rebuilding the map per statement.
+
+Every table also carries a :attr:`Table.version` — a content-change stamp
+drawn from one process-wide monotonically increasing clock.  A table's
+version changes exactly when its *contents* change (inserts, effective
+deletes/updates, replacements with different rows); index creation and no-op
+writes leave it untouched, and :meth:`copy` carries the version over because
+the copy holds the same contents.  Because the clock is global, two tables
+holding equal versions are guaranteed to have gone unmodified since the
+stamp was taken, which is what lets the runtime's caches validate dependency
+version vectors across reactivations (see ``docs/caching.md``).
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -29,6 +40,10 @@ Row = Tuple[Any, ...]
 
 #: A secondary index: key-value tuple -> rows holding those values.
 IndexMap = Dict[Tuple[Any, ...], List[Row]]
+
+#: Process-wide version clock.  ``next()`` on an ``itertools.count`` is
+#: atomic under the GIL, so stamping needs no extra locking.
+_version_clock = itertools.count(1)
 
 
 class Table:
@@ -52,6 +67,7 @@ class Table:
         #: notably the planner's on-demand ``ensure_index`` may race between
         #: two concurrent read-only queries (see docs/concurrency.md).
         self._lock = threading.RLock()
+        self._version = next(_version_clock)
         for columns in schema.indexes:
             self.create_index(columns)
         for row in rows:
@@ -67,6 +83,11 @@ class Table:
     def rows(self) -> List[Row]:
         """The rows of the table (a direct reference; do not mutate)."""
         return self._rows
+
+    @property
+    def version(self) -> int:
+        """The content-change stamp (globally unique per change; see module doc)."""
+        return self._version
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -96,6 +117,7 @@ class Table:
             self._rows.append(row)
             if self._indexes:
                 self._index_add(row)
+            self._version = next(_version_clock)
         return row
 
     def insert_mapping(self, mapping: Dict[str, Any]) -> Row:
@@ -129,6 +151,7 @@ class Table:
                 if self._indexes:
                     for row in removed:
                         self._index_remove(row)
+                self._version = next(_version_clock)
             return len(removed)
 
     def update_where(
@@ -180,6 +203,7 @@ class Table:
                     for old, new_row in changed:
                         self._index_remove(old)
                         self._index_add(new_row)
+                self._version = next(_version_clock)
             return matched
 
     def replace(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -193,6 +217,12 @@ class Table:
 
     def _set_rows(self, rows: List[Row]) -> None:
         with self._lock:
+            if rows == self._rows:
+                # No content change: keep the version stamp (and every index)
+                # so dependency-tracked caches stay valid across assignments
+                # that recompute the same result (the common Hilda case of a
+                # handler rewriting an unchanged table).
+                return
             if self._key_index is not None:
                 index: Dict[Tuple[Any, ...], Row] = {}
                 for row in rows:
@@ -207,6 +237,7 @@ class Table:
             if self._indexes:
                 for columns in self._indexes:
                     self._indexes[columns] = self._build_index(columns)
+            self._version = next(_version_clock)
 
     # -- secondary indexes ----------------------------------------------------
 
@@ -348,8 +379,14 @@ class Table:
     # -- copying --------------------------------------------------------------
 
     def copy(self) -> "Table":
-        """A deep-enough copy: rows are immutable tuples so a list copy suffices."""
+        """A deep-enough copy: rows are immutable tuples so a list copy suffices.
+
+        The copy keeps the source's version stamp: it holds the same contents,
+        so dependency vectors recorded against the source stay valid against
+        the copy (local tables are copied across reactivations).
+        """
         clone = Table(self.schema)
+        clone._version = self._version
         clone._rows = list(self._rows)
         if self._key_index is not None:
             clone._key_index = dict(self._key_index)

@@ -10,13 +10,30 @@ The *reactivation* phase (Section 3.2.5) is the same construction with one
 difference: an instance whose label already existed before the return phase
 and which did not return keeps its local-table contents and its instance ID.
 That prior state is supplied to the builder as a *preservation map*.
+
+Two dependency-tracking optimizations ride on the construction
+(``docs/caching.md``):
+
+* every activation query consults the engine's **activation cache**, keyed
+  on the version vector of the tables the query's plan reads, so a write to
+  an unrelated table no longer invalidates the memoised rows;
+* **delta reactivation** — while building, each instance records per
+  activator the ``(table, version)`` vector its activation and input
+  queries read.  On a rebuild, an activator whose recorded versions are all
+  unchanged must produce the identical child set with identical input
+  tables, so the old child instances are *reused* (re-parented as-is when
+  their own subtrees are also clean, or rebuilt shallowly around adopted
+  input tables when only a deeper subtree changed) instead of recomputed.
+  Reused instances keep their IDs and table objects, which both preserves
+  the first-committer-wins conflict semantics and keeps the renderer's
+  fragment fingerprints stable.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
-from repro.errors import ActivationError
+from repro.errors import ActivationError, UnknownTableError
 from repro.hilda.ast import ActivatorDecl, Assignment, AUnitDecl
 from repro.relational.table import Table
 from repro.runtime.context import (
@@ -31,7 +48,36 @@ from repro.runtime.instance import AUnitInstance, InstanceLabel, activation_key
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.engine import HildaEngine
 
-__all__ = ["ActivationBuilder", "PreservedInstance"]
+__all__ = ["ActivationBuilder", "PreservedInstance", "dep_vector", "deps_current"]
+
+#: A dependency version vector: ``((table name, version), ...)`` sorted by name.
+DepVector = Tuple[Tuple[str, int], ...]
+
+#: Sentinel distinguishing "never recorded" from "recorded as uncacheable".
+_NO_RECORD = object()
+
+
+def dep_vector(names, catalog) -> Optional[DepVector]:
+    """Resolve table names to a ``(name, version)`` vector (None if any fail)."""
+    deps = []
+    for name in sorted(names):
+        try:
+            deps.append((name, catalog.resolve_table(name).version))
+        except UnknownTableError:
+            return None
+    return tuple(deps)
+
+
+def deps_current(deps: DepVector, catalog) -> bool:
+    """True when every table in the vector still resolves to the same version."""
+    for name, version in deps:
+        try:
+            table = catalog.resolve_table(name)
+        except UnknownTableError:
+            return False
+        if table.version != version:
+            return False
+    return True
 
 
 class PreservedInstance:
@@ -50,6 +96,17 @@ class ActivationBuilder:
     def __init__(self, engine: "HildaEngine") -> None:
         self.engine = engine
         self.program = engine.program
+        #: Cumulative counters (delta-reactivation observability): instances
+        #: constructed from scratch vs adopted wholesale from the old tree.
+        #: The engine snapshots them around reactivations to report per
+        #: operation (:attr:`~repro.runtime.operations.ApplyResult`).
+        self.instances_built = 0
+        self.instances_reused = 0
+        #: (adopted old child, new parent) pairs collected during one build;
+        #: the parent pointers are flipped only once the whole tree built
+        #: successfully, so a failed rebuild leaves the still-installed old
+        #: tree completely untouched.
+        self._pending_reparent: List[Tuple[AUnitInstance, AUnitInstance]] = []
 
     # -- public API ---------------------------------------------------------------
 
@@ -58,9 +115,20 @@ class ActivationBuilder:
         session_id: str,
         input_rows: Dict[str, List[Sequence[Any]]],
         preserved: Optional[Dict[InstanceLabel, PreservedInstance]] = None,
+        old_root: Optional[AUnitInstance] = None,
     ) -> AUnitInstance:
-        """Build (or rebuild) the activation tree of one session."""
+        """Build (or rebuild) the activation tree of one session.
+
+        ``old_root`` is the session's previous tree during reactivation;
+        when delta reactivation is enabled its dependency records drive
+        subtree reuse (see module doc).
+        """
         preserved = preserved or {}
+        delta = (
+            old_root is not None
+            and self.engine.dependency_tracking
+            and self.engine.delta_reactivation
+        )
         root_decl = self.program.root
         self.engine.ensure_persistent(root_decl)
         label: InstanceLabel = ("session", session_id)
@@ -73,7 +141,14 @@ class ActivationBuilder:
             session_id=session_id,
             preserved=preserved,
         )
-        root.create_input_tables()
+        if delta:
+            # Session inputs are fixed at session start, so the prior root's
+            # input tables hold exactly the rows about to be re-applied;
+            # adopting the objects keeps their version stamps, which is what
+            # lets child dependency vectors referencing them stay valid.
+            self._adopt_input_tables(root, old_root)
+        else:
+            root.create_input_tables()
         for table_name, rows in (input_rows or {}).items():
             table = root.input_tables.get(table_name)
             if table is None:
@@ -82,7 +157,14 @@ class ActivationBuilder:
                 )
             table.replace(rows)
         self._initialise_local(root, preserved)
-        self._activate_children(root, preserved)
+        self._pending_reparent = []
+        self._activate_children(root, preserved, old_root if delta else None)
+        # Commit point: only now that the whole tree built without raising is
+        # the old tree mutated (adopted subtrees re-parented into the new
+        # one).  An exception above leaves the installed tree untouched.
+        for adopted, new_parent in self._pending_reparent:
+            adopted.parent = new_parent
+        self._pending_reparent = []
         return root
 
     # -- instance construction --------------------------------------------------------
@@ -99,6 +181,7 @@ class ActivationBuilder:
     ) -> AUnitInstance:
         prior = preserved.get(label)
         instance_id = prior.instance_id if prior is not None else self.engine.next_instance_id()
+        self.instances_built += 1
         return AUnitInstance(
             instance_id=instance_id,
             label=label,
@@ -110,6 +193,14 @@ class ActivationBuilder:
             activation_schema=activator.activation_schema if activator is not None else None,
             session_id=session_id,
         )
+
+    @staticmethod
+    def _adopt_input_tables(instance: AUnitInstance, old: AUnitInstance) -> None:
+        """Take over a prior incarnation's input-table objects (same contents)."""
+        instance.input_tables = dict(old.input_tables)
+        for schema in instance.decl.input_schema:
+            if schema.name not in instance.input_tables:
+                instance.input_tables[schema.name] = Table(schema)
 
     def _initialise_local(
         self,
@@ -129,9 +220,11 @@ class ActivationBuilder:
 
         instance.create_local_tables()
         if not instance.decl.local_query:
+            instance.local_deps = ()
             return
         persist = self.engine.persist_tables(instance.decl.name)
         catalog = build_read_catalog(instance, persist, include_output=False)
+        tracker: Optional[Set[str]] = set() if self.engine.dependency_tracking else None
         run_assignments(
             instance.decl.local_query,
             catalog,
@@ -139,7 +232,10 @@ class ActivationBuilder:
             lambda assignment: instance.local_tables.get(assignment.simple_target),
             location=f"{instance.decl.name}.local_query",
             executor_factory=self.engine.make_executor,
+            read_tracker=tracker,
         )
+        if tracker is not None:
+            instance.local_deps = dep_vector(tracker, catalog)
 
     # -- children ------------------------------------------------------------------------
 
@@ -147,62 +243,206 @@ class ActivationBuilder:
         self,
         instance: AUnitInstance,
         preserved: Dict[InstanceLabel, PreservedInstance],
+        old_node: Optional[AUnitInstance] = None,
     ) -> None:
         for activator in instance.decl.activators:
             child_decl = self.program.resolve_child(activator.child)
             self.engine.ensure_persistent(child_decl)
-            for activation_tuple in self._activation_tuples(instance, activator):
-                key = activation_key(activator.activation_schema, activation_tuple)
-                label: InstanceLabel = (instance.label, activator.name, key)
+            if old_node is not None and self._reactivate_delta(
+                instance, activator, child_decl, preserved, old_node
+            ):
+                continue
+            self._build_children(instance, activator, child_decl, preserved, old_node)
+
+    def _build_children(
+        self,
+        instance: AUnitInstance,
+        activator: ActivatorDecl,
+        child_decl: AUnitDecl,
+        preserved: Dict[InstanceLabel, PreservedInstance],
+        old_node: Optional[AUnitInstance],
+    ) -> None:
+        """Run the activator's queries and construct its child instances."""
+        persist = self.engine.persist_tables(instance.decl.name)
+        catalog = build_read_catalog(instance, persist, include_output=False)
+        tuples, read_names = self._activation_tuples(instance, activator, catalog)
+
+        old_children: Optional[Dict[InstanceLabel, AUnitInstance]] = None
+        if old_node is not None:
+            old_children = {
+                child.label: child
+                for child in old_node.children
+                if child.activator_name == activator.name
+            }
+
+        for activation_tuple in tuples:
+            key = activation_key(activator.activation_schema, activation_tuple)
+            label: InstanceLabel = (instance.label, activator.name, key)
+            child = self._new_instance(
+                decl=child_decl,
+                label=label,
+                parent=instance,
+                activator=activator,
+                activation_tuple=activation_tuple,
+                session_id=instance.session_id,
+                preserved=preserved,
+            )
+            child.create_input_tables()
+            self._compute_child_input(instance, activator, child, read_names)
+            instance.children.append(child)
+            self._initialise_local(child, preserved)
+            self._activate_children(
+                child,
+                preserved,
+                old_children.get(label) if old_children else None,
+            )
+
+        if read_names is None:
+            instance.activator_deps[activator.name] = None
+        else:
+            # The per-child synthetic tables (the activation tuple and the
+            # child's own input tables read back by later assignments) are
+            # functions of the queries' other inputs, so they are excluded
+            # from the recorded footprint; everything left resolves in the
+            # instance's plain read catalog.
+            excluded = {"activationTuple"}
+            excluded.update(
+                f"{activator.child.name}.{schema.name}"
+                for schema in child_decl.input_schema
+            )
+            instance.activator_deps[activator.name] = dep_vector(
+                read_names - excluded, catalog
+            )
+
+    # -- delta reactivation -------------------------------------------------------------
+
+    def _reactivate_delta(
+        self,
+        instance: AUnitInstance,
+        activator: ActivatorDecl,
+        child_decl: AUnitDecl,
+        preserved: Dict[InstanceLabel, PreservedInstance],
+        old_node: AUnitInstance,
+    ) -> bool:
+        """Reuse the old tree's children for one activator if its deps are unchanged.
+
+        Returns True when the activator was handled (children adopted or
+        shallowly rebuilt); False sends the caller down the full rebuild
+        path.
+        """
+        deps = old_node.activator_deps.get(activator.name, _NO_RECORD)
+        if deps is _NO_RECORD or deps is None:
+            return False
+        persist = self.engine.persist_tables(instance.decl.name)
+        catalog = build_read_catalog(instance, persist, include_output=False)
+        if not deps_current(deps, catalog):
+            return False
+
+        # The activation and input queries would produce identical results:
+        # same child set, same activation tuples, same child input tables.
+        old_children = [
+            child for child in old_node.children if child.activator_name == activator.name
+        ]
+        for old_child in old_children:
+            if self._subtree_clean(old_child):
+                self._pending_reparent.append((old_child, instance))
+                instance.children.append(old_child)
+                self.instances_reused += sum(1 for _ in old_child.walk())
+            else:
+                # Something deeper changed (or the child returned): rebuild
+                # the node itself, but skip re-running the input query — its
+                # dependencies are unchanged, so the old input tables hold
+                # exactly what recomputation would produce.
                 child = self._new_instance(
                     decl=child_decl,
-                    label=label,
+                    label=old_child.label,
                     parent=instance,
                     activator=activator,
-                    activation_tuple=activation_tuple,
+                    activation_tuple=old_child.activation_tuple,
                     session_id=instance.session_id,
                     preserved=preserved,
                 )
-                child.create_input_tables()
-                self._compute_child_input(instance, activator, child)
+                self._adopt_input_tables(child, old_child)
                 instance.children.append(child)
                 self._initialise_local(child, preserved)
-                self._activate_children(child, preserved)
+                self._activate_children(child, preserved, old_child)
+        instance.activator_deps[activator.name] = deps
+        return True
+
+    def _subtree_clean(self, node: AUnitInstance) -> bool:
+        """True when a whole old subtree can be adopted as-is.
+
+        Requires that no instance in the subtree returned, and that every
+        recorded dependency vector (activator queries, plus the local query
+        for synchronized AUnits) still matches the current table versions.
+        The vectors resolve against the node's *own* catalog, whose tables
+        are the very objects being adopted, so a reused subtree is exactly
+        the tree a full rebuild would have produced.
+        """
+        if node.returned:
+            return False
+        if node.decl.synchronized or node.decl.activators:
+            persist = self.engine.persist_tables(node.decl.name)
+            catalog = build_read_catalog(node, persist, include_output=False)
+            if node.decl.synchronized:
+                if node.local_deps is None or not deps_current(node.local_deps, catalog):
+                    return False
+            for activator in node.decl.activators:
+                deps = node.activator_deps.get(activator.name, _NO_RECORD)
+                if deps is _NO_RECORD or deps is None:
+                    return False
+                if not deps_current(deps, catalog):
+                    return False
+        for child in node.children:
+            if not self._subtree_clean(child):
+                return False
+        return True
+
+    # -- activation queries -------------------------------------------------------------
 
     def _activation_tuples(
-        self, instance: AUnitInstance, activator: ActivatorDecl
-    ) -> List[Optional[Tuple[Any, ...]]]:
-        """The activation tuples of one activator (None = single unconditional child)."""
+        self, instance: AUnitInstance, activator: ActivatorDecl, catalog: DictCatalog
+    ) -> Tuple[List[Optional[Tuple[Any, ...]]], Optional[Set[str]]]:
+        """The activation tuples of one activator (None = single unconditional child).
+
+        Also returns the names of the tables read while computing them — the
+        start of the activator's dependency footprint — or None when the
+        footprint cannot be tracked (activation filters run per-row queries
+        whose reads are not recorded).
+        """
+        track = self.engine.dependency_tracking
         if activator.activation_query is None:
             if activator.activation_filters:
                 # A filtered activator without an activation query activates
                 # its single child only when every filter returns rows.
-                persist = self.engine.persist_tables(instance.decl.name)
-                catalog = build_read_catalog(instance, persist, include_output=False)
                 executor = self.engine.make_executor(catalog)
                 for filter_block in activator.activation_filters:
                     if not executor.execute_query(filter_block.query).rows:
-                        return []
-            return [None]
+                        return [], None
+                return [None], None
+            return [None], (set() if track else None)
 
-        persist = self.engine.persist_tables(instance.decl.name)
-        catalog = build_read_catalog(instance, persist, include_output=False)
         executor = self.engine.make_executor(catalog)
-        cached = self.engine.activation_cache_lookup(instance, activator)
+        query = activator.activation_query.query
+        query_reads: Optional[Set[str]] = set(executor.read_set(query)) if track else None
+        cached = self.engine.activation_cache_lookup(instance, activator, catalog)
         if cached is not None:
             rows = cached
         else:
             try:
-                rows = executor.execute_query(activator.activation_query.query).as_tuples()
+                rows = executor.execute_query(query).as_tuples()
             except Exception as exc:
                 raise ActivationError(
                     f"activation query of {instance.decl.name}.{activator.name} failed: {exc}"
                 ) from exc
-            self.engine.activation_cache_store(instance, activator, rows)
+            self.engine.activation_cache_store(
+                instance, activator, rows, query_reads, catalog
+            )
 
         if not activator.activation_filters:
-            return list(rows)
+            return list(rows), query_reads
 
+        persist = self.engine.persist_tables(instance.decl.name)
         schema = activator.activation_schema
         kept: List[Optional[Tuple[Any, ...]]] = []
         for row in rows:
@@ -216,13 +456,14 @@ class ActivationBuilder:
                 for filter_block in activator.activation_filters
             ):
                 kept.append(row)
-        return kept
+        return kept, None
 
     def _compute_child_input(
         self,
         instance: AUnitInstance,
         activator: ActivatorDecl,
         child: AUnitInstance,
+        read_tracker: Optional[Set[str]] = None,
     ) -> None:
         """Evaluate the activator's input query to fill the child's input tables."""
         if not activator.input_query:
@@ -257,4 +498,5 @@ class ActivationBuilder:
             resolve_target,
             location=f"{instance.decl.name}.{activator.name}.input_query",
             executor_factory=self.engine.make_executor,
+            read_tracker=read_tracker,
         )

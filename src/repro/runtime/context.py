@@ -155,6 +155,7 @@ def run_assignments(
     optimize: bool = True,
     location: str = "",
     executor_factory=None,
+    read_tracker=None,
 ) -> List[str]:
     """Execute a list of assignments sequentially.
 
@@ -169,6 +170,10 @@ def run_assignments(
     ``functions`` / ``optimize`` arguments are unused; otherwise a
     standalone executor is built from them.
 
+    ``read_tracker``, when given, is a mutable set that collects the table
+    read set of every executed query (the dependency footprint the runtime
+    records for delta reactivation; see ``docs/caching.md``).
+
     Returns the list of written table names (as given in the assignments).
     """
     if executor_factory is not None:
@@ -182,6 +187,8 @@ def run_assignments(
             raise HandlerError(
                 f"{location}: assignment target {assignment.target!r} is not writable here"
             )
+        if read_tracker is not None:
+            read_tracker |= executor.read_set(assignment.query.query)
         relation = executor.execute_query(assignment.query.query)
         try:
             target.replace(relation.rows)

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import ConflictError, HandlerError, SessionError
@@ -40,7 +41,12 @@ from repro.hilda.ast import ActivatorDecl, AUnitDecl
 from repro.hilda.program import HildaProgram
 from repro.relational.functions import FunctionRegistry
 from repro.relational.table import Table
-from repro.runtime.activation import ActivationBuilder, PreservedInstance
+from repro.runtime.activation import (
+    ActivationBuilder,
+    PreservedInstance,
+    dep_vector,
+    deps_current,
+)
 from repro.runtime.concurrency import ReadWriteLock, SessionLockTable
 from repro.runtime.forest import ActivationForest
 from repro.runtime.history import ExecutionHistory
@@ -48,8 +54,12 @@ from repro.runtime.instance import AUnitInstance, InstanceLabel
 from repro.runtime.operations import ApplyResult, Operation, OperationStatus
 from repro.runtime.returns import ReturnProcessor
 from repro.sql.executor import SQLCaches, SQLExecutor
+from repro.sql.stats import CacheStats
 
 __all__ = ["HildaEngine"]
+
+#: Default bound on the activation-query cache (entries; LRU eviction).
+DEFAULT_ACTIVATION_CACHE_SIZE = 8192
 
 #: How many invalidation records to keep for conflict attribution before the
 #: oldest are dropped (bounds memory on long-running servers).
@@ -83,6 +93,20 @@ class HildaEngine:
     cache_activation_queries:
         Memoise activation-query results between state changes (the data
         caching opportunity of Section 6.2).
+    dependency_tracking:
+        Key the activation cache on the version vector of the tables each
+        query's plan actually reads (and record the dependency footprints
+        delta reactivation consults) instead of the engine-global state
+        version.  With tracking off the engine behaves like the paper's
+        coarse variant: any committed write invalidates every cached entry.
+        See ``docs/caching.md``.
+    delta_reactivation:
+        During reactivation, reuse old subtrees whose recorded dependency
+        versions are unchanged instead of rebuilding them (requires
+        ``dependency_tracking``).
+    activation_cache_size:
+        Bound on the activation-query cache in entries (LRU eviction past
+        the bound; None = unbounded).
     record_history:
         Keep an :class:`ExecutionHistory` of applied operations.
     """
@@ -96,6 +120,9 @@ class HildaEngine:
         compile_expressions: bool = True,
         reactivation: str = "eager",
         cache_activation_queries: bool = False,
+        dependency_tracking: bool = True,
+        delta_reactivation: bool = True,
+        activation_cache_size: Optional[int] = DEFAULT_ACTIVATION_CACHE_SIZE,
         record_history: bool = True,
     ) -> None:
         if reactivation not in ("eager", "lazy"):
@@ -112,6 +139,9 @@ class HildaEngine:
         self.sql_caches = SQLCaches()
         self.reactivation = reactivation
         self.cache_activation_queries = cache_activation_queries
+        self.dependency_tracking = dependency_tracking
+        self.delta_reactivation = delta_reactivation
+        self.activation_cache_size = activation_cache_size
         self.forest = ActivationForest()
         self.history: Optional[ExecutionHistory] = ExecutionHistory() if record_history else None
 
@@ -122,7 +152,15 @@ class HildaEngine:
         self._instance_counter = itertools.count(1)
         self._state_version = 0
         self._dirty_sessions: Set[str] = set()
-        self._activation_cache: Dict[Tuple, Tuple[int, List[Tuple[Any, ...]]]] = {}
+        #: (instance label, activator name) -> (validity stamp, cached rows).
+        #: The stamp is a dependency version vector under dependency
+        #: tracking, or the global state version in the coarse mode.
+        #: Ordered for LRU eviction past ``activation_cache_size``.
+        self._activation_cache: "OrderedDict[Tuple, Tuple[Any, List[Tuple[Any, ...]]]]" = (
+            OrderedDict()
+        )
+        #: Hit/miss/evict/invalidation counters of the activation cache.
+        self.activation_cache_stats = CacheStats()
 
         #: Shared-database reader/writer lock: page renders and lookups are
         #: readers, operations / session lifecycle / reactivation are writers.
@@ -219,17 +257,36 @@ class HildaEngine:
     # -- activation-query cache (Section 6.2 data caching) ----------------------------
 
     def activation_cache_lookup(
-        self, instance: AUnitInstance, activator: ActivatorDecl
+        self, instance: AUnitInstance, activator: ActivatorDecl, catalog
     ) -> Optional[List[Tuple[Any, ...]]]:
+        """Cached activation rows for one (instance, activator), if still valid.
+
+        Under dependency tracking an entry is valid while every table its
+        query read still holds the version recorded at store time (resolved
+        through ``catalog``, the instance's read catalog); in the coarse
+        mode validity means "no write anywhere since".  Called under the
+        engine's write lock (tree builds are exclusive).
+        """
         if not self.cache_activation_queries:
             return None
         key = (instance.label, activator.name)
+        stats = self.activation_cache_stats
         cached = self._activation_cache.get(key)
         if cached is None:
+            stats.misses += 1
             return None
-        version, rows = cached
-        if version != self._state_version:
+        stamp, rows = cached
+        if self.dependency_tracking:
+            valid = deps_current(stamp, catalog)
+        else:
+            valid = stamp == self._state_version
+        if not valid:
+            del self._activation_cache[key]
+            stats.misses += 1
+            stats.invalidations += 1
             return None
+        self._activation_cache.move_to_end(key)
+        stats.hits += 1
         return rows
 
     def activation_cache_store(
@@ -237,13 +294,33 @@ class HildaEngine:
         instance: AUnitInstance,
         activator: ActivatorDecl,
         rows: List[Tuple[Any, ...]],
+        read_names,
+        catalog,
     ) -> None:
+        """Memoise activation rows, stamped with their dependency versions.
+
+        ``read_names`` is the query's table read set (None when untracked —
+        then nothing is stored under dependency tracking, since the entry
+        could never be validated).
+        """
         if not self.cache_activation_queries:
             return
-        self._activation_cache[(instance.label, activator.name)] = (
-            self._state_version,
-            list(rows),
-        )
+        stamp: Any
+        if self.dependency_tracking:
+            if read_names is None:
+                return
+            stamp = dep_vector(read_names, catalog)
+            if stamp is None:
+                return
+        else:
+            stamp = self._state_version
+        cache = self._activation_cache
+        cache[(instance.label, activator.name)] = (stamp, list(rows))
+        cache.move_to_end((instance.label, activator.name))
+        if self.activation_cache_size is not None:
+            while len(cache) > self.activation_cache_size:
+                cache.popitem(last=False)
+                self.activation_cache_stats.evictions += 1
 
     # ------------------------------------------------------------------
     # Persistent-data helpers (fixtures, tests, baselines)
@@ -470,6 +547,8 @@ class HildaEngine:
             self._record(operation, result, active_before, version_before)
             return result
 
+        built_before = self._builder.instances_built
+        reused_before = self._builder.instances_reused
         self._reactivate_after(operation, outcome)
 
         status = (
@@ -484,6 +563,8 @@ class HildaEngine:
             handlers=outcome.handlers_fired,
             returned_instance_ids=[node.instance_id for node in outcome.returned_instances],
             state_version=self._state_version,
+            instances_rebuilt=self._builder.instances_built - built_before,
+            instances_reused=self._builder.instances_reused - reused_before,
         )
         self._record(operation, result, active_before, version_before)
         return result
@@ -568,7 +649,9 @@ class HildaEngine:
                     instance_id=node.instance_id, local_tables=node.local_tables
                 )
         inputs = self._session_inputs.get(session_id, {})
-        new_root = self._builder.build_session_tree(session_id, inputs, preserved)
+        new_root = self._builder.build_session_tree(
+            session_id, inputs, preserved, old_root=old_root
+        )
         self.forest.replace_root(session_id, new_root)
         marker = self._dirty_markers.pop(session_id, None)
         if marker is not None:

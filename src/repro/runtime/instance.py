@@ -18,6 +18,14 @@ Every instance has
   parent's label plus the activator name plus the key of its activation
   tuple (Definition 6).  Labels are what the reactivation phase matches old
   and new instances on.
+
+Instances additionally carry the **dependency records** the delta
+reactivation optimization consults (``docs/caching.md``): per activator, the
+``(table name, version)`` vector its activation and input queries read when
+the children were built (``None`` marks the activator uncacheable, e.g. when
+activation filters ran), and the same for the instance's own local query.
+A subtree whose recorded versions are all still current is reused wholesale
+on reactivation instead of being rebuilt.
 """
 
 from __future__ import annotations
@@ -70,6 +78,8 @@ class AUnitInstance:
         "children",
         "session_id",
         "returned",
+        "activator_deps",
+        "local_deps",
     )
 
     def __init__(
@@ -101,6 +111,12 @@ class AUnitInstance:
         )
         #: Set during the return phase when this instance returns.
         self.returned = False
+        #: activator name -> dependency version vector recorded while the
+        #: activator's children were built (None = uncacheable); consulted by
+        #: delta reactivation (see module doc).
+        self.activator_deps: Dict[str, Optional[Tuple[Tuple[str, int], ...]]] = {}
+        #: Dependency version vector of the local query (None = not recorded).
+        self.local_deps: Optional[Tuple[Tuple[str, int], ...]] = None
 
     # -- structure ---------------------------------------------------------------
 

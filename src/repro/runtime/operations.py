@@ -77,6 +77,13 @@ class ApplyResult:
     status is ``CONFLICT`` and the engine knows which committed operation
     invalidated the targeted instance, this is that operation's id (see
     ``docs/concurrency.md``).
+
+    ``instances_rebuilt`` / ``instances_reused`` report how the reactivation
+    phase triggered by this operation went: instances constructed from
+    scratch versus old subtree instances adopted unchanged by delta
+    reactivation (``docs/caching.md``).  Both are 0 for rejected operations
+    and cover only the trees rebuilt eagerly (lazy-mode sessions rebuild on
+    their next access).
     """
 
     operation: Operation
@@ -86,6 +93,8 @@ class ApplyResult:
     message: str = ""
     state_version: int = 0
     conflict_with: Optional[int] = None
+    instances_rebuilt: int = 0
+    instances_reused: int = 0
 
     @property
     def accepted(self) -> bool:

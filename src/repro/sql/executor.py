@@ -45,7 +45,7 @@ from repro.sql.compile import cached_compile
 from repro.sql.evaluator import Evaluator, RowScope
 from repro.sql.operators import ExecutionContext, ExecutionStats, Operator
 from repro.sql.parser import parse_query, parse_statement
-from repro.sql.planner import Planner
+from repro.sql.planner import Planner, tables_read
 from repro.sql.relation import ColumnInfo, Relation
 
 __all__ = ["SQLExecutor", "SQLCaches"]
@@ -64,7 +64,7 @@ class SQLCaches:
     harmless because entries for one key are interchangeable).
     """
 
-    __slots__ = ("asts", "plans", "compiled", "lock")
+    __slots__ = ("asts", "plans", "compiled", "read_sets", "lock")
 
     def __init__(self) -> None:
         self.asts: Dict[str, Statement] = {}
@@ -72,6 +72,9 @@ class SQLCaches:
         self.plans: Dict[int, Tuple[Query, Operator]] = {}
         #: (id(expression), columns) -> (expression, closure-or-None).
         self.compiled: Dict[Any, Tuple[Expression, Optional[Callable]]] = {}
+        #: id(plan) -> (plan, table read set); the plan is stored to pin its
+        #: identity.  Read sets feed dependency-tracked cache invalidation.
+        self.read_sets: Dict[int, Tuple[Operator, frozenset]] = {}
         self.lock = threading.Lock()
 
 
@@ -147,8 +150,33 @@ class SQLExecutor:
         return self.execute_query(query).scalar()
 
     def explain(self, query: QueryLike) -> str:
-        """Render the physical plan chosen for a query."""
-        return self._plan(self._parse_query(query)).explain()
+        """Render the physical plan chosen for a query, plus its table read set."""
+        plan = self._plan(self._parse_query(query))
+        reads = sorted(self._plan_read_set(plan))
+        footprint = ", ".join(reads) if reads else "(none)"
+        return plan.explain() + f"\nTables read: {footprint}"
+
+    def read_set(self, query: QueryLike) -> frozenset:
+        """The names of the tables a query reads (its dependency footprint).
+
+        Derived from the physical plan (including subquery scans, index
+        operators and expression subqueries) and cached per plan, so after
+        the first call this is a dictionary lookup.  The Hilda runtime
+        records this footprint for every executed activation query and keys
+        its caches on the version vector of exactly these tables.
+        """
+        return self._plan_read_set(self._plan(self._parse_query(query)))
+
+    def _plan_read_set(self, plan: Operator) -> frozenset:
+        key = id(plan)
+        with self.caches.lock:
+            entry = self.caches.read_sets.get(key)
+        if entry is None:
+            names = tables_read(plan, plan_subquery=self._plan)
+            with self.caches.lock:
+                self.caches.read_sets[key] = (plan, names)
+            return names
+        return entry[1]
 
     # -- statements -------------------------------------------------------------
 

@@ -22,12 +22,15 @@ from repro.errors import SQLExecutionError, UnknownTableError
 from repro.sql.ast import (
     BinaryOp,
     ColumnRef,
+    ExistsExpression,
     Expression,
     FunctionCall,
+    InExpression,
     JoinRef,
     Literal,
     OrderItem,
     Query,
+    ScalarSubquery,
     SelectItem,
     SelectQuery,
     Star,
@@ -55,12 +58,99 @@ from repro.sql.operators import (
     _indexable_literal,
 )
 
-__all__ = ["Planner", "plan_query"]
+__all__ = ["Planner", "plan_query", "tables_read"]
 
 
 def plan_query(query: Query, catalog, optimize: bool = True, auto_index: bool = False) -> Operator:
     """Plan a parsed query against a catalog."""
     return Planner(catalog, optimize=optimize, auto_index=auto_index).plan(query)
+
+
+def tables_read(plan: Operator, plan_subquery=None) -> frozenset:
+    """The set of base-table names a plan reads (its dependency footprint).
+
+    Walks the operator tree — scans, index scans and index-nested-loop join
+    probes all contribute their table — and descends into the subqueries
+    embedded in operator expressions (``IN (SELECT ...)``, ``EXISTS``,
+    scalar subqueries), which the executor plans separately at evaluation
+    time.
+
+    ``plan_subquery`` maps a query AST to its plan (the executor passes its
+    cached planner) so expression subqueries are analysed through the same
+    machinery — including the implicit-table accommodation, which only the
+    planner resolves.  Without it, expression subqueries fall back to their
+    syntactically referenced tables, which misses implicit tables; callers
+    that feed cache invalidation must supply ``plan_subquery``.
+
+    The result is the footprint over *catalog names*: every name resolved via
+    the catalog at execution time appears here, so re-resolving each name and
+    comparing table versions is a sound staleness check for cached results.
+    """
+    names: Set[str] = set()
+    _collect_tables_read(plan, plan_subquery, names)
+    return frozenset(names)
+
+
+def _collect_tables_read(plan: Operator, plan_subquery, names: Set[str]) -> None:
+    if isinstance(plan, (ScanOp, IndexScanOp, IndexNestedLoopJoinOp)):
+        names.add(plan.table_name)
+    for child in plan.children():
+        _collect_tables_read(child, plan_subquery, names)
+    for expression in _operator_expressions(plan):
+        for node in expression.walk():
+            subquery = _expression_subquery(node)
+            if subquery is not None:
+                _collect_subquery_tables(subquery, plan_subquery, names)
+
+
+def _operator_expressions(plan: Operator) -> List[Expression]:
+    """The expressions an operator evaluates per row (subquery carriers)."""
+    expressions: List[Expression] = []
+    if isinstance(plan, FilterOp):
+        expressions.append(plan.predicate)
+    elif isinstance(plan, ProjectOp):
+        expressions.extend(
+            item.expression for item in plan.items if isinstance(item, SelectItem)
+        )
+    elif isinstance(plan, NestedLoopJoinOp):
+        if plan.condition is not None:
+            expressions.append(plan.condition)
+    elif isinstance(plan, HashJoinOp):
+        expressions.extend(plan.left_keys)
+        expressions.extend(plan.right_keys)
+        if plan.residual is not None:
+            expressions.append(plan.residual)
+    elif isinstance(plan, IndexNestedLoopJoinOp):
+        expressions.extend(plan.left_keys)
+        if plan.residual is not None:
+            expressions.append(plan.residual)
+    elif isinstance(plan, SortOp):
+        expressions.extend(item.expression for item in plan.order_by)
+    elif isinstance(plan, AggregateOp):
+        expressions.extend(plan.group_by)
+        expressions.extend(
+            item.expression for item in plan.items if isinstance(item, SelectItem)
+        )
+        if plan.having is not None:
+            expressions.append(plan.having)
+    return expressions
+
+
+def _expression_subquery(node: Expression) -> Optional[Query]:
+    """The nested query of a subquery expression node (or None)."""
+    if isinstance(node, (InExpression, ExistsExpression)):
+        return node.subquery
+    if isinstance(node, ScalarSubquery):
+        return node.query
+    return None
+
+
+def _collect_subquery_tables(query: Query, plan_subquery, names: Set[str]) -> None:
+    if plan_subquery is not None:
+        _collect_tables_read(plan_subquery(query), plan_subquery, names)
+        return
+    # Fallback without a planner: syntactic FROM-clause tables only.
+    names.update(query.referenced_tables())
 
 
 class Planner:

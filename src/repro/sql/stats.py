@@ -8,9 +8,9 @@ existing imports keep working.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
-__all__ = ["ExecutionStats"]
+__all__ = ["ExecutionStats", "CacheStats"]
 
 
 @dataclass
@@ -41,3 +41,45 @@ class ExecutionStats:
         self.interpreted_evals += other.interpreted_evals
         self.index_lookups += other.index_lookups
         self.index_hits += other.index_hits
+
+    def as_dict(self) -> dict:
+        """A plain-dict view (benchmark JSON artifacts)."""
+        return asdict(self)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/evict counters for one cache (observability of invalidation).
+
+    ``invalidations`` counts the misses caused by a *stale* entry (the key
+    was present but its dependency versions no longer matched), as opposed to
+    plain misses on absent keys; ``evictions`` counts entries dropped by the
+    LRU bound.  Used by the engine's activation-query cache and the
+    renderer's fragment cache (see ``docs/caching.md``).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 on an untouched cache)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def as_dict(self) -> dict:
+        data = asdict(self)
+        data["hit_rate"] = self.hit_rate
+        return data

@@ -55,26 +55,54 @@ class HildaApplication:
 
     Parameters
     ----------
+    cache_fragments:
+        Cache rendered HTML fragments between requests.  **On by default**
+        for the server path: with dependency-tracked invalidation (see
+        ``docs/caching.md``) a cached fragment is reused exactly while the
+        tables its subtree reads are unchanged, so serving read-mostly
+        traffic from the cache is safe.
     session_ttl:
         Idle web-session lifetime in seconds (``None`` = sessions never
         expire); expired sessions release their engine session.
     max_sessions:
         Bound on simultaneous web sessions; the least-recently-used session
         is evicted (and its engine session closed) past the bound.
+    fragment_cache_size:
+        Bound on the renderer's fragment cache in entries (None = the
+        renderer default; LRU eviction past the bound).
+    activation_cache_size:
+        Bound on the engine's activation-query cache in entries (None = the
+        engine default); only applied when the container builds the engine.
+    engine_options:
+        Passed through to :class:`~repro.runtime.engine.HildaEngine` when no
+        ``engine`` is supplied.  The server path turns
+        ``cache_activation_queries`` on unless explicitly overridden.
     """
 
     def __init__(
         self,
         program: HildaProgram,
         engine: Optional[HildaEngine] = None,
-        cache_fragments: bool = False,
+        cache_fragments: bool = True,
         session_ttl: Optional[float] = None,
         max_sessions: Optional[int] = None,
+        fragment_cache_size: Optional[int] = None,
+        activation_cache_size: Optional[int] = None,
         **engine_options: Any,
     ) -> None:
         self.program = program
-        self.engine = engine or HildaEngine(program, **engine_options)
-        self.renderer = PageRenderer(self.engine, cache_fragments=cache_fragments)
+        if engine is None:
+            engine_options.setdefault("cache_activation_queries", True)
+            if activation_cache_size is not None:
+                engine_options.setdefault("activation_cache_size", activation_cache_size)
+            engine = HildaEngine(program, **engine_options)
+        self.engine = engine
+        renderer_options: Dict[str, Any] = {}
+        if fragment_cache_size is not None:
+            renderer_options["fragment_cache_size"] = fragment_cache_size
+        self.renderer = PageRenderer(
+            self.engine, cache_fragments=cache_fragments, **renderer_options
+        )
         self.sessions = SessionManager(
             ttl=session_ttl, max_sessions=max_sessions, on_evict=self._release_session
         )

@@ -1,0 +1,108 @@
+"""Tests for the per-table content version stamps (dependency tracking)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+def _table(rows=()):
+    schema = TableSchema(
+        "t",
+        [Column("id", DataType.INT), Column("name", DataType.STRING)],
+        ["id"],
+    )
+    return Table(schema, rows)
+
+
+class TestVersionBumps:
+    def test_insert_bumps(self):
+        table = _table()
+        before = table.version
+        table.insert((1, "a"))
+        assert table.version > before
+
+    def test_effective_delete_bumps(self):
+        table = _table([(1, "a"), (2, "b")])
+        before = table.version
+        assert table.delete_where(lambda row: row[0] == 1) == 1
+        assert table.version > before
+
+    def test_noop_delete_does_not_bump(self):
+        table = _table([(1, "a")])
+        before = table.version
+        assert table.delete_where(lambda row: False) == 0
+        assert table.version == before
+
+    def test_effective_update_bumps(self):
+        table = _table([(1, "a")])
+        before = table.version
+        assert table.update_where(lambda row: True, lambda row: (row[0], "z")) == 1
+        assert table.version > before
+
+    def test_identity_update_does_not_bump(self):
+        table = _table([(1, "a")])
+        before = table.version
+        # Matches but rewrites identical contents: no content change.
+        assert table.update_where(lambda row: True, lambda row: row) == 1
+        assert table.version == before
+
+    def test_replace_with_different_rows_bumps(self):
+        table = _table([(1, "a")])
+        before = table.version
+        table.replace([(2, "b")])
+        assert table.version > before
+
+    def test_replace_with_identical_rows_does_not_bump(self):
+        table = _table([(1, "a"), (2, "b")])
+        before = table.version
+        table.replace([(1, "a"), (2, "b")])
+        assert table.version == before
+        assert len(table) == 2
+
+    def test_clear_bumps_once(self):
+        table = _table([(1, "a")])
+        before = table.version
+        table.clear()
+        assert table.version > before
+        cleared = table.version
+        table.clear()  # already empty: no content change
+        assert table.version == cleared
+
+    def test_index_creation_does_not_bump(self):
+        table = _table([(1, "a")])
+        before = table.version
+        table.ensure_index(["name"])
+        assert table.version == before
+
+
+class TestVersionIdentity:
+    def test_versions_are_globally_unique_across_tables(self):
+        a, b = _table(), _table()
+        a.insert((1, "a"))
+        b.insert((1, "a"))
+        assert a.version != b.version
+
+    def test_copy_keeps_version_until_either_side_mutates(self):
+        table = _table([(1, "a")])
+        clone = table.copy()
+        assert clone.version == table.version
+        table.insert((2, "b"))
+        assert clone.version != table.version
+        clone.insert((3, "c"))
+        # Diverged copies can never share a stamp again (global clock).
+        assert clone.version != table.version
+
+    def test_versions_monotonically_increase(self):
+        table = _table()
+        seen = [table.version]
+        table.insert((1, "a"))
+        seen.append(table.version)
+        table.replace([(2, "b")])
+        seen.append(table.version)
+        table.clear()
+        seen.append(table.version)
+        assert seen == sorted(seen) and len(set(seen)) == len(seen)

@@ -1,0 +1,84 @@
+"""Tests for plan-derived table read sets (dependency footprints)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql.executor import SQLExecutor
+from repro.sql.planner import tables_read
+
+
+class TestReadSets:
+    def test_single_table(self, sql):
+        assert sql.read_set("SELECT cname FROM course") == {"course"}
+
+    def test_comma_join(self, sql):
+        reads = sql.read_set(
+            "SELECT C.cname FROM course C, staff S WHERE C.cid = S.cid"
+        )
+        assert reads == {"course", "staff"}
+
+    def test_in_subquery_tables_are_included(self, sql):
+        reads = sql.read_set(
+            "SELECT C.cname FROM course C "
+            "WHERE C.cid IN (SELECT S.cid FROM staff S WHERE S.role = 'admin')"
+        )
+        assert reads == {"course", "staff"}
+
+    def test_exists_subquery_tables_are_included(self, sql):
+        reads = sql.read_set(
+            "SELECT C.cname FROM course C "
+            "WHERE EXISTS (SELECT S.sid FROM student S WHERE S.cid = C.cid)"
+        )
+        assert reads == {"course", "student"}
+
+    def test_scalar_subquery_in_select_list(self, sql):
+        reads = sql.read_set(
+            "SELECT C.cname, (SELECT COUNT(*) FROM student S WHERE S.cid = C.cid) "
+            "FROM course C"
+        )
+        assert reads == {"course", "student"}
+
+    def test_derived_table(self, sql):
+        reads = sql.read_set(
+            "SELECT X.cname FROM (SELECT cname FROM course) X"
+        )
+        assert reads == {"course"}
+
+    def test_union_covers_both_branches(self, sql):
+        reads = sql.read_set(
+            "SELECT sname FROM staff UNION SELECT sname FROM student"
+        )
+        assert reads == {"staff", "student"}
+
+    def test_index_scan_plan_reports_its_table(self, sample_db):
+        executor = SQLExecutor(sample_db, auto_index=True)
+        query = "SELECT cname FROM course WHERE cid = 10"
+        assert "IndexScan" in executor.explain(query)
+        assert executor.read_set(query) == {"course"}
+
+    def test_implicit_qualifier_table(self, sql):
+        # Hilda's activationTuple pattern: the table appears only through a
+        # column qualifier, and only the planner resolves it.
+        reads = sql.read_set("SELECT course.cname FROM staff S WHERE S.cid = 10")
+        assert reads == {"staff", "course"}
+
+    def test_read_set_is_cached_per_plan(self, sql):
+        query = "SELECT cname FROM course"
+        first = sql.read_set(query)
+        assert sql.read_set(query) is first
+
+    def test_tables_read_without_planner_uses_syntactic_fallback(self, sql):
+        plan = sql._plan(sql._parse_query("SELECT C.cname FROM course C"))
+        assert tables_read(plan) == {"course"}
+
+
+class TestExplainFootprint:
+    def test_explain_reports_tables_read(self, sql):
+        text = sql.explain(
+            "SELECT C.cname FROM course C, staff S WHERE C.cid = S.cid"
+        )
+        assert "Tables read: course, staff" in text
+
+    def test_explain_reports_empty_footprint(self, sql):
+        assert "Tables read: (none)" in sql.explain("SELECT 1")
