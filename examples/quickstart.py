@@ -1,62 +1,67 @@
-"""Quickstart: write a small Hilda program, run it, serve it, interact.
+"""Quickstart: author a small Hilda application in Python, run it, serve it.
 
-This example builds a tiny guestbook application from scratch — a root AUnit
-with a persistent table of entries, a GetRow to post a new entry, and a
-ShowTable to display them — drives it through the runtime engine, renders
-its HTML page, and finally serves it over the threaded HTTP server while
-two browsers (real sockets) use it at the same time.
+This example builds a tiny guestbook — a root AUnit with a persistent
+table of entries, a GetRow to post a new entry, and a ShowTable to display
+them — using the ``repro.api`` package, the recommended entry point:
+
+1. the **builder DSL** authors the application in plain Python (the same
+   AST the Hilda text parser produces — the equivalent Hilda source is
+   shown at the bottom for comparison);
+2. **typed configs** (`EngineConfig`, `ServerConfig`, ...) replace the
+   keyword sprawl of earlier versions;
+3. the **facade** (`build_app` / `serve`) turns any program description —
+   builder or source text — into a served three-tier application.
 
 Run with:  PYTHONPATH=src python examples/quickstart.py
 
 To keep a server running for your own browser instead, replace the
 `ThreadedHildaServer` block at the bottom with::
 
-    from repro.web import serve
-    serve(HildaApplication(program), port=8080)
+    from repro.api import ServerConfig, serve
+    serve(app, ServerConfig(port=8080, verbose=True))
+
+The full API reference is in docs/api.md.
 """
 
 from __future__ import annotations
 
-from repro.hilda.program import load_program
-from repro.presentation.renderer import PageRenderer
-from repro.runtime.engine import HildaEngine
-from repro.web import HildaApplication, HttpBrowser, ThreadedHildaServer
+from repro.api import AppBuilder, aunit, build_app, table
+from repro.web import HttpBrowser, ThreadedHildaServer
 
-GUESTBOOK_SOURCE = """
-// A one-AUnit Hilda application: a shared guestbook.
-root aunit Guestbook {
-    // Who is looking at the page.
-    input schema { user(name:string) }
 
-    // Entries are shared by every session and survive reactivation.
-    persist schema { entry(eid:int key, author:string, message:string) }
+def author_guestbook() -> AppBuilder:
+    """The whole application — schema, logic, presentation — in Python."""
+    guestbook = aunit("Guestbook", root=True)
 
-    // Show all entries.
-    activator ActShowEntries : ShowTable(string, string) {
-        input query {
-            ShowTable.input :- SELECT E.author, E.message FROM entry E
-        }
-    }
+    # Who is looking at the page (input), and the shared entries (persist).
+    guestbook.input(table("user", name="string"))
+    guestbook.persist(
+        table("entry", eid="int key", author="string", message="string")
+    )
 
-    // Post a new entry (the message text).
-    activator ActPostEntry : GetRow(string) {
-        handler PostEntry {
-            action {
-                entry :-
-                    SELECT E.eid, E.author, E.message FROM entry E
-                    UNION
-                    SELECT genkey(), U.name, O.c1 FROM user U, GetRow.output O
-            }
-        }
-    }
-}
-"""
+    # Show all entries.
+    guestbook.activator("ActShowEntries", "ShowTable(string, string)").input_query(
+        "ShowTable.input", "SELECT E.author, E.message FROM entry E"
+    )
+
+    # Post a new entry (the message text).
+    guestbook.activator("ActPostEntry", "GetRow(string)").handler("PostEntry").do(
+        "entry",
+        """
+        SELECT E.eid, E.author, E.message FROM entry E
+        UNION
+        SELECT genkey(), U.name, O.c1 FROM user U, GetRow.output O
+        """,
+    )
+    return AppBuilder("Guestbook").add(guestbook)
 
 
 def main() -> None:
-    # 1. Load (parse + validate) the Hilda program and start the engine.
-    program = load_program(GUESTBOOK_SOURCE)
-    engine = HildaEngine(program)
+    # 1. Build the three-tier application straight from the builder: the
+    #    facade resolves + validates the program and wires engine, page
+    #    renderer and session manager together under the server defaults.
+    app = build_app(author_guestbook())
+    engine = app.engine
 
     # 2. Two users connect; each gets a session (a root AUnit instance).
     alice = engine.start_session({"user": [("alice",)]})
@@ -79,7 +84,7 @@ def main() -> None:
         print(f"  #{eid} {author}: {message}")
 
     # 5. Render Bob's page: the ShowTable instance reflects both entries.
-    html = PageRenderer(engine).render_session(bob)
+    html = app.renderer.render_session(bob)
     print("\nBob's page contains both messages:",
           "Hello from Hilda!" in html and "Declarative web apps" in html)
 
@@ -89,11 +94,9 @@ def main() -> None:
     print("\nEngine processed", len(engine.history), "operations;",
           len(engine.history.conflicts()), "conflicts")
 
-    # 7. The same program served over HTTP: mount it in the application
-    #    container, start the threaded server on an ephemeral port, and let
-    #    two browsers hit it over real sockets.
-    application = HildaApplication(program)
-    with ThreadedHildaServer(application) as server:
+    # 7. The same application served over HTTP: start the threaded server on
+    #    an ephemeral port and let two browsers hit it over real sockets.
+    with ThreadedHildaServer(app) as server:
         print(f"\nServing the guestbook on {server.url}")
         carol = HttpBrowser(server.url)
         dave = HttpBrowser(server.url)
@@ -101,8 +104,43 @@ def main() -> None:
         dave.login("dave")
         page = carol.get("/")
         print("Carol is served her page over HTTP:", page.ok)
-        print("Sessions live on the server:", application.sessions.active_count())
+        print("Sessions live on the server:", app.sessions.active_count())
     print("Server shut down cleanly.")
+
+    # 8. Builder-authored and text-authored programs are interchangeable:
+    #    the same guestbook as Hilda source loads into an equivalent app.
+    from repro.api import build_program
+
+    parsed = build_program(GUESTBOOK_SOURCE)
+    print("\nSame program from Hilda source:", parsed)
+
+
+#: The Hilda-source twin of :func:`author_guestbook` — both front ends
+#: produce the same AST (see tests/api/test_roundtrip_minicms.py for the
+#: byte-identical guarantee on the full MiniCMS).
+GUESTBOOK_SOURCE = """
+root aunit Guestbook {
+    input schema { user(name:string) }
+    persist schema { entry(eid:int key, author:string, message:string) }
+
+    activator ActShowEntries : ShowTable(string, string) {
+        input query {
+            ShowTable.input :- SELECT E.author, E.message FROM entry E
+        }
+    }
+
+    activator ActPostEntry : GetRow(string) {
+        handler PostEntry {
+            action {
+                entry :-
+                    SELECT E.eid, E.author, E.message FROM entry E
+                    UNION
+                    SELECT genkey(), U.name, O.c1 FROM user U, GetRow.output O
+            }
+        }
+    }
+}
+"""
 
 
 if __name__ == "__main__":

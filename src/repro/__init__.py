@@ -20,10 +20,14 @@ The package provides, from the bottom up:
 * ``repro.apps`` — the MiniCMS case-study application and a hand-coded
   three-tier baseline.
 
-Most users start from :func:`repro.load_program` and
-:class:`repro.HildaEngine`; see ``examples/quickstart.py``.  The full
-pipeline is documented in ``docs/architecture.md``, the multi-user serving
-model in ``docs/concurrency.md`` and the query hot path in
+* ``repro.api`` — the recommended entry point: the Python authoring DSL
+  (author applications without Hilda text), the typed configuration
+  objects, and the ``build_app``/``serve`` facade.
+
+Most users start from :mod:`repro.api` (``build_app``, ``serve``, the
+builder DSL); see ``examples/quickstart.py`` and ``docs/api.md``.  The
+full pipeline is documented in ``docs/architecture.md``, the multi-user
+serving model in ``docs/concurrency.md`` and the query hot path in
 ``docs/sql_engine.md``.
 """
 
@@ -31,7 +35,14 @@ from repro.errors import ReproError
 
 __version__ = "0.1.0"
 
-__all__ = ["ReproError", "__version__", "load_program", "HildaEngine"]
+__all__ = [
+    "ReproError",
+    "__version__",
+    "load_program",
+    "HildaEngine",
+    "build_app",
+    "serve",
+]
 
 
 def load_program(source: str):
@@ -47,9 +58,13 @@ def load_program(source: str):
 
 
 def __getattr__(name: str):
-    """Lazily expose the most commonly used classes at the package root."""
+    """Lazily expose the most commonly used entry points at the package root."""
     if name == "HildaEngine":
         from repro.runtime.engine import HildaEngine
 
         return HildaEngine
+    if name in ("build_app", "serve"):
+        from repro.api import build_app, serve
+
+        return {"build_app": build_app, "serve": serve}[name]
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

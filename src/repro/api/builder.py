@@ -1,0 +1,717 @@
+"""A fluent, Python-native authoring DSL for Hilda programs.
+
+The paper's thesis is that a whole data-driven web application is one
+declarative program.  The Hilda *text* format is one way to write that
+program; this module is another: plain Python that constructs the very
+same AST (:mod:`repro.hilda.ast`) the parser produces and resolves it
+through the same pipeline (:func:`repro.hilda.program.resolve_declaration`
+— inheritance flattening, root designation, static validation).  A
+builder-authored application is therefore interchangeable with a
+source-parsed one everywhere: engine, renderer, compiler and the
+partitioning analysis all see identical declarations, which the round-trip
+property test in ``tests/api/test_roundtrip_minicms.py`` pins down to
+byte-identical pages.
+
+The vocabulary mirrors the Hilda grammar::
+
+    from repro.api import AppBuilder, aunit, table, handler
+
+    guestbook = aunit("Guestbook", root=True)
+    guestbook.input(table("user", name="string"))
+    guestbook.persist(table("entry", eid="int key", author="string",
+                            message="string"))
+
+    show = guestbook.activator("ActShowEntries", "ShowTable(string, string)")
+    show.input_query("ShowTable.input",
+                     "SELECT E.author, E.message FROM entry E")
+
+    post = guestbook.activator("ActPostEntry", "GetRow(string)")
+    post.handler("PostEntry").do("entry", '''
+        SELECT E.eid, E.author, E.message FROM entry E
+        UNION
+        SELECT genkey(), U.name, O.c1 FROM user U, GetRow.output O
+    ''')
+
+    program = AppBuilder().add(guestbook).build()
+
+Every misuse raises :class:`repro.errors.BuilderError` naming the AUnit /
+activator / handler being built.  See ``docs/api.md`` for the complete
+DSL reference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import BuilderError, ReproError
+from repro.hilda.ast import (
+    ActivatorDecl,
+    ActivatorExtension,
+    Assignment,
+    AUnitDecl,
+    ChildRef,
+    HandlerDecl,
+    ProgramDecl,
+    PUnitDecl,
+    QueryBlock,
+)
+from repro.hilda.basic_aunits import is_basic_aunit
+from repro.hilda.program import HildaProgram, resolve_declaration
+from repro.hilda.punit_parser import parse_punit_template
+from repro.relational.schema import Column, Schema, TableSchema
+from repro.relational.types import DataType, parse_type_name
+from repro.sql.ast import Query
+from repro.sql.parser import parse_query
+
+__all__ = [
+    "ActivatorBuilder",
+    "AppBuilder",
+    "AUnitBuilder",
+    "ExtensionBuilder",
+    "HandlerBuilder",
+    "assign",
+    "aunit",
+    "child_ref",
+    "condition",
+    "handler",
+    "punit",
+    "query",
+    "return_handler",
+    "table",
+]
+
+
+# ---------------------------------------------------------------------------
+# Leaf helpers: tables, queries, child references
+# ---------------------------------------------------------------------------
+
+
+def _parse_column(spec: str, table_name: str, name: Optional[str] = None) -> Tuple[Column, bool]:
+    """Parse ``"name:type [key]"`` (positional) or ``"type [key]"`` (named)."""
+    where = f"table {table_name!r}"
+    text = spec.strip()
+    if name is None:
+        if ":" not in text:
+            raise BuilderError(
+                f"{where}: positional column {spec!r} must be written 'name:type' "
+                "(optionally followed by 'key')"
+            )
+        name, _, text = text.partition(":")
+        name = name.strip()
+        text = text.strip()
+    parts = text.split()
+    if not parts:
+        raise BuilderError(f"{where}: column {name!r} is missing its type")
+    is_key = False
+    if len(parts) == 2 and parts[1].lower() == "key":
+        is_key = True
+    elif len(parts) != 1:
+        raise BuilderError(
+            f"{where}: column {name!r} has trailing tokens {parts[1:]!r} "
+            "(expected just a type, optionally followed by 'key')"
+        )
+    try:
+        dtype = parse_type_name(parts[0])
+    except ReproError as exc:
+        raise BuilderError(f"{where}: column {name!r}: {exc}") from exc
+    return Column(name=name, dtype=dtype), is_key
+
+
+def table(
+    name: str,
+    /,
+    *columns: Union[str, Column],
+    key: Sequence[str] = (),
+    **named_columns: str,
+) -> TableSchema:
+    """Declare a table schema the way a Hilda ``schema`` block does.
+
+    Columns may be positional ``"name:type"`` strings (append ``key`` to
+    mark a key column, e.g. ``"eid:int key"``), :class:`Column` objects, or
+    keyword arguments ``name="type"`` / ``name="type key"``.  ``key=``
+    names key columns explicitly instead of (or in addition to) the inline
+    markers.
+    """
+    if not isinstance(name, str) or not name:
+        raise BuilderError(f"table name must be a non-empty string, got {name!r}")
+    parsed: List[Column] = []
+    # A bare string is the natural spelling for a single-column key; don't
+    # let list("eid") explode it into characters.
+    key_columns: List[str] = [key] if isinstance(key, str) else list(key)
+    for spec in columns:
+        if isinstance(spec, Column):
+            parsed.append(spec)
+            continue
+        if not isinstance(spec, str):
+            raise BuilderError(
+                f"table {name!r}: columns must be 'name:type' strings or Column "
+                f"objects, got {spec!r}"
+            )
+        column, is_key = _parse_column(spec, name)
+        parsed.append(column)
+        if is_key:
+            key_columns.append(column.name)
+    for column_name, spec in named_columns.items():
+        column, is_key = _parse_column(str(spec), name, name=column_name)
+        parsed.append(column)
+        if is_key:
+            key_columns.append(column.name)
+    if not parsed:
+        raise BuilderError(f"table {name!r} must declare at least one column")
+    known = {column.name for column in parsed}
+    unknown = [column for column in key_columns if column not in known]
+    if unknown:
+        raise BuilderError(f"table {name!r}: key column(s) {unknown} are not declared")
+    return TableSchema(name, parsed, primary_key=key_columns or None)
+
+
+def _parse_sql(sql: str, location: str) -> Query:
+    # Catch broadly, like the text parser does around its query blocks: any
+    # parse failure must surface as a named BuilderError.
+    try:
+        return parse_query(sql)
+    except Exception as exc:
+        raise BuilderError(f"{location}: invalid SQL: {exc}") from exc
+
+
+def query(sql: str, location: str = "query") -> QueryBlock:
+    """Parse a SQL string into the :class:`QueryBlock` the AST stores."""
+    if isinstance(sql, QueryBlock):
+        return sql
+    if not isinstance(sql, str):
+        raise BuilderError(f"{location}: expected a SQL string, got {sql!r}")
+    return QueryBlock(text=sql, query=_parse_sql(sql, location))
+
+
+def condition(sql: str, location: str = "condition") -> QueryBlock:
+    """A handler condition: alias of :func:`query`, reads like the grammar."""
+    return query(sql, location)
+
+
+def assign(target: str, sql: str, location: str = "assignment") -> Assignment:
+    """``target :- SELECT ...`` — one assignment of an action/input query."""
+    if not isinstance(target, str) or not target:
+        raise BuilderError(f"{location}: assignment target must be a non-empty string")
+    return Assignment(target=target, query=query(sql, f"{location}[{target}]"))
+
+
+def child_ref(spec: Union[str, ChildRef], *type_args: Union[str, DataType]) -> ChildRef:
+    """Resolve an activator's child: ``"CourseAdmin"``, ``"GetRow(string)"``
+    or ``child_ref("GetRow", "string")``."""
+    if isinstance(spec, ChildRef):
+        if type_args:
+            raise BuilderError("cannot combine a ChildRef with extra type arguments")
+        return spec
+    if not isinstance(spec, str) or not spec.strip():
+        raise BuilderError(f"child AUnit reference must be a non-empty string, got {spec!r}")
+    text = spec.strip()
+    inline: List[str] = []
+    if "(" in text:
+        if not text.endswith(")"):
+            raise BuilderError(f"malformed child reference {spec!r} (missing ')')")
+        text, _, args = text[:-1].partition("(")
+        text = text.strip()
+        inline = [piece.strip() for piece in args.split(",") if piece.strip()]
+        if type_args:
+            raise BuilderError(
+                f"child reference {spec!r} already has inline type arguments; "
+                "do not pass extra ones"
+            )
+    resolved: List[DataType] = []
+    for arg in list(inline) + list(type_args):
+        resolved.append(arg if isinstance(arg, DataType) else parse_type_name(str(arg)))
+    return ChildRef(name=text, type_args=tuple(resolved))
+
+
+def punit(name: str, for_aunit: str, template: str) -> PUnitDecl:
+    """Declare a Presentation Unit: HTML with ``<punit activator=...>`` tags."""
+    for label, value in (("PUnit name", name), ("AUnit name", for_aunit)):
+        if not isinstance(value, str) or not value:
+            raise BuilderError(f"punit: {label} must be a non-empty string, got {value!r}")
+    if not isinstance(template, str):
+        raise BuilderError(f"punit {name!r}: the template must be a string")
+    includes = parse_punit_template(template)
+    return PUnitDecl(name=name, aunit_name=for_aunit, template=template, includes=includes)
+
+
+# ---------------------------------------------------------------------------
+# Handlers
+# ---------------------------------------------------------------------------
+
+
+class HandlerBuilder:
+    """Builds one :class:`HandlerDecl` (condition + assignments)."""
+
+    def __init__(self, name: Optional[str] = None, is_return: bool = False) -> None:
+        self.name = name
+        self.is_return = is_return
+        self._condition: Optional[QueryBlock] = None
+        self._actions: List[Assignment] = []
+        #: Set when the handler is attached to an activator (error context).
+        self._owner: str = ""
+
+    def _location(self) -> str:
+        name = self.name or "<anonymous handler>"
+        return f"{self._owner}.{name}" if self._owner else name
+
+    def when(self, sql: str) -> "HandlerBuilder":
+        """Set the handler condition (at most one, like the grammar)."""
+        if self._condition is not None:
+            raise BuilderError(f"handler {self._location()} already has a condition")
+        self._condition = condition(sql, f"{self._location()}.condition")
+        return self
+
+    def do(self, target: str, sql: str) -> "HandlerBuilder":
+        """Append one ``target :- SELECT ...`` assignment to the action."""
+        self._actions.append(assign(target, sql, self._location()))
+        return self
+
+    #: The grammar calls the assignment list an "action".
+    action = do
+
+    def build(self, position: int = 0) -> HandlerDecl:
+        name = self.name or f"handler_{position + 1}"
+        return HandlerDecl(
+            name=name,
+            is_return=self.is_return,
+            condition=self._condition,
+            actions=list(self._actions),
+        )
+
+
+def handler(name: Optional[str] = None) -> HandlerBuilder:
+    """A non-return handler (may write local and persistent tables)."""
+    return HandlerBuilder(name, is_return=False)
+
+
+def return_handler(name: Optional[str] = None) -> HandlerBuilder:
+    """A return handler (may write output and persistent tables)."""
+    return HandlerBuilder(name, is_return=True)
+
+
+def _attach_handler(
+    location: str,
+    handlers: List[HandlerBuilder],
+    name_or_builder: Union[str, HandlerBuilder, None],
+    is_return: bool,
+) -> HandlerBuilder:
+    """Attach a handler to an activator/extension with uniform validation:
+    a prebuilt builder's return-ness must match the attaching method, and
+    anything else must be a name (or None)."""
+    if isinstance(name_or_builder, HandlerBuilder):
+        built = name_or_builder
+        if built.is_return != is_return:
+            kind = "return_handler" if built.is_return else "handler"
+            raise BuilderError(
+                f"{location}: cannot attach a {kind} via "
+                f"{'return_handler' if is_return else 'handler'}(...)"
+            )
+    elif name_or_builder is None or isinstance(name_or_builder, str):
+        built = HandlerBuilder(name_or_builder, is_return=is_return)
+    else:
+        raise BuilderError(
+            f"{location}: handler(...) takes a name or a "
+            f"handler()/return_handler() builder, got {name_or_builder!r}"
+        )
+    built._owner = location
+    handlers.append(built)
+    return built
+
+
+# ---------------------------------------------------------------------------
+# Activators and activator extensions
+# ---------------------------------------------------------------------------
+
+
+class ActivatorBuilder:
+    """Builds one :class:`ActivatorDecl` of an AUnit."""
+
+    def __init__(
+        self,
+        name: str,
+        child: Union[str, ChildRef],
+        *type_args: Union[str, DataType],
+        owner: str = "",
+    ) -> None:
+        if not isinstance(name, str) or not name:
+            raise BuilderError(f"activator name must be a non-empty string, got {name!r}")
+        self.name = name
+        self.child = child_ref(child, *type_args)
+        self._owner = owner
+        self._activation_schema: Optional[TableSchema] = None
+        self._activation_query: Optional[QueryBlock] = None
+        self._input_query: List[Assignment] = []
+        self._filters: List[QueryBlock] = []
+        self._handlers: List[HandlerBuilder] = []
+
+    def _location(self) -> str:
+        return f"{self._owner}.{self.name}" if self._owner else self.name
+
+    def activation(self, schema: TableSchema, sql: str) -> "ActivatorBuilder":
+        """Declare the activation schema and query together (one child
+        instance is activated per result tuple)."""
+        if self._activation_query is not None:
+            raise BuilderError(f"activator {self._location()} already has an activation query")
+        if not isinstance(schema, TableSchema):
+            raise BuilderError(
+                f"activator {self._location()}: the activation schema must be a "
+                f"table(...) declaration, got {schema!r}"
+            )
+        self._activation_schema = schema
+        self._activation_query = query(sql, f"{self._location()}.activation_query")
+        return self
+
+    def filter(self, sql: str) -> "ActivatorBuilder":
+        """Add an activation filter (the inheritance mechanism of Figure 12)."""
+        self._filters.append(query(sql, f"{self._location()}.filter"))
+        return self
+
+    def input_query(self, target: str, sql: str) -> "ActivatorBuilder":
+        """Append one assignment feeding the child's input tables."""
+        self._input_query.append(assign(target, sql, f"{self._location()}.input_query"))
+        return self
+
+    def handler(
+        self, name_or_builder: Union[str, HandlerBuilder, None] = None
+    ) -> HandlerBuilder:
+        """Attach a non-return handler; returns it for ``.when()`` / ``.do()``."""
+        return self._attach(name_or_builder, is_return=False)
+
+    def return_handler(
+        self, name_or_builder: Union[str, HandlerBuilder, None] = None
+    ) -> HandlerBuilder:
+        """Attach a return handler; returns it for ``.when()`` / ``.do()``."""
+        return self._attach(name_or_builder, is_return=True)
+
+    def _attach(
+        self, name_or_builder: Union[str, HandlerBuilder, None], is_return: bool
+    ) -> HandlerBuilder:
+        return _attach_handler(
+            f"activator {self._location()}", self._handlers, name_or_builder, is_return
+        )
+
+    def build(self) -> ActivatorDecl:
+        if (self._activation_schema is None) != (self._activation_query is None):
+            raise BuilderError(
+                f"activator {self._location()}: activation schema and activation "
+                "query must be specified together"
+            )
+        return ActivatorDecl(
+            name=self.name,
+            child=self.child,
+            activation_schema=self._activation_schema,
+            activation_query=self._activation_query,
+            input_query=list(self._input_query),
+            handlers=[built.build(position) for position, built in enumerate(self._handlers)],
+            activation_filters=list(self._filters),
+        )
+
+
+class ExtensionBuilder:
+    """Builds one ``extend activator Base { ... }`` block (Figure 12)."""
+
+    def __init__(self, base_name: str, owner: str = "") -> None:
+        if not isinstance(base_name, str) or not base_name:
+            raise BuilderError(
+                f"extended activator name must be a non-empty string, got {base_name!r}"
+            )
+        self.base_name = base_name
+        self._owner = owner
+        self._filter: Optional[QueryBlock] = None
+        self._handlers: List[HandlerBuilder] = []
+
+    def _location(self) -> str:
+        prefix = f"{self._owner}." if self._owner else ""
+        return f"{prefix}extend({self.base_name})"
+
+    def filter(self, sql: str) -> "ExtensionBuilder":
+        """Set the activation filter ANDed onto the base activation query."""
+        if self._filter is not None:
+            raise BuilderError(f"{self._location()} already has an activation filter")
+        self._filter = query(sql, f"{self._location()}.filter")
+        return self
+
+    def handler(self, name_or_builder: Union[str, HandlerBuilder, None] = None) -> HandlerBuilder:
+        return self._attach(name_or_builder, is_return=False)
+
+    def return_handler(
+        self, name_or_builder: Union[str, HandlerBuilder, None] = None
+    ) -> HandlerBuilder:
+        return self._attach(name_or_builder, is_return=True)
+
+    def _attach(
+        self, name_or_builder: Union[str, HandlerBuilder, None], is_return: bool
+    ) -> HandlerBuilder:
+        return _attach_handler(
+            self._location(), self._handlers, name_or_builder, is_return
+        )
+
+    def build(self) -> ActivatorExtension:
+        return ActivatorExtension(
+            base_name=self.base_name,
+            activation_filter=self._filter,
+            handlers=[built.build(position) for position, built in enumerate(self._handlers)],
+        )
+
+
+# ---------------------------------------------------------------------------
+# AUnits
+# ---------------------------------------------------------------------------
+
+
+class AUnitBuilder:
+    """Builds one :class:`AUnitDecl` the way an ``aunit { ... }`` block does."""
+
+    def __init__(self, name: str, root: bool = False, extends: Optional[str] = None) -> None:
+        if not isinstance(name, str) or not name:
+            raise BuilderError(f"AUnit name must be a non-empty string, got {name!r}")
+        if is_basic_aunit(name):
+            raise BuilderError(
+                f"AUnit {name!r}: Basic AUnit names are reserved; reference them "
+                "as activator children instead"
+            )
+        self.name = name
+        self.is_root = root
+        self._extends = extends
+        self._synchronized = False
+        self._input: List[TableSchema] = []
+        self._output: List[TableSchema] = []
+        self._inout: List[TableSchema] = []
+        self._persist: List[TableSchema] = []
+        self._local: List[TableSchema] = []
+        self._persist_query: List[Assignment] = []
+        self._local_query: List[Assignment] = []
+        self._activators: List[ActivatorBuilder] = []
+        self._extensions: List[ExtensionBuilder] = []
+
+    # -- schemas ---------------------------------------------------------------
+
+    def _tables(self, kind: str, tables: Sequence[TableSchema], into: List[TableSchema]) -> "AUnitBuilder":
+        for schema in tables:
+            if not isinstance(schema, TableSchema):
+                raise BuilderError(
+                    f"AUnit {self.name!r}: {kind} schema entries must be table(...) "
+                    f"declarations, got {schema!r}"
+                )
+            into.append(schema)
+        return self
+
+    def input(self, *tables: TableSchema) -> "AUnitBuilder":
+        """Add tables to the input schema (filled by the parent activator)."""
+        return self._tables("input", tables, self._input)
+
+    def output(self, *tables: TableSchema) -> "AUnitBuilder":
+        """Add tables to the output schema (written by return handlers)."""
+        return self._tables("output", tables, self._output)
+
+    def inout(self, *tables: TableSchema) -> "AUnitBuilder":
+        """Add tables readable as ``in.X`` and writable as ``out.X``."""
+        return self._tables("inout", tables, self._inout)
+
+    def persist(self, *tables: TableSchema) -> "AUnitBuilder":
+        """Add tables to the persistent schema (shared by every instance)."""
+        return self._tables("persist", tables, self._persist)
+
+    def local(self, *tables: TableSchema) -> "AUnitBuilder":
+        """Add tables to the local (per-instance) schema."""
+        return self._tables("local", tables, self._local)
+
+    # -- initialization queries ---------------------------------------------------
+
+    def persist_init(self, target: str, sql: str) -> "AUnitBuilder":
+        """Append one assignment to the persist query (runs once per type)."""
+        self._persist_query.append(
+            assign(target, sql, f"{self.name}.persist_query")
+        )
+        return self
+
+    def local_init(self, target: str, sql: str) -> "AUnitBuilder":
+        """Append one assignment to the local query (runs at activation)."""
+        self._local_query.append(assign(target, sql, f"{self.name}.local_query"))
+        return self
+
+    # -- modifiers --------------------------------------------------------------
+
+    def synchronized(self, value: bool = True) -> "AUnitBuilder":
+        """Re-initialise local state on every reactivation (Definition 8)."""
+        self._synchronized = bool(value)
+        return self
+
+    def root(self, value: bool = True) -> "AUnitBuilder":
+        """Mark this AUnit as the program's root."""
+        self.is_root = bool(value)
+        return self
+
+    def extends(self, base_name: str) -> "AUnitBuilder":
+        """Inherit from ``base_name`` (Figure 12)."""
+        if not isinstance(base_name, str) or not base_name:
+            raise BuilderError(
+                f"AUnit {self.name!r}: extends() needs the base AUnit's name"
+            )
+        self._extends = base_name
+        return self
+
+    # -- members ----------------------------------------------------------------
+
+    def activator(
+        self,
+        name: str,
+        child: Union[str, ChildRef],
+        *type_args: Union[str, DataType],
+    ) -> ActivatorBuilder:
+        """Add an activator; returns its builder for fluent completion."""
+        built = ActivatorBuilder(name, child, *type_args, owner=self.name)
+        self._activators.append(built)
+        return built
+
+    def extend_activator(self, base_name: str) -> ExtensionBuilder:
+        """Extend an inherited activator (filter + extra handlers)."""
+        built = ExtensionBuilder(base_name, owner=self.name)
+        self._extensions.append(built)
+        return built
+
+    # -- build ------------------------------------------------------------------
+
+    def _merge(self, kind: str, tables: Sequence[TableSchema]) -> Schema:
+        schema = Schema()
+        for declared in tables:
+            try:
+                schema.add(declared)
+            except ReproError as exc:
+                raise BuilderError(f"AUnit {self.name!r} ({kind} schema): {exc}") from exc
+        return schema
+
+    def build(self) -> AUnitDecl:
+        input_schema = self._merge("input", self._input)
+        output_schema = self._merge("output", self._output)
+        inout_names: List[str] = []
+        # ``inout`` expands exactly the way the parser expands it: the tables
+        # appear in both input and output, and their names are recorded.
+        for declared in self._inout:
+            try:
+                input_schema.add(declared)
+                output_schema.add(declared)
+            except ReproError as exc:
+                raise BuilderError(f"AUnit {self.name!r} (inout schema): {exc}") from exc
+            inout_names.append(declared.name)
+        seen = set()
+        for activator in self._activators:
+            if activator.name in seen:
+                raise BuilderError(
+                    f"AUnit {self.name!r}: duplicate activator {activator.name!r}"
+                )
+            seen.add(activator.name)
+        return AUnitDecl(
+            name=self.name,
+            input_schema=input_schema,
+            output_schema=output_schema,
+            inout_tables=tuple(inout_names),
+            persist_schema=self._merge("persist", self._persist),
+            persist_query=list(self._persist_query),
+            local_schema=self._merge("local", self._local),
+            local_query=list(self._local_query),
+            activators=[activator.build() for activator in self._activators],
+            extends=self._extends,
+            activator_extensions=[extension.build() for extension in self._extensions],
+            is_root=self.is_root,
+            synchronized=self._synchronized,
+        )
+
+
+def aunit(name: str, root: bool = False, extends: Optional[str] = None) -> AUnitBuilder:
+    """Start declaring a User-Defined AUnit."""
+    return AUnitBuilder(name, root=root, extends=extends)
+
+
+# ---------------------------------------------------------------------------
+# The application builder
+# ---------------------------------------------------------------------------
+
+
+class AppBuilder:
+    """Collects AUnits and PUnits into a resolvable Hilda program.
+
+    ``build()`` hands the assembled :class:`ProgramDecl` to the same
+    :func:`~repro.hilda.program.resolve_declaration` pipeline the text
+    parser feeds, so the result is a first-class
+    :class:`~repro.hilda.program.HildaProgram`.
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name
+        self._aunits: List[AUnitBuilder] = []
+        self._punits: List[PUnitDecl] = []
+        self._root: Optional[str] = None
+
+    # -- declaring --------------------------------------------------------------
+
+    def aunit(
+        self, name: str, root: bool = False, extends: Optional[str] = None
+    ) -> AUnitBuilder:
+        """Declare an AUnit in place; returns its builder."""
+        built = AUnitBuilder(name, root=root, extends=extends)
+        return self._register(built)
+
+    def add(self, *units: Union[AUnitBuilder, PUnitDecl]) -> "AppBuilder":
+        """Attach already-built :func:`aunit` / :func:`punit` declarations."""
+        for unit in units:
+            if isinstance(unit, AUnitBuilder):
+                self._register(unit)
+            elif isinstance(unit, PUnitDecl):
+                self._punits.append(unit)
+            else:
+                raise BuilderError(
+                    f"AppBuilder.add() takes aunit(...) builders and punit(...) "
+                    f"declarations, got {unit!r}"
+                )
+        return self
+
+    def punit(self, name: str, for_aunit: str, template: str) -> "AppBuilder":
+        """Declare a Presentation Unit for an AUnit."""
+        self._punits.append(punit(name, for_aunit, template))
+        return self
+
+    def root(self, name: str) -> "AppBuilder":
+        """Designate the root AUnit by name (alternative to ``root=True``)."""
+        if not isinstance(name, str) or not name:
+            raise BuilderError("AppBuilder.root() needs the root AUnit's name")
+        self._root = name
+        return self
+
+    def _register(self, built: AUnitBuilder) -> AUnitBuilder:
+        if any(existing.name == built.name for existing in self._aunits):
+            raise BuilderError(f"duplicate AUnit {built.name!r} in the application")
+        self._aunits.append(built)
+        return built
+
+    # -- building ---------------------------------------------------------------
+
+    def declaration(self) -> ProgramDecl:
+        """The unresolved :class:`ProgramDecl`, exactly as a parse would yield."""
+        declaration = ProgramDecl()
+        for builder in self._aunits:
+            decl = builder.build()
+            if decl.is_root:
+                if declaration.root_name is not None and declaration.root_name != decl.name:
+                    raise BuilderError(
+                        f"multiple root AUnits: {declaration.root_name!r} and {decl.name!r}"
+                    )
+                declaration.root_name = decl.name
+            declaration.aunits.append(decl)
+        if self._root is not None:
+            if declaration.root_name is not None and declaration.root_name != self._root:
+                raise BuilderError(
+                    f"multiple root AUnits: {declaration.root_name!r} and {self._root!r}"
+                )
+            declaration.root_name = self._root
+        declaration.punits.extend(self._punits)
+        return declaration
+
+    def build(self, validate: bool = True) -> HildaProgram:
+        """Resolve (flatten inheritance, designate the root) and validate."""
+        return resolve_declaration(
+            self.declaration(),
+            root=self._root,
+            validate=validate,
+            source=None,
+        )

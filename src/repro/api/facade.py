@@ -1,0 +1,131 @@
+"""The unified entry point: from *any* program description to a served app.
+
+:func:`build_program`, :func:`build_app` and :func:`serve` accept a Hilda
+program in every form the library understands — Hilda source text, an
+:class:`~repro.api.builder.AppBuilder`, an unresolved
+:class:`~repro.hilda.ast.ProgramDecl`, or an already-resolved
+:class:`~repro.hilda.program.HildaProgram` — and take the typed
+configuration objects of :mod:`repro.config` instead of keyword sprawl::
+
+    from repro.api import build_app, serve, EngineConfig, ServerConfig
+
+    app = build_app(GUESTBOOK_SOURCE, engine_config=EngineConfig(auto_index=True))
+    serve(app, ServerConfig(port=8080, verbose=True))
+
+Errors raised here are always :class:`repro.errors.ReproError` subclasses
+(``BuilderError`` for unusable inputs, ``ConfigError`` for bad configs,
+the language's own errors for invalid programs) — never bare
+``ValueError``/``KeyError`` — which ``tests/api/test_facade_errors.py``
+sweeps for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.api.builder import AppBuilder
+from repro.config import CacheConfig, EngineConfig, ServerConfig, SessionConfig
+from repro.errors import BuilderError
+from repro.hilda.ast import ProgramDecl
+from repro.hilda.program import HildaProgram, load_program, resolve_declaration
+
+__all__ = ["ProgramSource", "build_app", "build_program", "serve"]
+
+#: Everything :func:`build_program` accepts.
+ProgramSource = Union[str, AppBuilder, ProgramDecl, HildaProgram]
+
+
+def build_program(
+    source: ProgramSource,
+    root: Optional[str] = None,
+    validate: bool = True,
+) -> HildaProgram:
+    """Resolve any program description into a :class:`HildaProgram`.
+
+    * ``str`` — Hilda source text, parsed with the language front end;
+    * :class:`AppBuilder` — a Python-authored program, built in place;
+    * :class:`ProgramDecl` — an unresolved declaration (e.g. an AST you
+      constructed or transformed yourself);
+    * :class:`HildaProgram` — returned as-is (``root``/``validate`` must
+      then be left at their defaults, since the program is already
+      resolved).
+    """
+    if isinstance(source, HildaProgram):
+        if root is not None:
+            raise BuilderError(
+                "build_program(): cannot re-root an already-resolved HildaProgram; "
+                "pass the source text or builder instead"
+            )
+        return source
+    if isinstance(source, AppBuilder):
+        program_root = root if root is not None else source._root
+        return resolve_declaration(source.declaration(), root=program_root, validate=validate)
+    if isinstance(source, ProgramDecl):
+        return resolve_declaration(source, root=root, validate=validate)
+    if isinstance(source, str):
+        return load_program(source, root=root, validate=validate)
+    raise BuilderError(
+        "build_program() takes Hilda source text, an AppBuilder, a ProgramDecl "
+        f"or a HildaProgram, got {type(source).__name__}"
+    )
+
+
+def build_app(
+    source: ProgramSource,
+    *,
+    engine: Optional[Any] = None,
+    engine_config: Optional[EngineConfig] = None,
+    cache: Optional[CacheConfig] = None,
+    sessions: Optional[SessionConfig] = None,
+    functions: Optional[Any] = None,
+    root: Optional[str] = None,
+    validate: bool = True,
+):
+    """Build the three-tier web application for any program description.
+
+    Returns a ready-to-serve
+    :class:`~repro.web.container.HildaApplication`: engine, page renderer
+    and cookie-session manager wired together under the given typed
+    configs (``cache`` defaults to the server policy — activation-query
+    and fragment caching on, dependency-tracked invalidation).
+    """
+    from repro.web.container import HildaApplication
+
+    program = build_program(source, root=root, validate=validate)
+    return HildaApplication(
+        program,
+        engine=engine,
+        config=engine_config,
+        cache=cache,
+        sessions=sessions,
+        functions=functions,
+    )
+
+
+def serve(
+    source: Union[ProgramSource, Any],
+    config: Optional[ServerConfig] = None,
+    **build_options: Any,
+) -> None:
+    """Serve any program description (or a built application) over HTTP.
+
+    Blocks the calling thread (Ctrl-C to stop).  ``config`` defaults to
+    :meth:`ServerConfig.foreground` — port 8080 with request logging; for
+    an embedded/ephemeral server construct
+    :class:`~repro.web.server.ThreadedHildaServer` directly.
+    ``build_options`` are forwarded to :func:`build_app` when ``source``
+    is not already a :class:`~repro.web.container.HildaApplication`.
+    """
+    from repro.web.container import HildaApplication
+    from repro.web.server import serve as _serve
+
+    if isinstance(source, HildaApplication):
+        if build_options:
+            raise BuilderError(
+                "serve(): build options are meaningless for an already-built "
+                f"application: {sorted(build_options)}"
+            )
+        application = source
+    else:
+        application = build_app(source, **build_options)
+    _serve(application, config=config if config is not None else ServerConfig.foreground())

@@ -10,6 +10,12 @@ from repro.apps.minicms.fixtures import (
     seed_paper_scenario,
     seed_scaled,
 )
+from repro.apps.minicms.builder import (
+    build_minicms_program,
+    build_navcms_program,
+    minicms_builder,
+    navcms_builder,
+)
 from repro.apps.minicms.source import (
     MINICMS_SOURCE,
     NAVCMS_PROGRAM_SOURCE,
@@ -23,8 +29,12 @@ __all__ = [
     "STUDENT1_USER",
     "STUDENT2_USER",
     "SYSADMIN_USER",
+    "build_minicms_program",
+    "build_navcms_program",
     "load_minicms",
     "load_navcms",
+    "minicms_builder",
+    "navcms_builder",
     "seed_paper_scenario",
     "seed_scaled",
 ]

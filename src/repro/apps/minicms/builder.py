@@ -1,0 +1,705 @@
+"""MiniCMS authored in the Python builder DSL (:mod:`repro.api`).
+
+This is the same application as :mod:`repro.apps.minicms.source` — the
+paper's running example (Figures 2, 3, 4, 8 and 13) — written as plain
+Python instead of Hilda text.  Both front ends construct the same AST and
+resolve through the same pipeline, so the two versions are observationally
+equivalent: the round-trip property test
+(``tests/api/test_roundtrip_minicms.py``) drives randomized workloads
+against both and asserts byte-identical pages and identical persistent
+state.
+
+Besides being the equivalence witness, this module is the reference for
+how a real multi-AUnit application reads in the DSL: inout schemas,
+activation queries, conditions, inheritance with activation filters
+(NavCMS), and PUnit templates.
+"""
+
+from __future__ import annotations
+
+from repro.api.builder import AppBuilder, AUnitBuilder, aunit, table
+from repro.hilda.program import HildaProgram
+
+__all__ = [
+    "build_minicms_program",
+    "build_navcms_program",
+    "minicms_builder",
+    "navcms_builder",
+]
+
+
+# ---------------------------------------------------------------------------
+# CMSRoot (Figure 2)
+# ---------------------------------------------------------------------------
+
+
+def _cmsroot(root: bool) -> AUnitBuilder:
+    cmsroot = aunit("CMSRoot", root=root)
+    cmsroot.input(table("user", name="string"))
+    cmsroot.persist(
+        table("sysadmin", aname="string"),
+        table("course", cid="int key", cname="string"),
+        table("staff", stid="int key", cid="int", sname="string", role="string"),
+        table("student", sid="int key", cid="int", sname="string"),
+        table(
+            "assign",
+            aid="int key",
+            cid="int",
+            name="string",
+            release="date",
+            due="date",
+        ),
+        table("problem", pid="int key", aid="int", name="string", weight="float"),
+        table("group", gid="int key", aid="int"),
+        table("groupmember", gmid="int key", gid="int", sid="int", grade="float"),
+        table(
+            "invitation",
+            iid="int key",
+            gid="int",
+            invitersid="int",
+            inviteesid="int",
+        ),
+    )
+
+    # One CourseAdmin instance per administered course.
+    admin = cmsroot.activator("ActCourseAdmin", "CourseAdmin")
+    admin.activation(
+        table("acourse", cid="int"),
+        """
+        SELECT C.cid
+        FROM course C, staff S, user U
+        WHERE C.cid = S.cid AND S.sname = U.name AND S.role = "admin"
+        """,
+    )
+    admin.input_query(
+        "CourseAdmin.assign",
+        """
+        SELECT A.aid, A.name, A.release, A.due
+        FROM assign A
+        WHERE A.cid = activationTuple.cid
+        """,
+    )
+    admin.input_query(
+        "CourseAdmin.problem",
+        """
+        SELECT P.pid, P.aid, P.name, P.weight
+        FROM problem P, assign A
+        WHERE P.aid = A.aid AND A.cid = activationTuple.cid
+        """,
+    )
+    admin.handler("UpdateAssignments").do(
+        "assign",
+        """
+        SELECT A.aid, A.cid, A.name, A.release, A.due
+        FROM assign A
+        WHERE A.aid NOT IN (SELECT I.aid FROM CourseAdmin.in.assign I)
+        UNION
+        SELECT O.aid, activationTuple.cid, O.name, O.release, O.due
+        FROM CourseAdmin.out.assign O
+        """,
+    ).do(
+        "problem",
+        """
+        SELECT P.pid, P.aid, P.name, P.weight
+        FROM problem P
+        WHERE P.pid NOT IN (SELECT I.pid FROM CourseAdmin.in.problem I)
+        UNION
+        SELECT O.pid, O.aid, O.name, O.weight
+        FROM CourseAdmin.out.problem O
+        """,
+    )
+
+    # One Student instance per enrolled course.
+    student = cmsroot.activator("ActStudent", "Student")
+    student.activation(
+        table("acourse", cid="int"),
+        """
+        SELECT C.cid
+        FROM course C, student S, user U
+        WHERE C.cid = S.cid AND S.sname = U.name
+        """,
+    )
+    student.input_query(
+        "Student.curstudent",
+        """
+        SELECT S.sid
+        FROM student S, user U
+        WHERE S.sname = U.name AND S.cid = activationTuple.cid
+        """,
+    )
+    student.input_query(
+        "Student.assign",
+        """
+        SELECT A.aid, A.name, A.release, A.due
+        FROM assign A
+        WHERE A.cid = activationTuple.cid
+        """,
+    )
+    student.input_query(
+        "Student.others",
+        """
+        SELECT S.sid, S.sname
+        FROM student S, user U
+        WHERE S.cid = activationTuple.cid AND S.sname <> U.name
+        """,
+    )
+    student.input_query(
+        "Student.group",
+        """
+        SELECT G.gid, G.aid
+        FROM group G, assign A
+        WHERE G.aid = A.aid AND A.cid = activationTuple.cid
+        """,
+    )
+    student.input_query(
+        "Student.groupmember",
+        """
+        SELECT GM.gmid, GM.gid, GM.sid, GM.grade
+        FROM groupmember GM, group G, assign A
+        WHERE GM.gid = G.gid AND G.aid = A.aid AND A.cid = activationTuple.cid
+        """,
+    )
+    student.input_query(
+        "Student.invitation",
+        """
+        SELECT I.iid, I.gid, I.invitersid, I.inviteesid
+        FROM invitation I, group G, assign A
+        WHERE I.gid = G.gid AND G.aid = A.aid AND A.cid = activationTuple.cid
+        """,
+    )
+    student.handler("UpdateGroups").do(
+        "group",
+        """
+        SELECT G.gid, G.aid
+        FROM group G
+        WHERE G.gid NOT IN (SELECT X.gid FROM Student.in.group X)
+        UNION
+        SELECT O.gid, O.aid FROM Student.out.group O
+        """,
+    ).do(
+        "groupmember",
+        """
+        SELECT GM.gmid, GM.gid, GM.sid, GM.grade
+        FROM groupmember GM
+        WHERE GM.gmid NOT IN (SELECT X.gmid FROM Student.in.groupmember X)
+        UNION
+        SELECT O.gmid, O.gid, O.sid, O.grade FROM Student.out.groupmember O
+        """,
+    ).do(
+        "invitation",
+        """
+        SELECT I.iid, I.gid, I.invitersid, I.inviteesid
+        FROM invitation I
+        WHERE I.iid NOT IN (SELECT X.iid FROM Student.in.invitation X)
+        UNION
+        SELECT O.iid, O.gid, O.invitersid, O.inviteesid
+        FROM Student.out.invitation O
+        """,
+    )
+
+    # System administrators: manage courses, students and staff.
+    sysadmin = cmsroot.activator("ActSysAdmin", "SysAdmin")
+    sysadmin.activation(
+        table("aadmin", aname="string"),
+        'SELECT A.aname FROM sysadmin A, user U WHERE A.aname = U.name',
+    )
+    sysadmin.input_query("SysAdmin.course", "SELECT C.cid, C.cname FROM course C")
+    sysadmin.input_query(
+        "SysAdmin.staff", "SELECT S.stid, S.cid, S.sname, S.role FROM staff S"
+    )
+    sysadmin.input_query(
+        "SysAdmin.student", "SELECT S.sid, S.cid, S.sname FROM student S"
+    )
+    sysadmin.handler("UpdateCatalog").do(
+        "course", "SELECT O.cid, O.cname FROM SysAdmin.out.course O"
+    ).do(
+        "staff", "SELECT O.stid, O.cid, O.sname, O.role FROM SysAdmin.out.staff O"
+    ).do(
+        "student", "SELECT O.sid, O.cid, O.sname FROM SysAdmin.out.student O"
+    )
+    return cmsroot
+
+
+# ---------------------------------------------------------------------------
+# CourseAdmin (Figure 3)
+# ---------------------------------------------------------------------------
+
+
+def _course_admin() -> AUnitBuilder:
+    admin = aunit("CourseAdmin")
+    admin.inout(
+        table("assign", aid="int key", name="string", release="date", due="date"),
+        table("problem", pid="int key", aid="int", name="string", weight="float"),
+    )
+
+    create = admin.activator("ActCreateAssign", "CreateAssignment")
+    create.return_handler("NewAssignment").do(
+        "assign",
+        """
+        SELECT A.aid, A.name, A.release, A.due FROM in.assign A
+        UNION
+        SELECT N.aid, N.name, N.release, N.due
+        FROM CreateAssignment.newassign N
+        """,
+    ).do(
+        "problem",
+        """
+        SELECT P.pid, P.aid, P.name, P.weight FROM in.problem P
+        UNION
+        SELECT N.pid, N.aid, N.name, N.weight
+        FROM CreateAssignment.newproblem N
+        """,
+    )
+
+    show = admin.activator("ActShowAssignment", "ShowRow", "string")
+    show.activation(
+        table("allassign", aid="int", assignname="string"),
+        "SELECT A.aid, A.name FROM in.assign A",
+    )
+    show.input_query("ShowRow.input", "SELECT activationTuple.assignname")
+
+    delete = admin.activator("ActDeleteAssign", "SelectRow", "int", "string")
+    delete.input_query("SelectRow.input", "SELECT A.aid, A.name FROM in.assign A")
+    delete.return_handler("DeleteAssignment").do(
+        "assign",
+        """
+        SELECT A.aid, A.name, A.release, A.due
+        FROM in.assign A, SelectRow.output O
+        WHERE A.aid <> O.c1
+        """,
+    ).do(
+        "problem",
+        """
+        SELECT P.pid, P.aid, P.name, P.weight
+        FROM in.problem P, SelectRow.output O
+        WHERE P.aid <> O.c1
+        """,
+    )
+    return admin
+
+
+# ---------------------------------------------------------------------------
+# CreateAssignment (Figure 4)
+# ---------------------------------------------------------------------------
+
+
+def _create_assignment() -> AUnitBuilder:
+    create = aunit("CreateAssignment")
+    create.output(
+        table("newassign", aid="int", name="string", release="date", due="date"),
+        table("newproblem", pid="int", aid="int", name="string", weight="float"),
+    )
+    create.local(
+        table("assign", name="string", release="date", due="date"),
+        table("problem", pid="int", name="string", weight="float"),
+    )
+    create.local_init("assign", 'SELECT "", curr_date(), curr_date()')
+
+    info = create.activator("ActAssignInfo", "UpdateRow", "string", "date", "date")
+    info.input_query(
+        "UpdateRow.input", "SELECT A.name, A.release, A.due FROM assign A"
+    )
+    info.handler("updateAssign").do(
+        "assign", "SELECT O.c1, O.c2, O.c3 FROM UpdateRow.output O"
+    )
+
+    new_problem = create.activator("ActNewProblem", "GetRow", "string", "float")
+    new_problem.handler("addProblem").do(
+        "problem",
+        """
+        SELECT P.pid, P.name, P.weight FROM problem P
+        UNION
+        SELECT genkey(), O.c1, O.c2 FROM GetRow.output O
+        """,
+    )
+
+    submit = create.activator("SubmitAssignment", "SubmitBasic")
+    submit.return_handler("success").when(
+        "SELECT A.name FROM assign A WHERE A.release <= A.due"
+    ).do(
+        "newassign", "SELECT genkey(), A.name, A.release, A.due FROM assign A"
+    ).do(
+        "newproblem",
+        """
+        SELECT P.pid, N.aid, P.name, P.weight
+        FROM problem P, newassign N
+        """,
+    )
+    submit.handler("fail").when(
+        "SELECT A.name FROM assign A WHERE A.release > A.due"
+    ).do("assign", 'SELECT "", curr_date(), curr_date()')
+    return create
+
+
+# ---------------------------------------------------------------------------
+# Student (Figure 8)
+# ---------------------------------------------------------------------------
+
+
+def _student() -> AUnitBuilder:
+    student = aunit("Student")
+    student.input(
+        table("curstudent", sid="int"),
+        table("assign", aid="int key", name="string", release="date", due="date"),
+        table("others", osid="int key", oname="string"),
+    )
+    student.inout(
+        table("group", gid="int key", aid="int"),
+        table("groupmember", gmid="int key", gid="int", sid="int", grade="float"),
+        table(
+            "invitation",
+            iid="int key",
+            gid="int",
+            invitersid="int",
+            inviteesid="int",
+        ),
+    )
+
+    grades = student.activator("ActShowGrades", "ShowRow", "string", "float")
+    grades.activation(
+        table("agrade", aid="int", assignname="string", grade="float"),
+        """
+        SELECT A.aid, A.name, GM.grade
+        FROM assign A, group G, groupmember GM, curstudent S
+        WHERE G.aid = A.aid AND GM.gid = G.gid AND GM.sid = S.sid
+        """,
+    )
+    grades.input_query(
+        "ShowRow.input",
+        "SELECT activationTuple.assignname, activationTuple.grade",
+    )
+
+    place = student.activator("ActPlaceInv", "SelectRow", "int", "string", "int")
+    place.input_query(
+        "SelectRow.input",
+        "SELECT O.osid, O.oname, A.aid FROM others O, assign A",
+    )
+    place.return_handler("PlaceInvitation").do(
+        "group",
+        """
+        SELECT G.gid, G.aid FROM in.group G
+        UNION
+        SELECT genkey(), O.c3 FROM SelectRow.output O
+        """,
+    ).do(
+        "groupmember",
+        """
+        SELECT GM.gmid, GM.gid, GM.sid, GM.grade FROM in.groupmember GM
+        UNION
+        SELECT genkey(), G.gid, S.sid, NULL
+        FROM group G, SelectRow.output O, curstudent S
+        WHERE G.aid = O.c3
+          AND G.gid NOT IN (SELECT X.gid FROM in.group X)
+        """,
+    ).do(
+        "invitation",
+        """
+        SELECT I.iid, I.gid, I.invitersid, I.inviteesid FROM in.invitation I
+        UNION
+        SELECT genkey(), G.gid, S.sid, O.c1
+        FROM group G, SelectRow.output O, curstudent S
+        WHERE G.aid = O.c3
+          AND G.gid NOT IN (SELECT X.gid FROM in.group X)
+        """,
+    )
+
+    withdraw = student.activator("ActWithdrawInv", "SelectRow", "int", "int")
+    withdraw.activation(
+        table("ainv", iid="int", inviteesid="int"),
+        """
+        SELECT I.iid, I.inviteesid
+        FROM invitation I, curstudent S
+        WHERE I.invitersid = S.sid
+        """,
+    )
+    withdraw.input_query(
+        "SelectRow.input",
+        "SELECT activationTuple.iid, activationTuple.inviteesid",
+    )
+    withdraw.return_handler("Withdraw").do(
+        "invitation",
+        """
+        SELECT I.iid, I.gid, I.invitersid, I.inviteesid
+        FROM in.invitation I, SelectRow.output O
+        WHERE I.iid <> O.c1
+        """,
+    ).do(
+        "group", "SELECT G.gid, G.aid FROM in.group G"
+    ).do(
+        "groupmember",
+        "SELECT GM.gmid, GM.gid, GM.sid, GM.grade FROM in.groupmember GM",
+    )
+
+    accept = student.activator("ActAcceptInv", "SelectRow", "int", "int")
+    accept.activation(
+        table("ainv", iid="int", invitersid="int"),
+        """
+        SELECT I.iid, I.invitersid
+        FROM invitation I, curstudent S
+        WHERE I.inviteesid = S.sid
+        """,
+    )
+    accept.input_query(
+        "SelectRow.input",
+        "SELECT activationTuple.iid, activationTuple.invitersid",
+    )
+    accept.return_handler("Accept").do(
+        "invitation",
+        """
+        SELECT I.iid, I.gid, I.invitersid, I.inviteesid
+        FROM in.invitation I, SelectRow.output O
+        WHERE I.iid <> O.c1
+        """,
+    ).do(
+        "group", "SELECT G.gid, G.aid FROM in.group G"
+    ).do(
+        "groupmember",
+        """
+        SELECT GM.gmid, GM.gid, GM.sid, GM.grade FROM in.groupmember GM
+        UNION
+        SELECT genkey(), I.gid, S.sid, NULL
+        FROM in.invitation I, SelectRow.output O, curstudent S
+        WHERE I.iid = O.c1
+        """,
+    )
+
+    decline = student.activator("ActDeclineInv", "SelectRow", "int", "int")
+    decline.activation(
+        table("ainv", iid="int", invitersid="int"),
+        """
+        SELECT I.iid, I.invitersid
+        FROM invitation I, curstudent S
+        WHERE I.inviteesid = S.sid
+        """,
+    )
+    decline.input_query(
+        "SelectRow.input",
+        "SELECT activationTuple.iid, activationTuple.invitersid",
+    )
+    decline.return_handler("Decline").do(
+        "invitation",
+        """
+        SELECT I.iid, I.gid, I.invitersid, I.inviteesid
+        FROM in.invitation I, SelectRow.output O
+        WHERE I.iid <> O.c1
+        """,
+    ).do(
+        "group", "SELECT G.gid, G.aid FROM in.group G"
+    ).do(
+        "groupmember",
+        "SELECT GM.gmid, GM.gid, GM.sid, GM.grade FROM in.groupmember GM",
+    )
+    return student
+
+
+# ---------------------------------------------------------------------------
+# SysAdmin (the branch Figure 2 elides)
+# ---------------------------------------------------------------------------
+
+
+def _sysadmin() -> AUnitBuilder:
+    sysadmin = aunit("SysAdmin")
+    sysadmin.inout(
+        table("course", cid="int key", cname="string"),
+        table("staff", stid="int key", cid="int", sname="string", role="string"),
+        table("student", sid="int key", cid="int", sname="string"),
+    )
+
+    sysadmin.activator("ActShowCourses", "ShowTable", "int", "string").input_query(
+        "ShowTable.input", "SELECT C.cid, C.cname FROM in.course C"
+    )
+
+    add_course = sysadmin.activator("ActAddCourse", "GetRow", "string")
+    add_course.return_handler("AddCourse").do(
+        "course",
+        """
+        SELECT C.cid, C.cname FROM in.course C
+        UNION
+        SELECT genkey(), O.c1 FROM GetRow.output O
+        """,
+    ).do(
+        "staff", "SELECT S.stid, S.cid, S.sname, S.role FROM in.staff S"
+    ).do(
+        "student", "SELECT S.sid, S.cid, S.sname FROM in.student S"
+    )
+
+    add_student = sysadmin.activator("ActAddStudent", "GetRow", "int", "string")
+    add_student.return_handler("AddStudent").do(
+        "course", "SELECT C.cid, C.cname FROM in.course C"
+    ).do(
+        "staff", "SELECT S.stid, S.cid, S.sname, S.role FROM in.staff S"
+    ).do(
+        "student",
+        """
+        SELECT S.sid, S.cid, S.sname FROM in.student S
+        UNION
+        SELECT genkey(), O.c1, O.c2 FROM GetRow.output O
+        """,
+    )
+
+    add_staff = sysadmin.activator("ActAddStaff", "GetRow", "int", "string", "string")
+    add_staff.return_handler("AddStaff").do(
+        "course", "SELECT C.cid, C.cname FROM in.course C"
+    ).do(
+        "staff",
+        """
+        SELECT S.stid, S.cid, S.sname, S.role FROM in.staff S
+        UNION
+        SELECT genkey(), O.c1, O.c2, O.c3 FROM GetRow.output O
+        """,
+    ).do(
+        "student", "SELECT S.sid, S.cid, S.sname FROM in.student S"
+    )
+    return sysadmin
+
+
+# ---------------------------------------------------------------------------
+# NavCMS (Figure 13): inheritance with activation filters
+# ---------------------------------------------------------------------------
+
+
+def _navcms() -> AUnitBuilder:
+    navcms = aunit("NavCMS", root=True, extends="CMSRoot")
+    navcms.local(table("currcourse", cid="int"))
+
+    select = navcms.activator("ActSelectCourse", "SelectRow", "int", "string")
+    select.input_query("SelectRow.input", "SELECT C.cid, C.cname FROM course C")
+    select.handler("SelectCourse").do(
+        "currcourse", "SELECT O.c1 FROM SelectRow.output O"
+    )
+
+    navcms.extend_activator("ActCourseAdmin").filter(
+        "SELECT CC.cid FROM currcourse CC WHERE activationTuple.cid = CC.cid"
+    )
+    navcms.extend_activator("ActStudent").filter(
+        "SELECT CC.cid FROM currcourse CC WHERE activationTuple.cid = CC.cid"
+    )
+    return navcms
+
+
+# ---------------------------------------------------------------------------
+# PUnits (Section 3.4) — templates identical to the Hilda-source versions
+# so rendered pages are byte-for-byte the same.
+# ---------------------------------------------------------------------------
+
+SHOW_CMSROOT_TEMPLATE = """
+    <body>
+    <h1>MiniCMS</h1>
+    <hr>
+    <h2>Courses you administer</h2>
+    <punit activator="ActCourseAdmin" name="ShowCourseAdmin">
+    <hr>
+    <h2>Courses you take</h2>
+    <punit activator="ActStudent" name="ShowStudent">
+    <hr>
+    <punit activator="ActSysAdmin" name="ShowSysAdmin">
+    </body>
+"""
+
+SHOW_NAVCMS_TEMPLATE = """
+    <body bgcolor="yellow">
+    <h1>MiniCMS</h1>
+    <hr>
+    <punit activator="ActSelectCourse">
+    <hr>
+    <punit activator="ActCourseAdmin" name="ShowCourseAdmin">
+    <hr>
+    <punit activator="ActStudent" name="ShowStudent">
+    </body>
+"""
+
+SHOW_COURSE_ADMIN_TEMPLATE = """
+    <div class="course-admin">
+    <h3>Assignments</h3>
+    <punit activator="ActShowAssignment">
+    <h3>Create an assignment</h3>
+    <punit activator="ActCreateAssign">
+    <h3>Delete an assignment</h3>
+    <punit activator="ActDeleteAssign">
+    </div>
+"""
+
+SHOW_CREATE_ASSIGNMENT_TEMPLATE = """
+    <div class="create-assignment">
+    <h4>Assignment properties</h4>
+    <punit activator="ActAssignInfo">
+    <h4>Add a problem</h4>
+    <punit activator="ActNewProblem">
+    <punit activator="SubmitAssignment">
+    </div>
+"""
+
+SHOW_STUDENT_TEMPLATE = """
+    <div class="student">
+    <h3>Your grades</h3>
+    <punit activator="ActShowGrades">
+    <h3>Invite a group partner</h3>
+    <punit activator="ActPlaceInv">
+    <h3>Invitations you sent</h3>
+    <punit activator="ActWithdrawInv">
+    <h3>Invitations you received</h3>
+    <punit activator="ActAcceptInv">
+    <punit activator="ActDeclineInv">
+    </div>
+"""
+
+SHOW_SYSADMIN_TEMPLATE = """
+    <div class="sysadmin">
+    <h3>Course catalog</h3>
+    <punit activator="ActShowCourses">
+    <h3>Add a course</h3>
+    <punit activator="ActAddCourse">
+    <h3>Enroll a student</h3>
+    <punit activator="ActAddStudent">
+    <h3>Add staff</h3>
+    <punit activator="ActAddStaff">
+    </div>
+"""
+
+
+def _shared_punits(app: AppBuilder) -> None:
+    app.punit("ShowCourseAdmin", "CourseAdmin", SHOW_COURSE_ADMIN_TEMPLATE)
+    app.punit("ShowCreateAssignment", "CreateAssignment", SHOW_CREATE_ASSIGNMENT_TEMPLATE)
+    app.punit("ShowStudent", "Student", SHOW_STUDENT_TEMPLATE)
+    app.punit("ShowSysAdmin", "SysAdmin", SHOW_SYSADMIN_TEMPLATE)
+
+
+# ---------------------------------------------------------------------------
+# Assembled applications
+# ---------------------------------------------------------------------------
+
+
+def minicms_builder() -> AppBuilder:
+    """MiniCMS rooted at CMSRoot, as an (unbuilt) :class:`AppBuilder`."""
+    app = AppBuilder("MiniCMS")
+    app.add(_cmsroot(root=True), _course_admin(), _create_assignment(), _student(), _sysadmin())
+    app.punit("ShowCMSRoot", "CMSRoot", SHOW_CMSROOT_TEMPLATE)
+    _shared_punits(app)
+    return app
+
+
+def navcms_builder() -> AppBuilder:
+    """MiniCMS structured as a web site rooted at NavCMS (Figure 13)."""
+    app = AppBuilder("NavCMS")
+    app.add(
+        _cmsroot(root=False),
+        _course_admin(),
+        _create_assignment(),
+        _student(),
+        _sysadmin(),
+        _navcms(),
+    )
+    app.punit("ShowCMSRoot", "CMSRoot", SHOW_CMSROOT_TEMPLATE)
+    app.punit("ShowNavCMS", "NavCMS", SHOW_NAVCMS_TEMPLATE)
+    _shared_punits(app)
+    return app
+
+
+def build_minicms_program(validate: bool = True) -> HildaProgram:
+    """The builder-authored twin of :func:`repro.apps.minicms.load_minicms`."""
+    return minicms_builder().build(validate=validate)
+
+
+def build_navcms_program(validate: bool = True) -> HildaProgram:
+    """The builder-authored twin of :func:`repro.apps.minicms.load_navcms`."""
+    return navcms_builder().build(validate=validate)

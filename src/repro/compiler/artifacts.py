@@ -94,12 +94,13 @@ class CompiledApplication:
 def compile_program(
     program: HildaProgram, module_name: str = "hilda_generated_app"
 ) -> CompiledApplication:
-    """Compile a resolved Hilda program into its artifacts."""
-    if program.source is None:
-        raise CompilerError(
-            "compile_program requires a program loaded from source text "
-            "(the generated module embeds the source)"
-        )
+    """Compile a resolved Hilda program into its artifacts.
+
+    Works for programs from either front end: text-loaded programs embed
+    their original source in the generated module, Python-authored ones
+    (the :mod:`repro.api` builder) embed an unparsed equivalent (see
+    :mod:`repro.hilda.unparse`).
+    """
     return CompiledApplication(
         program=program,
         ddl_script=generate_ddl(program),

@@ -1,0 +1,372 @@
+"""Typed configuration objects for the whole stack.
+
+Before this module existed the runtime's knobs were untyped keyword
+arguments sprawled across :class:`~repro.runtime.engine.HildaEngine`,
+:class:`~repro.web.container.HildaApplication`,
+:class:`~repro.web.server.ThreadedHildaServer` and
+:class:`~repro.sql.executor.SQLExecutor`.  The four dataclasses here are
+now the single source of truth for those knobs:
+
+* :class:`EngineConfig` — query planning/compilation switches, the
+  reactivation mode and history recording, plus a nested
+  :class:`CacheConfig`.
+* :class:`CacheConfig` — every caching/invalidation knob (Section 6.2 of
+  the paper: activation-query caching, fragment caching, dependency
+  tracking, delta reactivation, cache bounds).
+* :class:`SessionConfig` — web-session lifetime and bounds.
+* :class:`ServerConfig` — HTTP front-end binding and logging.
+
+Every consumer still accepts its pre-existing keyword arguments through a
+deprecation shim (:func:`coalesce_legacy_kwargs`): each legacy kwarg keeps
+working, is mapped onto the corresponding config field, and emits a
+:class:`DeprecationWarning` exactly once per process (see
+:func:`warn_deprecated` / :func:`reset_deprecation_warnings`).
+
+All configs validate on construction and raise
+:class:`repro.errors.ConfigError` — never a bare ``ValueError`` — naming
+the offending field.  They are frozen: derive variants with
+:func:`dataclasses.replace` or the ``with_`` helpers.
+
+See ``docs/api.md`` for the migration table from old kwargs to config
+fields.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Set, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "CacheConfig",
+    "EngineConfig",
+    "ServerConfig",
+    "SessionConfig",
+    "DEFAULT_ACTIVATION_CACHE_SIZE",
+    "DEFAULT_FRAGMENT_CACHE_SIZE",
+    "coalesce_legacy_kwargs",
+    "reset_deprecation_warnings",
+    "warn_deprecated",
+]
+
+#: Default bound on the engine's activation-query cache (entries, LRU).
+DEFAULT_ACTIVATION_CACHE_SIZE = 8192
+
+#: Default bound on the renderer's fragment cache (entries, LRU).
+DEFAULT_FRAGMENT_CACHE_SIZE = 8192
+
+#: The reactivation modes :class:`~repro.runtime.engine.HildaEngine` knows.
+REACTIVATION_MODES = ("eager", "lazy")
+
+
+# ---------------------------------------------------------------------------
+# Warn-once deprecation machinery
+# ---------------------------------------------------------------------------
+
+#: ``"Owner.kwarg"`` keys that already produced their DeprecationWarning.
+_warned_kwargs: Set[str] = set()
+
+
+def warn_deprecated(owner: str, kwarg: str, replacement: str) -> None:
+    """Emit the deprecation warning for ``owner(kwarg=...)`` once per process.
+
+    Python's own ``once`` warning filter is keyed on the call site, which
+    makes "exactly once per old kwarg" unreliable under pytest's filter
+    resets; this registry is keyed on ``owner.kwarg`` instead.
+    """
+    key = f"{owner}.{kwarg}"
+    if key in _warned_kwargs:
+        return
+    _warned_kwargs.add(key)
+    # Every call chain is user code -> consumer __init__ -> a coalescing
+    # helper -> coalesce_legacy_kwargs -> here, so level 5 attributes the
+    # warning to the user's call site (where default filters display it).
+    warnings.warn(
+        f"{owner}({kwarg}=...) is deprecated; set the {replacement!r} field on "
+        "the typed config instead (see docs/api.md for the migration table)",
+        DeprecationWarning,
+        stacklevel=5,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which deprecated kwargs have warned (test isolation hook)."""
+    _warned_kwargs.clear()
+
+
+def coalesce_legacy_kwargs(
+    owner: str,
+    legacy: Mapping[str, Any],
+    mapping: Mapping[str, str],
+) -> Dict[str, Any]:
+    """Validate and translate legacy kwargs to config-field assignments.
+
+    ``mapping`` maps each accepted legacy kwarg to the dotted config field
+    that replaces it (used both for the warning text and as the returned
+    key).  Unknown kwargs raise :class:`ConfigError` naming the owner, like
+    the ``TypeError`` they would have produced before — but catchable as a
+    :class:`~repro.errors.ReproError`.
+    """
+    translated: Dict[str, Any] = {}
+    for kwarg, value in legacy.items():
+        if kwarg not in mapping:
+            raise ConfigError(
+                f"{owner}() got an unexpected keyword argument {kwarg!r} "
+                f"(known legacy options: {sorted(mapping)})"
+            )
+        warn_deprecated(owner, kwarg, mapping[kwarg])
+        translated[mapping[kwarg]] = value
+    return translated
+
+
+# ---------------------------------------------------------------------------
+# Validation helpers
+# ---------------------------------------------------------------------------
+
+
+def _require_bool(config: str, name: str, value: Any) -> None:
+    if not isinstance(value, bool):
+        raise ConfigError(f"{config}.{name} must be a bool, got {value!r}")
+
+
+def _require_optional_size(config: str, name: str, value: Any) -> None:
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ConfigError(
+            f"{config}.{name} must be None (unbounded) or a positive int, got {value!r}"
+        )
+
+
+def _require_optional_positive(config: str, name: str, value: Any) -> None:
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+        raise ConfigError(
+            f"{config}.{name} must be None or a positive number, got {value!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The config dataclasses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Every caching and invalidation knob of the runtime (Section 6.2).
+
+    ``activation_queries`` / ``fragments`` default **off** — the raw engine
+    recomputes everything, which is the paper's baseline.  The server path
+    (:class:`~repro.web.container.HildaApplication`) uses
+    :meth:`server_defaults`, which turns both on; with dependency tracking
+    the caches are exactly invalidated, so serving from them is safe (see
+    ``docs/caching.md``).
+    """
+
+    #: Memoise activation-query results between state changes.
+    activation_queries: bool = False
+    #: Bound on the activation-query cache (entries; None = unbounded).
+    activation_cache_size: Optional[int] = DEFAULT_ACTIVATION_CACHE_SIZE
+    #: Cache rendered HTML fragments between requests.
+    fragments: bool = False
+    #: Bound on the fragment cache (entries; None = unbounded).
+    fragment_cache_size: Optional[int] = DEFAULT_FRAGMENT_CACHE_SIZE
+    #: Key caches on per-table version vectors instead of the global state
+    #: version (fine-grained invalidation).
+    dependency_tracking: bool = True
+    #: Reuse unchanged subtrees during reactivation (requires tracking).
+    delta_reactivation: bool = True
+
+    def __post_init__(self) -> None:
+        _require_bool("CacheConfig", "activation_queries", self.activation_queries)
+        _require_bool("CacheConfig", "fragments", self.fragments)
+        _require_bool("CacheConfig", "dependency_tracking", self.dependency_tracking)
+        _require_bool("CacheConfig", "delta_reactivation", self.delta_reactivation)
+        _require_optional_size(
+            "CacheConfig", "activation_cache_size", self.activation_cache_size
+        )
+        _require_optional_size(
+            "CacheConfig", "fragment_cache_size", self.fragment_cache_size
+        )
+
+    @classmethod
+    def server_defaults(cls) -> "CacheConfig":
+        """The caching policy the application container turns on by default."""
+        return cls(activation_queries=True, fragments=True)
+
+    @classmethod
+    def disabled(cls) -> "CacheConfig":
+        """Everything off and coarse invalidation: the ablation baseline."""
+        return cls(
+            activation_queries=False,
+            fragments=False,
+            dependency_tracking=False,
+            delta_reactivation=False,
+        )
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of :class:`~repro.runtime.engine.HildaEngine` and the
+    SQL executors it builds (:class:`~repro.sql.executor.SQLExecutor`)."""
+
+    #: Hash joins for equality predicates (vs nested loops everywhere).
+    optimize: bool = True
+    #: Let the planner create secondary hash indexes on first use.
+    auto_index: bool = False
+    #: Compile per-row expressions to closures (vs tree-walking).
+    compile_expressions: bool = True
+    #: ``"eager"`` rebuilds every session after each operation; ``"lazy"``
+    #: defers other sessions' rebuilds until they are accessed.
+    reactivation: str = "eager"
+    #: Keep an :class:`~repro.runtime.history.ExecutionHistory`.
+    record_history: bool = True
+    #: The caching policy (activation queries, fragments, invalidation).
+    cache: CacheConfig = field(default_factory=CacheConfig)
+
+    def __post_init__(self) -> None:
+        _require_bool("EngineConfig", "optimize", self.optimize)
+        _require_bool("EngineConfig", "auto_index", self.auto_index)
+        _require_bool("EngineConfig", "compile_expressions", self.compile_expressions)
+        _require_bool("EngineConfig", "record_history", self.record_history)
+        if self.reactivation not in REACTIVATION_MODES:
+            raise ConfigError(
+                "EngineConfig.reactivation must be one of "
+                f"{REACTIVATION_MODES}, got {self.reactivation!r}"
+            )
+        if not isinstance(self.cache, CacheConfig):
+            raise ConfigError(
+                f"EngineConfig.cache must be a CacheConfig, got {self.cache!r}"
+            )
+
+    #: Legacy ``HildaEngine`` kwargs -> the config fields replacing them.
+    LEGACY_KWARGS = {
+        "optimize": "optimize",
+        "auto_index": "auto_index",
+        "compile_expressions": "compile_expressions",
+        "reactivation": "reactivation",
+        "record_history": "record_history",
+        "cache_activation_queries": "cache.activation_queries",
+        "activation_cache_size": "cache.activation_cache_size",
+        "dependency_tracking": "cache.dependency_tracking",
+        "delta_reactivation": "cache.delta_reactivation",
+    }
+
+    @classmethod
+    def from_legacy(
+        cls,
+        config: Optional["EngineConfig"],
+        legacy: Mapping[str, Any],
+        owner: str = "HildaEngine",
+        allowed: Optional[Mapping[str, str]] = None,
+    ) -> "EngineConfig":
+        """Merge deprecated kwargs into ``config`` (warning once per kwarg).
+
+        ``allowed`` restricts the accepted legacy kwargs (the SQL executor
+        only ever took the three planner/compiler switches).
+        """
+        base = config if config is not None else cls()
+        if not isinstance(base, EngineConfig):
+            raise ConfigError(f"{owner}(config=...) must be an EngineConfig, got {base!r}")
+        if not legacy:
+            return base
+        translated = coalesce_legacy_kwargs(
+            owner,
+            legacy,
+            dict(allowed if allowed is not None else cls.LEGACY_KWARGS),
+        )
+        return base.updated(translated)
+
+    def updated(self, assignments: Mapping[str, Any]) -> "EngineConfig":
+        """A copy with dotted-field ``assignments`` applied (``cache.x`` nests)."""
+        own: Dict[str, Any] = {}
+        nested: Dict[str, Any] = {}
+        for dotted, value in assignments.items():
+            if dotted.startswith("cache."):
+                nested[dotted[len("cache.") :]] = value
+            else:
+                own[dotted] = value
+        config = self
+        if nested:
+            config = replace(config, cache=replace(config.cache, **nested))
+        if own:
+            config = replace(config, **own)
+        return config
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Web-session lifetime policy of the application container."""
+
+    #: Idle lifetime in seconds; None = sessions never expire.
+    ttl: Optional[float] = None
+    #: Bound on simultaneous web sessions (LRU eviction past it).
+    max_sessions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _require_optional_positive("SessionConfig", "ttl", self.ttl)
+        _require_optional_size("SessionConfig", "max_sessions", self.max_sessions)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Binding and logging of the threaded HTTP front end."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (embedding/tests); :func:`repro.api.serve`
+    #: defaults to :meth:`foreground` (port 8080) instead.
+    port: int = 0
+    #: Log each request line to stderr.
+    verbose: bool = False
+    #: Listen backlog; deep enough that a burst of simultaneous browsers
+    #: does not drop SYNs (see docs/concurrency.md).
+    request_queue_size: int = 128
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.host, str) or not self.host:
+            raise ConfigError(f"ServerConfig.host must be a non-empty str, got {self.host!r}")
+        if isinstance(self.port, bool) or not isinstance(self.port, int) or not (
+            0 <= self.port <= 65535
+        ):
+            raise ConfigError(f"ServerConfig.port must be an int in 0..65535, got {self.port!r}")
+        _require_bool("ServerConfig", "verbose", self.verbose)
+        if (
+            isinstance(self.request_queue_size, bool)
+            or not isinstance(self.request_queue_size, int)
+            or self.request_queue_size < 1
+        ):
+            raise ConfigError(
+                "ServerConfig.request_queue_size must be a positive int, "
+                f"got {self.request_queue_size!r}"
+            )
+
+    @classmethod
+    def foreground(cls) -> "ServerConfig":
+        """The interactive default: a fixed port with request logging on."""
+        return cls(port=8080, verbose=True)
+
+
+def config_fields(config_cls) -> Tuple[str, ...]:
+    """``"name: type = default"`` rows describing a config dataclass.
+
+    Used by ``tools/check_api_surface.py`` to snapshot the configuration
+    surface; any field addition/rename/default change shows up as a diff
+    against the committed manifest.
+    """
+    return tuple(
+        f"{spec.name}: {spec.type} = {_field_default(spec)!r}"
+        for spec in fields(config_cls)
+    )
+
+
+def _field_default(spec) -> Any:
+    from dataclasses import MISSING
+
+    if spec.default is not MISSING:
+        return spec.default
+    if spec.default_factory is not MISSING:
+        return spec.default_factory()
+    return None

@@ -13,6 +13,15 @@ class ReproError(Exception):
     """Base class for all errors raised by the library."""
 
 
+class ConfigError(ReproError, ValueError):
+    """A typed configuration object (``repro.config``) was built with an
+    invalid value, or a legacy keyword argument could not be translated.
+
+    Also a :class:`ValueError` so pre-existing callers that caught
+    ``ValueError`` for bad constructor arguments keep working.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Relational substrate
 # ---------------------------------------------------------------------------
@@ -94,6 +103,14 @@ class SQLExecutionError(SQLError):
 
 class HildaError(ReproError):
     """Base class for Hilda language errors."""
+
+
+class BuilderError(HildaError):
+    """The fluent authoring DSL (``repro.api``) was used incorrectly.
+
+    Messages name the AUnit / activator / handler being built so the
+    failing call is identifiable without a stack trace.
+    """
 
 
 class HildaSyntaxError(HildaError):

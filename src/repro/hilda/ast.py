@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import HildaError, UnknownAUnitError
 from repro.relational.schema import Schema, TableSchema
 from repro.relational.types import DataType
 from repro.sql.ast import Query
@@ -182,7 +183,7 @@ class AUnitDecl:
         for activator in self.activators:
             if activator.name == name:
                 return activator
-        raise KeyError(name)
+        raise HildaError(f"AUnit {self.name!r} has no activator {name!r}")
 
     def has_activator(self, name: str) -> bool:
         return any(activator.name == name for activator in self.activators)
@@ -226,7 +227,7 @@ class ProgramDecl:
         for aunit in self.aunits:
             if aunit.name == name:
                 return aunit
-        raise KeyError(name)
+        raise UnknownAUnitError(name)
 
     def has_aunit(self, name: str) -> bool:
         return any(aunit.name == name for aunit in self.aunits)

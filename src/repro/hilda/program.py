@@ -20,7 +20,7 @@ from repro.hilda.basic_aunits import (
 from repro.hilda.inheritance import resolve_inheritance
 from repro.hilda.parser import parse_program
 
-__all__ = ["HildaProgram", "load_program"]
+__all__ = ["HildaProgram", "load_program", "resolve_declaration"]
 
 
 class HildaProgram:
@@ -141,6 +141,24 @@ def load_program(
         deliberately construct partial programs.
     """
     declaration = parse_program(source)
+    return resolve_declaration(declaration, root=root, validate=validate, source=source)
+
+
+def resolve_declaration(
+    declaration: ProgramDecl,
+    root: Optional[str] = None,
+    validate: bool = True,
+    source: Optional[str] = None,
+) -> HildaProgram:
+    """Resolve a :class:`ProgramDecl` into a runnable :class:`HildaProgram`.
+
+    This is the single resolution path behind every program front end:
+    :func:`load_program` parses Hilda text into a declaration and the
+    authoring DSL (:mod:`repro.api`) constructs one in Python, but both go
+    through this function — inheritance flattening, root designation and
+    static validation are identical, so builder-authored and source-parsed
+    applications are interchangeable everywhere downstream.
+    """
     if not declaration.aunits:
         raise HildaValidationError("program declares no AUnits")
     resolved = resolve_inheritance(declaration)

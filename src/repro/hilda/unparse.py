@@ -1,0 +1,205 @@
+"""Unparse Hilda ASTs back to Hilda source text.
+
+The authoring DSL (:mod:`repro.api`) constructs programs without any
+source text; this module is its dual: it prints a
+:class:`~repro.hilda.ast.ProgramDecl` (or a resolved
+:class:`~repro.hilda.program.HildaProgram`) as Hilda source the parser
+accepts, reproducing an equivalent program.  The compiler uses it so a
+Python-authored application compiles into the same self-contained artifact
+as a text-authored one (the generated module re-parses its embedded
+source; see :mod:`repro.compiler.codegen`).
+
+Embedded SQL is emitted verbatim from the stored :class:`QueryBlock.text`,
+so the round trip never re-words a query.  The one liberty taken is
+whitespace: blocks are re-indented, which parses identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Union
+
+from repro.hilda.ast import (
+    ActivatorDecl,
+    ActivatorExtension,
+    Assignment,
+    AUnitDecl,
+    HandlerDecl,
+    ProgramDecl,
+    PUnitDecl,
+)
+from repro.hilda.program import HildaProgram
+from repro.relational.schema import Schema, TableSchema
+
+__all__ = ["unparse_program", "unparse_aunit"]
+
+_INDENT = "    "
+
+
+def unparse_program(program: Union[ProgramDecl, HildaProgram]) -> str:
+    """Hilda source text for a program declaration (or resolved program).
+
+    For a :class:`HildaProgram` the *unresolved* declaration is preferred
+    when it is available (keeping inheritance intact); otherwise the
+    resolved (flattened) AUnits are printed, which parse to the same
+    runtime behaviour.
+    """
+    if isinstance(program, HildaProgram):
+        if program.declaration is not None:
+            declaration = program.declaration
+        else:
+            # Resolved AUnits are already inheritance-flattened: their base
+            # members are merged in, but ``extends`` is still recorded.
+            # Printing it would make the re-parse flatten a second time (and
+            # reject the merged schemas as redeclarations), so strip it.
+            declaration = ProgramDecl(
+                aunits=[
+                    replace(aunit, extends=None, activator_extensions=[])
+                    for aunit in program.aunits.values()
+                ],
+                punits=list(program.punits),
+                root_name=program.root_name,
+            )
+    else:
+        declaration = program
+    chunks: List[str] = []
+    for aunit in declaration.aunits:
+        is_root = aunit.is_root or aunit.name == declaration.root_name
+        chunks.append(unparse_aunit(aunit, mark_root=is_root))
+    for punit in declaration.punits:
+        chunks.append(_unparse_punit(punit))
+    return "\n\n".join(chunks) + "\n"
+
+
+def unparse_aunit(aunit: AUnitDecl, mark_root: bool = False) -> str:
+    """Hilda source text for one AUnit declaration."""
+    head = "root aunit" if mark_root else "aunit"
+    extends = f" extends {aunit.extends}" if aunit.extends else ""
+    lines: List[str] = [f"{head} {aunit.name}{extends} {{"]
+    if aunit.synchronized:
+        lines.append(_INDENT + "synchronized")
+
+    inout = set(aunit.inout_tables)
+    input_tables = [t for t in aunit.input_schema if t.name not in inout]
+    output_tables = [t for t in aunit.output_schema if t.name not in inout]
+    inout_tables = [t for t in aunit.input_schema if t.name in inout]
+    lines.extend(_schema_block("input", input_tables))
+    lines.extend(_schema_block("output", output_tables))
+    lines.extend(_schema_block("inout", inout_tables))
+    lines.extend(_schema_block("persist", list(aunit.persist_schema)))
+    lines.extend(_assignment_block("persist query", aunit.persist_query, 1))
+    lines.extend(_schema_block("local", list(aunit.local_schema)))
+    lines.extend(_assignment_block("local query", aunit.local_query, 1))
+
+    for activator in aunit.activators:
+        lines.extend(_unparse_activator(activator))
+    for extension in aunit.activator_extensions:
+        lines.extend(_unparse_extension(extension))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Blocks
+# ---------------------------------------------------------------------------
+
+
+def _schema_block(kind: str, tables: List[TableSchema], depth: int = 1) -> List[str]:
+    if not tables:
+        return []
+    pad = _INDENT * depth
+    lines = [f"{pad}{kind} schema {{"]
+    for table in tables:
+        lines.append(pad + _INDENT + _table_schema(table))
+    lines.append(pad + "}")
+    return lines
+
+
+def _table_schema(table: TableSchema) -> str:
+    keys = set(table.primary_key)
+    columns = ", ".join(
+        f"{column.name}:{column.dtype.value}" + (" key" if column.name in keys else "")
+        for column in table.columns
+    )
+    return f"{table.name}({columns})"
+
+
+def _sql_block(header: str, text: str, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    lines = [f"{pad}{header} {{"]
+    lines.extend(_reindent(text, depth + 1))
+    lines.append(pad + "}")
+    return lines
+
+
+def _assignment_block(header: str, assignments: List[Assignment], depth: int) -> List[str]:
+    if not assignments:
+        return []
+    pad = _INDENT * depth
+    lines = [f"{pad}{header} {{"]
+    for assignment in assignments:
+        lines.append(pad + _INDENT + f"{assignment.target} :-")
+        lines.extend(_reindent(assignment.query.text, depth + 2))
+    lines.append(pad + "}")
+    return lines
+
+
+def _reindent(sql: str, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    stripped = [line.strip() for line in sql.strip().splitlines()]
+    return [pad + line for line in stripped if line]
+
+
+# ---------------------------------------------------------------------------
+# Activators, handlers, extensions, PUnits
+# ---------------------------------------------------------------------------
+
+
+def _unparse_activator(activator: ActivatorDecl, depth: int = 1) -> List[str]:
+    pad = _INDENT * depth
+    lines = [f"{pad}activator {activator.name} : {activator.child} {{"]
+    if activator.activation_schema is not None:
+        lines.append(pad + _INDENT + "activation schema {")
+        lines.append(pad + _INDENT * 2 + _table_schema(activator.activation_schema))
+        lines.append(pad + _INDENT + "}")
+    if activator.activation_query is not None:
+        lines.extend(
+            _sql_block("activation query", activator.activation_query.text, depth + 1)
+        )
+    for filter_query in activator.activation_filters:
+        lines.extend(_sql_block("filter activation", filter_query.text, depth + 1))
+    lines.extend(_assignment_block("input query", activator.input_query, depth + 1))
+    for handler in activator.handlers:
+        lines.extend(_unparse_handler(handler, depth + 1))
+    lines.append(pad + "}")
+    return lines
+
+
+def _unparse_handler(handler: HandlerDecl, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    keyword = "return handler" if handler.is_return else "handler"
+    lines = [f"{pad}{keyword} {handler.name} {{"]
+    if handler.condition is not None:
+        lines.extend(_sql_block("condition", handler.condition.text, depth + 1))
+    lines.extend(_assignment_block("action", handler.actions, depth + 1))
+    lines.append(pad + "}")
+    return lines
+
+
+def _unparse_extension(extension: ActivatorExtension, depth: int = 1) -> List[str]:
+    pad = _INDENT * depth
+    lines = [f"{pad}extend activator {extension.base_name} {{"]
+    if extension.activation_filter is not None:
+        lines.extend(
+            _sql_block("filter activation", extension.activation_filter.text, depth + 1)
+        )
+    for handler in extension.handlers:
+        lines.extend(_unparse_handler(handler, depth + 1))
+    lines.append(pad + "}")
+    return lines
+
+
+def _unparse_punit(punit: PUnitDecl) -> str:
+    # The template is raw text up to the balancing brace; emit it verbatim
+    # so rendered pages stay byte-identical across the round trip.
+    return f"punit {punit.name} for {punit.aunit_name} {{{punit.template}}}"

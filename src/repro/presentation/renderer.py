@@ -30,6 +30,7 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
+from repro.config import DEFAULT_FRAGMENT_CACHE_SIZE
 from repro.hilda.ast import PUnitDecl, PUnitInclude
 from repro.hilda.punit_parser import split_template
 from repro.presentation.default_punits import DEFAULT_ACTION_URL, render_basic_instance
@@ -41,9 +42,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.instance import AUnitInstance
 
 __all__ = ["PageRenderer", "RenderStats"]
-
-#: Default bound on the fragment cache (entries; LRU eviction).
-DEFAULT_FRAGMENT_CACHE_SIZE = 8192
 
 
 class RenderStats(CacheStats):

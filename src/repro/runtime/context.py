@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, TYPE_CHECKING
 
+from repro.config import EngineConfig
 from repro.errors import HandlerError, UnknownTableError
 from repro.hilda.ast import Assignment
 from repro.relational.database import Catalog
@@ -179,7 +180,9 @@ def run_assignments(
     if executor_factory is not None:
         executor = executor_factory(catalog)
     else:
-        executor = SQLExecutor(catalog, functions=functions, optimize=optimize)
+        executor = SQLExecutor(
+            catalog, functions=functions, config=EngineConfig(optimize=optimize)
+        )
     written: List[str] = []
     for assignment in assignments:
         target = resolve_target(assignment)

@@ -36,6 +36,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.config import DEFAULT_ACTIVATION_CACHE_SIZE, EngineConfig
 from repro.errors import ConflictError, HandlerError, SessionError
 from repro.hilda.ast import ActivatorDecl, AUnitDecl
 from repro.hilda.program import HildaProgram
@@ -58,9 +59,6 @@ from repro.sql.stats import CacheStats
 
 __all__ = ["HildaEngine"]
 
-#: Default bound on the activation-query cache (entries; LRU eviction).
-DEFAULT_ACTIVATION_CACHE_SIZE = 8192
-
 #: How many invalidation records to keep for conflict attribution before the
 #: oldest are dropped (bounds memory on long-running servers).
 _INVALIDATION_LOG_LIMIT = 10_000
@@ -77,73 +75,50 @@ class HildaEngine:
         Scalar function registry.  By default a fresh registry with a
         deterministic sequential ``genkey()`` is used so examples, tests and
         benchmarks are reproducible.
-    optimize:
-        Passed to the SQL engine (hash joins vs nested loops).
-    auto_index:
-        Passed to the SQL engine: let the planner create secondary hash
-        indexes for equality predicates and equi-join keys (they are
-        maintained incrementally by the tables afterwards).
-    compile_expressions:
-        Passed to the SQL engine: compile per-row expressions to closures
-        instead of tree-walking them (the compilation ablation switch).
-    reactivation:
-        ``"eager"`` rebuilds every session's tree after each operation;
-        ``"lazy"`` rebuilds only the acting session's tree and defers the
-        others until they are accessed.
-    cache_activation_queries:
-        Memoise activation-query results between state changes (the data
-        caching opportunity of Section 6.2).
-    dependency_tracking:
-        Key the activation cache on the version vector of the tables each
-        query's plan actually reads (and record the dependency footprints
-        delta reactivation consults) instead of the engine-global state
-        version.  With tracking off the engine behaves like the paper's
-        coarse variant: any committed write invalidates every cached entry.
-        See ``docs/caching.md``.
-    delta_reactivation:
-        During reactivation, reuse old subtrees whose recorded dependency
-        versions are unchanged instead of rebuilding them (requires
-        ``dependency_tracking``).
-    activation_cache_size:
-        Bound on the activation-query cache in entries (LRU eviction past
-        the bound; None = unbounded).
-    record_history:
-        Keep an :class:`ExecutionHistory` of applied operations.
+    config:
+        A typed :class:`~repro.config.EngineConfig` carrying every knob:
+        planner/compiler switches (``optimize``, ``auto_index``,
+        ``compile_expressions``), the ``reactivation`` mode (``"eager"``
+        rebuilds every session's tree after each operation, ``"lazy"``
+        defers other sessions until accessed), ``record_history``, and a
+        nested :class:`~repro.config.CacheConfig` for activation-query
+        caching, dependency tracking, delta reactivation and cache bounds
+        (see ``docs/caching.md``).
+    **legacy_options:
+        The pre-config keyword arguments (``optimize=...``,
+        ``cache_activation_queries=...``, ...) are still accepted and are
+        merged onto ``config``, each emitting a ``DeprecationWarning`` once
+        per process.  See ``docs/api.md`` for the migration table.
     """
 
     def __init__(
         self,
         program: HildaProgram,
         functions: Optional[FunctionRegistry] = None,
-        optimize: bool = True,
-        auto_index: bool = False,
-        compile_expressions: bool = True,
-        reactivation: str = "eager",
-        cache_activation_queries: bool = False,
-        dependency_tracking: bool = True,
-        delta_reactivation: bool = True,
-        activation_cache_size: Optional[int] = DEFAULT_ACTIVATION_CACHE_SIZE,
-        record_history: bool = True,
+        config: Optional[EngineConfig] = None,
+        **legacy_options: Any,
     ) -> None:
-        if reactivation not in ("eager", "lazy"):
-            raise ValueError("reactivation must be 'eager' or 'lazy'")
+        config = EngineConfig.from_legacy(config, legacy_options, owner="HildaEngine")
+        self.config = config
         self.program = program
         self.functions = functions or self._default_functions()
-        self.optimize = optimize
-        self.auto_index = auto_index
-        self.compile_expressions = compile_expressions
+        self.optimize = config.optimize
+        self.auto_index = config.auto_index
+        self.compile_expressions = config.compile_expressions
         #: Parse/plan/compile caches shared by every executor the engine
         #: builds: program queries are parsed once at load time, so their
         #: ASTs (and hence plans and compiled closures) are reusable across
         #: the short-lived per-context executors of every phase.
         self.sql_caches = SQLCaches()
-        self.reactivation = reactivation
-        self.cache_activation_queries = cache_activation_queries
-        self.dependency_tracking = dependency_tracking
-        self.delta_reactivation = delta_reactivation
-        self.activation_cache_size = activation_cache_size
+        self.reactivation = config.reactivation
+        self.cache_activation_queries = config.cache.activation_queries
+        self.dependency_tracking = config.cache.dependency_tracking
+        self.delta_reactivation = config.cache.delta_reactivation
+        self.activation_cache_size = config.cache.activation_cache_size
         self.forest = ActivationForest()
-        self.history: Optional[ExecutionHistory] = ExecutionHistory() if record_history else None
+        self.history: Optional[ExecutionHistory] = (
+            ExecutionHistory() if config.record_history else None
+        )
 
         self._persist: Dict[str, Dict[str, Table]] = {}
         self._persist_initialised: Set[str] = set()
@@ -209,9 +184,7 @@ class HildaEngine:
         return SQLExecutor(
             catalog,
             functions=self.functions,
-            optimize=self.optimize,
-            auto_index=self.auto_index,
-            compile_expressions=self.compile_expressions,
+            config=self.config,
             caches=self.sql_caches,
         )
 

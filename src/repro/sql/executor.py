@@ -28,6 +28,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
+from repro.config import EngineConfig
 from repro.errors import SQLExecutionError, UnknownTableError
 from repro.relational.database import Catalog
 from repro.relational.functions import FunctionRegistry, default_registry
@@ -89,37 +90,48 @@ class SQLExecutor:
         built by the Hilda runtime).
     functions:
         Scalar function registry; defaults to the process-wide registry.
-    optimize:
-        When True (default) the planner builds hash joins for equality join
-        predicates; when False every join is a nested loop, which is what
-        the engine ablation benchmark compares against.
-    auto_index:
-        When True the planner may answer equality predicates and equi-join
-        keys with secondary hash indexes it creates on first use (see
-        :class:`~repro.sql.planner.Planner`).  Off by default: existing
-        indexes (declared on schemas) are always considered.
-    compile_expressions:
-        When True (default) per-row expressions are compiled to closures
-        over the row layout; when False everything runs through the
-        tree-walking evaluator (the compilation ablation).
+    config:
+        A typed :class:`~repro.config.EngineConfig`; the executor reads its
+        planner/compiler switches.  ``optimize`` builds hash joins for
+        equality join predicates (nested loops otherwise), ``auto_index``
+        lets the planner answer equality predicates and equi-join keys with
+        secondary hash indexes created on first use (declared indexes are
+        always considered), and ``compile_expressions`` compiles per-row
+        expressions to closures over the row layout instead of running the
+        tree-walking evaluator.
     caches:
         A shared :class:`SQLCaches`; a private one is created when omitted.
+    **legacy_options:
+        The pre-config keyword arguments (``optimize=...``,
+        ``auto_index=...``, ``compile_expressions=...``) are still accepted
+        and merged onto ``config``, each emitting a ``DeprecationWarning``
+        once per process.  See ``docs/api.md``.
     """
+
+    #: Legacy kwargs -> the EngineConfig fields replacing them.
+    LEGACY_KWARGS = {
+        "optimize": "optimize",
+        "auto_index": "auto_index",
+        "compile_expressions": "compile_expressions",
+    }
 
     def __init__(
         self,
         catalog: Catalog,
         functions: Optional[FunctionRegistry] = None,
-        optimize: bool = True,
-        auto_index: bool = False,
-        compile_expressions: bool = True,
+        config: Optional[EngineConfig] = None,
         caches: Optional[SQLCaches] = None,
+        **legacy_options: Any,
     ) -> None:
+        config = EngineConfig.from_legacy(
+            config, legacy_options, owner="SQLExecutor", allowed=self.LEGACY_KWARGS
+        )
+        self.config = config
         self.catalog = catalog
         self.functions = functions or default_registry()
-        self.optimize = optimize
-        self.auto_index = auto_index
-        self.compile_expressions = compile_expressions
+        self.optimize = config.optimize
+        self.auto_index = config.auto_index
+        self.compile_expressions = config.compile_expressions
         self.stats = ExecutionStats()
         self.caches = caches if caches is not None else SQLCaches()
         self._ast_cache = self.caches.asts

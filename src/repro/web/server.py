@@ -32,9 +32,12 @@ import threading
 import urllib.error
 import urllib.parse
 import urllib.request
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
+from repro.config import ServerConfig, coalesce_legacy_kwargs
+from repro.errors import ConfigError
 from repro.web.container import HildaApplication
 from repro.web.http import (
     Request,
@@ -112,7 +115,47 @@ class _ThreadingServer(ThreadingHTTPServer):
     #: http.server's default listen backlog of 5 drops SYNs under a burst of
     #: simultaneous browsers; the kernel's 1s retransmit then serialises the
     #: herd.  A deeper backlog lets all concurrent connects land at once.
+    #: Overridden per instance from :class:`ServerConfig`.
     request_queue_size = 128
+
+
+def _coalesce_server_config(
+    owner: str,
+    config: Optional[ServerConfig],
+    legacy_options: Dict[str, Any],
+    default: Optional[ServerConfig] = None,
+) -> ServerConfig:
+    """Resolve a :class:`ServerConfig` plus any deprecated host/port/verbose
+    kwargs (each warning once per process)."""
+    if isinstance(config, str):
+        # Old positional signature: (application, host, port, verbose) —
+        # the host string landed in the config slot and any further
+        # positional values slid one slot right.  Recover them by type
+        # (port is a non-bool int, verbose a bool; keyword-passed values
+        # are already in the right slot), then let the legacy shim warn.
+        host = legacy_options.get("host")
+        port = legacy_options.get("port")
+        legacy_options = {
+            "host": config,
+            "port": host if isinstance(host, int) and not isinstance(host, bool) else port,
+            "verbose": port if isinstance(port, bool) else legacy_options.get("verbose"),
+        }
+        config = None
+    if config is not None and not isinstance(config, ServerConfig):
+        raise ConfigError(f"{owner}(config=...) must be a ServerConfig, got {config!r}")
+    resolved = config if config is not None else (default or ServerConfig())
+    legacy = {key: value for key, value in legacy_options.items() if value is not None}
+    if legacy:
+        translated = coalesce_legacy_kwargs(
+            owner,
+            legacy,
+            {"host": "config.host", "port": "config.port", "verbose": "config.verbose"},
+        )
+        resolved = replace(
+            resolved,
+            **{dotted.partition(".")[2]: value for dotted, value in translated.items()},
+        )
+    return resolved
 
 
 class ThreadedHildaServer:
@@ -123,23 +166,41 @@ class ThreadedHildaServer:
     >>> with server:                                # starts the acceptor thread
     ...     browser = HttpBrowser(server.url)
     ...     browser.login("alice")
+
+    ``config`` is a typed :class:`~repro.config.ServerConfig` (binding,
+    backlog, logging); the pre-config ``host=``/``port=``/``verbose=``
+    kwargs are still accepted with a one-time ``DeprecationWarning`` each.
     """
 
     def __init__(
         self,
         application: HildaApplication,
-        host: str = "127.0.0.1",
-        port: int = 0,
-        verbose: bool = False,
+        config: Optional[ServerConfig] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        verbose: Optional[bool] = None,
     ) -> None:
+        config = _coalesce_server_config(
+            "ThreadedHildaServer",
+            config,
+            {"host": host, "port": port, "verbose": verbose},
+        )
         self.application = application
+        self.config = config
         handler = type(
             "BoundHildaRequestHandler",
             (_HildaRequestHandler,),
             {"application": application},
         )
-        self._httpd = _ThreadingServer((host, port), handler)
-        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        # The backlog is consulted inside __init__ (at listen()), so it must
+        # be a class attribute before construction.
+        server_cls = type(
+            "BoundThreadingServer",
+            (_ThreadingServer,),
+            {"request_queue_size": config.request_queue_size},
+        )
+        self._httpd = server_cls((config.host, config.port), handler)
+        self._httpd.verbose = config.verbose  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     # -- lifecycle --------------------------------------------------------------
@@ -191,12 +252,24 @@ class ThreadedHildaServer:
 
 def serve(
     application: HildaApplication,
-    host: str = "127.0.0.1",
-    port: int = 8080,
-    verbose: bool = True,
+    config: Optional[ServerConfig] = None,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    verbose: Optional[bool] = None,
 ) -> None:
-    """Run ``application`` in the foreground (Ctrl-C to stop)."""
-    server = ThreadedHildaServer(application, host=host, port=port, verbose=verbose)
+    """Run ``application`` in the foreground (Ctrl-C to stop).
+
+    ``config`` defaults to :meth:`ServerConfig.foreground` (port 8080,
+    request logging on); the legacy ``host=``/``port=``/``verbose=`` kwargs
+    keep working with a one-time ``DeprecationWarning`` each.
+    """
+    config = _coalesce_server_config(
+        "serve",
+        config,
+        {"host": host, "port": port, "verbose": verbose},
+        default=ServerConfig.foreground(),
+    )
+    server = ThreadedHildaServer(application, config=config)
     print(f"Serving {application.program.root_name} on {server.url}")
     server.serve_forever()
 

@@ -1,0 +1,62 @@
+"""Shared fixtures for the ``repro.api`` test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import AppBuilder, aunit, table
+
+GUESTBOOK_SOURCE = """
+root aunit Guestbook {
+    input schema { user(name:string) }
+    persist schema { entry(eid:int key, author:string, message:string) }
+
+    activator ActShowEntries : ShowTable(string, string) {
+        input query {
+            ShowTable.input :- SELECT E.author, E.message FROM entry E
+        }
+    }
+
+    activator ActPostEntry : GetRow(string) {
+        handler PostEntry {
+            action {
+                entry :-
+                    SELECT E.eid, E.author, E.message FROM entry E
+                    UNION
+                    SELECT genkey(), U.name, O.c1 FROM user U, GetRow.output O
+            }
+        }
+    }
+}
+"""
+
+
+def guestbook_builder() -> AppBuilder:
+    """The same guestbook authored in the DSL (fresh builders each call)."""
+    guestbook = aunit("Guestbook", root=True)
+    guestbook.input(table("user", name="string"))
+    guestbook.persist(
+        table("entry", eid="int key", author="string", message="string")
+    )
+    guestbook.activator("ActShowEntries", "ShowTable(string, string)").input_query(
+        "ShowTable.input", "SELECT E.author, E.message FROM entry E"
+    )
+    guestbook.activator("ActPostEntry", "GetRow(string)").handler("PostEntry").do(
+        "entry",
+        """
+        SELECT E.eid, E.author, E.message FROM entry E
+        UNION
+        SELECT genkey(), U.name, O.c1 FROM user U, GetRow.output O
+        """,
+    )
+    return AppBuilder("Guestbook").add(guestbook)
+
+
+@pytest.fixture
+def guestbook_source() -> str:
+    return GUESTBOOK_SOURCE
+
+
+@pytest.fixture
+def guestbook_app_builder() -> AppBuilder:
+    return guestbook_builder()

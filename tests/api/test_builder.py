@@ -1,0 +1,241 @@
+"""Unit tests for the fluent authoring DSL (``repro.api.builder``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    AppBuilder,
+    BuilderError,
+    aunit,
+    build_program,
+    child_ref,
+    handler,
+    punit,
+    query,
+    return_handler,
+    table,
+)
+from repro.compiler.artifacts import compile_program
+from repro.compiler.ddl_gen import generate_ddl
+from repro.compiler.partitioning import analyse_program
+from repro.hilda.program import load_program
+from repro.hilda.unparse import unparse_program
+from repro.presentation.renderer import PageRenderer
+from repro.relational.types import DataType
+from repro.runtime.engine import HildaEngine
+
+from tests.api.conftest import GUESTBOOK_SOURCE, guestbook_builder
+
+
+class TestTableHelper:
+    def test_positional_and_keyword_columns_agree(self):
+        positional = table("entry", "eid:int key", "author:string")
+        keyword = table("entry", eid="int key", author="string")
+        assert positional == keyword
+        assert positional.primary_key == ("eid",)
+        assert positional.column("author").dtype == DataType.STRING
+
+    def test_explicit_key_parameter(self):
+        schema = table("t", "a:int", "b:string", key=["a"])
+        assert schema.primary_key == ("a",)
+        # A bare string names a single key column (not its characters).
+        assert table("t", "eid:int", key="eid").primary_key == ("eid",)
+
+    def test_unknown_type_names_the_table_and_column(self):
+        with pytest.raises(BuilderError, match="'t'.*'x'"):
+            table("t", x="strng")
+
+    def test_errors_name_the_table(self):
+        with pytest.raises(BuilderError, match="'t'"):
+            table("t")
+        with pytest.raises(BuilderError, match="'t'"):
+            table("t", "missing_type")
+        with pytest.raises(BuilderError, match="'t'"):
+            table("t", "a:int", key=["nope"])
+        with pytest.raises(BuilderError, match="'t'"):
+            table("t", a="int trailing junk")
+        with pytest.raises(BuilderError):
+            table("")
+
+    def test_column_named_name_is_legal(self):
+        # The table's own name is positional-only, so a column may be
+        # called ``name`` (CMSRoot's ``user(name:string)`` needs this).
+        schema = table("user", name="string")
+        assert schema.column_names == ("name",)
+
+
+class TestChildRef:
+    def test_inline_and_vararg_forms_agree(self):
+        assert child_ref("ShowRow(string, float)") == child_ref(
+            "ShowRow", "string", "float"
+        )
+        assert child_ref("CourseAdmin").type_args == ()
+
+    def test_malformed_references(self):
+        with pytest.raises(BuilderError):
+            child_ref("ShowRow(string")
+        with pytest.raises(BuilderError):
+            child_ref("ShowRow(string)", "float")
+        with pytest.raises(BuilderError):
+            child_ref("")
+
+
+class TestHandlerBuilder:
+    def test_two_conditions_rejected(self):
+        built = handler("H").when("SELECT 1")
+        with pytest.raises(BuilderError, match="H"):
+            built.when("SELECT 2")
+
+    def test_return_handler_flag(self):
+        assert return_handler("R").build().is_return
+        assert not handler("H").build().is_return
+
+    def test_anonymous_handlers_get_parser_style_names(self):
+        unit = aunit("A")
+        activator = unit.activator("Act", "SubmitBasic")
+        activator.handler()
+        activator.handler()
+        decl = unit.build()
+        assert [h.name for h in decl.activator("Act").handlers] == [
+            "handler_1",
+            "handler_2",
+        ]
+
+    def test_cannot_attach_return_handler_as_plain_handler(self):
+        activator = aunit("A").activator("Act", "SubmitBasic")
+        with pytest.raises(BuilderError):
+            activator.handler(return_handler("R"))
+
+    def test_extension_attach_validates_like_activators(self):
+        extension = aunit("A", extends="B").extend_activator("Act")
+        with pytest.raises(BuilderError):
+            extension.return_handler(handler("H"))
+        with pytest.raises(BuilderError):
+            extension.handler(42)
+
+
+class TestAUnitBuilder:
+    def test_activation_schema_and_query_must_pair(self):
+        unit = aunit("A")
+        activator = unit.activator("Act", "ShowRow", "string")
+        activator._activation_schema = table("t", x="int")  # simulate misuse
+        with pytest.raises(BuilderError, match="A.Act"):
+            unit.build()
+
+    def test_duplicate_activators_rejected(self):
+        unit = aunit("A")
+        unit.activator("Act", "SubmitBasic")
+        unit.activator("Act", "SubmitBasic")
+        with pytest.raises(BuilderError, match="duplicate activator"):
+            unit.build()
+
+    def test_basic_aunit_names_reserved(self):
+        with pytest.raises(BuilderError, match="reserved"):
+            aunit("ShowRow")
+
+    def test_inout_expands_like_the_parser(self):
+        unit = aunit("A")
+        unit.inout(table("t", x="int key"))
+        decl = unit.build()
+        assert decl.inout_tables == ("t",)
+        assert decl.input_schema.has_table("t")
+        assert decl.output_schema.has_table("t")
+
+
+class TestAppBuilder:
+    def test_duplicate_aunits_rejected(self):
+        app = AppBuilder()
+        app.aunit("A")
+        with pytest.raises(BuilderError, match="duplicate AUnit"):
+            app.aunit("A")
+
+    def test_multiple_roots_rejected(self):
+        app = AppBuilder()
+        app.aunit("A", root=True)
+        app.aunit("B", root=True)
+        with pytest.raises(BuilderError, match="multiple root"):
+            app.build()
+
+    def test_punit_includes_parsed(self):
+        decl = punit("Show", "A", '<punit activator="Act">')
+        assert [include.activator for include in decl.includes] == ["Act"]
+
+
+class TestBuilderParserEquivalence:
+    """Builder-authored and source-parsed guestbooks are interchangeable."""
+
+    @staticmethod
+    def _drive(program):
+        engine = HildaEngine(program)
+        renderer = PageRenderer(engine)
+        alice = engine.start_session({"user": [("alice",)]})
+        bob = engine.start_session({"user": [("bob",)]})
+        post = engine.find_instances("GetRow", session_id=alice)[0]
+        engine.perform(post.instance_id, ["Hello from Hilda!"])
+        post = engine.find_instances("GetRow", session_id=bob)[0]
+        engine.perform(post.instance_id, ["Builder DSL checking in."])
+        pages = [renderer.render_session(s) for s in (alice, bob)]
+        rows = sorted(tuple(r) for r in engine.persistent_table("entry").rows)
+        return pages, rows
+
+    def test_pages_and_state_identical(self, guestbook_app_builder, guestbook_source):
+        built_pages, built_rows = self._drive(guestbook_app_builder.build())
+        parsed_pages, parsed_rows = self._drive(load_program(guestbook_source))
+        assert built_pages == parsed_pages
+        assert built_rows == parsed_rows
+
+    def test_build_program_accepts_every_front_end(self, guestbook_source):
+        from_text = build_program(guestbook_source)
+        from_builder = build_program(guestbook_builder())
+        from_declaration = build_program(guestbook_builder().declaration())
+        assert (
+            from_text.aunit_names()
+            == from_builder.aunit_names()
+            == from_declaration.aunit_names()
+        )
+        assert build_program(from_text) is from_text
+
+    def test_unparse_round_trip(self):
+        program = guestbook_builder().build()
+        reparsed = load_program(unparse_program(program), root=program.root_name)
+        assert self._drive(program) == self._drive(reparsed)
+
+    def test_unparse_of_resolved_inheriting_program_reparses(self):
+        # A resolved program without its declaration holds flattened AUnits
+        # that still record `extends`; the unparser must strip it or the
+        # re-parse would flatten twice and reject the merged schemas.
+        from repro.apps.minicms import load_navcms
+        from repro.hilda.program import HildaProgram
+
+        resolved = load_navcms()
+        stripped = HildaProgram(
+            aunits=resolved.aunits,
+            punits=resolved.punits,
+            root_name=resolved.root_name,
+            source=None,
+        )
+        reparsed = load_program(unparse_program(stripped), root=resolved.root_name)
+        assert reparsed.aunit_names() == resolved.aunit_names()
+        assert compile_program(stripped).load_module().ROOT_AUNIT == "NavCMS"
+
+
+class TestCompilerInterop:
+    """A Python-authored program flows through the compiler unchanged."""
+
+    def test_ddl_and_partitioning_match_the_parsed_program(self, guestbook_source):
+        built = guestbook_builder().build()
+        parsed = load_program(guestbook_source)
+        assert generate_ddl(built) == generate_ddl(parsed)
+        assert analyse_program(built).summary() == analyse_program(parsed).summary()
+
+    def test_builder_program_compiles_and_serves(self):
+        compiled = compile_program(guestbook_builder().build())
+        module = compiled.load_module()
+        engine = module.build_engine()
+        session = engine.start_session({"user": [("carol",)]})
+        post = engine.find_instances("GetRow", session_id=session)[0]
+        result = engine.perform(post.instance_id, ["compiled!"])
+        assert result.status == "applied"
+        rows = engine.persistent_table("entry").rows
+        assert [row[2] for row in rows] == ["compiled!"]

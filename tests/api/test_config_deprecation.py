@@ -1,0 +1,252 @@
+"""Typed configs and the deprecation shims for every pre-config kwarg."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import (
+    CacheConfig,
+    ConfigError,
+    EngineConfig,
+    ServerConfig,
+    SessionConfig,
+    build_app,
+    reset_deprecation_warnings,
+)
+from repro.runtime.engine import HildaEngine
+from repro.sql.executor import SQLExecutor
+from repro.web.container import HildaApplication
+from repro.web.server import ThreadedHildaServer
+
+
+@pytest.fixture
+def guestbook_program(guestbook_source):
+    from repro.hilda.program import load_program
+
+    return load_program(guestbook_source)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_registry():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        EngineConfig()
+        CacheConfig()
+        SessionConfig()
+        ServerConfig()
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: EngineConfig(reactivation="sometimes"),
+            lambda: EngineConfig(optimize="yes"),
+            lambda: EngineConfig(cache="nope"),
+            lambda: CacheConfig(activation_cache_size=0),
+            lambda: CacheConfig(fragment_cache_size=-3),
+            lambda: CacheConfig(fragments="on"),
+            lambda: SessionConfig(ttl=-1),
+            lambda: SessionConfig(max_sessions=0),
+            lambda: ServerConfig(port=70000),
+            lambda: ServerConfig(host=""),
+            lambda: ServerConfig(request_queue_size=0),
+        ],
+    )
+    def test_invalid_values_raise_config_error(self, factory):
+        with pytest.raises(ConfigError):
+            factory()
+
+    def test_config_error_is_still_a_value_error(self):
+        # Pre-existing callers caught ValueError for bad constructor args.
+        with pytest.raises(ValueError):
+            EngineConfig(reactivation="sometimes")
+
+    def test_engine_exposes_its_config(self, guestbook_program):
+        config = EngineConfig(auto_index=True, cache=CacheConfig(activation_queries=True))
+        engine = HildaEngine(guestbook_program, config=config)
+        assert engine.config is config
+        assert engine.auto_index and engine.cache_activation_queries
+
+
+class TestEngineLegacyKwargs:
+    @pytest.mark.parametrize("kwarg,value,attribute", [
+        ("optimize", False, "optimize"),
+        ("auto_index", True, "auto_index"),
+        ("compile_expressions", False, "compile_expressions"),
+        ("reactivation", "lazy", "reactivation"),
+        ("cache_activation_queries", True, "cache_activation_queries"),
+        ("dependency_tracking", False, "dependency_tracking"),
+        ("delta_reactivation", False, "delta_reactivation"),
+        ("activation_cache_size", 17, "activation_cache_size"),
+    ])
+    def test_each_kwarg_warns_once_and_takes_effect(
+        self, guestbook_program, kwarg, value, attribute
+    ):
+        with pytest.warns(DeprecationWarning, match=kwarg):
+            engine = HildaEngine(guestbook_program, **{kwarg: value})
+        assert getattr(engine, attribute) == value
+        # The second use is silent: exactly once per old kwarg per process.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            HildaEngine(guestbook_program, **{kwarg: value})
+
+    def test_record_history_kwarg(self, guestbook_program):
+        with pytest.warns(DeprecationWarning, match="record_history"):
+            engine = HildaEngine(guestbook_program, record_history=False)
+        assert engine.history is None
+
+    def test_unknown_kwarg_raises_config_error(self, guestbook_program):
+        with pytest.raises(ConfigError, match="frobnicate"):
+            HildaEngine(guestbook_program, frobnicate=True)
+
+
+class TestSQLExecutorLegacyKwargs:
+    @pytest.mark.parametrize("kwarg,value", [
+        ("optimize", False),
+        ("auto_index", True),
+        ("compile_expressions", False),
+    ])
+    def test_each_kwarg_warns_once_and_takes_effect(self, sample_db, kwarg, value):
+        with pytest.warns(DeprecationWarning, match=kwarg):
+            executor = SQLExecutor(sample_db, **{kwarg: value})
+        assert getattr(executor, kwarg) == value
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            SQLExecutor(sample_db, **{kwarg: value})
+
+    def test_engine_only_kwargs_rejected(self, sample_db):
+        with pytest.raises(ConfigError, match="reactivation"):
+            SQLExecutor(sample_db, reactivation="lazy")
+
+    def test_config_object_is_silent(self, sample_db):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            executor = SQLExecutor(sample_db, config=EngineConfig(optimize=False))
+        assert not executor.optimize
+
+
+class TestContainerConfigs:
+    def test_server_defaults_turn_caches_on(self, guestbook_program):
+        application = HildaApplication(guestbook_program)
+        assert application.cache_config.activation_queries
+        assert application.cache_config.fragments
+        assert application.engine.cache_activation_queries
+        assert application.renderer.cache_fragments
+
+    def test_explicit_cache_config_wins(self, guestbook_program):
+        application = HildaApplication(
+            guestbook_program, cache=CacheConfig(fragments=False)
+        )
+        assert not application.renderer.cache_fragments
+        assert not application.engine.cache_activation_queries
+
+    def test_engine_config_without_cache_keeps_server_defaults(
+        self, guestbook_program
+    ):
+        # Migrating optimize/auto_index/... onto EngineConfig must not
+        # silently disable the server caching policy.
+        application = HildaApplication(
+            guestbook_program, config=EngineConfig(auto_index=True)
+        )
+        assert application.engine.auto_index
+        assert application.engine.cache_activation_queries
+        assert application.renderer.cache_fragments
+
+    def test_engine_config_with_explicit_cache_is_honoured(self, guestbook_program):
+        config = EngineConfig(cache=CacheConfig(activation_queries=True))
+        application = HildaApplication(guestbook_program, config=config)
+        assert application.engine.cache_activation_queries
+        assert not application.renderer.cache_fragments
+
+    @pytest.mark.parametrize("kwarg,value", [
+        ("cache_fragments", False),
+        ("session_ttl", 12.5),
+        ("max_sessions", 3),
+        ("fragment_cache_size", 7),
+        ("activation_cache_size", 9),
+        ("reactivation", "lazy"),
+    ])
+    def test_legacy_kwargs_warn_once_and_take_effect(
+        self, guestbook_program, kwarg, value
+    ):
+        with pytest.warns(DeprecationWarning, match=kwarg):
+            application = HildaApplication(guestbook_program, **{kwarg: value})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            HildaApplication(guestbook_program, **{kwarg: value})
+        if kwarg == "cache_fragments":
+            assert application.renderer.cache_fragments == value
+        elif kwarg == "session_ttl":
+            assert application.sessions.ttl == value
+        elif kwarg == "max_sessions":
+            assert application.sessions.max_sessions == value
+        elif kwarg == "fragment_cache_size":
+            assert application.renderer.fragment_cache_size == value
+        elif kwarg == "activation_cache_size":
+            assert application.engine.activation_cache_size == value
+        else:
+            assert application.engine.reactivation == value
+
+    def test_legacy_cache_fragments_off_keeps_activation_cache_on(
+        self, guestbook_program
+    ):
+        # The historical behaviour: cache_fragments=False only disabled the
+        # renderer cache, the engine's activation cache stayed on.
+        application = HildaApplication(guestbook_program, cache_fragments=False)
+        assert not application.renderer.cache_fragments
+        assert application.engine.cache_activation_queries
+
+    def test_session_config_threads_through(self, guestbook_program):
+        application = HildaApplication(
+            guestbook_program, sessions=SessionConfig(ttl=5.0, max_sessions=2)
+        )
+        assert application.sessions.ttl == 5.0
+        assert application.sessions.max_sessions == 2
+
+    def test_bad_config_types_rejected(self, guestbook_program):
+        with pytest.raises(ConfigError):
+            HildaApplication(guestbook_program, config="fast please")
+        with pytest.raises(ConfigError):
+            HildaApplication(guestbook_program, cache=EngineConfig())
+
+
+class TestServerConfig:
+    def test_config_object_binds_and_legacy_kwargs_warn(self, guestbook_program):
+        application = build_app(guestbook_program)
+        server = ThreadedHildaServer(application, config=ServerConfig(port=0))
+        try:
+            assert server.config.request_queue_size == 128
+            assert server.address[0] == "127.0.0.1"
+        finally:
+            server._httpd.server_close()
+
+        with pytest.warns(DeprecationWarning, match="verbose"):
+            server = ThreadedHildaServer(application, verbose=True)
+        try:
+            assert server.config.verbose
+        finally:
+            server._httpd.server_close()
+
+    def test_bad_config_rejected(self, guestbook_program):
+        application = build_app(guestbook_program)
+        with pytest.raises(ConfigError):
+            ThreadedHildaServer(application, config=8080)
+
+    def test_old_positional_signature_still_binds(self, guestbook_program):
+        # Pre-config code called ThreadedHildaServer(app, host, port, verbose)
+        # positionally; the host string lands in the config slot and must be
+        # recovered (with the usual one-time warnings).
+        application = build_app(guestbook_program)
+        with pytest.warns(DeprecationWarning):
+            server = ThreadedHildaServer(application, "127.0.0.1", 0, True)
+        try:
+            assert server.config.host == "127.0.0.1"
+            assert server.config.verbose
+        finally:
+            server._httpd.server_close()

@@ -14,7 +14,6 @@ from repro.compiler import (
     physical_table_schemas,
     servlet_class_name,
 )
-from repro.errors import CompilerError
 from repro.web.container import BrowserClient
 
 
@@ -84,15 +83,23 @@ class TestCodeGeneration:
         assert compiled.module_name == "cms_again"
         assert "HILDA_SOURCE" in compiled.module_source
 
-    def test_program_without_source_rejected(self, minicms_program):
+    def test_program_without_source_compiles_via_unparse(self, minicms_program):
+        # Python-authored programs carry no source text; the compiler
+        # unparses the AST instead (repro.hilda.unparse) so the generated
+        # module is still self-contained.
         program_copy = type(minicms_program)(
             aunits=minicms_program.aunits,
             punits=minicms_program.punits,
             root_name=minicms_program.root_name,
             source=None,
         )
-        with pytest.raises(CompilerError):
-            compile_program(program_copy)
+        compiled = compile_program(program_copy)
+        assert "unparsed" in compiled.module_source
+        module = compiled.load_module()
+        assert module.ROOT_AUNIT == minicms_program.root_name
+        assert set(module.SERVLETS) == {
+            decl.name for decl in minicms_program.reachable_aunits()
+        }
 
 
 class TestPartitioning:

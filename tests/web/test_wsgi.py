@@ -1,0 +1,173 @@
+"""Tests for the WSGI adapter in ``web/container.py``, driven through the
+``repro.api`` facade.
+
+The adapter is wrapped in :mod:`wsgiref.validate`'s spec validator, so
+every exchange also checks WSGI conformance (header types, status line
+shape, byte output)."""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Tuple
+from wsgiref.validate import validator
+
+import pytest
+
+from repro.api import build_app
+from repro.web.http import encode_form
+from repro.web.sessions import SESSION_COOKIE
+
+from tests.api.conftest import guestbook_builder
+
+
+@pytest.fixture
+def application():
+    """The guestbook app, authored with the builder, built by the facade."""
+    return build_app(guestbook_builder())
+
+
+class WsgiClient:
+    """A minimal cookie-carrying WSGI client (validator-wrapped)."""
+
+    def __init__(self, application) -> None:
+        self.app = validator(application.wsgi_app)
+        self.cookies: Dict[str, str] = {}
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        query: str = "",
+        form: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], str]:
+        body = encode_form(form or {}).encode("utf-8") if method == "POST" else b""
+        environ = {
+            "REQUEST_METHOD": method,
+            "SCRIPT_NAME": "",
+            "PATH_INFO": path,
+            "QUERY_STRING": query,
+            "SERVER_NAME": "testserver",
+            "SERVER_PORT": "80",
+            "SERVER_PROTOCOL": "HTTP/1.1",
+            "CONTENT_LENGTH": str(len(body)),
+            "wsgi.version": (1, 0),
+            "wsgi.url_scheme": "http",
+            "wsgi.input": io.BytesIO(body),
+            "wsgi.errors": io.StringIO(),
+            "wsgi.multithread": True,
+            "wsgi.multiprocess": False,
+            "wsgi.run_once": False,
+        }
+        if method == "POST":
+            environ["CONTENT_TYPE"] = "application/x-www-form-urlencoded"
+        if self.cookies:
+            environ["HTTP_COOKIE"] = "; ".join(
+                f"{name}={value}" for name, value in self.cookies.items()
+            )
+        captured: List = []
+
+        def start_response(status, headers, exc_info=None):
+            captured.append((status, headers))
+
+        chunks = self.app(environ, start_response)
+        payload = b"".join(chunks)
+        if hasattr(chunks, "close"):
+            chunks.close()
+        status_line, headers = captured[0]
+        header_map: Dict[str, str] = {}
+        for name, value in headers:
+            header_map.setdefault(name, value)
+            if name == "Set-Cookie" and "=" in value:
+                cookie = value.split(";", 1)[0]
+                cookie_name, _, cookie_value = cookie.partition("=")
+                self.cookies[cookie_name.strip()] = cookie_value.strip()
+        return int(status_line.split()[0]), header_map, payload.decode("utf-8")
+
+    def get(self, path: str, query: str = "") -> Tuple[int, Dict[str, str], str]:
+        return self.request("GET", path, query=query)
+
+    def post(self, path: str, form: Dict[str, str]) -> Tuple[int, Dict[str, str], str]:
+        return self.request("POST", path, form=form)
+
+
+class TestWsgiAdapter:
+    def test_login_sets_cookie_and_redirects(self, application):
+        client = WsgiClient(application)
+        status, headers, _ = client.get("/login", query="user=alice")
+        assert status == 302
+        assert headers["Location"] == "/"
+        assert SESSION_COOKIE in client.cookies
+        assert application.sessions.active_count() == 1
+
+    def test_page_render_roundtrip(self, application):
+        client = WsgiClient(application)
+        client.get("/login", query="user=alice")
+        status, _, page = client.get("/")
+        assert status == 200
+        assert page.startswith("<!DOCTYPE html>")
+        assert "Guestbook" in page
+        assert "instance_id" in page  # the GetRow post form is on the page
+
+    def test_post_action_mutates_state_and_rerenders(self, application):
+        client = WsgiClient(application)
+        client.get("/login", query="user=alice")
+        engine = application.engine
+        session_id = engine.session_ids()[0]
+        post_box = engine.find_instances("GetRow", session_id=session_id)[0]
+        status, _, page = client.post(
+            "/action",
+            {"instance_id": str(post_box.instance_id), "c1": "hello from WSGI"},
+        )
+        assert status == 200
+        assert "Action applied" in page
+        assert "hello from WSGI" in page
+        rows = engine.persistent_table("entry").rows
+        assert [row[2] for row in rows] == ["hello from WSGI"]
+
+    def test_malformed_action_reports_an_error_banner(self, application):
+        client = WsgiClient(application)
+        client.get("/login", query="user=alice")
+        status, _, page = client.post("/action", {"c1": "no instance id"})
+        assert status == 200
+        assert "hilda-error" in page
+        assert "instance_id" in page
+
+    def test_unknown_route_is_404(self, application):
+        client = WsgiClient(application)
+        status, _, body = client.get("/definitely/not/here")
+        assert status == 404
+        assert "no route" in body
+
+    def test_anonymous_page_redirects_to_login(self, application):
+        client = WsgiClient(application)
+        status, headers, _ = client.get("/")
+        assert status == 302
+        assert headers["Location"] == "/login"
+
+    def test_logout_releases_the_engine_session(self, application):
+        client = WsgiClient(application)
+        client.get("/login", query="user=alice")
+        assert application.sessions.active_count() == 1
+        status, headers, _ = client.get("/logout")
+        assert status == 302
+        assert headers["Location"] == "/login"
+        assert application.sessions.active_count() == 0
+        assert application.engine.session_ids() == []
+
+    def test_two_wsgi_browsers_share_persistent_state(self, application):
+        alice, bob = WsgiClient(application), WsgiClient(application)
+        alice.get("/login", query="user=alice")
+        bob.get("/login", query="user=bob")
+        engine = application.engine
+        alice_session = [
+            s
+            for s in engine.session_ids()
+            if engine.session_tree(s).input_tables["user"].rows == [("alice",)]
+        ][0]
+        post_box = engine.find_instances("GetRow", session_id=alice_session)[0]
+        alice.post(
+            "/action",
+            {"instance_id": str(post_box.instance_id), "c1": "shared entry"},
+        )
+        _, _, bob_page = bob.get("/")
+        assert "shared entry" in bob_page

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Snapshot-check the public API surface against a committed manifest.
+
+Guards two things that must never change silently:
+
+* ``repro.api.__all__`` — the facade's exported names;
+* the fields of every config dataclass (name, annotation, default) — a
+  renamed field or changed default is a breaking change for every caller.
+
+Usage:
+    python tools/check_api_surface.py            # verify (CI mode)
+    python tools/check_api_surface.py --update   # rewrite the manifest
+
+The manifest lives at ``tools/api_surface.json``.  When a surface change
+is intentional, run ``--update`` and commit the diff — the review of that
+diff *is* the API review.
+
+Exit status 1 on any mismatch (each difference printed on stderr).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+MANIFEST_PATH = REPO_ROOT / "tools" / "api_surface.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def current_surface() -> Dict:
+    import repro.api
+    from repro.config import (
+        CacheConfig,
+        EngineConfig,
+        ServerConfig,
+        SessionConfig,
+        config_fields,
+    )
+
+    return {
+        "repro.api.__all__": sorted(repro.api.__all__),
+        "config_dataclasses": {
+            cls.__name__: list(config_fields(cls))
+            for cls in (CacheConfig, EngineConfig, SessionConfig, ServerConfig)
+        },
+    }
+
+
+def diff_surfaces(expected: Dict, actual: Dict) -> List[str]:
+    problems: List[str] = []
+
+    expected_all = expected.get("repro.api.__all__", [])
+    actual_all = actual["repro.api.__all__"]
+    for name in sorted(set(expected_all) - set(actual_all)):
+        problems.append(f"repro.api.__all__: {name!r} disappeared")
+    for name in sorted(set(actual_all) - set(expected_all)):
+        problems.append(f"repro.api.__all__: {name!r} is new (run --update to accept)")
+
+    expected_configs = expected.get("config_dataclasses", {})
+    actual_configs = actual["config_dataclasses"]
+    for cls in sorted(set(expected_configs) - set(actual_configs)):
+        problems.append(f"config dataclass {cls} disappeared")
+    for cls in sorted(set(actual_configs) - set(expected_configs)):
+        problems.append(f"config dataclass {cls} is new (run --update to accept)")
+    for cls in sorted(set(expected_configs) & set(actual_configs)):
+        if expected_configs[cls] != actual_configs[cls]:
+            problems.append(f"config dataclass {cls} fields changed:")
+            for row in expected_configs[cls]:
+                if row not in actual_configs[cls]:
+                    problems.append(f"  - {row}")
+            for row in actual_configs[cls]:
+                if row not in expected_configs[cls]:
+                    problems.append(f"  + {row}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    actual = current_surface()
+    if "--update" in argv:
+        MANIFEST_PATH.write_text(
+            json.dumps(actual, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {MANIFEST_PATH.relative_to(REPO_ROOT)}")
+        return 0
+
+    if not MANIFEST_PATH.exists():
+        print(f"missing manifest {MANIFEST_PATH}; run with --update", file=sys.stderr)
+        return 1
+    expected = json.loads(MANIFEST_PATH.read_text(encoding="utf-8"))
+    problems = diff_surfaces(expected, actual)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    exports = len(actual["repro.api.__all__"])
+    configs = len(actual["config_dataclasses"])
+    print(
+        f"checked {exports} exports and {configs} config dataclasses: "
+        f"{len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
