@@ -40,6 +40,7 @@ from repro.api.facade import ProgramSource, build_app, build_program, serve
 from repro.config import (
     CacheConfig,
     EngineConfig,
+    OptimizerConfig,
     ServerConfig,
     SessionConfig,
     reset_deprecation_warnings,
@@ -58,6 +59,7 @@ __all__ = [
     "ExtensionBuilder",
     "HandlerBuilder",
     "HildaProgram",
+    "OptimizerConfig",
     "ProgramSource",
     "ReproError",
     "ServerConfig",

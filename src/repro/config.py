@@ -4,12 +4,15 @@ Before this module existed the runtime's knobs were untyped keyword
 arguments sprawled across :class:`~repro.runtime.engine.HildaEngine`,
 :class:`~repro.web.container.HildaApplication`,
 :class:`~repro.web.server.ThreadedHildaServer` and
-:class:`~repro.sql.executor.SQLExecutor`.  The four dataclasses here are
+:class:`~repro.sql.executor.SQLExecutor`.  The dataclasses here are
 now the single source of truth for those knobs:
 
 * :class:`EngineConfig` — query planning/compilation switches, the
   reactivation mode and history recording, plus a nested
-  :class:`CacheConfig`.
+  :class:`CacheConfig` and :class:`OptimizerConfig`.
+* :class:`OptimizerConfig` — the query-planning pipeline: the ``"cost"``
+  (statistics-driven) vs ``"heuristic"`` (legacy) strategy and the
+  join-enumeration bounds (``docs/optimizer.md``).
 * :class:`CacheConfig` — every caching/invalidation knob (Section 6.2 of
   the paper: activation-query caching, fragment caching, dependency
   tracking, delta reactivation, cache bounds).
@@ -42,6 +45,7 @@ from repro.errors import ConfigError
 __all__ = [
     "CacheConfig",
     "EngineConfig",
+    "OptimizerConfig",
     "ServerConfig",
     "SessionConfig",
     "DEFAULT_ACTIVATION_CACHE_SIZE",
@@ -59,6 +63,9 @@ DEFAULT_FRAGMENT_CACHE_SIZE = 8192
 
 #: The reactivation modes :class:`~repro.runtime.engine.HildaEngine` knows.
 REACTIVATION_MODES = ("eager", "lazy")
+
+#: The query-planning strategies the SQL layer implements (docs/optimizer.md).
+OPTIMIZER_STRATEGIES = ("cost", "heuristic")
 
 
 # ---------------------------------------------------------------------------
@@ -209,6 +216,45 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
+class OptimizerConfig:
+    """Configuration of the staged SQL query optimizer (docs/optimizer.md).
+
+    ``strategy`` selects the planning pipeline: ``"cost"`` (the default)
+    runs the statistics-driven pipeline — cardinality estimation, join-order
+    enumeration and cost-based physical operator selection — while
+    ``"heuristic"`` reproduces the pre-optimizer planner exactly (syntactic
+    join order, greedy hash-join/index rewrites).
+    """
+
+    #: ``"cost"`` (statistics-driven pipeline) or ``"heuristic"`` (legacy).
+    strategy: str = "cost"
+    #: FROM lists up to this many relations are join-ordered by dynamic
+    #: programming over subsets; larger lists fall back to a greedy ordering.
+    dp_threshold: int = 6
+
+    def __post_init__(self) -> None:
+        if self.strategy not in OPTIMIZER_STRATEGIES:
+            raise ConfigError(
+                "OptimizerConfig.strategy must be one of "
+                f"{OPTIMIZER_STRATEGIES}, got {self.strategy!r}"
+            )
+        if (
+            isinstance(self.dp_threshold, bool)
+            or not isinstance(self.dp_threshold, int)
+            or self.dp_threshold < 1
+        ):
+            raise ConfigError(
+                f"OptimizerConfig.dp_threshold must be a positive int, "
+                f"got {self.dp_threshold!r}"
+            )
+
+    @classmethod
+    def heuristic(cls) -> "OptimizerConfig":
+        """The legacy planner: syntactic join order, greedy rewrites."""
+        return cls(strategy="heuristic")
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Configuration of :class:`~repro.runtime.engine.HildaEngine` and the
     SQL executors it builds (:class:`~repro.sql.executor.SQLExecutor`)."""
@@ -226,6 +272,8 @@ class EngineConfig:
     record_history: bool = True
     #: The caching policy (activation queries, fragments, invalidation).
     cache: CacheConfig = field(default_factory=CacheConfig)
+    #: The query-planning pipeline (strategy, join-enumeration bounds).
+    optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
 
     def __post_init__(self) -> None:
         _require_bool("EngineConfig", "optimize", self.optimize)
@@ -240,6 +288,11 @@ class EngineConfig:
         if not isinstance(self.cache, CacheConfig):
             raise ConfigError(
                 f"EngineConfig.cache must be a CacheConfig, got {self.cache!r}"
+            )
+        if not isinstance(self.optimizer, OptimizerConfig):
+            raise ConfigError(
+                f"EngineConfig.optimizer must be an OptimizerConfig, "
+                f"got {self.optimizer!r}"
             )
 
     #: Legacy ``HildaEngine`` kwargs -> the config fields replacing them.
@@ -283,15 +336,22 @@ class EngineConfig:
     def updated(self, assignments: Mapping[str, Any]) -> "EngineConfig":
         """A copy with dotted-field ``assignments`` applied (``cache.x`` nests)."""
         own: Dict[str, Any] = {}
-        nested: Dict[str, Any] = {}
+        nested_cache: Dict[str, Any] = {}
+        nested_optimizer: Dict[str, Any] = {}
         for dotted, value in assignments.items():
             if dotted.startswith("cache."):
-                nested[dotted[len("cache.") :]] = value
+                nested_cache[dotted[len("cache.") :]] = value
+            elif dotted.startswith("optimizer."):
+                nested_optimizer[dotted[len("optimizer.") :]] = value
             else:
                 own[dotted] = value
         config = self
-        if nested:
-            config = replace(config, cache=replace(config.cache, **nested))
+        if nested_cache:
+            config = replace(config, cache=replace(config.cache, **nested_cache))
+        if nested_optimizer:
+            config = replace(
+                config, optimizer=replace(config.optimizer, **nested_optimizer)
+            )
         if own:
             config = replace(config, **own)
         return config

@@ -16,12 +16,14 @@ from repro.relational.functions import (
     default_registry,
 )
 from repro.relational.schema import Column, Schema, TableSchema
+from repro.relational.statistics import ColumnStatistics, TableStatistics
 from repro.relational.table import Table
 from repro.relational.types import DataType, coerce_value, format_value, parse_type_name
 
 __all__ = [
     "Catalog",
     "Column",
+    "ColumnStatistics",
     "DataType",
     "Database",
     "DatabaseSnapshot",
@@ -32,6 +34,7 @@ __all__ = [
     "SequentialKeyGenerator",
     "Table",
     "TableSchema",
+    "TableStatistics",
     "coerce_value",
     "create_schema_script",
     "create_table_statement",

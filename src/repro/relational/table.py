@@ -14,6 +14,14 @@ insert/delete/update; whole-table ``replace`` rebuilds it.  The primary-key
 map itself maps key -> row, so point mutations touch only the changed keys
 instead of rebuilding the map per statement.
 
+Each table also maintains **statistics** for the cost-based SQL optimizer
+— row count, per-column distinct counts and min/max — incrementally, under
+the same lock as the structural mutation they describe, exposed as an
+immutable :class:`~repro.relational.statistics.TableStatistics` snapshot
+via :meth:`Table.statistics`.  Maintenance is armed by the first
+``statistics()`` call, so tables never planned cost-based pay nothing
+(see ``docs/optimizer.md``).
+
 Every table also carries a :attr:`Table.version` — a content-change stamp
 drawn from one process-wide monotonically increasing clock.  A table's
 version changes exactly when its *contents* change (inserts, effective
@@ -33,6 +41,7 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 
 from repro.errors import IntegrityError, SchemaError, UnknownColumnError
 from repro.relational.schema import TableSchema
+from repro.relational.statistics import StatisticsMaintainer, TableStatistics
 
 __all__ = ["Table"]
 
@@ -68,6 +77,11 @@ class Table:
         #: two concurrent read-only queries (see docs/concurrency.md).
         self._lock = threading.RLock()
         self._version = next(_version_clock)
+        #: Statistics maintenance is armed by the first :meth:`statistics`
+        #: call (None until then): tables whose plans never consult
+        #: statistics — the heuristic strategy, ``optimize=False`` — pay
+        #: nothing for them on the mutation path.
+        self._stats: Optional[StatisticsMaintainer] = None
         for columns in schema.indexes:
             self.create_index(columns)
         for row in rows:
@@ -117,6 +131,8 @@ class Table:
             self._rows.append(row)
             if self._indexes:
                 self._index_add(row)
+            if self._stats is not None:
+                self._stats.add_row(row)
             self._version = next(_version_clock)
         return row
 
@@ -151,6 +167,9 @@ class Table:
                 if self._indexes:
                     for row in removed:
                         self._index_remove(row)
+                if self._stats is not None:
+                    for row in removed:
+                        self._stats.remove_row(row)
                 self._version = next(_version_clock)
             return len(removed)
 
@@ -203,6 +222,9 @@ class Table:
                     for old, new_row in changed:
                         self._index_remove(old)
                         self._index_add(new_row)
+                if self._stats is not None:
+                    for old, new_row in changed:
+                        self._stats.replace_row(old, new_row)
                 self._version = next(_version_clock)
             return matched
 
@@ -237,6 +259,9 @@ class Table:
             if self._indexes:
                 for columns in self._indexes:
                     self._indexes[columns] = self._build_index(columns)
+            # Whole-table replacement: rebuild statistics lazily on the next
+            # read instead of paying O(rows * arity) on the Hilda hot path.
+            self._stats = None
             self._version = next(_version_clock)
 
     # -- secondary indexes ----------------------------------------------------
@@ -318,6 +343,38 @@ class Table:
             if not bucket:
                 del index[key]
 
+    # -- statistics -------------------------------------------------------------
+
+    def statistics(self) -> TableStatistics:
+        """An immutable snapshot of the table's optimizer statistics.
+
+        The first call arms maintenance: it builds the histograms from the
+        current rows, after which point mutations (insert/delete/update)
+        maintain them incrementally.  Whole-table replacement and
+        :meth:`copy` mark them stale again rather than paying a rebuild on
+        the mutation path, and tables whose statistics are never read pay
+        nothing at all.  The snapshot is cached until the next content
+        change, so planners can call this freely.
+        """
+        with self._lock:
+            if self._stats is None:
+                self._stats = StatisticsMaintainer(
+                    self.schema.name, self.schema.column_names
+                )
+                self._stats.rebuild(self._rows)
+            return self._stats.snapshot()
+
+    @property
+    def stats_epoch(self) -> int:
+        """The current statistics epoch (advances when the size class changes).
+
+        Note the epoch is local to one maintainer lifetime: a lazily rebuilt
+        maintainer (after :meth:`replace` or :meth:`copy`) restarts at 1.
+        Plan-cache fingerprints therefore record the *size class*, which is a
+        pure function of the row count and stable across rebuilds.
+        """
+        return self.statistics().epoch
+
     # -- lookup ---------------------------------------------------------------
 
     def find_by_key(self, key: Sequence[Any]) -> Optional[Row]:
@@ -388,6 +445,8 @@ class Table:
         clone = Table(self.schema)
         clone._version = self._version
         clone._rows = list(self._rows)
+        # Statistics rebuild lazily on the clone's first statistics() call.
+        clone._stats = None
         if self._key_index is not None:
             clone._key_index = dict(self._key_index)
         clone._index_positions = dict(self._index_positions)

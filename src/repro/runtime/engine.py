@@ -78,7 +78,10 @@ class HildaEngine:
     config:
         A typed :class:`~repro.config.EngineConfig` carrying every knob:
         planner/compiler switches (``optimize``, ``auto_index``,
-        ``compile_expressions``), the ``reactivation`` mode (``"eager"``
+        ``compile_expressions``), the nested
+        :class:`~repro.config.OptimizerConfig` selecting the cost-based vs
+        heuristic planning strategy (``docs/optimizer.md``), the
+        ``reactivation`` mode (``"eager"``
         rebuilds every session's tree after each operation, ``"lazy"``
         defers other sessions until accessed), ``record_history``, and a
         nested :class:`~repro.config.CacheConfig` for activation-query
@@ -105,6 +108,7 @@ class HildaEngine:
         self.optimize = config.optimize
         self.auto_index = config.auto_index
         self.compile_expressions = config.compile_expressions
+        self.optimizer = config.optimizer
         #: Parse/plan/compile caches shared by every executor the engine
         #: builds: program queries are parsed once at load time, so their
         #: ASTs (and hence plans and compiled closures) are reusable across

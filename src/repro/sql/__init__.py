@@ -7,6 +7,9 @@ Public surface:
 * :func:`parse_query` / :func:`parse_statement` — text to AST.
 * :class:`SQLExecutor` — run queries and DML against a catalog of tables.
 * :class:`Binder` — compile-time name resolution used by the Hilda validator.
+* :class:`CostBasedPlanner` (``repro.sql.optimizer``) — the default staged,
+  statistics-driven query optimizer (``docs/optimizer.md``); the legacy
+  :class:`Planner` remains as the ``"heuristic"`` strategy.
 """
 
 from repro.sql.ast import (
@@ -28,6 +31,7 @@ from repro.sql.compile import compile_expression, compile_predicate
 from repro.sql.executor import SQLCaches, SQLExecutor
 from repro.sql.lexer import tokenize
 from repro.sql.parser import parse_expression, parse_query, parse_statement
+from repro.sql.optimizer import CostBasedPlanner
 from repro.sql.planner import Planner, plan_query
 from repro.sql.relation import ColumnInfo, Relation
 from repro.sql.stats import ExecutionStats
@@ -38,6 +42,7 @@ __all__ = [
     "BoundQuery",
     "ColumnInfo",
     "ColumnRef",
+    "CostBasedPlanner",
     "DeleteStatement",
     "ExecutionStats",
     "Expression",

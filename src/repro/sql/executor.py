@@ -12,7 +12,8 @@ executors:
   closures produced by :mod:`repro.sql.compile`.
 
 A shared :class:`SQLCaches` must only be used by executors with the same
-``optimize`` / ``auto_index`` settings and the same function registry,
+``optimize`` / ``auto_index`` / optimizer-strategy settings and the same
+function registry,
 since plans and closures bake those decisions in.  Catalogs served by a
 shared cache should also agree on the schemas of same-named tables: plans
 are keyed by query identity, so a plan built against one schema is reused
@@ -32,6 +33,7 @@ from repro.config import EngineConfig
 from repro.errors import SQLExecutionError, UnknownTableError
 from repro.relational.database import Catalog
 from repro.relational.functions import FunctionRegistry, default_registry
+from repro.relational.statistics import size_class as stats_size_class
 from repro.sql.ast import (
     DeleteStatement,
     Expression,
@@ -44,7 +46,7 @@ from repro.sql.ast import (
 )
 from repro.sql.compile import cached_compile
 from repro.sql.evaluator import Evaluator, RowScope
-from repro.sql.operators import ExecutionContext, ExecutionStats, Operator
+from repro.sql.operators import ExecutionContext, ExecutionStats, Operator, explain_plan
 from repro.sql.parser import parse_query, parse_statement
 from repro.sql.planner import Planner, tables_read
 from repro.sql.relation import ColumnInfo, Relation
@@ -65,17 +67,32 @@ class SQLCaches:
     harmless because entries for one key are interchangeable).
     """
 
-    __slots__ = ("asts", "plans", "compiled", "read_sets", "lock")
+    __slots__ = ("asts", "plans", "compiled", "read_sets", "live_plans", "lock")
 
     def __init__(self) -> None:
         self.asts: Dict[str, Statement] = {}
-        #: id(query) -> (query, plan); the AST is stored to pin its identity.
-        self.plans: Dict[int, Tuple[Query, Operator]] = {}
+        #: id(query) -> (query, [(stats fingerprint, plan), ...]); the AST
+        #: is stored to pin its identity.  A fingerprint is the ``(table
+        #: name, size class)`` pairs the cost-based planner consulted (None
+        #: under the heuristic strategy, which matches unconditionally): on
+        #: every cache hit the executor re-resolves those tables and uses
+        #: the entry whose size classes are current, planning a fresh one
+        #: when none is — so plans re-optimize when the data distribution
+        #: shifts (docs/optimizer.md § "Plan caching and stats epochs").
+        #: One entry is kept per observed fingerprint (bounded, oldest
+        #: evicted): layered Hilda catalogs resolve the same query against
+        #: differently-sized same-named tables per context, and each size
+        #: shape keeps its own plan instead of thrashing a single slot.
+        self.plans: Dict[int, Tuple[Query, List[Tuple[Optional[Tuple], Operator]]]] = {}
         #: (id(expression), columns) -> (expression, closure-or-None).
         self.compiled: Dict[Any, Tuple[Expression, Optional[Callable]]] = {}
         #: id(plan) -> (plan, table read set); the plan is stored to pin its
         #: identity.  Read sets feed dependency-tracked cache invalidation.
         self.read_sets: Dict[int, Tuple[Operator, frozenset]] = {}
+        #: ids of plans currently published in ``plans``.  Read sets are
+        #: cached only for live plans, so a thread that computed one for a
+        #: concurrently evicted plan cannot re-pin it after its cleanup.
+        self.live_plans: set = set()
         self.lock = threading.Lock()
 
 
@@ -132,6 +149,7 @@ class SQLExecutor:
         self.optimize = config.optimize
         self.auto_index = config.auto_index
         self.compile_expressions = config.compile_expressions
+        self.optimizer_config = config.optimizer
         self.stats = ExecutionStats()
         self.caches = caches if caches is not None else SQLCaches()
         self._ast_cache = self.caches.asts
@@ -161,12 +179,48 @@ class SQLExecutor:
         """Execute a query and return the first column of its first row."""
         return self.execute_query(query).scalar()
 
-    def explain(self, query: QueryLike) -> str:
-        """Render the physical plan chosen for a query, plus its table read set."""
+    def explain(self, query: QueryLike, analyze: bool = False) -> str:
+        """Render the physical plan chosen for a query, plus its table read set.
+
+        Under the cost-based optimizer each operator line carries its
+        estimated output rows and cumulative cost.  With ``analyze=True``
+        the plan is also *executed* and every line additionally reports the
+        rows the operator actually produced and how often it ran, while the
+        ``estimation_*`` counters of :attr:`stats` record how many
+        estimates were off by more than a q-error of 2 (EXPLAIN ANALYZE).
+        The trailing ``Tables read:`` line is deterministically sorted.
+        """
+        if analyze:
+            return self._explain_analyze(self._parse_query(query))
         plan = self._plan(self._parse_query(query))
+        return explain_plan(plan) + self._footprint_line(plan)
+
+    def _footprint_line(self, plan: Operator) -> str:
         reads = sorted(self._plan_read_set(plan))
         footprint = ", ".join(reads) if reads else "(none)"
-        return plan.explain() + f"\nTables read: {footprint}"
+        return f"\nTables read: {footprint}"
+
+    def _explain_analyze(self, ast: Query) -> str:
+        """EXPLAIN ANALYZE: execute an instrumented private copy of the plan.
+
+        The plan is built fresh (never published to the shared cache)
+        because instrumentation rebinds each operator's ``execute``; cached
+        plans are shared across threads and must stay pristine.
+        """
+        plan = self._make_planner().plan(ast)
+        # Footprint computed before instrumentation and without touching
+        # caches.read_sets: this plan is throwaway and must not be pinned
+        # there (the cache has no eviction for never-again-seen plans).
+        reads = sorted(tables_read(plan, plan_subquery=self._plan))
+        footprint = ", ".join(reads) if reads else "(none)"
+        actuals: Dict[int, Tuple[int, int]] = {}
+        _instrument_plan(plan, actuals)
+        plan.execute(self._context(), None)
+        for operator, (loops, total_rows) in _collect_estimates(plan, actuals):
+            self.stats.record_estimation(
+                operator.estimated_rows, total_rows / max(1, loops)
+            )
+        return explain_plan(plan, actuals=actuals) + f"\nTables read: {footprint}"
 
     def read_set(self, query: QueryLike) -> frozenset:
         """The names of the tables a query reads (its dependency footprint).
@@ -186,7 +240,11 @@ class SQLExecutor:
         if entry is None:
             names = tables_read(plan, plan_subquery=self._plan)
             with self.caches.lock:
-                self.caches.read_sets[key] = (plan, names)
+                # Publish only while the plan is still in the plan cache: a
+                # concurrent eviction has already popped this slot, and
+                # re-inserting would pin the dead plan tree forever.
+                if key in self.caches.live_plans:
+                    self.caches.read_sets[key] = (plan, names)
             return names
         return entry[1]
 
@@ -317,18 +375,86 @@ class SQLExecutor:
             return cached
         return statement
 
+    def _make_planner(self) -> Planner:
+        """The planner for the configured optimizer strategy."""
+        if self.optimizer_config.strategy == "cost":
+            from repro.sql.optimizer import CostBasedPlanner
+
+            return CostBasedPlanner(
+                self.catalog,
+                optimize=self.optimize,
+                auto_index=self.auto_index,
+                config=self.optimizer_config,
+            )
+        return Planner(self.catalog, optimize=self.optimize, auto_index=self.auto_index)
+
+    #: Plans kept per query: one per distinct stats fingerprint (size
+    #: shape) seen recently; beyond this the oldest entry is evicted.
+    MAX_PLANS_PER_QUERY = 4
+
     def _plan(self, query: Query) -> Operator:
         key = id(query)
         with self.caches.lock:
             entry = self._plan_cache.get(key)
-        if entry is None:
-            plan = Planner(
-                self.catalog, optimize=self.optimize, auto_index=self.auto_index
-            ).plan(query)
-            with self.caches.lock:
-                self._plan_cache[key] = (query, plan)
-            return plan
-        return entry[1]
+            candidates = list(entry[1]) if entry is not None else []
+        # Fingerprint validation resolves tables through this executor's
+        # catalog; it runs outside the shared lock so a layered-catalog
+        # walk never blocks other executors' cache hits.
+        for fingerprint, plan in candidates:
+            if self._fingerprint_current(fingerprint):
+                return plan
+        planner = self._make_planner()
+        plan = planner.plan(query)
+        fingerprint = getattr(planner, "stats_fingerprint", None) or None
+        if fingerprint is not None:
+            fingerprint = tuple(sorted(fingerprint.items()))
+        with self.caches.lock:
+            entry = self._plan_cache.get(key)
+            plans = list(entry[1]) if entry is not None else []
+            # Planning happened outside the lock: another thread may have
+            # published this fingerprint already.  Replace its slot rather
+            # than appending a duplicate that would crowd out (and FIFO-
+            # evict) plans for genuinely different size shapes.
+            for index, (existing_fingerprint, existing_plan) in enumerate(plans):
+                if existing_fingerprint == fingerprint:
+                    plans[index] = (fingerprint, plan)
+                    self._drop_plan_locked(existing_plan)
+                    break
+            else:
+                plans.append((fingerprint, plan))
+            while len(plans) > self.MAX_PLANS_PER_QUERY:
+                _, evicted = plans.pop(0)
+                self._drop_plan_locked(evicted)
+            self.caches.live_plans.add(id(plan))
+            self._plan_cache[key] = (query, plans)
+        return plan
+
+    def _drop_plan_locked(self, plan: Operator) -> None:
+        """Forget a superseded plan's cache footprint (caller holds the lock)."""
+        self.caches.live_plans.discard(id(plan))
+        self.caches.read_sets.pop(id(plan), None)
+
+    def _fingerprint_current(self, fingerprint: Optional[Tuple]) -> bool:
+        """True while every table a cached plan depends on keeps its size class.
+
+        The size class is a pure function of the row count
+        (:func:`~repro.relational.statistics.size_class`), so validation is
+        O(1) per table and never forces the statistics rebuild that
+        whole-table replacement defers.  A name that no longer resolves
+        (layered Hilda catalogs differ per instance context) counts as
+        current: name-based plan sharing across contexts is the established
+        contract, and re-planning there would thrash the cache.
+        """
+        if not fingerprint:
+            return True
+        for table_name, recorded_class in fingerprint:
+            try:
+                table = self.catalog.resolve_table(table_name)
+            except UnknownTableError:
+                continue
+            if stats_size_class(len(table)) != recorded_class:
+                return False
+        return True
 
     def _compiled(
         self, expression: Expression, columns: Tuple[ColumnInfo, ...]
@@ -360,6 +486,34 @@ class SQLExecutor:
         previous = self.stats
         self.stats = ExecutionStats()
         return previous
+
+
+def _instrument_plan(plan: Operator, actuals: Dict[int, Tuple[int, int]]) -> None:
+    """Shadow each operator's ``execute`` to record (loops, total rows).
+
+    Only ever applied to a plan private to one EXPLAIN ANALYZE call: the
+    shadowing instance attribute would leak counts (and a dead dict) if the
+    plan were shared.
+    """
+    original = plan.execute
+
+    def recording_execute(context, outer_scope, _original=original, _node=plan):
+        relation = _original(context, outer_scope)
+        loops, total_rows = actuals.get(id(_node), (0, 0))
+        actuals[id(_node)] = (loops + 1, total_rows + len(relation.rows))
+        return relation
+
+    plan.execute = recording_execute  # type: ignore[method-assign]
+    for child in plan.children():
+        _instrument_plan(child, actuals)
+
+
+def _collect_estimates(plan: Operator, actuals: Dict[int, Tuple[int, int]]):
+    """Yield (operator, actual) pairs for operators carrying an estimate."""
+    if plan.estimated_rows is not None and id(plan) in actuals:
+        yield plan, actuals[id(plan)]
+    for child in plan.children():
+        yield from _collect_estimates(child, actuals)
 
 
 def _table_columns(table, binding: str) -> Tuple[ColumnInfo, ...]:

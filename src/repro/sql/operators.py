@@ -43,6 +43,7 @@ __all__ = [
     "ExecutionContext",
     "ExecutionStats",
     "Operator",
+    "explain_plan",
     "ScanOp",
     "IndexScanOp",
     "ValuesOp",
@@ -94,6 +95,12 @@ class ExecutionContext:
 class Operator:
     """Base class for physical operators."""
 
+    #: Optimizer annotations: estimated output rows and cumulative cost of
+    #: this subtree.  Set by the cost-based planner; ``None`` under the
+    #: heuristic strategy (whose EXPLAIN output is unchanged).
+    estimated_rows: Optional[float] = None
+    estimated_cost: Optional[float] = None
+
     def execute(self, context: ExecutionContext, outer_scope: Optional[RowScope]) -> Relation:
         raise NotImplementedError
 
@@ -105,10 +112,37 @@ class Operator:
         return type(self).__name__
 
     def explain(self, indent: int = 0) -> str:
-        lines = ["  " * indent + self.describe()]
-        for child in self.children():
-            lines.append(child.explain(indent + 1))
-        return "\n".join(lines)
+        return explain_plan(self, indent=indent)
+
+
+def explain_plan(
+    plan: Operator,
+    actuals: Optional[Dict[int, Tuple[int, int]]] = None,
+    indent: int = 0,
+) -> str:
+    """Render a plan tree, one operator per line, with its annotations.
+
+    Each line is ``describe()`` plus, when the optimizer annotated the
+    operator, ``(est rows=N cost=C)``.  ``actuals`` (from EXPLAIN ANALYZE)
+    maps ``id(operator)`` to ``(executions, total output rows)`` and adds
+    ``[actual rows=R loops=L]`` so estimates can be read against reality.
+    """
+    line = "  " * indent + plan.describe()
+    if plan.estimated_rows is not None:
+        cost = "" if plan.estimated_cost is None else f" cost={plan.estimated_cost:.1f}"
+        line += f"  (est rows={_format_rows(plan.estimated_rows)}{cost})"
+    if actuals is not None:
+        loops, total_rows = actuals.get(id(plan), (0, 0))
+        line += f"  [actual rows={total_rows} loops={loops}]"
+    lines = [line]
+    for child in plan.children():
+        lines.append(explain_plan(child, actuals, indent + 1))
+    return "\n".join(lines)
+
+
+def _format_rows(estimate: float) -> str:
+    """Row estimates print as integers (they are counts, not measurements)."""
+    return str(int(round(estimate)))
 
 
 @dataclass

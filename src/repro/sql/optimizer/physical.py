@@ -1,0 +1,185 @@
+"""Physical operator selection: stage 4 of the optimizer pipeline.
+
+After the join order has been determined, a
+:class:`PhysicalOperatorSelection` assigns concrete operators — hash join,
+index-nested-loop join or nested-loop join to each join node; full scan or
+index scan to each base relation.  The design follows PostBOUND's staged
+optimizer: selections are **chainable** via :meth:`chain_with`, each link
+seeing the join tree (which carries the enumerator's initial assignment)
+and the assignment produced by the links before it, and overriding whatever
+subset of it it cares about.
+
+The default :class:`CostBasedOperatorSelection` re-derives the cheapest
+method per node from the cost model, which confirms the enumerator's
+initial choices.  A custom selection can pin methods globally (see
+:class:`ForcedJoinMethodSelection`, used by tests and handy for
+experiments) or per-node; inadmissible choices (an index join without an
+index, a hash join without equi keys) are repaired by the plan builder,
+never executed blindly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Union
+
+from repro.sql.optimizer.cost import CostModel
+from repro.sql.optimizer.joins import BaseRelation, JoinTree
+
+__all__ = [
+    "OperatorAssignment",
+    "PhysicalOperatorSelection",
+    "CostBasedOperatorSelection",
+    "ForcedJoinMethodSelection",
+    "SelectionContext",
+]
+
+#: Join methods a selection may assign.
+JOIN_METHODS = ("hash", "index_nl", "nested_loop", "cross")
+
+#: Access paths a selection may assign to a base relation.
+SCAN_METHODS = ("scan", "index_scan")
+
+
+@dataclass
+class SelectionContext:
+    """What a selection may consult: catalog access rules and the cost model."""
+
+    cost_model: CostModel
+    #: ``index_joinable(relation, right_keys)`` — may an index-nested-loop
+    #: join probe this relation on these keys (index exists or auto-index)?
+    index_joinable: object = None
+    #: ``index_scannable(relation)`` — does the leaf have an admissible
+    #: index-scan rewrite for its pushed predicates?
+    index_scannable: object = None
+
+
+@dataclass
+class OperatorAssignment:
+    """Chosen methods per node, keyed by node identity.
+
+    Later links of a selection chain override earlier ones key-by-key
+    (PostBOUND semantics: the next strategy "can further customize or
+    overwrite the previous selection").
+    """
+
+    joins: Dict[int, str] = field(default_factory=dict)
+    scans: Dict[int, str] = field(default_factory=dict)
+
+    def join_method(self, node: JoinTree) -> Optional[str]:
+        return self.joins.get(id(node))
+
+    def scan_method(self, relation: BaseRelation) -> Optional[str]:
+        return self.scans.get(id(relation))
+
+    def assign_join(self, node: JoinTree, method: str) -> None:
+        if method not in JOIN_METHODS:
+            raise ValueError(f"unknown join method {method!r}")
+        self.joins[id(node)] = method
+
+    def assign_scan(self, relation: BaseRelation, method: str) -> None:
+        if method not in SCAN_METHODS:
+            raise ValueError(f"unknown scan method {method!r}")
+        self.scans[id(relation)] = method
+
+    def merged_with(self, overrides: "OperatorAssignment") -> "OperatorAssignment":
+        merged = OperatorAssignment(joins=dict(self.joins), scans=dict(self.scans))
+        merged.joins.update(overrides.joins)
+        merged.scans.update(overrides.scans)
+        return merged
+
+
+class PhysicalOperatorSelection(abc.ABC):
+    """Assigns physical operators to an ordered join tree (chainable).
+
+    Subclasses implement :meth:`_apply_selection`.  :meth:`chain_with`
+    appends another selection to the chain and returns ``self``, so chains
+    read left to right: ``base.chain_with(tweak)`` runs ``base`` first and
+    lets ``tweak`` override it.
+    """
+
+    def __init__(self) -> None:
+        self.next_selection: Optional["PhysicalOperatorSelection"] = None
+
+    def chain_with(self, next_selection: "PhysicalOperatorSelection") -> "PhysicalOperatorSelection":
+        tail = self
+        while tail.next_selection is not None:
+            tail = tail.next_selection
+        tail.next_selection = next_selection
+        return self
+
+    def select_operators(
+        self, tree: Union[JoinTree, BaseRelation], context: SelectionContext
+    ) -> OperatorAssignment:
+        assignment = self._apply_selection(tree, context)
+        if self.next_selection is not None:
+            overrides = self.next_selection.select_operators(tree, context)
+            assignment = assignment.merged_with(overrides)
+        return assignment
+
+    @abc.abstractmethod
+    def _apply_selection(
+        self, tree: Union[JoinTree, BaseRelation], context: SelectionContext
+    ) -> OperatorAssignment:
+        """This link's own choices (before the rest of the chain runs)."""
+
+
+def _walk_tree(tree: Union[JoinTree, BaseRelation]):
+    """Yield every node of a join tree, leaves included, bottom-up."""
+    if isinstance(tree, JoinTree):
+        yield from _walk_tree(tree.left)
+        yield from _walk_tree(tree.right)
+        yield tree
+    else:
+        yield tree
+
+
+class CostBasedOperatorSelection(PhysicalOperatorSelection):
+    """The default selection: cheapest admissible method per node.
+
+    Join nodes adopt the enumerator's initial assignment (it was chosen
+    with the same cost model over the same estimates); leaves take an index
+    scan whenever their pushed predicates admit one (an index point lookup
+    is never costlier than the full scan it replaces).
+    """
+
+    def _apply_selection(
+        self, tree: Union[JoinTree, BaseRelation], context: SelectionContext
+    ) -> OperatorAssignment:
+        assignment = OperatorAssignment()
+        for node in _walk_tree(tree):
+            if isinstance(node, JoinTree):
+                assignment.assign_join(node, node.method)
+            else:
+                scannable = (
+                    context.index_scannable is not None
+                    and node.pushed
+                    and context.index_scannable(node)
+                )
+                assignment.assign_scan(node, "index_scan" if scannable else "scan")
+        return assignment
+
+
+class ForcedJoinMethodSelection(PhysicalOperatorSelection):
+    """Pin every join node to one method (experiments, plan pinning, tests).
+
+    Inadmissible assignments (e.g. forcing ``index_nl`` where no index can
+    exist) are repaired to the nearest admissible method by the plan
+    builder rather than failing the query.
+    """
+
+    def __init__(self, method: str) -> None:
+        super().__init__()
+        if method not in JOIN_METHODS:
+            raise ValueError(f"unknown join method {method!r}")
+        self.method = method
+
+    def _apply_selection(
+        self, tree: Union[JoinTree, BaseRelation], context: SelectionContext
+    ) -> OperatorAssignment:
+        assignment = OperatorAssignment()
+        for node in _walk_tree(tree):
+            if isinstance(node, JoinTree):
+                assignment.assign_join(node, self.method)
+        return assignment

@@ -1,10 +1,17 @@
-"""Translate query ASTs into physical operator trees.
+"""Translate query ASTs into physical operator trees (heuristic strategy).
 
 The planner is deliberately simple but captures the structure the paper's
 compiler would need: FROM items become scans and joins, WHERE becomes a
 filter (or feeds equi-join keys to hash joins when optimization is enabled),
 aggregates become an :class:`AggregateOp`, and the select list becomes a
 projection.
+
+This class is the ``optimizer="heuristic"`` strategy: joins follow the
+syntactic FROM order and rewrites are greedy.  The statistics-driven
+pipeline in :mod:`repro.sql.optimizer` subclasses it, overriding only
+:meth:`Planner._optimize_access_paths` (see ``docs/optimizer.md``), so the
+two strategies share all the non-join planning (aggregates, ordering,
+implicit tables, subqueries).
 
 Hilda-specific accommodation: queries such as ``SELECT activationTuple.name``
 reference tables that never appear in a FROM clause.  The planner detects
@@ -188,8 +195,9 @@ class Planner:
 
         where_conjuncts = _split_conjuncts(query.where)
         if self.optimize:
-            plan, where_conjuncts = self._apply_index_scans(plan, where_conjuncts)
-            plan, remaining = self._apply_hash_joins(plan, where_conjuncts, bound_names, query)
+            plan, remaining = self._optimize_access_paths(
+                plan, where_conjuncts, bound_names, query
+            )
         else:
             remaining = where_conjuncts
         if remaining:
@@ -325,6 +333,24 @@ class Planner:
         return implicit
 
     # -- WHERE-driven hash joins ----------------------------------------------------
+
+    def _optimize_access_paths(
+        self,
+        plan: Operator,
+        conjuncts: List[Expression],
+        bound_names: Set[str],
+        query: SelectQuery,
+    ) -> Tuple[Operator, List[Expression]]:
+        """The optimization hook applied between FROM planning and filtering.
+
+        The heuristic strategy rewrites constant equality predicates into
+        index scans and comma-join equality patterns into hash joins, both
+        in syntactic order.  :class:`~repro.sql.optimizer.CostBasedPlanner`
+        overrides this with the staged statistics-driven pipeline.
+        Returns the rewritten plan and the conjuncts it did not consume.
+        """
+        plan, conjuncts = self._apply_index_scans(plan, conjuncts)
+        return self._apply_hash_joins(plan, conjuncts, bound_names, query)
 
     def _apply_hash_joins(
         self,

@@ -21,6 +21,13 @@ class ExecutionStats:
     :class:`~repro.sql.evaluator.Evaluator`; ``compiled_evals`` counts row
     evaluations served by compiled closures instead.  ``index_lookups`` /
     ``index_hits`` count secondary-index probes and the rows they returned.
+
+    The ``estimation_*`` counters are filled by ``EXPLAIN ANALYZE``
+    (:meth:`~repro.sql.executor.SQLExecutor.explain` with ``analyze=True``):
+    every operator carrying a cost-based row estimate is compared against
+    the rows it actually produced, and counts as an under- or over-estimate
+    when its q-error (the larger of actual/estimated and estimated/actual)
+    exceeds 2.
     """
 
     rows_scanned: int = 0
@@ -31,6 +38,11 @@ class ExecutionStats:
     interpreted_evals: int = 0
     index_lookups: int = 0
     index_hits: int = 0
+    #: Operators whose estimates EXPLAIN ANALYZE checked against actual rows.
+    estimation_checks: int = 0
+    #: Of those, how many under-/over-estimated by more than a q-error of 2.
+    estimation_underestimates: int = 0
+    estimation_overestimates: int = 0
 
     def merge(self, other: "ExecutionStats") -> None:
         self.rows_scanned += other.rows_scanned
@@ -41,6 +53,20 @@ class ExecutionStats:
         self.interpreted_evals += other.interpreted_evals
         self.index_lookups += other.index_lookups
         self.index_hits += other.index_hits
+        self.estimation_checks += other.estimation_checks
+        self.estimation_underestimates += other.estimation_underestimates
+        self.estimation_overestimates += other.estimation_overestimates
+
+    def record_estimation(self, estimated: float, actual: int) -> None:
+        """Record one estimate-vs-actual comparison (EXPLAIN ANALYZE)."""
+        self.estimation_checks += 1
+        q_error_floor = 1.0  # +1 smoothing keeps empty results comparable
+        under = (actual + q_error_floor) / (estimated + q_error_floor)
+        over = (estimated + q_error_floor) / (actual + q_error_floor)
+        if under > 2.0:
+            self.estimation_underestimates += 1
+        elif over > 2.0:
+            self.estimation_overestimates += 1
 
     def as_dict(self) -> dict:
         """A plain-dict view (benchmark JSON artifacts)."""

@@ -1,0 +1,316 @@
+"""The staged cost-based optimizer: join ordering, physical selection,
+plan-cache re-optimization and EXPLAIN annotations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ConfigError, EngineConfig, OptimizerConfig
+from repro.relational.database import Database
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.sql.executor import SQLCaches, SQLExecutor
+from repro.sql.optimizer import (
+    CostBasedPlanner,
+    ForcedJoinMethodSelection,
+    PhysicalOperatorSelection,
+)
+from repro.sql.parser import parse_query
+from repro.sql.planner import Planner
+
+
+def skewed_db(orders_rows: int = 800) -> Database:
+    """region(4) <- nation(40) <- customer(200) <- orders(orders_rows)."""
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "region", [Column("rid", DataType.INT), Column("rname", DataType.STRING)], ["rid"]
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "nation", [Column("nid", DataType.INT), Column("rid", DataType.INT)], ["nid"]
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "customer", [Column("cid", DataType.INT), Column("nid", DataType.INT)], ["cid"]
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "orders", [Column("oid", DataType.INT), Column("cid", DataType.INT)], ["oid"]
+        )
+    )
+    db.insert_many("region", [(r, f"r{r}") for r in range(4)])
+    db.insert_many("nation", [(n, n % 4) for n in range(40)])
+    db.insert_many("customer", [(c, c % 40) for c in range(200)])
+    db.insert_many("orders", [(o, o % 200) for o in range(orders_rows)])
+    return db
+
+
+FOUR_WAY = (
+    "SELECT count(*) FROM orders O, customer C, nation N, region R "
+    "WHERE O.cid = C.cid AND C.nid = N.nid AND N.rid = R.rid AND R.rname = 'r0'"
+)
+
+
+class TestJoinOrdering:
+    def test_cost_based_starts_from_the_selective_relation(self):
+        plan = SQLExecutor(skewed_db()).explain(FOUR_WAY)
+        lines = plan.splitlines()
+        # The deepest (first-executed) relation is the filtered tiny one.
+        deepest = max(lines, key=lambda line: len(line) - len(line.lstrip()))
+        assert "region" in deepest
+
+    def test_heuristic_strategy_reproduces_syntactic_order_plans(self):
+        db = skewed_db()
+        config = EngineConfig(optimizer=OptimizerConfig.heuristic())
+        via_config = SQLExecutor(db, config=config).explain(FOUR_WAY)
+        direct = Planner(db, optimize=True, auto_index=False).plan(
+            parse_query(FOUR_WAY)
+        )
+        assert via_config.splitlines()[: len(direct.explain().splitlines())] == (
+            direct.explain().splitlines()
+        )
+        assert "(est rows=" not in via_config  # no annotations on legacy plans
+
+    def test_cost_and_heuristic_agree_on_results(self):
+        db = skewed_db(orders_rows=200)
+        cost_rows = SQLExecutor(db).query_rows(FOUR_WAY)
+        heuristic_rows = SQLExecutor(
+            db, config=EngineConfig(optimizer=OptimizerConfig.heuristic())
+        ).query_rows(FOUR_WAY)
+        assert cost_rows == heuristic_rows
+
+    def test_greedy_fallback_beyond_dp_threshold(self):
+        db = skewed_db(orders_rows=200)
+        config = EngineConfig(optimizer=OptimizerConfig(dp_threshold=2))
+        executor = SQLExecutor(db, config=config)
+        assert executor.query_rows(FOUR_WAY) == SQLExecutor(db).query_rows(FOUR_WAY)
+
+    def test_disconnected_relations_still_cross_join(self):
+        db = skewed_db(orders_rows=20)
+        query = "SELECT count(*) FROM region R, nation N"
+        assert SQLExecutor(db).query_scalar(query) == 4 * 40
+
+    def test_explain_annotations_present_under_cost_strategy(self):
+        plan = SQLExecutor(skewed_db()).explain(FOUR_WAY)
+        assert "(est rows=" in plan
+        assert "cost=" in plan
+
+
+class TestPredicatePushdown:
+    def test_single_table_predicate_runs_below_the_join(self):
+        db = skewed_db()
+        plan = SQLExecutor(db).explain(
+            "SELECT count(*) FROM nation N, region R "
+            "WHERE N.rid = R.rid AND R.rname = 'r1'"
+        )
+        # The filter on region sits under the join, not above it.
+        join_line = next(
+            index for index, line in enumerate(plan.splitlines()) if "Join" in line
+        )
+        filter_line = next(
+            index
+            for index, line in enumerate(plan.splitlines())
+            if "Filter" in line or "IndexScan" in line
+        )
+        assert filter_line > join_line
+
+    def test_subquery_conjuncts_are_never_pushed(self):
+        db = skewed_db(orders_rows=40)
+        query = (
+            "SELECT count(*) FROM nation N, region R WHERE N.rid = R.rid "
+            "AND EXISTS (SELECT 1 FROM customer C WHERE C.nid = N.nid)"
+        )
+        cost = SQLExecutor(db).query_scalar(query)
+        naive = SQLExecutor(db, config=EngineConfig(optimize=False)).query_scalar(query)
+        assert cost == naive
+
+
+class TestPhysicalSelection:
+    def test_index_nested_loop_is_chosen_with_auto_index(self):
+        executor = SQLExecutor(skewed_db(), config=EngineConfig(auto_index=True))
+        assert "IndexNestedLoopJoin" in executor.explain(FOUR_WAY)
+
+    def test_forced_selection_overrides_the_cost_based_choice(self):
+        db = skewed_db(orders_rows=100)
+        query_ast = parse_query(
+            "SELECT count(*) FROM nation N, region R WHERE N.rid = R.rid"
+        )
+        planner = CostBasedPlanner(
+            db, physical_selection=ForcedJoinMethodSelection("nested_loop")
+        )
+        plan = planner.plan(query_ast)
+        assert "NestedLoopJoin[INNER]" in plan.explain()
+        assert "HashJoin" not in plan.explain()
+
+    def test_chained_selection_runs_after_the_default(self):
+        from repro.sql.optimizer import CostBasedOperatorSelection
+
+        db = skewed_db(orders_rows=100)
+        chain = CostBasedOperatorSelection().chain_with(
+            ForcedJoinMethodSelection("hash")
+        )
+        planner = CostBasedPlanner(db, physical_selection=chain)
+        plan = planner.plan(
+            parse_query("SELECT count(*) FROM nation N, region R WHERE N.rid = R.rid")
+        )
+        assert "HashJoin" in plan.explain()
+
+    def test_inadmissible_forced_index_join_is_repaired(self):
+        db = skewed_db(orders_rows=100)
+        planner = CostBasedPlanner(
+            db, physical_selection=ForcedJoinMethodSelection("index_nl")
+        )  # no indexes exist and auto_index is off -> repaired to hash
+        plan = planner.plan(
+            parse_query("SELECT count(*) FROM nation N, region R WHERE N.rid = R.rid")
+        )
+        assert "IndexNestedLoopJoin" not in plan.explain()
+        assert "HashJoin" in plan.explain()
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            ForcedJoinMethodSelection("sort_merge")
+
+    def test_reused_planner_sees_current_statistics(self):
+        # A planner instance is reusable: each plan() starts from fresh
+        # statistics snapshots and a fresh fingerprint.
+        db = skewed_db(orders_rows=16)
+        planner = CostBasedPlanner(db)
+        query = parse_query("SELECT count(*) FROM orders O, region R WHERE O.oid = R.rid")
+        planner.plan(query)
+        before = planner.stats_fingerprint["orders"]
+        db.insert_many("orders", [(oid, oid % 4) for oid in range(16, 4096)])
+        planner.plan(query)
+        assert planner.stats_fingerprint["orders"] > before
+        assert "region" in planner.stats_fingerprint
+        planner.plan(parse_query("SELECT count(*) FROM nation N, region R WHERE N.rid = R.rid"))
+        assert "orders" not in planner.stats_fingerprint  # reset per plan
+
+
+class TestPlanCacheReoptimization:
+    def test_plans_reoptimize_after_stats_epoch_change(self):
+        db = Database()
+        db.create_table(
+            TableSchema("a", [Column("x", DataType.INT)], ["x"])
+        )
+        db.create_table(
+            TableSchema("b", [Column("x", DataType.INT), Column("y", DataType.INT)], ["x"])
+        )
+        db.insert_many("a", [(x,) for x in range(4)])
+        db.insert_many("b", [(x, x) for x in range(64)])
+        executor = SQLExecutor(db)
+        query = parse_query("SELECT count(*) FROM a, b WHERE a.x = b.x")
+        first_plan = executor._plan(query)
+        assert executor._plan(query) is first_plan  # cache hit while stable
+        epoch_before = db.table("a").stats_epoch
+        db.insert_many("a", [(x,) for x in range(4, 1024)])  # size class moves
+        assert db.table("a").stats_epoch > epoch_before
+        second_plan = executor._plan(query)
+        assert second_plan is not first_plan
+        # And the new plan reflects the new sizes: b is now the smaller side.
+        assert executor.query_scalar(query) == 64
+
+    def test_heuristic_plans_are_never_invalidated(self):
+        db = skewed_db(orders_rows=20)
+        executor = SQLExecutor(
+            db, config=EngineConfig(optimizer=OptimizerConfig.heuristic())
+        )
+        query = parse_query("SELECT count(*) FROM nation N, region R WHERE N.rid = R.rid")
+        first_plan = executor._plan(query)
+        db.insert_many("region", [(r, f"r{r}") for r in range(4, 512)])
+        assert executor._plan(query) is first_plan
+
+    def test_shared_caches_share_reoptimized_plans(self):
+        db = skewed_db(orders_rows=20)
+        shared = SQLCaches()
+        first = SQLExecutor(db, caches=shared)
+        second = SQLExecutor(db, caches=shared)
+        query = parse_query("SELECT count(*) FROM nation N, region R WHERE N.rid = R.rid")
+        assert first._plan(query) is second._plan(query)
+
+
+class TestSelectStar:
+    def test_select_star_keeps_syntactic_column_order(self):
+        # SELECT * materializes columns in join order: the cost-based
+        # planner must not reorder under an unqualified star, so the output
+        # row shape matches FROM order (and the heuristic strategy) exactly.
+        db = skewed_db(orders_rows=40)
+        query = "SELECT * FROM orders O, region R WHERE O.oid = R.rid"
+        cost = SQLExecutor(db).execute_query(query)
+        heuristic = SQLExecutor(
+            db, config=EngineConfig(optimizer=OptimizerConfig.heuristic())
+        ).execute_query(query)
+        assert [c.name for c in cost.columns] == [c.name for c in heuristic.columns]
+        assert [c.name for c in cost.columns] == ["oid", "cid", "rid", "rname"]
+        assert sorted(cost.rows) == sorted(heuristic.rows)
+
+    def test_qualified_stars_still_reorder(self):
+        db = skewed_db(orders_rows=40)
+        query = (
+            "SELECT R.rname, O.oid FROM orders O, region R "
+            "WHERE O.oid = R.rid AND R.rname = 'r1'"
+        )
+        plan = SQLExecutor(db).explain(query)
+        assert "(est rows=" in plan  # went through the cost pipeline
+
+
+class TestCacheHygiene:
+    def test_explain_analyze_does_not_grow_read_sets(self):
+        db = skewed_db(orders_rows=20)
+        executor = SQLExecutor(db)
+        query = "SELECT count(*) FROM nation N, region R WHERE N.rid = R.rid"
+        executor.explain(query, analyze=True)
+        baseline = len(executor.caches.read_sets)
+        for _ in range(5):
+            executor.explain(query, analyze=True)
+        assert len(executor.caches.read_sets) == baseline
+
+    def test_shared_caches_keep_one_plan_per_size_shape(self):
+        # Two catalogs with same-named tables in different size classes
+        # share a cache (the layered Hilda-context pattern): each shape
+        # keeps its own plan instead of thrashing a single slot.
+        def make(orders: int) -> Database:
+            db = Database()
+            db.create_table(TableSchema("a", [Column("x", DataType.INT)], ["x"]))
+            db.create_table(TableSchema("b", [Column("x", DataType.INT)], ["x"]))
+            db.insert_many("a", [(x,) for x in range(4)])
+            db.insert_many("b", [(x,) for x in range(orders)])
+            return db
+
+        shared = SQLCaches()
+        small = SQLExecutor(make(4), caches=shared)
+        big = SQLExecutor(make(512), caches=shared)
+        query = parse_query("SELECT count(*) FROM a, b WHERE a.x = b.x")
+        plans = set()
+        for _ in range(3):
+            plans.add(id(small._plan(query)))
+            plans.add(id(big._plan(query)))
+        assert len(plans) == 2  # one stable plan per shape, no re-planning
+        (entry,) = [shared.plans[key] for key in shared.plans if key == id(query)]
+        assert len(entry[1]) == 2
+
+
+class TestOptimizerConfig:
+    def test_strategy_validation(self):
+        with pytest.raises(ConfigError):
+            OptimizerConfig(strategy="volcano")
+
+    def test_dp_threshold_validation(self):
+        with pytest.raises(ConfigError):
+            OptimizerConfig(dp_threshold=0)
+
+    def test_engine_config_nests_and_updates(self):
+        config = EngineConfig().updated({"optimizer.strategy": "heuristic"})
+        assert config.optimizer.strategy == "heuristic"
+
+    def test_engine_threads_optimizer_config(self):
+        from repro.apps.minicms import load_minicms
+        from repro.runtime.engine import HildaEngine
+
+        engine = HildaEngine(
+            load_minicms(), config=EngineConfig(optimizer=OptimizerConfig.heuristic())
+        )
+        assert engine.optimizer.strategy == "heuristic"

@@ -1,0 +1,134 @@
+"""The CI benchmark regression gate (tools/check_bench_regression.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+TOOL_PATH = Path(__file__).resolve().parents[2] / "tools" / "check_bench_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_bench_regression", TOOL_PATH)
+gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gate)
+
+
+def doc(elapsed_ms: float, quick: bool = True) -> dict:
+    return {
+        "benchmark": "x",
+        "quick_mode": quick,
+        "variant": {"elapsed_ms": elapsed_ms, "stats": {"rows_scanned": 10}},
+        "speedup": 3.0,
+    }
+
+
+class TestCompareDocuments:
+    def test_no_regression_within_threshold(self):
+        problems, notes, compared = gate.compare_documents(
+            "BENCH_x.json", doc(100.0), doc(250.0), threshold=4.0, min_ms=25.0
+        )
+        assert problems == [] and notes == []
+        assert compared == 1
+
+    def test_large_regression_is_flagged(self):
+        problems, _, _ = gate.compare_documents(
+            "BENCH_x.json", doc(100.0), doc(500.0), threshold=4.0, min_ms=25.0
+        )
+        assert len(problems) == 1
+        assert "variant.elapsed_ms" in problems[0]
+
+    def test_tiny_absolute_differences_are_ignored(self):
+        # 10x on a 1ms measurement is noise, not a regression.
+        problems, _, _ = gate.compare_documents(
+            "BENCH_x.json", doc(1.0), doc(10.0), threshold=4.0, min_ms=25.0
+        )
+        assert problems == []
+
+    def test_quick_mode_mismatch_skips_with_note(self):
+        problems, notes, compared = gate.compare_documents(
+            "BENCH_x.json", doc(100.0, quick=False), doc(900.0, quick=True),
+            threshold=4.0, min_ms=25.0,
+        )
+        assert problems == []
+        assert compared == 0
+        assert any("quick_mode mismatch" in note for note in notes)
+
+    def test_elapsed_seconds_are_normalized(self):
+        baseline = {"quick_mode": True, "run": {"elapsed_s": 0.1}}
+        fresh = {"quick_mode": True, "run": {"elapsed_s": 1.0}}
+        problems, _, _ = gate.compare_documents(
+            "BENCH_x.json", baseline, fresh, threshold=4.0, min_ms=25.0
+        )
+        assert len(problems) == 1
+
+    def test_counters_and_speedups_are_not_series(self):
+        baseline = {"quick_mode": True, "stats": {"rows_scanned": 1}}
+        fresh = {"quick_mode": True, "stats": {"rows_scanned": 1_000_000}}
+        problems, _, _ = gate.compare_documents(
+            "BENCH_x.json", baseline, fresh, threshold=4.0, min_ms=25.0
+        )
+        assert problems == []
+
+
+class TestMain:
+    def _write(self, directory: Path, name: str, document: dict) -> None:
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(json.dumps(document))
+
+    def test_missing_fresh_artifact_fails(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_x.json", doc(100.0))
+        (tmp_path / "fresh").mkdir()
+        status = gate.main(
+            ["--fresh", str(tmp_path / "fresh"), "--baseline", str(tmp_path / "base")]
+        )
+        assert status == 1
+
+    def test_clean_run_passes(self, tmp_path, capsys):
+        self._write(tmp_path / "base", "BENCH_x.json", doc(100.0))
+        self._write(tmp_path / "fresh", "BENCH_x.json", doc(120.0))
+        self._write(tmp_path / "fresh", "BENCH_new.json", doc(5.0))
+        status = gate.main(
+            ["--fresh", str(tmp_path / "fresh"), "--baseline", str(tmp_path / "base")]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+        assert "BENCH_new.json has no committed baseline" in out
+
+    def test_regression_fails(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_x.json", doc(100.0))
+        self._write(tmp_path / "fresh", "BENCH_x.json", doc(1000.0))
+        status = gate.main(
+            ["--fresh", str(tmp_path / "fresh"), "--baseline", str(tmp_path / "base")]
+        )
+        assert status == 1
+
+    def test_all_pairs_skipped_fails_instead_of_going_green(self, tmp_path):
+        # A quick_mode misconfiguration must not silently disable the gate.
+        self._write(tmp_path / "base", "BENCH_x.json", doc(100.0, quick=True))
+        self._write(tmp_path / "fresh", "BENCH_x.json", doc(100.0, quick=False))
+        status = gate.main(
+            ["--fresh", str(tmp_path / "fresh"), "--baseline", str(tmp_path / "base")]
+        )
+        assert status == 1
+
+    def test_renamed_series_still_counts_file_as_compared(self, tmp_path, capsys):
+        # A note about one disappeared series must not zero out `compared`
+        # and trip the nothing-compared guard when other series were checked.
+        baseline = {"quick_mode": True, "a": {"elapsed_ms": 100.0}, "b": {"elapsed_ms": 100.0}}
+        fresh = {"quick_mode": True, "a": {"elapsed_ms": 110.0}}
+        self._write(tmp_path / "base", "BENCH_x.json", baseline)
+        self._write(tmp_path / "fresh", "BENCH_x.json", fresh)
+        status = gate.main(
+            ["--fresh", str(tmp_path / "fresh"), "--baseline", str(tmp_path / "base")]
+        )
+        assert status == 0
+        assert "checked 1 benchmark file(s)" in capsys.readouterr().out
+
+    def test_no_baseline_directory_is_a_noop(self, tmp_path):
+        status = gate.main(
+            ["--fresh", str(tmp_path), "--baseline", str(tmp_path / "nope")]
+        )
+        assert status == 0

@@ -36,6 +36,7 @@ def current_surface() -> Dict:
     from repro.config import (
         CacheConfig,
         EngineConfig,
+        OptimizerConfig,
         ServerConfig,
         SessionConfig,
         config_fields,
@@ -45,7 +46,13 @@ def current_surface() -> Dict:
         "repro.api.__all__": sorted(repro.api.__all__),
         "config_dataclasses": {
             cls.__name__: list(config_fields(cls))
-            for cls in (CacheConfig, EngineConfig, SessionConfig, ServerConfig)
+            for cls in (
+                CacheConfig,
+                EngineConfig,
+                OptimizerConfig,
+                SessionConfig,
+                ServerConfig,
+            )
         },
     }
 

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Gate CI on benchmark wall-clock regressions.
+
+Compares freshly produced ``BENCH_*.json`` files against the committed
+baselines and fails when any wall-clock measurement regressed by more than
+the threshold factor.
+
+Usage:
+    python tools/check_bench_regression.py \
+        [--fresh DIR]       # freshly produced artifacts (default: benchmarks/artifacts)
+        [--baseline DIR]    # committed baselines      (default: benchmarks/artifacts/quick)
+        [--threshold 4.0]   # fail when fresh > baseline * threshold
+        [--min-ms 25.0]     # ignore absolute differences below this
+
+How it compares:
+
+* only files present in **both** directories are compared; fresh files
+  without a baseline print a hint to commit one (new benchmarks), baseline
+  files without fresh output fail (a benchmark silently stopped running);
+* files whose ``quick_mode`` flags disagree are skipped with a warning —
+  quick and full workloads are not comparable;
+* within a file, every numeric leaf named ``elapsed_ms`` / ``elapsed_s``
+  (reached by the same path in both documents) is a wall-clock series;
+  anything else (counters, speedups, rates) is informational and ignored;
+* CI runners are noisy and shared, hence the generous default threshold
+  and the absolute floor — this gate catches *large* regressions (an
+  optimization accidentally disabled, a plan gone quadratic), not percents.
+  Baselines committed from a developer machine embed that machine's speed:
+  CI passes an even larger ``--threshold`` (see ci.yml) to absorb the
+  runner-class difference, because the failures worth catching are
+  order-of-magnitude ones.  Regenerate baselines (run the quick suite with
+  ``BENCH_ARTIFACT_DIR=benchmarks/artifacts/quick``) when they drift.
+
+Exit status 1 on any regression or missing fresh file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: JSON keys measuring elapsed wall-clock time (higher is worse).
+WALL_CLOCK_KEYS = ("elapsed_ms", "elapsed_s")
+
+#: Multiplier turning each wall-clock key into milliseconds.
+_TO_MS = {"elapsed_ms": 1.0, "elapsed_s": 1000.0}
+
+
+def wall_clock_series(document: object, path: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield (json-path, milliseconds) for every wall-clock leaf."""
+    if isinstance(document, dict):
+        for key, value in sorted(document.items()):
+            child_path = f"{path}.{key}" if path else key
+            if key in WALL_CLOCK_KEYS and isinstance(value, (int, float)):
+                yield child_path, float(value) * _TO_MS[key]
+            else:
+                yield from wall_clock_series(value, child_path)
+    elif isinstance(document, list):
+        for index, value in enumerate(document):
+            yield from wall_clock_series(value, f"{path}[{index}]")
+
+
+def compare_documents(
+    name: str,
+    baseline: Dict,
+    fresh: Dict,
+    threshold: float,
+    min_ms: float,
+) -> Tuple[List[str], List[str], int]:
+    """Returns (problems, notes, series compared) for one document pair."""
+    notes: List[str] = []
+    if baseline.get("quick_mode") != fresh.get("quick_mode"):
+        notes.append(
+            f"{name}: quick_mode mismatch (baseline={baseline.get('quick_mode')}, "
+            f"fresh={fresh.get('quick_mode')}) — skipped"
+        )
+        return [], notes, 0
+    baseline_series = dict(wall_clock_series(baseline))
+    fresh_series = dict(wall_clock_series(fresh))
+    problems: List[str] = []
+    compared = 0
+    for path, baseline_ms in sorted(baseline_series.items()):
+        fresh_ms = fresh_series.get(path)
+        if fresh_ms is None:
+            notes.append(f"{name}: series {path} disappeared — skipped")
+            continue
+        compared += 1
+        if fresh_ms - baseline_ms < min_ms:
+            continue
+        if fresh_ms > baseline_ms * threshold:
+            problems.append(
+                f"{name}: {path} regressed {baseline_ms:.1f}ms -> {fresh_ms:.1f}ms "
+                f"({fresh_ms / baseline_ms:.1f}x, threshold {threshold:.1f}x)"
+            )
+    return problems, notes, compared
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", type=Path, default=REPO_ROOT / "benchmarks" / "artifacts"
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=REPO_ROOT / "benchmarks" / "artifacts" / "quick"
+    )
+    parser.add_argument("--threshold", type=float, default=4.0)
+    parser.add_argument("--min-ms", type=float, default=25.0)
+    args = parser.parse_args(argv)
+
+    if not args.baseline.is_dir():
+        print(f"no baseline directory {args.baseline}; nothing to check")
+        return 0
+    baselines = {path.name: path for path in sorted(args.baseline.glob("BENCH_*.json"))}
+    fresh_files = {path.name: path for path in sorted(args.fresh.glob("BENCH_*.json"))}
+
+    problems: List[str] = []
+    compared = 0
+    for name, baseline_path in baselines.items():
+        fresh_path = fresh_files.get(name)
+        if fresh_path is None:
+            problems.append(f"{name}: no fresh artifact produced (benchmark not run?)")
+            continue
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(fresh_path, encoding="utf-8") as handle:
+            fresh = json.load(handle)
+        file_problems, notes, series = compare_documents(
+            name, baseline, fresh, args.threshold, args.min_ms
+        )
+        problems.extend(file_problems)
+        for note in notes:
+            print(f"note: {note}")
+        if series:
+            compared += 1
+    for name in sorted(set(fresh_files) - set(baselines)):
+        print(f"note: {name} has no committed baseline — add one under {args.baseline}")
+
+    if baselines and compared == 0 and not problems:
+        # Every pair was skipped (e.g. a quick_mode misconfiguration): a
+        # gate that silently checks nothing is worse than a failing one.
+        problems.append(
+            f"{len(baselines)} baseline file(s) exist but none could be "
+            "compared — mode mismatch or skipped series?"
+        )
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        return 1
+    print(f"checked {compared} benchmark file(s) against {args.baseline}: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
