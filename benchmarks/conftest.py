@@ -32,6 +32,23 @@ from repro.apps.minicms import (
     seed_scaled,
 )
 from repro.runtime.engine import HildaEngine
+from repro.storage.backend import BACKEND_ENV_VAR
+
+
+@pytest.fixture(autouse=True)
+def _pin_storage_backend(monkeypatch):
+    """Benchmarks choose their storage explicitly; ignore the env override.
+
+    Every benchmark asserts a perf *ratio* against a controlled baseline
+    (caches on/off, join orders, storage modes).  The ``tier1-wal`` CI leg
+    exports ``REPRO_STORAGE_BACKEND=wal`` to run the correctness suite on
+    the durable backend, but silently re-basing every benchmark variant
+    onto a WAL adds the same commit latency to both sides of each ratio
+    and squeezes the asserted margins (and would turn the storage bench's
+    memory baseline into a third WAL run).  Correctness under the WAL is
+    ``tests/``' job; here the backend is part of the experiment setup.
+    """
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
 
 
 @pytest.fixture(scope="session")

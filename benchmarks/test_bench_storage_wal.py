@@ -1,0 +1,198 @@
+"""Storage overhead and group commit: memory vs WAL-always vs WAL-batch.
+
+PR 7's tentpole benchmark (see ``docs/storage.md``): N threads posting
+guestbook entries concurrently against three storage configurations —
+
+* **memory** — the default in-process backend: the zero-cost baseline
+  every non-durable deployment keeps paying nothing for;
+* **wal / fsync=always** — every commit fsyncs inside its critical
+  section, serialising durability behind the engine's write lock (one
+  fsync per transaction, no sharing);
+* **wal / fsync=batch** — group commit: committers release the write lock
+  before waiting for durability, so concurrent commits share a leader's
+  fsync.
+
+Wall-clock numbers land in ``BENCH_storage_wal.json`` for the perf
+trajectory; the *asserted* shape is the one that cannot be a fluke of a
+fast disk: with N threads committing concurrently, batch mode must issue
+**strictly fewer fsyncs than transactions** (the whole point of group
+commit) while always mode issues at least one per transaction — and both
+durable runs must commit exactly the same rows as the memory baseline.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from typing import List, Optional
+
+from repro.api import EngineConfig, StorageConfig
+from repro.hilda.program import load_program
+from repro.relational.functions import FunctionRegistry
+from repro.runtime.engine import HildaEngine
+
+from .conftest import print_series, quick, write_bench_json
+
+N_THREADS = quick(8, 4)
+POSTS_PER_THREAD = quick(12, 5)
+
+GUESTBOOK_SOURCE = """
+root aunit Guestbook {
+    input schema { user(name:string) }
+    persist schema { entry(eid:int key, author:string, message:string) }
+
+    activator ActShowEntries : ShowTable(string, string) {
+        input query { ShowTable.input :- SELECT E.author, E.message FROM entry E }
+    }
+
+    activator ActPostEntry : GetRow(string) {
+        handler PostEntry {
+            action {
+                entry :-
+                    SELECT E.eid, E.author, E.message FROM entry E
+                    UNION
+                    SELECT genkey(), U.name, O.c1 FROM user U, GetRow.output O
+            }
+        }
+    }
+}
+"""
+
+
+#: Emulated device latency per fsync.  CI scratch space is usually tmpfs,
+#: where fsync returns in microseconds and nothing would ever batch; a
+#: millisecond is the cheap end of real SSDs and makes the comparison
+#: honest: always-mode pays it serially inside the write lock, batch-mode
+#: overlaps it with other committers' work.
+FSYNC_LATENCY_S = 0.001
+
+
+class _FsyncCounter:
+    """Counts (and forwards, with device latency) every os.fsync issued."""
+
+    def __init__(self, latency_s: float = FSYNC_LATENCY_S) -> None:
+        self.count = 0
+        self.latency_s = latency_s
+        self._real = os.fsync
+
+    def __enter__(self) -> "_FsyncCounter":
+        def counting(fd: int) -> None:
+            self.count += 1
+            time.sleep(self.latency_s)
+            self._real(fd)
+
+        os.fsync = counting
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        os.fsync = self._real
+
+
+def run_workload(program, storage: Optional[StorageConfig]):
+    """Post N_THREADS x POSTS_PER_THREAD entries concurrently; time it."""
+    functions = FunctionRegistry()
+    functions.use_sequential_keys(start=1000)
+    config = EngineConfig(storage=storage) if storage is not None else EngineConfig()
+    engine = HildaEngine(program, functions=functions, config=config)
+    sessions = [
+        engine.start_session({"user": [("u%d" % i,)]}) for i in range(N_THREADS)
+    ]
+    barrier = threading.Barrier(N_THREADS)
+    failures: List[str] = []
+
+    def poster(index: int, session_id: str) -> None:
+        barrier.wait()
+        for round_no in range(POSTS_PER_THREAD):
+            box = engine.find_instances("GetRow", session_id=session_id)[0]
+            result = engine.perform(box.instance_id, ["m%d.%d" % (index, round_no)])
+            if result.status != "applied":
+                failures.append(result.status)
+
+    threads = [
+        threading.Thread(target=poster, args=(i, sid))
+        for i, sid in enumerate(sessions)
+    ]
+    with _FsyncCounter() as fsyncs:
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+    assert not failures, failures
+    rows = sorted(engine.persistent_table("entry").rows)
+    assert len(rows) == N_THREADS * POSTS_PER_THREAD
+    engine.close()
+    return elapsed, fsyncs.count, rows
+
+
+def test_bench_storage_wal():
+    program = load_program(GUESTBOOK_SOURCE)
+    total_posts = N_THREADS * POSTS_PER_THREAD
+
+    with tempfile.TemporaryDirectory(prefix="bench-wal-") as base:
+        results = {}
+        reference_rows = None
+        for mode, storage in (
+            ("memory", None),
+            (
+                "wal_always",
+                StorageConfig.wal(
+                    os.path.join(base, "always"), fsync="always", checkpoint_every=None
+                ),
+            ),
+            (
+                "wal_batch",
+                StorageConfig.wal(
+                    os.path.join(base, "batch"), fsync="batch", checkpoint_every=None
+                ),
+            ),
+        ):
+            elapsed, fsyncs, rows = run_workload(program, storage)
+            # Durability must never change what was committed: every mode
+            # ends with the identical message set.
+            messages = sorted(message for _, _, message in rows)
+            if reference_rows is None:
+                reference_rows = messages
+            assert messages == reference_rows
+            results[mode] = {
+                "elapsed_s": elapsed,
+                "fsyncs": fsyncs,
+                "commits_per_sec": total_posts / elapsed if elapsed else None,
+            }
+
+    # The shape that cannot be a fast-disk fluke: group commit batches
+    # concurrent committers behind shared fsyncs, serial mode cannot.
+    assert results["memory"]["fsyncs"] == 0
+    assert results["wal_always"]["fsyncs"] >= total_posts
+    # (+ a couple of setup fsyncs: file magic, session-start transactions)
+    assert results["wal_batch"]["fsyncs"] < results["wal_always"]["fsyncs"]
+    assert results["wal_batch"]["fsyncs"] < total_posts
+
+    batching_factor = results["wal_always"]["fsyncs"] / max(
+        1, results["wal_batch"]["fsyncs"]
+    )
+    print_series(
+        "storage backends: %d threads x %d posts" % (N_THREADS, POSTS_PER_THREAD),
+        [
+            (
+                mode,
+                "%.4f" % results[mode]["elapsed_s"],
+                results[mode]["fsyncs"],
+                "%.0f" % results[mode]["commits_per_sec"],
+            )
+            for mode in ("memory", "wal_always", "wal_batch")
+        ],
+        ("backend", "elapsed_s", "fsyncs", "commits/sec"),
+    )
+    write_bench_json(
+        "storage_wal",
+        {
+            "threads": N_THREADS,
+            "posts": total_posts,
+            "fsync_batching_factor": batching_factor,
+            **results,
+        },
+    )

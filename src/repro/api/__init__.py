@@ -8,9 +8,9 @@ This package is the recommended entry point to the reproduction (see
   :func:`table`, :func:`handler`, ...) and get the very same AST the text
   parser produces;
 * the **typed configuration objects** (:mod:`repro.config`) —
-  :class:`EngineConfig`, :class:`CacheConfig`, :class:`SessionConfig`,
-  :class:`ServerConfig` replace the keyword sprawl of the runtime
-  constructors (old kwargs still work, with a one-time
+  :class:`EngineConfig`, :class:`CacheConfig`, :class:`StorageConfig`,
+  :class:`SessionConfig`, :class:`ServerConfig` replace the keyword sprawl
+  of the runtime constructors (old kwargs still work, with a one-time
   ``DeprecationWarning`` each);
 * the **facade** (:mod:`repro.api.facade`) — :func:`build_program`,
   :func:`build_app` and :func:`serve` accept source text, a builder, a
@@ -43,6 +43,7 @@ from repro.config import (
     OptimizerConfig,
     ServerConfig,
     SessionConfig,
+    StorageConfig,
     reset_deprecation_warnings,
 )
 from repro.errors import BuilderError, ConfigError, ReproError
@@ -64,6 +65,7 @@ __all__ = [
     "ReproError",
     "ServerConfig",
     "SessionConfig",
+    "StorageConfig",
     "assign",
     "aunit",
     "build_app",

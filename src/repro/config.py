@@ -16,6 +16,10 @@ now the single source of truth for those knobs:
 * :class:`CacheConfig` — every caching/invalidation knob (Section 6.2 of
   the paper: activation-query caching, fragment caching, dependency
   tracking, delta reactivation, cache bounds).
+* :class:`StorageConfig` — the durable storage backend (``"memory"`` vs
+  the opt-in write-ahead-logged ``"wal"`` backend), its data directory,
+  fsync policy, checkpoint cadence and recovery verification
+  (``docs/storage.md``).
 * :class:`SessionConfig` — web-session lifetime and bounds.
 * :class:`ServerConfig` — HTTP front-end binding and logging.
 
@@ -48,6 +52,7 @@ __all__ = [
     "OptimizerConfig",
     "ServerConfig",
     "SessionConfig",
+    "StorageConfig",
     "DEFAULT_ACTIVATION_CACHE_SIZE",
     "DEFAULT_FRAGMENT_CACHE_SIZE",
     "coalesce_legacy_kwargs",
@@ -66,6 +71,13 @@ REACTIVATION_MODES = ("eager", "lazy")
 
 #: The query-planning strategies the SQL layer implements (docs/optimizer.md).
 OPTIMIZER_STRATEGIES = ("cost", "heuristic")
+
+#: The storage backends the engine can mount (docs/storage.md).
+STORAGE_BACKENDS = ("memory", "wal")
+
+#: WAL durability policies: fsync per commit inside the write lock, batched
+#: group commit outside it, or no fsync at all (docs/storage.md).
+FSYNC_MODES = ("always", "batch", "off")
 
 
 # ---------------------------------------------------------------------------
@@ -255,6 +267,63 @@ class OptimizerConfig:
 
 
 @dataclass(frozen=True)
+class StorageConfig:
+    """The engine's durable storage backend (``docs/storage.md``).
+
+    The default ``"memory"`` backend keeps every table in process memory —
+    the paper's model, and the fastest.  The ``"wal"`` backend makes
+    committed state durable: each engine transaction is appended to a
+    checksummed write-ahead log under ``data_dir`` and replayed on the next
+    start, with periodic checkpoint snapshots bounding replay time.
+    """
+
+    #: ``"memory"`` (default, volatile) or ``"wal"`` (durable, opt-in).
+    backend: str = "memory"
+    #: Directory holding the WAL and snapshot (required for ``"wal"``).
+    data_dir: Optional[str] = None
+    #: ``"batch"`` group-commits concurrent transactions behind shared
+    #: fsyncs; ``"always"`` fsyncs serially inside the commit section;
+    #: ``"off"`` never fsyncs (process-crash durable, not power-loss).
+    fsync: str = "batch"
+    #: Checkpoint after this many transactions (None = never checkpoint).
+    checkpoint_every: Optional[int] = 256
+    #: Run :meth:`~repro.relational.table.Table.check_integrity` on every
+    #: table rebuilt by crash recovery, failing loudly on inconsistency.
+    verify_recovery: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backend not in STORAGE_BACKENDS:
+            raise ConfigError(
+                f"StorageConfig.backend must be one of {STORAGE_BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+        if self.data_dir is not None and (
+            not isinstance(self.data_dir, str) or not self.data_dir
+        ):
+            raise ConfigError(
+                f"StorageConfig.data_dir must be None or a non-empty str, "
+                f"got {self.data_dir!r}"
+            )
+        if self.backend == "wal" and self.data_dir is None:
+            raise ConfigError(
+                "StorageConfig(backend='wal') requires a data_dir "
+                "(use StorageConfig.wal(data_dir))"
+            )
+        if self.fsync not in FSYNC_MODES:
+            raise ConfigError(
+                f"StorageConfig.fsync must be one of {FSYNC_MODES}, "
+                f"got {self.fsync!r}"
+            )
+        _require_optional_size("StorageConfig", "checkpoint_every", self.checkpoint_every)
+        _require_bool("StorageConfig", "verify_recovery", self.verify_recovery)
+
+    @classmethod
+    def wal(cls, data_dir: str, **overrides: Any) -> "StorageConfig":
+        """A WAL backend rooted at ``data_dir`` (other fields overridable)."""
+        return cls(backend="wal", data_dir=data_dir, **overrides)
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Configuration of :class:`~repro.runtime.engine.HildaEngine` and the
     SQL executors it builds (:class:`~repro.sql.executor.SQLExecutor`)."""
@@ -274,6 +343,8 @@ class EngineConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     #: The query-planning pipeline (strategy, join-enumeration bounds).
     optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
+    #: The storage backend (volatile memory vs durable WAL).
+    storage: StorageConfig = field(default_factory=StorageConfig)
 
     def __post_init__(self) -> None:
         _require_bool("EngineConfig", "optimize", self.optimize)
@@ -293,6 +364,10 @@ class EngineConfig:
             raise ConfigError(
                 f"EngineConfig.optimizer must be an OptimizerConfig, "
                 f"got {self.optimizer!r}"
+            )
+        if not isinstance(self.storage, StorageConfig):
+            raise ConfigError(
+                f"EngineConfig.storage must be a StorageConfig, got {self.storage!r}"
             )
 
     #: Legacy ``HildaEngine`` kwargs -> the config fields replacing them.
@@ -338,11 +413,14 @@ class EngineConfig:
         own: Dict[str, Any] = {}
         nested_cache: Dict[str, Any] = {}
         nested_optimizer: Dict[str, Any] = {}
+        nested_storage: Dict[str, Any] = {}
         for dotted, value in assignments.items():
             if dotted.startswith("cache."):
                 nested_cache[dotted[len("cache.") :]] = value
             elif dotted.startswith("optimizer."):
                 nested_optimizer[dotted[len("optimizer.") :]] = value
+            elif dotted.startswith("storage."):
+                nested_storage[dotted[len("storage.") :]] = value
             else:
                 own[dotted] = value
         config = self
@@ -352,6 +430,8 @@ class EngineConfig:
             config = replace(
                 config, optimizer=replace(config.optimizer, **nested_optimizer)
             )
+        if nested_storage:
+            config = replace(config, storage=replace(config.storage, **nested_storage))
         if own:
             config = replace(config, **own)
         return config

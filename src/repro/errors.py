@@ -174,6 +174,38 @@ class SessionError(RuntimeHildaError):
 
 
 # ---------------------------------------------------------------------------
+# Durable storage
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for the durable storage subsystem (``repro.storage``)."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a consistent state.
+
+    Raised loudly — a snapshot whose checksum does not match, or recovered
+    tables failing :meth:`~repro.relational.table.Table.check_integrity` —
+    rather than silently serving wrong rows (see ``docs/storage.md``).
+    """
+
+
+class SimulatedCrash(Exception):
+    """A fault injected at a :class:`~repro.storage.wal.CrashPoint`.
+
+    Deliberately *not* a :class:`ReproError`: a simulated power failure is
+    not a library error, and must never be swallowed by handlers catching
+    the library's exception hierarchy.  Raised only by test harnesses that
+    armed a crash point (see ``docs/storage.md``).
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at {point!r}")
+        self.point = point
+
+
+# ---------------------------------------------------------------------------
 # Compiler and web container
 # ---------------------------------------------------------------------------
 

@@ -13,7 +13,6 @@ benchmark harness do (fixed clock, sequential key generator).
 from __future__ import annotations
 
 import datetime
-import itertools
 import threading
 from typing import Any, Callable, Dict, List, Optional
 
@@ -23,15 +22,33 @@ __all__ = ["FunctionRegistry", "default_registry", "SequentialKeyGenerator", "Fi
 
 
 class SequentialKeyGenerator:
-    """Thread-safe monotonically increasing integer key generator."""
+    """Thread-safe monotonically increasing integer key generator.
+
+    The next value is inspectable (:meth:`peek`) and restorable
+    (:meth:`reset`): the storage layer records it with every committed
+    transaction so keys minted after crash recovery continue the pre-crash
+    sequence instead of colliding with persisted rows (``docs/storage.md``).
+    """
 
     def __init__(self, start: int = 1) -> None:
-        self._counter = itertools.count(start)
+        self._next = start
         self._lock = threading.Lock()
 
     def __call__(self) -> int:
         with self._lock:
-            return next(self._counter)
+            value = self._next
+            self._next += 1
+            return value
+
+    def peek(self) -> int:
+        """The value the next call will return (without consuming it)."""
+        with self._lock:
+            return self._next
+
+    def reset(self, next_value: int) -> None:
+        """Make the next call return ``next_value`` (crash recovery)."""
+        with self._lock:
+            self._next = next_value
 
 
 class FixedClock:
@@ -106,6 +123,23 @@ class FunctionRegistry:
         self.register("curr_date", clock)
         self.register("currdate", clock)
         return clock
+
+    # -- durability hooks (docs/storage.md) -----------------------------------
+
+    def sequential_key_state(self) -> Optional[int]:
+        """The next ``genkey()`` value, or None when genkey is not sequential."""
+        generator = self._functions.get("genkey")
+        if isinstance(generator, SequentialKeyGenerator):
+            return generator.peek()
+        return None
+
+    def restore_sequential_keys(self, next_value: int) -> None:
+        """Continue the ``genkey()`` sequence from ``next_value`` (recovery)."""
+        generator = self._functions.get("genkey")
+        if isinstance(generator, SequentialKeyGenerator):
+            generator.reset(next_value)
+        else:
+            self.use_sequential_keys(start=next_value)
 
 
 def _coalesce(*values: Any) -> Any:

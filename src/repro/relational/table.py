@@ -31,11 +31,19 @@ the copy holds the same contents.  Because the clock is global, two tables
 holding equal versions are guaranteed to have gone unmodified since the
 stamp was taken, which is what lets the runtime's caches validate dependency
 version vectors across reactivations (see ``docs/caching.md``).
+
+Finally, a table can carry a **journal** — a callback installed by the
+durable storage layer (:meth:`Table.set_journal`) and fired inside the
+table lock after every *effective* mutation with a logical description of
+the change (op kind, affected rows, new version stamp).  Tables without a
+journal (the default, and every local/derived table) pay a single ``None``
+check per mutation.  Row payloads are defensively copied at emission time:
+the journal buffers them until commit, while the table keeps mutating the
+live lists.  See ``docs/storage.md`` for the op vocabulary.
 """
 
 from __future__ import annotations
 
-import itertools
 import threading
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -43,16 +51,45 @@ from repro.errors import IntegrityError, SchemaError, UnknownColumnError
 from repro.relational.schema import TableSchema
 from repro.relational.statistics import StatisticsMaintainer, TableStatistics
 
-__all__ = ["Table"]
+__all__ = ["Table", "ensure_version_clock_at_least"]
 
 Row = Tuple[Any, ...]
 
 #: A secondary index: key-value tuple -> rows holding those values.
 IndexMap = Dict[Tuple[Any, ...], List[Row]]
 
-#: Process-wide version clock.  ``next()`` on an ``itertools.count`` is
-#: atomic under the GIL, so stamping needs no extra locking.
-_version_clock = itertools.count(1)
+
+class _VersionClock:
+    """The process-wide version clock (monotonically increasing stamps).
+
+    Crash recovery restores tables to their pre-crash version stamps, so
+    the clock must then be advanced past every restored stamp — otherwise a
+    later mutation could re-issue a stamp a cache already recorded, making
+    a stale entry look valid (:func:`ensure_version_clock_at_least`).
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+        self._lock = threading.Lock()
+
+    def __next__(self) -> int:
+        with self._lock:
+            value = self._next
+            self._next += 1
+            return value
+
+    def ensure_at_least(self, used: int) -> None:
+        with self._lock:
+            if self._next <= used:
+                self._next = used + 1
+
+
+_version_clock = _VersionClock()
+
+
+def ensure_version_clock_at_least(used: int) -> None:
+    """Advance the global version clock past a restored stamp (recovery)."""
+    _version_clock.ensure_at_least(used)
 
 
 class Table:
@@ -77,6 +114,9 @@ class Table:
         #: two concurrent read-only queries (see docs/concurrency.md).
         self._lock = threading.RLock()
         self._version = next(_version_clock)
+        #: Storage journal hook (None for every table storage never bound;
+        #: :meth:`copy` deliberately drops it — copies are throwaways).
+        self._journal: Optional[Callable[[Dict[str, Any]], None]] = None
         #: Statistics maintenance is armed by the first :meth:`statistics`
         #: call (None until then): tables whose plans never consult
         #: statistics — the heuristic strategy, ``optimize=False`` — pay
@@ -115,6 +155,19 @@ class Table:
     def is_empty(self) -> bool:
         return not self._rows
 
+    # -- journaling (docs/storage.md) ----------------------------------------
+
+    def set_journal(self, journal: Optional[Callable[[Dict[str, Any]], None]]) -> None:
+        """Install (or remove) the storage journal hook for this table.
+
+        The hook is invoked inside the table lock, after the mutation has
+        fully applied, with a dict describing the logical change — one of
+        ``insert``/``delete``/``update``/``replace``/``create_index`` — and
+        must not call back into the table.
+        """
+        with self._lock:
+            self._journal = journal
+
     # -- mutation -------------------------------------------------------------
 
     def insert(self, values: Sequence[Any]) -> Row:
@@ -134,6 +187,8 @@ class Table:
             if self._stats is not None:
                 self._stats.add_row(row)
             self._version = next(_version_clock)
+            if self._journal is not None:
+                self._journal({"op": "insert", "row": row, "version": self._version})
         return row
 
     def insert_mapping(self, mapping: Dict[str, Any]) -> Row:
@@ -171,6 +226,10 @@ class Table:
                     for row in removed:
                         self._stats.remove_row(row)
                 self._version = next(_version_clock)
+                if self._journal is not None:
+                    self._journal(
+                        {"op": "delete", "rows": list(removed), "version": self._version}
+                    )
             return len(removed)
 
     def update_where(
@@ -226,6 +285,10 @@ class Table:
                     for old, new_row in changed:
                         self._stats.replace_row(old, new_row)
                 self._version = next(_version_clock)
+                if self._journal is not None:
+                    self._journal(
+                        {"op": "update", "changes": list(changed), "version": self._version}
+                    )
             return matched
 
     def replace(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -263,6 +326,10 @@ class Table:
             # read instead of paying O(rows * arity) on the Hilda hot path.
             self._stats = None
             self._version = next(_version_clock)
+            if self._journal is not None:
+                self._journal(
+                    {"op": "replace", "rows": list(rows), "version": self._version}
+                )
 
     # -- secondary indexes ----------------------------------------------------
 
@@ -278,6 +345,8 @@ class Table:
                     self.schema.column_position(name) for name in canonical
                 )
                 self._indexes[canonical] = self._build_index(canonical)
+                if self._journal is not None:
+                    self._journal({"op": "create_index", "columns": canonical})
         return canonical
 
     def ensure_index(self, columns: Sequence[str]) -> Tuple[str, ...]:

@@ -31,16 +31,15 @@ conflict report naming the winning operation.
 
 from __future__ import annotations
 
-import itertools
 import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.config import DEFAULT_ACTIVATION_CACHE_SIZE, EngineConfig
-from repro.errors import ConflictError, HandlerError, SessionError
+from repro.errors import ConflictError, HandlerError, RecoveryError, SessionError
 from repro.hilda.ast import ActivatorDecl, AUnitDecl
 from repro.hilda.program import HildaProgram
-from repro.relational.functions import FunctionRegistry
+from repro.relational.functions import FunctionRegistry, SequentialKeyGenerator
 from repro.relational.table import Table
 from repro.runtime.activation import (
     ActivationBuilder,
@@ -56,6 +55,7 @@ from repro.runtime.operations import ApplyResult, Operation, OperationStatus
 from repro.runtime.returns import ReturnProcessor
 from repro.sql.executor import SQLCaches, SQLExecutor
 from repro.sql.stats import CacheStats
+from repro.storage.backend import create_backend
 
 __all__ = ["HildaEngine"]
 
@@ -127,9 +127,27 @@ class HildaEngine:
         self._persist: Dict[str, Dict[str, Table]] = {}
         self._persist_initialised: Set[str] = set()
         self._session_inputs: Dict[str, Dict[str, List[Sequence[Any]]]] = {}
-        self._session_counter = itertools.count(1)
-        self._instance_counter = itertools.count(1)
+        self._session_counter = SequentialKeyGenerator(1)
+        self._instance_counter = SequentialKeyGenerator(1)
         self._state_version = 0
+
+        #: The durable storage backend (docs/storage.md): MemoryBackend —
+        #: every call a no-op — unless ``config.storage`` (or the
+        #: REPRO_STORAGE_BACKEND env override) selects the WAL backend, in
+        #: which case constructing it performs crash recovery and the
+        #: counters of the last committed transaction are restored here, so
+        #: a recovered engine continues the pre-crash id/key sequences.
+        self.storage = create_backend(config.storage)
+        self.storage.bind_engine(self)
+        recovered_counters = self.storage.recovered_counters()
+        if recovered_counters:
+            self._state_version = recovered_counters.get("state_version", 0)
+            self._session_counter.reset(recovered_counters.get("session_seq", 1))
+            self._instance_counter.reset(recovered_counters.get("instance_seq", 1))
+            next_genkey = recovered_counters.get("genkey")
+            if next_genkey is not None:
+                self.functions.restore_sequential_keys(next_genkey)
+
         self._dirty_sessions: Set[str] = set()
         #: (instance label, activator name) -> (validity stamp, cached rows).
         #: The stamp is a dependency version vector under dependency
@@ -181,7 +199,7 @@ class HildaEngine:
         return registry
 
     def next_instance_id(self) -> int:
-        return next(self._instance_counter)
+        return self._instance_counter()
 
     def make_executor(self, catalog) -> SQLExecutor:
         """A SQL executor over ``catalog`` wired to the engine's shared caches."""
@@ -199,18 +217,93 @@ class HildaEngine:
     def bump_state_version(self) -> None:
         self._state_version += 1
 
+    # -- durability plumbing (docs/storage.md) ---------------------------------
+
+    def _commit_meta(self) -> Dict[str, Any]:
+        """The engine counters a committed transaction makes durable.
+
+        Captured at commit time (under the write lock) so a recovered
+        engine's id/key sequences equal those of an engine that saw only
+        the committed prefix — which is what makes post-recovery sessions,
+        instance ids and generated keys (and hence rendered pages)
+        byte-identical to the never-crashed reference.
+        """
+        return {
+            "state_version": self._state_version,
+            "session_seq": self._session_counter.peek(),
+            "instance_seq": self._instance_counter.peek(),
+            "genkey": self.functions.sequential_key_state(),
+        }
+
+    def export_persist_state(self) -> Dict[str, Any]:
+        """The committed persistent state, for a storage checkpoint.
+
+        Called by the backend with the engine's write lock held.
+        """
+        return {
+            "persist": {
+                aunit_name: {
+                    name: {
+                        "rows": list(table.rows),
+                        "version": table.version,
+                        "indexes": table.indexes,
+                    }
+                    for name, table in tables.items()
+                }
+                for aunit_name, tables in self._persist.items()
+            },
+            "created": sorted(self._persist_initialised),
+        }
+
+    def close(self) -> None:
+        """Flush and release the storage backend (idempotent).
+
+        The engine itself stays usable for in-memory reads, but further
+        writes against a WAL backend will fail — close is for shutdown.
+        """
+        self.storage.close()
+
     def ensure_persistent(self, decl: AUnitDecl) -> None:
         """Create and initialise the persistent tables of an AUnit type once."""
         if decl.name in self._persist_initialised:
             return
         with self._rw.write():
-            self._ensure_persistent_locked(decl)
+            self.storage.begin()
+            try:
+                self._ensure_persistent_locked(decl)
+            finally:
+                ticket = self.storage.commit(self._commit_meta())
+        self.storage.wait_durable(ticket)
 
     def _ensure_persistent_locked(self, decl: AUnitDecl) -> None:
         if decl.name in self._persist_initialised:
             return
+        recovered = self.storage.recovered_persist(decl)
+        if recovered is not None:
+            # Crash recovery rebuilt contents/indexes/version stamps from
+            # the log; skip seeding (the persist query already ran, and its
+            # effects are part of the recovered state).
+            self._persist[decl.name] = recovered
+            for table in recovered.values():
+                if self.config.storage.verify_recovery:
+                    problems = table.check_integrity()
+                    if problems:
+                        raise RecoveryError(
+                            f"recovered table {decl.name}.{table.name} is "
+                            "inconsistent: " + "; ".join(problems)
+                        )
+                self.storage.bind_table(decl.name, table)
+            self._persist_initialised.add(decl.name)
+            return
         tables = {schema.name: Table(schema) for schema in decl.persist_schema}
         self._persist[decl.name] = tables
+        # Journal creation (with the fresh version stamps) before seeding,
+        # so recovery re-creates the tables even when seeding writes nothing.
+        self.storage.mark_persist_created(
+            decl.name, {name: table.version for name, table in tables.items()}
+        )
+        for table in tables.values():
+            self.storage.bind_table(decl.name, table)
         if decl.persist_query:
             from repro.runtime.context import DictCatalog, run_assignments
 
@@ -322,12 +415,17 @@ class HildaEngine:
     ) -> None:
         """Bulk-load persistent tables (used by fixtures and benchmarks)."""
         with self._rw.write():
-            for table_name, rows in rows_by_table.items():
-                table = self.persistent_table(table_name, aunit_name)
-                table.insert_many(rows)
-            self.bump_state_version()
-            if refresh and self.forest.session_ids():
-                self.reactivate_all()
+            self.storage.begin()
+            try:
+                for table_name, rows in rows_by_table.items():
+                    table = self.persistent_table(table_name, aunit_name)
+                    table.insert_many(rows)
+                self.bump_state_version()
+                if refresh and self.forest.session_ids():
+                    self.reactivate_all()
+            finally:
+                ticket = self.storage.commit(self._commit_meta())
+        self.storage.wait_durable(ticket)
 
     # ------------------------------------------------------------------
     # Sessions
@@ -340,15 +438,23 @@ class HildaEngine:
     ) -> str:
         """Activate a new root AUnit instance (a user session) and return its id."""
         with self._rw.write():
-            if session_id is None:
-                session_id = f"S{next(self._session_counter)}"
-            if self.forest.has_session(session_id):
-                raise SessionError(f"session {session_id!r} already exists")
-            inputs = {name: list(rows) for name, rows in (input_rows or {}).items()}
-            self._session_inputs[session_id] = inputs
-            root = self._builder.build_session_tree(session_id, inputs)
-            self.forest.add_root(session_id, root)
-            return session_id
+            self.storage.begin()
+            try:
+                if session_id is None:
+                    session_id = f"S{self._session_counter()}"
+                if self.forest.has_session(session_id):
+                    raise SessionError(f"session {session_id!r} already exists")
+                inputs = {name: list(rows) for name, rows in (input_rows or {}).items()}
+                self._session_inputs[session_id] = inputs
+                root = self._builder.build_session_tree(session_id, inputs)
+                self.forest.add_root(session_id, root)
+            finally:
+                # Sessions themselves are volatile, but building the tree may
+                # have initialised persistent tables (and advanced counters);
+                # commit even on failure so the log mirrors in-memory state.
+                ticket = self.storage.commit(self._commit_meta())
+        self.storage.wait_durable(ticket)
+        return session_id
 
     def close_session(self, session_id: str) -> None:
         """Deactivate a session's root instance (and thereby its whole tree)."""
@@ -445,7 +551,16 @@ class HildaEngine:
         deterministic conflict report naming the winning operation.
         """
         with self._rw.write():
-            return self._apply_locked(operation)
+            self.storage.begin()
+            try:
+                result = self._apply_locked(operation)
+            finally:
+                # Handlers have no rollback path (failed ones may have left
+                # partial writes); committing in a finally keeps the log an
+                # exact mirror of in-memory state on every outcome.
+                ticket = self.storage.commit(self._commit_meta())
+        self.storage.wait_durable(ticket)
+        return result
 
     def _apply_locked(self, operation: Operation) -> ApplyResult:
         active_before = {node.instance_id for node in self.forest.all_instances()}

@@ -1,0 +1,38 @@
+"""``repro.storage`` — the durable storage subsystem (``docs/storage.md``).
+
+A pluggable :class:`~repro.storage.backend.StorageBackend` seam behind
+:class:`~repro.runtime.engine.HildaEngine`:
+:class:`~repro.storage.backend.MemoryBackend` (default, volatile) and
+:class:`~repro.storage.wal_backend.WalBackend` (opt-in write-ahead log with
+group commit, checkpoint snapshots and crash recovery), selected by
+:class:`~repro.config.StorageConfig`.  The fault-injection surface —
+:data:`~repro.storage.wal.CRASH_POINTS` and
+:class:`~repro.storage.wal.CrashPointRegistry` — lives here too.
+"""
+
+from repro.storage.backend import MemoryBackend, StorageBackend, create_backend
+from repro.storage.snapshot import load_snapshot, write_snapshot
+from repro.storage.wal import (
+    CRASH_POINTS,
+    CrashPointRegistry,
+    WAL_MAGIC,
+    WalWriter,
+    encode_record,
+    read_wal,
+)
+from repro.storage.wal_backend import WalBackend
+
+__all__ = [
+    "CRASH_POINTS",
+    "CrashPointRegistry",
+    "MemoryBackend",
+    "StorageBackend",
+    "WAL_MAGIC",
+    "WalBackend",
+    "WalWriter",
+    "create_backend",
+    "encode_record",
+    "load_snapshot",
+    "read_wal",
+    "write_snapshot",
+]

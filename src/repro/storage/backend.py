@@ -1,0 +1,148 @@
+"""The storage-backend seam: one interface, many engines behind it.
+
+:class:`~repro.runtime.engine.HildaEngine` talks to its store exclusively
+through :class:`StorageBackend` (the one-interface-many-backends shape of
+PostBOUND's ``db/`` layer the ROADMAP points at):
+
+* :class:`MemoryBackend` — the default and fastest: everything lives in
+  process memory, every method is a no-op.  This is exactly the engine's
+  pre-storage behaviour; code paths not opting into durability pay nothing.
+* :class:`~repro.storage.wal_backend.WalBackend` — opt-in durability: a
+  write-ahead log with group commit plus checkpoint snapshots, recovered on
+  construction (see ``docs/storage.md``).
+
+The engine drives the backend with a small transactional protocol, always
+in this order:
+
+1. ``begin()`` under the engine's write lock (re-entrant: nested write
+   sections — a session start seeding persistent tables — join the open
+   transaction);
+2. journal callbacks fire from inside :class:`~repro.relational.table.Table`
+   mutations (the backend installed them via :meth:`bind_table`);
+3. ``commit(meta)`` while still holding the write lock, returning a ticket;
+4. ``wait_durable(ticket)`` *after releasing the write lock* — this is what
+   lets concurrent committers share one fsync (group commit).
+
+Recovery is engine-driven and lazy: when the engine first needs an AUnit
+type's persistent tables it asks :meth:`recovered_persist` — table
+*schemas* come from the program declaration, only contents, secondary
+indexes and version stamps come from storage — and falls back to the
+normal create-and-seed path when the backend has nothing (fresh directory,
+or a type never initialised before the crash).
+
+``REPRO_STORAGE_BACKEND=wal`` overrides the default backend process-wide
+(each engine gets a fresh temporary data directory): CI runs the whole
+tier-1 suite this way, making every existing test double as a durability
+test.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from dataclasses import replace
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from repro.config import StorageConfig
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.hilda.ast import AUnitDecl
+    from repro.relational.table import Table
+
+__all__ = ["StorageBackend", "MemoryBackend", "create_backend"]
+
+#: Environment variable forcing a backend for engines that did not pick one.
+BACKEND_ENV_VAR = "REPRO_STORAGE_BACKEND"
+
+
+class StorageBackend:
+    """What the engine requires of a store (see the module docstring).
+
+    The base class *is* the memory backend's behaviour: every method is a
+    safe no-op, so backends only override what they need.
+    """
+
+    #: Matches ``StorageConfig.backend`` for the backend in use.
+    name = "memory"
+
+    # -- wiring -----------------------------------------------------------------
+
+    def bind_engine(self, engine: Any) -> None:
+        """Give the backend its engine (for checkpoint state export)."""
+
+    def bind_table(self, aunit_name: str, table: "Table") -> None:
+        """Install the journal hook routing ``table``'s mutations here."""
+
+    # -- recovery ---------------------------------------------------------------
+
+    def recovered_counters(self) -> Optional[Dict[str, Any]]:
+        """Engine counters of the last committed transaction (None = fresh)."""
+        return None
+
+    def recovered_persist(self, decl: "AUnitDecl") -> Optional[Dict[str, "Table"]]:
+        """Rebuilt persistent tables for ``decl``, or None to create fresh."""
+        return None
+
+    # -- transactions -----------------------------------------------------------
+
+    def begin(self) -> None:
+        """Open (or join, when nested) a transaction."""
+
+    def commit(self, meta: Dict[str, Any]) -> Optional[Any]:
+        """Close the innermost section; at depth 0 log the transaction.
+
+        Returns an opaque durability ticket (None when nothing to await).
+        """
+        return None
+
+    def wait_durable(self, ticket: Optional[Any]) -> None:
+        """Block until the committed transaction is durable (group commit)."""
+
+    def mark_persist_created(
+        self, aunit_name: str, versions: Optional[Dict[str, int]] = None
+    ) -> None:
+        """Journal that ``aunit_name``'s persistent tables now exist.
+
+        ``versions`` carries the fresh tables' version stamps so recovery
+        can restore them exactly even for tables that were never written.
+        """
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and release storage resources (idempotent)."""
+
+
+class MemoryBackend(StorageBackend):
+    """The default: state lives in process memory only (zero overhead)."""
+
+
+def create_backend(config: StorageConfig) -> StorageBackend:
+    """Build the backend ``config`` selects.
+
+    ``REPRO_STORAGE_BACKEND`` overrides a *default* (memory) selection —
+    engines that explicitly configured a backend are left alone, so the
+    durability CI leg cannot redirect tests that point two engines at one
+    shared data directory on purpose.  A forced WAL backend without a
+    ``data_dir`` gets a private temporary directory, removed on close.
+    """
+    ephemeral_dir: Optional[str] = None
+    override = os.environ.get(BACKEND_ENV_VAR)
+    if override and config.backend == "memory":
+        if override == "wal":
+            ephemeral_dir = tempfile.mkdtemp(prefix="repro-wal-")
+            config = replace(config, backend="wal", data_dir=ephemeral_dir)
+        elif override != "memory":
+            raise ConfigError(
+                f"{BACKEND_ENV_VAR} must be 'memory' or 'wal', got {override!r}"
+            )
+    if config.backend == "memory":
+        return MemoryBackend()
+    from repro.storage.wal_backend import WalBackend
+
+    backend = WalBackend(config)
+    if ephemeral_dir is not None:
+        backend.on_close(lambda: shutil.rmtree(ephemeral_dir, ignore_errors=True))
+    return backend

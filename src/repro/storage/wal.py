@@ -1,0 +1,355 @@
+"""The write-ahead log: checksummed records, group commit, crash points.
+
+The WAL is a single append-only file of length-prefixed, CRC-checksummed
+records (``docs/storage.md`` documents the format byte by byte):
+
+``HWAL1\\n`` file magic, then per record::
+
+    <u32 crc32(payload)> <u32 len(payload)> <payload bytes>
+
+Payloads are pickled Python values (the WAL lives in the application's own
+data directory and is trusted input).  The checksum is what makes recovery
+safe against *torn writes*: a record that was only partially on disk when
+the machine died fails its CRC (or runs past end-of-file) and is discarded
+together with everything after it — a record is either applied whole or
+not at all, never half.
+
+**Group commit.**  :meth:`WalWriter.append` performs the buffered write
+under the writer mutex; :meth:`WalWriter.sync` makes a prefix durable with
+a leader/follower protocol: the first committer to need an fsync becomes
+the *leader* and fsyncs everything appended so far, committers arriving
+while that fsync is in flight simply wait and are covered by the leader's
+(or the next leader's) fsync.  N threads committing concurrently therefore
+share O(1) fsyncs instead of paying one each — the engine releases its
+write lock before waiting for durability, which is what lets the fsyncs
+overlap (see ``docs/concurrency.md``).
+
+**Crash points.**  Every interesting instant of the write path runs
+through :meth:`CrashPointRegistry.fire`.  Production leaves the registry
+empty (a dict lookup per fire); the fault-injection harness arms a point
+with a hook that raises :class:`~repro.errors.SimulatedCrash`, after which
+the writer refuses further work — exactly like a process that lost power
+mid-write.  The catalog of points is :data:`CRASH_POINTS`.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import threading
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SimulatedCrash, StorageError
+
+__all__ = [
+    "CRASH_POINTS",
+    "CrashPointRegistry",
+    "WAL_MAGIC",
+    "WalWriter",
+    "encode_record",
+    "read_wal",
+]
+
+#: File magic identifying a Hilda WAL (version 1).
+WAL_MAGIC = b"HWAL1\n"
+
+#: crc32(payload), len(payload) — little-endian u32 each.
+_HEADER = struct.Struct("<II")
+
+#: Pickle protocol 4: available on every supported Python, stable framing.
+_PICKLE_PROTOCOL = 4
+
+#: The catalog of crash points the fault-injection harness can arm, in the
+#: order they are reached on the write path (see docs/storage.md).
+CRASH_POINTS = (
+    "wal.before_append",
+    "wal.after_append",
+    "wal.before_sync",
+    "wal.mid_group_commit",
+    "wal.after_sync",
+    "checkpoint.before_snapshot_write",
+    "checkpoint.after_snapshot_write",
+    "checkpoint.before_publish",
+    "checkpoint.after_publish",
+    "checkpoint.before_wal_reset",
+    "checkpoint.after_wal_reset",
+)
+
+
+class CrashPointRegistry:
+    """Named fault-injection hooks on the storage write path.
+
+    ``fire(point)`` is a no-op unless a hook was armed for ``point`` —
+    production code pays one dict lookup.  :meth:`arm` installs a hook; the
+    default hook raises :class:`~repro.errors.SimulatedCrash` on the n-th
+    firing, which is how the recovery property test crashes a live engine
+    at every point of the write path in turn.
+    """
+
+    def __init__(self) -> None:
+        self._hooks: Dict[str, Callable[[str], None]] = {}
+        self._fired: Dict[str, int] = {}
+
+    def arm(
+        self,
+        point: str,
+        hook: Optional[Callable[[str], None]] = None,
+        at_firing: int = 1,
+    ) -> None:
+        """Arm ``point``; the default hook raises SimulatedCrash on the
+        ``at_firing``-th time the point is reached (1-based)."""
+        if point not in CRASH_POINTS:
+            raise StorageError(f"unknown crash point {point!r} (see CRASH_POINTS)")
+        if hook is None:
+            remaining = [at_firing]
+
+            def hook(name: str) -> None:
+                remaining[0] -= 1
+                if remaining[0] <= 0:
+                    raise SimulatedCrash(name)
+
+        self._hooks[point] = hook
+
+    def disarm(self, point: Optional[str] = None) -> None:
+        """Remove one hook, or every hook when ``point`` is None."""
+        if point is None:
+            self._hooks.clear()
+        else:
+            self._hooks.pop(point, None)
+
+    def fire(self, point: str) -> None:
+        hook = self._hooks.get(point)
+        if hook is not None:
+            self._fired[point] = self._fired.get(point, 0) + 1
+            hook(point)
+
+    def firings(self, point: str) -> int:
+        """How many times an *armed* ``point`` has been reached."""
+        return self._fired.get(point, 0)
+
+
+# ---------------------------------------------------------------------------
+# Record codec
+# ---------------------------------------------------------------------------
+
+
+def encode_record(payload: Any) -> bytes:
+    """One WAL record: header (crc32, length) + pickled payload."""
+    blob = pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
+    return _HEADER.pack(zlib.crc32(blob) & 0xFFFFFFFF, len(blob)) + blob
+
+
+def decode_records(data: bytes, offset: int = 0) -> Tuple[List[Any], int]:
+    """Decode records from ``data`` starting at ``offset``.
+
+    Returns ``(payloads, end)`` where ``end`` is the offset just past the
+    last *valid* record.  Decoding stops — without raising — at the first
+    torn (runs past end of data), checksum-corrupt or unpicklable record:
+    everything from there on is an invalid tail that recovery discards.
+    """
+    payloads: List[Any] = []
+    position = offset
+    size = len(data)
+    while position + _HEADER.size <= size:
+        crc, length = _HEADER.unpack_from(data, position)
+        start = position + _HEADER.size
+        end = start + length
+        if end > size:
+            break  # torn record: the payload never fully reached disk
+        blob = data[start:end]
+        if zlib.crc32(blob) & 0xFFFFFFFF != crc:
+            break  # corrupt record (bit rot or a torn header)
+        try:
+            payloads.append(pickle.loads(blob))
+        except Exception:
+            break  # checksum collision on garbage — treat as corrupt
+        position = end
+    return payloads, position
+
+
+def read_wal(path: str) -> Tuple[List[Any], int]:
+    """Read every valid record of a WAL file.
+
+    Returns ``(payloads, valid_end)``; ``valid_end`` is the byte offset of
+    the end of the valid prefix (where appends may safely resume).  A
+    missing file or a file without the magic yields no records.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return [], 0
+    if not data.startswith(WAL_MAGIC):
+        return [], 0
+    return decode_records(data, offset=len(WAL_MAGIC))
+
+
+# ---------------------------------------------------------------------------
+# The writer
+# ---------------------------------------------------------------------------
+
+
+class WalWriter:
+    """Appends records to the log and makes prefixes durable (group commit).
+
+    The file is opened unbuffered so every append is a single ``write(2)``
+    of the whole record — torn-tail handling in :func:`read_wal` covers the
+    crash-mid-write case — and so the leader's ``fsync`` can run *outside*
+    the append mutex: appends from other committers proceed while an fsync
+    is in flight and are covered by the next leader.
+
+    ``fsync_mode``:
+
+    * ``"batch"`` — group commit (the default): :meth:`sync` batches
+      concurrent committers behind one fsync;
+    * ``"always"`` — identical durability, but callers invoke :meth:`sync`
+      inside their critical section, serialising fsyncs (the baseline the
+      storage benchmark compares against);
+    * ``"off"`` — no fsync at all: durable against process crashes (every
+      append reaches the OS) but not against power loss.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync_mode: str = "batch",
+        crash_points: Optional[CrashPointRegistry] = None,
+    ) -> None:
+        self.path = path
+        self.fsync_mode = fsync_mode
+        self.crash_points = crash_points or CrashPointRegistry()
+        self._mutex = threading.Lock()
+        self._cond = threading.Condition(self._mutex)
+        self._sync_in_progress = False
+        self._dead = False
+        # read_wal returns valid_end == 0 only when the file is missing or
+        # its magic is damaged; both mean no salvageable prefix, so start a
+        # fresh log rather than appending after unreadable bytes.
+        _, valid_end = read_wal(path)
+        if valid_end == 0:
+            with open(path, "wb") as handle:
+                handle.write(WAL_MAGIC)
+                handle.flush()
+                os.fsync(handle.fileno())
+            valid_end = len(WAL_MAGIC)
+        elif os.path.getsize(path) > valid_end:
+            # Truncate the invalid tail left by a crash so appends resume
+            # from a clean record boundary.
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_end)
+        self._file: io.FileIO = open(path, "ab", buffering=0)
+        self._appended = valid_end
+        self._synced = valid_end
+
+    # -- introspection (used by the fault-injection harness) -------------------
+
+    @property
+    def appended_size(self) -> int:
+        """Bytes written to the OS (not necessarily durable)."""
+        return self._appended
+
+    @property
+    def synced_size(self) -> int:
+        """Bytes known durable (covered by an fsync)."""
+        return self._synced
+
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    # -- writing ----------------------------------------------------------------
+
+    def append(self, payload: Any) -> int:
+        """Append one record; returns the LSN (end offset) to pass to sync."""
+        blob = encode_record(payload)
+        with self._mutex:
+            self._check_alive()
+            try:
+                self.crash_points.fire("wal.before_append")
+                self._file.write(blob)
+                self._appended += len(blob)
+                self.crash_points.fire("wal.after_append")
+            except SimulatedCrash:
+                self._die_locked()
+                raise
+            return self._appended
+
+    def sync(self, upto: int) -> None:
+        """Block until the log is durable up to ``upto`` (group commit)."""
+        if self.fsync_mode == "off":
+            return
+        with self._cond:
+            while True:
+                self._check_alive()
+                if self._synced >= upto:
+                    return
+                if not self._sync_in_progress:
+                    self._sync_in_progress = True
+                    target = self._appended
+                    break
+                self._cond.wait()
+        # Leader: fsync outside the mutex so appends (and hence commits
+        # queueing up behind this sync) keep flowing while we wait on disk.
+        try:
+            self.crash_points.fire("wal.before_sync")
+            self.crash_points.fire("wal.mid_group_commit")
+            os.fsync(self._file.fileno())
+            self.crash_points.fire("wal.after_sync")
+        except SimulatedCrash:
+            with self._cond:
+                self._die_locked()
+            raise
+        with self._cond:
+            self._synced = max(self._synced, target)
+            self._sync_in_progress = False
+            self._cond.notify_all()
+
+    def reset(self) -> None:
+        """Truncate the log to empty (called by checkpoint, post-publish)."""
+        with self._mutex:
+            self._check_alive()
+            self._file.close()
+            with open(self.path, "wb") as handle:
+                handle.write(WAL_MAGIC)
+                handle.flush()
+                if self.fsync_mode != "off":
+                    os.fsync(handle.fileno())
+            self._file = open(self.path, "ab", buffering=0)
+            self._appended = len(WAL_MAGIC)
+            self._synced = len(WAL_MAGIC)
+
+    def close(self) -> None:
+        with self._mutex:
+            if self._dead:
+                return
+            try:
+                if self.fsync_mode != "off" and self._synced < self._appended:
+                    os.fsync(self._file.fileno())
+                    self._synced = self._appended
+            finally:
+                self._dead = True
+                self._file.close()
+                self._cond.notify_all()
+
+    def kill(self) -> None:
+        """Simulate losing the process without flushing anything further."""
+        with self._mutex:
+            self._die_locked()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self._dead:
+            raise StorageError(f"WAL writer for {self.path!r} is closed or crashed")
+
+    def _die_locked(self) -> None:
+        self._dead = True
+        self._sync_in_progress = False
+        try:
+            self._file.close()
+        except Exception:  # pragma: no cover - best effort
+            pass
+        self._cond.notify_all()

@@ -226,6 +226,16 @@ class HildaApplication:
             return self._handle_page(request)
         return Response.not_found(f"no route for {request.method} {request.path}")
 
+    def close(self) -> None:
+        """Shut the application down: flush the engine's storage backend.
+
+        With a WAL backend (``EngineConfig.storage``) this makes every
+        committed transaction durable; a new container built over the same
+        data directory resumes serving the same application state (web
+        sessions are volatile and expire — see ``docs/storage.md``).
+        """
+        self.engine.close()
+
     def _release_session(self, session: WebSession) -> None:
         """Close the engine session behind an expired/evicted web session."""
         self._request_locks.discard(session.token)

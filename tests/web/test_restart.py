@@ -1,0 +1,137 @@
+"""End-to-end durability: a served application survives a container restart.
+
+MiniCMS runs over real sockets with a WAL storage backend; an administrator
+logs in and mutates state through the browser.  The container is then shut
+down and a brand-new one is built over the same data directory — without
+reseeding.  Everything persistent must come back: seeded rows, rows created
+through HTTP actions, the planner's auto-created secondary indexes, table
+version stamps, and rendered pages must show the recovered state.  Web
+*sessions* are deliberately volatile — a pre-restart cookie must bounce to
+the login page, not resurrect (see ``docs/storage.md``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EngineConfig, StorageConfig
+from repro.apps.minicms import ADMIN_USER, seed_paper_scenario
+from repro.web.container import HildaApplication
+from repro.web.forms import encode_action
+from repro.web.server import HttpBrowser, ThreadedHildaServer
+from repro.web.sessions import SESSION_COOKIE
+
+
+def build_app(minicms_program, data_dir) -> HildaApplication:
+    config = EngineConfig(
+        auto_index=True,  # the planner's auto-created indexes must survive too
+        storage=StorageConfig.wal(str(data_dir)),
+    )
+    return HildaApplication(minicms_program, config=config)
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    return tmp_path / "data"
+
+
+class TestContainerRestart:
+    def test_state_survives_a_full_restart(self, minicms_program, data_dir):
+        # ---- first life: seed, serve, mutate through the browser ----------
+        app = build_app(minicms_program, data_dir)
+        seed_paper_scenario(app.engine)
+        with ThreadedHildaServer(app) as server:
+            browser = HttpBrowser(server.url)
+            page = browser.login(ADMIN_USER)
+            assert page.ok and "Homework 1" in page.body
+            stale_cookies = dict(browser.cookies)
+
+            # Stage a new assignment, then submit it into the persist tables.
+            create = app.engine.find_instances("CreateAssignment")[0]
+            update = create.find_children("UpdateRow")[0]
+            page = browser.post(
+                "/action", encode_action(update, ["HW99", "2006-04-01", "2006-04-02"])
+            )
+            assert "HW99" in page.body
+            create = app.engine.find_instances("CreateAssignment")[0]
+            submit = create.find_children("SubmitBasic")[0]
+            page = browser.post("/action", encode_action(submit))
+            assert "Action applied" in page.body
+            names = [name for _, _, name, _, _ in app.engine.persistent_table("assign").rows]
+            assert "HW99" in names
+
+        state_before = app.engine.export_persist_state()
+        assert state_before["created"], "scenario seeded nothing?"
+        indexed_before = {
+            name: entry["indexes"]
+            for tables in state_before["persist"].values()
+            for name, entry in tables.items()
+            if entry["indexes"]
+        }
+        assert indexed_before, "auto_index never created an index to recover"
+        app.close()
+
+        # ---- second life: same data directory, no reseeding ---------------
+        revived = build_app(minicms_program, data_dir)
+        try:
+            # Touching one table recovers the whole root AUnit's state.
+            assign = revived.engine.persistent_table("assign")
+            assert sorted(name for _, _, name, _, _ in assign.rows) == [
+                "HW99",
+                "Homework 1",
+                "Lab 1",
+            ]
+            assert assign.check_integrity() == []
+
+            with ThreadedHildaServer(revived) as server:
+                # The pre-restart cookie is dead: sessions are volatile.
+                stale = HttpBrowser(server.url)
+                stale.cookies.update(stale_cookies)
+                response = stale.get("/", follow_redirects=False)
+                assert response.is_redirect and response.location == "/login"
+
+                # A fresh login serves the recovered state, HTTP action and all.
+                browser = HttpBrowser(server.url)
+                page = browser.login(ADMIN_USER)
+                assert page.ok and SESSION_COOKIE in browser.cookies
+                assert "Homework 1" in page.body
+                assert "HW99" in page.body
+
+                # With the session's AUnit types re-activated, the persistent
+                # state — rows, secondary indexes, version stamps, and the
+                # set of initialised types — is exactly the pre-restart one.
+                assert revived.engine.export_persist_state() == state_before
+        finally:
+            revived.close()
+
+    def test_actions_keep_working_after_recovery(self, minicms_program, data_dir):
+        app = build_app(minicms_program, data_dir)
+        seed_paper_scenario(app.engine)
+        app.close()
+
+        revived = build_app(minicms_program, data_dir)
+        try:
+            with ThreadedHildaServer(revived) as server:
+                browser = HttpBrowser(server.url)
+                browser.login(ADMIN_USER)
+                create = revived.engine.find_instances("CreateAssignment")[0]
+                update = create.find_children("UpdateRow")[0]
+                page = browser.post(
+                    "/action",
+                    encode_action(update, ["HW100", "2006-05-01", "2006-05-02"]),
+                )
+                assert "Action applied" in page.body and "HW100" in page.body
+                create = revived.engine.find_instances("CreateAssignment")[0]
+                submit = create.find_children("SubmitBasic")[0]
+                page = browser.post("/action", encode_action(submit))
+                assert "Action applied" in page.body
+        finally:
+            revived.close()
+
+        # And the post-recovery write is itself durable across a third life.
+        third = build_app(minicms_program, data_dir)
+        try:
+            names = [name for _, _, name, _, _ in third.engine.persistent_table("assign").rows]
+            assert "HW100" in names
+        finally:
+            third.close()

@@ -39,6 +39,7 @@ def current_surface() -> Dict:
         OptimizerConfig,
         ServerConfig,
         SessionConfig,
+        StorageConfig,
         config_fields,
     )
 
@@ -52,6 +53,7 @@ def current_surface() -> Dict:
                 OptimizerConfig,
                 SessionConfig,
                 ServerConfig,
+                StorageConfig,
             )
         },
     }
