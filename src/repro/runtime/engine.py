@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.config import DEFAULT_ACTIVATION_CACHE_SIZE, EngineConfig
 from repro.errors import ConflictError, HandlerError, RecoveryError, SessionError
@@ -263,17 +264,51 @@ class HildaEngine:
         """
         self.storage.close()
 
+    @contextmanager
+    def _durable_write(self) -> Iterator[None]:
+        """One engine transaction: begin/commit under the write lock, then
+        await durability after releasing it (which is what lets concurrent
+        committers share a group-commit fsync, see ``docs/concurrency.md``).
+
+        The commit runs even when the body raises — handlers have no
+        rollback path, so the log must mirror in-memory state on every
+        outcome — but with care about exception precedence: a storage
+        failure during that commit must not *mask* the body's exception
+        (the root cause); it is chained onto it instead.  When the body
+        failed but the commit was logged, its durability is still awaited
+        before the original error is re-raised.
+        """
+        error: Optional[BaseException] = None
+        ticket: Optional[Any] = None
+        with self._rw.write():
+            self.storage.begin()
+            try:
+                yield
+            except BaseException as exc:
+                error = exc
+            try:
+                ticket = self.storage.commit(self._commit_meta())
+            except Exception as commit_exc:
+                if error is None:
+                    raise
+                raise error from commit_exc
+        if error is None:
+            self.storage.wait_durable(ticket)
+            return
+        try:
+            self.storage.wait_durable(ticket)
+        except Exception:
+            # Raising inside the handler chains the durability failure onto
+            # the original error (as __context__) instead of replacing it.
+            raise error
+        raise error
+
     def ensure_persistent(self, decl: AUnitDecl) -> None:
         """Create and initialise the persistent tables of an AUnit type once."""
         if decl.name in self._persist_initialised:
             return
-        with self._rw.write():
-            self.storage.begin()
-            try:
-                self._ensure_persistent_locked(decl)
-            finally:
-                ticket = self.storage.commit(self._commit_meta())
-        self.storage.wait_durable(ticket)
+        with self._durable_write():
+            self._ensure_persistent_locked(decl)
 
     def _ensure_persistent_locked(self, decl: AUnitDecl) -> None:
         if decl.name in self._persist_initialised:
@@ -414,18 +449,13 @@ class HildaEngine:
         refresh: bool = True,
     ) -> None:
         """Bulk-load persistent tables (used by fixtures and benchmarks)."""
-        with self._rw.write():
-            self.storage.begin()
-            try:
-                for table_name, rows in rows_by_table.items():
-                    table = self.persistent_table(table_name, aunit_name)
-                    table.insert_many(rows)
-                self.bump_state_version()
-                if refresh and self.forest.session_ids():
-                    self.reactivate_all()
-            finally:
-                ticket = self.storage.commit(self._commit_meta())
-        self.storage.wait_durable(ticket)
+        with self._durable_write():
+            for table_name, rows in rows_by_table.items():
+                table = self.persistent_table(table_name, aunit_name)
+                table.insert_many(rows)
+            self.bump_state_version()
+            if refresh and self.forest.session_ids():
+                self.reactivate_all()
 
     # ------------------------------------------------------------------
     # Sessions
@@ -437,23 +467,19 @@ class HildaEngine:
         session_id: Optional[str] = None,
     ) -> str:
         """Activate a new root AUnit instance (a user session) and return its id."""
-        with self._rw.write():
-            self.storage.begin()
-            try:
-                if session_id is None:
-                    session_id = f"S{self._session_counter()}"
-                if self.forest.has_session(session_id):
-                    raise SessionError(f"session {session_id!r} already exists")
-                inputs = {name: list(rows) for name, rows in (input_rows or {}).items()}
-                self._session_inputs[session_id] = inputs
-                root = self._builder.build_session_tree(session_id, inputs)
-                self.forest.add_root(session_id, root)
-            finally:
-                # Sessions themselves are volatile, but building the tree may
-                # have initialised persistent tables (and advanced counters);
-                # commit even on failure so the log mirrors in-memory state.
-                ticket = self.storage.commit(self._commit_meta())
-        self.storage.wait_durable(ticket)
+        # Sessions themselves are volatile, but building the tree may have
+        # initialised persistent tables (and advanced counters); the
+        # transaction commits even on failure so the log mirrors in-memory
+        # state.
+        with self._durable_write():
+            if session_id is None:
+                session_id = f"S{self._session_counter()}"
+            if self.forest.has_session(session_id):
+                raise SessionError(f"session {session_id!r} already exists")
+            inputs = {name: list(rows) for name, rows in (input_rows or {}).items()}
+            self._session_inputs[session_id] = inputs
+            root = self._builder.build_session_tree(session_id, inputs)
+            self.forest.add_root(session_id, root)
         return session_id
 
     def close_session(self, session_id: str) -> None:
@@ -550,16 +576,11 @@ class HildaEngine:
         operations acquires the lock first commits, and the loser receives a
         deterministic conflict report naming the winning operation.
         """
-        with self._rw.write():
-            self.storage.begin()
-            try:
-                result = self._apply_locked(operation)
-            finally:
-                # Handlers have no rollback path (failed ones may have left
-                # partial writes); committing in a finally keeps the log an
-                # exact mirror of in-memory state on every outcome.
-                ticket = self.storage.commit(self._commit_meta())
-        self.storage.wait_durable(ticket)
+        # Handlers have no rollback path (failed ones may have left partial
+        # writes); _durable_write commits on every outcome so the log stays
+        # an exact mirror of in-memory state.
+        with self._durable_write():
+            result = self._apply_locked(operation)
         return result
 
     def _apply_locked(self, operation: Operation) -> ApplyResult:

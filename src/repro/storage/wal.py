@@ -224,6 +224,10 @@ class WalWriter:
         self._mutex = threading.Lock()
         self._cond = threading.Condition(self._mutex)
         self._sync_in_progress = False
+        #: Bumped by reset(): durability tickets and leader fsync targets
+        #: from an earlier epoch describe a file that no longer exists and
+        #: must be discarded, never applied to the watermarks of the new one.
+        self._epoch = 0
         self._dead = False
         # read_wal returns valid_end == 0 only when the file is missing or
         # its magic is damaged; both mean no salvageable prefix, so start a
@@ -269,22 +273,55 @@ class WalWriter:
             self._check_alive()
             try:
                 self.crash_points.fire("wal.before_append")
-                self._file.write(blob)
+                # Raw (unbuffered) writes may legally land fewer bytes than
+                # asked without raising; loop so _appended only ever advances
+                # past bytes that actually reached the OS.
+                written = 0
+                while written < len(blob):
+                    count = self._file.write(blob[written:])
+                    if not count:
+                        raise StorageError(
+                            f"WAL write to {self.path!r} made no progress"
+                        )
+                    written += count
                 self._appended += len(blob)
                 self.crash_points.fire("wal.after_append")
             except SimulatedCrash:
                 self._die_locked()
                 raise
+            except StorageError:
+                self._die_locked()
+                raise
+            except OSError as exc:
+                # A failed write may have left a torn record on disk; refuse
+                # further work so the tail stays a cleanly discardable suffix.
+                self._die_locked()
+                raise StorageError(
+                    f"WAL append to {self.path!r} failed: {exc}"
+                ) from exc
             return self._appended
 
     def sync(self, upto: int) -> None:
-        """Block until the log is durable up to ``upto`` (group commit)."""
+        """Block until the log is durable up to ``upto`` (group commit).
+
+        An ``upto`` obtained before a :meth:`reset` is satisfied instantly:
+        reset only ever follows a *published* checkpoint, so every byte of
+        the pre-reset log is already durable in the snapshot.
+        """
         if self.fsync_mode == "off":
             return
         with self._cond:
+            epoch = self._epoch
             while True:
                 self._check_alive()
                 if self._synced >= upto:
+                    return
+                if self._epoch != epoch or upto > self._appended:
+                    # The log was reset under us (checkpoint): everything
+                    # appended before the reset is covered by the published
+                    # snapshot, so there is nothing left to await.  Within
+                    # one epoch upto never exceeds _appended (append returns
+                    # it), so the second test only catches stale tickets.
                     return
                 if not self._sync_in_progress:
                     self._sync_in_progress = True
@@ -302,15 +339,45 @@ class WalWriter:
             with self._cond:
                 self._die_locked()
             raise
+        except (OSError, ValueError) as exc:
+            # The file was closed under the fsync.  Only kill() can do that
+            # (reset and close wait for in-flight leaders), so surface the
+            # writer's death as a StorageError instead of leaking the raw
+            # file error — and always clear the leader flag so waiting
+            # followers are never stranded.
+            with self._cond:
+                if not self._dead:
+                    self._die_locked()
+                self._sync_in_progress = False
+                self._cond.notify_all()
+            raise StorageError(
+                f"WAL fsync of {self.path!r} failed: {exc}"
+            ) from exc
         with self._cond:
-            self._synced = max(self._synced, target)
+            if self._epoch == epoch:
+                self._synced = max(self._synced, target)
+            # else: a reset replaced the file after this leader captured its
+            # target; the target describes the old file and applying it
+            # would mark never-fsynced bytes of the new log as durable.
             self._sync_in_progress = False
             self._cond.notify_all()
 
     def reset(self) -> None:
-        """Truncate the log to empty (called by checkpoint, post-publish)."""
-        with self._mutex:
+        """Truncate the log to empty (called by checkpoint, post-publish).
+
+        The caller guarantees every record appended so far is durable
+        elsewhere (the just-published snapshot) — that is what entitles
+        committers still waiting on pre-reset offsets to return satisfied.
+        """
+        with self._cond:
             self._check_alive()
+            # A leader fsync runs outside this mutex: closing the file under
+            # it would hand the leader a dead descriptor (and its stale
+            # target could corrupt the new epoch's watermark).  Wait it out;
+            # the leader only needs the condition variable to finish.
+            while self._sync_in_progress:
+                self._cond.wait()
+                self._check_alive()
             self._file.close()
             with open(self.path, "wb") as handle:
                 handle.write(WAL_MAGIC)
@@ -318,13 +385,23 @@ class WalWriter:
                 if self.fsync_mode != "off":
                     os.fsync(handle.fileno())
             self._file = open(self.path, "ab", buffering=0)
+            self._epoch += 1
             self._appended = len(WAL_MAGIC)
             self._synced = len(WAL_MAGIC)
+            # Wake committers parked on pre-reset offsets: their epoch check
+            # tells them their bytes are snapshot-durable.
+            self._cond.notify_all()
 
     def close(self) -> None:
-        with self._mutex:
+        with self._cond:
             if self._dead:
                 return
+            # Same discipline as reset(): never close the file while a
+            # leader fsync is in flight outside the mutex.
+            while self._sync_in_progress:
+                self._cond.wait()
+                if self._dead:
+                    return
             try:
                 if self.fsync_mode != "off" and self._synced < self._appended:
                     os.fsync(self._file.fileno())

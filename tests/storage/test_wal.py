@@ -18,7 +18,13 @@ import pytest
 
 from repro.api import EngineConfig, StorageConfig, build_program
 from repro.config import FSYNC_MODES, STORAGE_BACKENDS
-from repro.errors import ConfigError, RecoveryError, SimulatedCrash, StorageError
+from repro.errors import (
+    ConfigError,
+    HandlerError,
+    RecoveryError,
+    SimulatedCrash,
+    StorageError,
+)
 from repro.relational.functions import FunctionRegistry
 from repro.runtime.engine import HildaEngine
 from repro.storage import (
@@ -234,6 +240,204 @@ class TestWalWriter:
         assert 1 <= len(fsyncs) < threads
         writer.close()
 
+    def test_reset_waits_for_inflight_leader_fsync(self, tmp_path, monkeypatch):
+        # A checkpoint's reset() must never close the file while a group
+        # commit leader is fsyncing it outside the mutex (REVIEW: stale
+        # leader could mark never-synced bytes of the new log durable).
+        path = str(tmp_path / "wal.log")
+        writer = WalWriter(path, fsync_mode="batch")
+        lsn = writer.append("pre-checkpoint")
+
+        entered = threading.Event()
+        release = threading.Event()
+        real_fsync = os.fsync
+        gated_calls = []
+
+        def gated_fsync(fd):
+            gated_calls.append(fd)
+            if len(gated_calls) == 1:  # gate only the leader's fsync
+                entered.set()
+                assert release.wait(5)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", gated_fsync)
+        errors = []
+
+        def lead():
+            try:
+                writer.sync(lsn)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        leader = threading.Thread(target=lead)
+        leader.start()
+        assert entered.wait(5)
+
+        reset_done = threading.Event()
+
+        def resetter():
+            try:
+                writer.reset()
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+            reset_done.set()
+
+        checkpointer = threading.Thread(target=resetter)
+        checkpointer.start()
+        # reset() must park behind the in-flight fsync, not race past it.
+        assert not reset_done.wait(0.2)
+        release.set()
+        leader.join(5)
+        checkpointer.join(5)
+        assert reset_done.is_set() and not errors
+        # The new epoch starts with clean watermarks: the pre-reset target
+        # (a larger offset) must not have leaked into _synced.
+        assert writer.appended_size == writer.synced_size == len(WAL_MAGIC)
+        lsn2 = writer.append("after-checkpoint")
+        writer.sync(lsn2)
+        assert writer.synced_size == lsn2
+        writer.close()
+        assert read_wal(path)[0] == ["after-checkpoint"]
+
+    def test_stale_ticket_after_reset_returns_without_fsync(
+        self, tmp_path, monkeypatch
+    ):
+        # A durability ticket issued before a checkpoint reset refers to
+        # bytes the published snapshot already covers: sync() must return
+        # immediately instead of fsyncing (or worse, waiting forever for
+        # the new log to regrow past a stale offset).
+        path = str(tmp_path / "wal.log")
+        writer = WalWriter(path, fsync_mode="batch")
+        lsn = writer.append("snapshot-covered")
+        writer.reset()
+
+        fsyncs = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: (fsyncs.append(fd), real_fsync(fd)))
+        writer.sync(lsn)  # stale: lsn > appended_size of the fresh log
+        assert fsyncs == []
+        assert writer.synced_size == len(WAL_MAGIC)
+        writer.close()
+
+    def test_close_waits_for_inflight_leader_fsync(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "wal.log")
+        writer = WalWriter(path, fsync_mode="batch")
+        lsn = writer.append("shutdown race")
+
+        entered = threading.Event()
+        release = threading.Event()
+        real_fsync = os.fsync
+        gated_calls = []
+
+        def gated_fsync(fd):
+            gated_calls.append(fd)
+            if len(gated_calls) == 1:
+                entered.set()
+                assert release.wait(5)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", gated_fsync)
+        errors = []
+
+        def lead():
+            try:
+                writer.sync(lsn)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        leader = threading.Thread(target=lead)
+        leader.start()
+        assert entered.wait(5)
+
+        close_done = threading.Event()
+
+        def closer():
+            try:
+                writer.close()
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+            close_done.set()
+
+        closing = threading.Thread(target=closer)
+        closing.start()
+        assert not close_done.wait(0.2)  # close parks behind the fsync
+        release.set()
+        leader.join(5)
+        closing.join(5)
+        assert close_done.is_set() and not errors
+        assert writer.dead
+
+    def test_kill_during_inflight_fsync_surfaces_storage_error(
+        self, tmp_path, monkeypatch
+    ):
+        # kill() simulates power loss and deliberately does NOT wait: the
+        # leader's fsync hits a closed file and must surface as the usual
+        # dead-writer StorageError, never a raw ValueError/OSError, and must
+        # not strand followers behind a stuck _sync_in_progress flag.
+        path = str(tmp_path / "wal.log")
+        writer = WalWriter(path, fsync_mode="batch")
+        lsn = writer.append("doomed")
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated_fsync(fd):
+            entered.set()
+            assert release.wait(5)
+            os.fstat(fd)  # raises OSError once kill() closed the file
+
+        monkeypatch.setattr(os, "fsync", gated_fsync)
+        errors = []
+
+        def lead():
+            try:
+                writer.sync(lsn)
+            except Exception as exc:
+                errors.append(exc)
+
+        leader = threading.Thread(target=lead)
+        leader.start()
+        assert entered.wait(5)
+        writer.kill()
+        release.set()
+        leader.join(5)
+        assert len(errors) == 1 and isinstance(errors[0], StorageError)
+        with pytest.raises(StorageError):
+            writer.sync(lsn)  # later committers see a dead writer, no hang
+
+    def test_append_completes_short_writes(self, tmp_path):
+        # Raw FileIO.write may land fewer bytes than asked without raising;
+        # append must loop until the whole record is on disk (a silently
+        # short write would corrupt the next record boundary).
+        path = str(tmp_path / "wal.log")
+        writer = WalWriter(path)
+
+        class ShortWritingFile:
+            def __init__(self, inner):
+                self.inner = inner
+                self.write_calls = 0
+
+            def write(self, data):
+                self.write_calls += 1
+                return self.inner.write(data[: max(1, len(data) // 2)])
+
+            def fileno(self):
+                return self.inner.fileno()
+
+            def close(self):
+                return self.inner.close()
+
+        shorting = ShortWritingFile(writer._file)
+        writer._file = shorting
+        lsn = writer.append({"seq": 1})
+        assert shorting.write_calls > 1
+        assert lsn == writer.appended_size == os.path.getsize(path)
+        writer.sync(lsn)
+        writer.close()
+        records, valid_end = read_wal(path)
+        assert records == [{"seq": 1}]
+        assert valid_end == lsn
+
     def test_leader_crash_wakes_followers_with_error(self, tmp_path):
         crash_points = CrashPointRegistry()
         crash_points.arm("wal.mid_group_commit")
@@ -246,6 +450,82 @@ class TestWalWriter:
         assert writer.dead
         with pytest.raises(StorageError):
             writer.sync(lsn)  # followers arriving later see a dead writer
+
+
+# ---------------------------------------------------------------------------
+# Engine transaction wrapper (_durable_write)
+# ---------------------------------------------------------------------------
+
+
+class TestEngineDurableCommit:
+    def test_commit_failure_does_not_mask_body_error(
+        self, counter_program, tmp_path, monkeypatch
+    ):
+        # The commit runs even when the transaction body raised; a storage
+        # failure there must chain onto the body's exception, not replace it.
+        engine = make_engine(counter_program, tmp_path)
+
+        def failing_commit(meta):
+            raise StorageError("wal writer is dead")
+
+        monkeypatch.setattr(engine.storage, "commit", failing_commit)
+        with pytest.raises(ValueError, match="root cause") as excinfo:
+            with engine._durable_write():
+                raise ValueError("root cause")
+        assert isinstance(excinfo.value.__cause__, StorageError)
+
+    def test_commit_failure_on_success_path_propagates(
+        self, counter_program, tmp_path, monkeypatch
+    ):
+        engine = make_engine(counter_program, tmp_path)
+
+        def failing_commit(meta):
+            raise StorageError("wal writer is dead")
+
+        monkeypatch.setattr(engine.storage, "commit", failing_commit)
+        with pytest.raises(StorageError):
+            with engine._durable_write():
+                pass  # body succeeded: the commit failure is the root cause
+
+    def test_body_error_still_awaits_durability(
+        self, counter_program, tmp_path, monkeypatch
+    ):
+        # A failed handler still committed whatever it journaled (no
+        # rollback path); that commit's durability must be awaited before
+        # the handler error is re-raised.
+        engine = make_engine(counter_program, tmp_path)
+        waited = []
+        original = engine.storage.wait_durable
+
+        def spying_wait(ticket):
+            waited.append(ticket)
+            original(ticket)
+
+        monkeypatch.setattr(engine.storage, "wait_durable", spying_wait)
+        with pytest.raises(ValueError):
+            with engine._durable_write():
+                raise ValueError("body failed after journaling")
+        assert waited
+        engine.close()
+
+    def test_apply_with_dead_wal_reports_handler_error(
+        self, counter_program, tmp_path, monkeypatch
+    ):
+        # End to end: an operation whose handler raised while the WAL is
+        # dead must surface the handler error (the root cause), not the
+        # secondary StorageError from the unconditional commit.
+        engine = make_engine(counter_program, tmp_path)
+        sid = engine.start_session({"bump": [(1,)]})
+        box = engine.find_instances("GetRow", session_id=sid)[0]
+
+        def exploding(operation):
+            raise HandlerError("handler blew up")
+
+        monkeypatch.setattr(engine, "_apply_locked", exploding)
+        engine.storage.wal.kill()
+        with pytest.raises(HandlerError, match="handler blew up") as excinfo:
+            engine.perform(box.instance_id, [1])
+        assert isinstance(excinfo.value.__cause__, StorageError)
 
 
 # ---------------------------------------------------------------------------
