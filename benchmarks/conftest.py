@@ -32,6 +32,7 @@ from repro.apps.minicms import (
     seed_scaled,
 )
 from repro.runtime.engine import HildaEngine
+from repro.sql.stats import estimation_totals
 from repro.storage.backend import BACKEND_ENV_VAR
 
 
@@ -108,6 +109,11 @@ def write_bench_json(name: str, payload: dict) -> str:
         "benchmark": name,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "quick_mode": BENCH_QUICK,
+        # Cumulative EXPLAIN ANALYZE q-error counters for the whole process
+        # so far (zeroes when the benchmark never ran EXPLAIN ANALYZE):
+        # how often the optimizer's row estimates were checked and how
+        # often they missed by more than a q-error of 2 either way.
+        "estimation": estimation_totals(),
     }
     document.update(payload)
     with open(path, "w", encoding="utf-8") as handle:

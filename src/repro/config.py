@@ -54,7 +54,9 @@ __all__ = [
     "SessionConfig",
     "StorageConfig",
     "DEFAULT_ACTIVATION_CACHE_SIZE",
+    "DEFAULT_DELTA_LOG_SIZE",
     "DEFAULT_FRAGMENT_CACHE_SIZE",
+    "MAINTENANCE_MODES",
     "coalesce_legacy_kwargs",
     "reset_deprecation_warnings",
     "warn_deprecated",
@@ -71,6 +73,15 @@ REACTIVATION_MODES = ("eager", "lazy")
 
 #: The query-planning strategies the SQL layer implements (docs/optimizer.md).
 OPTIMIZER_STRATEGIES = ("cost", "heuristic")
+
+#: How the runtime treats stale cached activation-query results:
+#: ``"incremental"`` patches them in place through per-plan delta programs
+#: (falling back to recomputation on any bailout), ``"recompute"`` always
+#: re-executes the query (docs/caching.md § Incremental maintenance).
+MAINTENANCE_MODES = ("incremental", "recompute")
+
+#: Default per-table cap on retained delta rows (``CacheConfig.delta_log_size``).
+DEFAULT_DELTA_LOG_SIZE = 512
 
 #: The storage backends the engine can mount (docs/storage.md).
 STORAGE_BACKENDS = ("memory", "wal")
@@ -198,6 +209,12 @@ class CacheConfig:
     dependency_tracking: bool = True
     #: Reuse unchanged subtrees during reactivation (requires tracking).
     delta_reactivation: bool = True
+    #: Stale cached results: ``"incremental"`` patches them through delta
+    #: programs, ``"recompute"`` re-executes (requires tracking to matter).
+    maintenance: str = "recompute"
+    #: Per-table cap on retained delta rows (None = unbounded); only read
+    #: when ``maintenance="incremental"``.
+    delta_log_size: Optional[int] = DEFAULT_DELTA_LOG_SIZE
 
     def __post_init__(self) -> None:
         _require_bool("CacheConfig", "activation_queries", self.activation_queries)
@@ -210,11 +227,17 @@ class CacheConfig:
         _require_optional_size(
             "CacheConfig", "fragment_cache_size", self.fragment_cache_size
         )
+        if self.maintenance not in MAINTENANCE_MODES:
+            raise ConfigError(
+                "CacheConfig.maintenance must be one of "
+                f"{MAINTENANCE_MODES}, got {self.maintenance!r}"
+            )
+        _require_optional_size("CacheConfig", "delta_log_size", self.delta_log_size)
 
     @classmethod
     def server_defaults(cls) -> "CacheConfig":
         """The caching policy the application container turns on by default."""
-        return cls(activation_queries=True, fragments=True)
+        return cls(activation_queries=True, fragments=True, maintenance="incremental")
 
     @classmethod
     def disabled(cls) -> "CacheConfig":

@@ -117,6 +117,10 @@ class Table:
         #: Storage journal hook (None for every table storage never bound;
         #: :meth:`copy` deliberately drops it — copies are throwaways).
         self._journal: Optional[Callable[[Dict[str, Any]], None]] = None
+        #: Delta-log hook (incremental view maintenance; docs/caching.md).
+        #: Shares the journal's op vocabulary but is a separate slot so the
+        #: WAL and the delta log each see every mutation exactly once.
+        self._delta_hook: Optional[Callable[[Dict[str, Any]], None]] = None
         #: Statistics maintenance is armed by the first :meth:`statistics`
         #: call (None until then): tables whose plans never consult
         #: statistics — the heuristic strategy, ``optimize=False`` — pay
@@ -168,6 +172,27 @@ class Table:
         with self._lock:
             self._journal = journal
 
+    def set_delta_hook(self, hook: Optional[Callable[[Dict[str, Any]], None]]) -> None:
+        """Install (or remove) the delta-log hook for this table.
+
+        Same contract as :meth:`set_journal` (fired inside the table lock,
+        after every effective mutation, must not call back into the table),
+        but a *separate* slot: the WAL claims the journal, the incremental
+        maintenance layer claims this one, and each mutation is delivered to
+        both exactly once.  ``replace`` ops additionally carry ``old_rows``
+        (the pre-image, by reference) so the delta log can classify the
+        replacement; the WAL journal ignores unknown keys.
+        """
+        with self._lock:
+            self._delta_hook = hook
+
+    def _emit(self, op: Dict[str, Any]) -> None:
+        """Deliver one logical-op record to whichever hooks are installed."""
+        if self._journal is not None:
+            self._journal(op)
+        if self._delta_hook is not None:
+            self._delta_hook(op)
+
     # -- mutation -------------------------------------------------------------
 
     def insert(self, values: Sequence[Any]) -> Row:
@@ -187,8 +212,8 @@ class Table:
             if self._stats is not None:
                 self._stats.add_row(row)
             self._version = next(_version_clock)
-            if self._journal is not None:
-                self._journal({"op": "insert", "row": row, "version": self._version})
+            if self._journal is not None or self._delta_hook is not None:
+                self._emit({"op": "insert", "row": row, "version": self._version})
         return row
 
     def insert_mapping(self, mapping: Dict[str, Any]) -> Row:
@@ -226,8 +251,8 @@ class Table:
                     for row in removed:
                         self._stats.remove_row(row)
                 self._version = next(_version_clock)
-                if self._journal is not None:
-                    self._journal(
+                if self._journal is not None or self._delta_hook is not None:
+                    self._emit(
                         {"op": "delete", "rows": list(removed), "version": self._version}
                     )
             return len(removed)
@@ -285,8 +310,8 @@ class Table:
                     for old, new_row in changed:
                         self._stats.replace_row(old, new_row)
                 self._version = next(_version_clock)
-                if self._journal is not None:
-                    self._journal(
+                if self._journal is not None or self._delta_hook is not None:
+                    self._emit(
                         {"op": "update", "changes": list(changed), "version": self._version}
                     )
             return matched
@@ -318,6 +343,7 @@ class Table:
                         )
                     index[key] = row
                 self._key_index = index
+            old_rows = self._rows
             self._rows = rows
             if self._indexes:
                 for columns in self._indexes:
@@ -326,9 +352,14 @@ class Table:
             # read instead of paying O(rows * arity) on the Hilda hot path.
             self._stats = None
             self._version = next(_version_clock)
-            if self._journal is not None:
-                self._journal(
-                    {"op": "replace", "rows": list(rows), "version": self._version}
+            if self._journal is not None or self._delta_hook is not None:
+                self._emit(
+                    {
+                        "op": "replace",
+                        "rows": list(rows),
+                        "old_rows": old_rows,
+                        "version": self._version,
+                    }
                 )
 
     # -- secondary indexes ----------------------------------------------------
@@ -345,8 +376,8 @@ class Table:
                     self.schema.column_position(name) for name in canonical
                 )
                 self._indexes[canonical] = self._build_index(canonical)
-                if self._journal is not None:
-                    self._journal({"op": "create_index", "columns": canonical})
+                if self._journal is not None or self._delta_hook is not None:
+                    self._emit({"op": "create_index", "columns": canonical})
         return canonical
 
     def ensure_index(self, columns: Sequence[str]) -> Tuple[str, ...]:

@@ -266,6 +266,10 @@ class ActivationBuilder:
         persist = self.engine.persist_tables(instance.decl.name)
         catalog = build_read_catalog(instance, persist, include_output=False)
         tuples, read_names = self._activation_tuples(instance, activator, catalog)
+        # Input-query reads are tracked apart from the activation query's so
+        # the split vectors below can tell "only activation inputs moved"
+        # from "the child input tables would change too".
+        input_reads: Optional[Set[str]] = set() if read_names is not None else None
 
         old_children: Optional[Dict[InstanceLabel, AUnitInstance]] = None
         if old_node is not None:
@@ -288,7 +292,7 @@ class ActivationBuilder:
                 preserved=preserved,
             )
             child.create_input_tables()
-            self._compute_child_input(instance, activator, child, read_names)
+            self._compute_child_input(instance, activator, child, input_reads)
             instance.children.append(child)
             self._initialise_local(child, preserved)
             self._activate_children(
@@ -299,6 +303,8 @@ class ActivationBuilder:
 
         if read_names is None:
             instance.activator_deps[activator.name] = None
+            instance.activator_act_deps[activator.name] = None
+            instance.activator_input_deps[activator.name] = None
         else:
             # The per-child synthetic tables (the activation tuple and the
             # child's own input tables read back by later assignments) are
@@ -311,7 +317,13 @@ class ActivationBuilder:
                 for schema in child_decl.input_schema
             )
             instance.activator_deps[activator.name] = dep_vector(
+                (read_names | input_reads) - excluded, catalog
+            )
+            instance.activator_act_deps[activator.name] = dep_vector(
                 read_names - excluded, catalog
+            )
+            instance.activator_input_deps[activator.name] = dep_vector(
+                input_reads - excluded, catalog
             )
 
     # -- delta reactivation -------------------------------------------------------------
@@ -328,7 +340,10 @@ class ActivationBuilder:
 
         Returns True when the activator was handled (children adopted or
         shallowly rebuilt); False sends the caller down the full rebuild
-        path.
+        path.  Under incremental maintenance a stale dependency vector gets
+        a second chance: when only the activation query's inputs moved and
+        its (cache-patched) *results* compare equal to the old child set,
+        the children are still adoptable (see :meth:`_results_unchanged`).
         """
         deps = old_node.activator_deps.get(activator.name, _NO_RECORD)
         if deps is _NO_RECORD or deps is None:
@@ -336,7 +351,11 @@ class ActivationBuilder:
         persist = self.engine.persist_tables(instance.decl.name)
         catalog = build_read_catalog(instance, persist, include_output=False)
         if not deps_current(deps, catalog):
-            return False
+            if not self._results_unchanged(instance, activator, old_node, catalog):
+                return False
+            deps = dep_vector([name for name, _ in deps], catalog)
+            if deps is None:
+                return False
 
         # The activation and input queries would produce identical results:
         # same child set, same activation tuples, same child input tables.
@@ -367,6 +386,52 @@ class ActivationBuilder:
                 self._initialise_local(child, preserved)
                 self._activate_children(child, preserved, old_child)
         instance.activator_deps[activator.name] = deps
+        for split in ("activator_act_deps", "activator_input_deps"):
+            recorded = getattr(old_node, split).get(activator.name)
+            getattr(instance, split)[activator.name] = (
+                dep_vector([name for name, _ in recorded], catalog)
+                if recorded is not None
+                else None
+            )
+        return True
+
+    def _results_unchanged(
+        self,
+        instance: AUnitInstance,
+        activator: ActivatorDecl,
+        old_node: AUnitInstance,
+        catalog: DictCatalog,
+    ) -> bool:
+        """Prove one activator's *results* unchanged despite moved versions.
+
+        Entered when the activator's combined dependency vector went stale.
+        If the input query's own footprint is still current, the only thing
+        that can differ is the activation tuple set — so re-evaluate the
+        activation query (served by the activation cache, which under
+        incremental maintenance patches its stale entry through the delta
+        program rather than recomputing) and compare against the old child
+        set.  Equal tuples mean a rebuild would reproduce the children
+        verbatim, so the caller may adopt them even though table versions
+        moved.
+        """
+        if self.engine.maintenance != "incremental":
+            return False
+        if activator.activation_query is None or activator.activation_filters:
+            return False
+        input_deps = old_node.activator_input_deps.get(activator.name, _NO_RECORD)
+        if input_deps is _NO_RECORD or input_deps is None:
+            return False
+        if not deps_current(input_deps, catalog):
+            return False
+        tuples, _ = self._activation_tuples(instance, activator, catalog)
+        old_tuples = [
+            child.activation_tuple
+            for child in old_node.children
+            if child.activator_name == activator.name
+        ]
+        if list(tuples) != old_tuples:
+            return False
+        self.engine.maintenance_stats.results_unchanged += 1
         return True
 
     def _subtree_clean(self, node: AUnitInstance) -> bool:
@@ -425,7 +490,9 @@ class ActivationBuilder:
         executor = self.engine.make_executor(catalog)
         query = activator.activation_query.query
         query_reads: Optional[Set[str]] = set(executor.read_set(query)) if track else None
-        cached = self.engine.activation_cache_lookup(instance, activator, catalog)
+        cached = self.engine.activation_cache_lookup(
+            instance, activator, catalog, executor=executor
+        )
         if cached is not None:
             rows = cached
         else:
@@ -436,7 +503,8 @@ class ActivationBuilder:
                     f"activation query of {instance.decl.name}.{activator.name} failed: {exc}"
                 ) from exc
             self.engine.activation_cache_store(
-                instance, activator, rows, query_reads, catalog
+                instance, activator, rows, query_reads, catalog,
+                query=query, executor=executor,
             )
 
         if not activator.activation_filters:

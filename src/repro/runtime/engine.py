@@ -37,7 +37,13 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.config import DEFAULT_ACTIVATION_CACHE_SIZE, EngineConfig
-from repro.errors import ConflictError, HandlerError, RecoveryError, SessionError
+from repro.errors import (
+    ConflictError,
+    HandlerError,
+    RecoveryError,
+    SessionError,
+    UnknownTableError,
+)
 from repro.hilda.ast import ActivatorDecl, AUnitDecl
 from repro.hilda.program import HildaProgram
 from repro.relational.functions import FunctionRegistry, SequentialKeyGenerator
@@ -54,8 +60,9 @@ from repro.runtime.history import ExecutionHistory
 from repro.runtime.instance import AUnitInstance, InstanceLabel
 from repro.runtime.operations import ApplyResult, Operation, OperationStatus
 from repro.runtime.returns import ReturnProcessor
+from repro.sql.delta import DeltaLog, DeltaProgram, build_delta_program
 from repro.sql.executor import SQLCaches, SQLExecutor
-from repro.sql.stats import CacheStats
+from repro.sql.stats import CacheStats, MaintenanceStats
 from repro.storage.backend import create_backend
 
 __all__ = ["HildaEngine"]
@@ -120,6 +127,23 @@ class HildaEngine:
         self.dependency_tracking = config.cache.dependency_tracking
         self.delta_reactivation = config.cache.delta_reactivation
         self.activation_cache_size = config.cache.activation_cache_size
+        #: ``"incremental"`` patches stale cached activation results through
+        #: per-plan delta programs; ``"recompute"`` (default) re-executes.
+        self.maintenance = config.cache.maintenance
+        #: The in-memory delta log feeding incremental maintenance.  None
+        #: unless ``maintenance="incremental"`` *and* dependency tracking is
+        #: on (the stamps the patch path advances are dependency vectors).
+        self.delta_log: Optional[DeltaLog] = (
+            DeltaLog(config.cache.delta_log_size)
+            if config.cache.maintenance == "incremental"
+            and config.cache.dependency_tracking
+            else None
+        )
+        #: Engine-wide incremental-maintenance counters (docs/caching.md).
+        self.maintenance_stats = MaintenanceStats()
+        #: id(plan) -> (plan, delta program or None); the plan reference
+        #: pins the id.  Swept wholesale when it outgrows the plan cache.
+        self._delta_programs: Dict[int, Tuple[Any, Optional[DeltaProgram]]] = {}
         self.forest = ActivationForest()
         self.history: Optional[ExecutionHistory] = (
             ExecutionHistory() if config.record_history else None
@@ -328,6 +352,8 @@ class HildaEngine:
                             "inconsistent: " + "; ".join(problems)
                         )
                 self.storage.bind_table(decl.name, table)
+                if self.delta_log is not None:
+                    self.delta_log.attach(table)
             self._persist_initialised.add(decl.name)
             return
         tables = {schema.name: Table(schema) for schema in decl.persist_schema}
@@ -339,6 +365,8 @@ class HildaEngine:
         )
         for table in tables.values():
             self.storage.bind_table(decl.name, table)
+            if self.delta_log is not None:
+                self.delta_log.attach(table)
         if decl.persist_query:
             from repro.runtime.context import DictCatalog, run_assignments
 
@@ -362,7 +390,11 @@ class HildaEngine:
     # -- activation-query cache (Section 6.2 data caching) ----------------------------
 
     def activation_cache_lookup(
-        self, instance: AUnitInstance, activator: ActivatorDecl, catalog
+        self,
+        instance: AUnitInstance,
+        activator: ActivatorDecl,
+        catalog,
+        executor: Optional[SQLExecutor] = None,
     ) -> Optional[List[Tuple[Any, ...]]]:
         """Cached activation rows for one (instance, activator), if still valid.
 
@@ -371,6 +403,12 @@ class HildaEngine:
         through ``catalog``, the instance's read catalog); in the coarse
         mode validity means "no write anywhere since".  Called under the
         engine's write lock (tree builds are exclusive).
+
+        Under ``maintenance="incremental"`` a *stale* entry carrying a delta
+        program is first offered to the patch path: the deltas between its
+        recorded and current table versions are propagated through the
+        program, and on success the repaired entry counts as a hit.  Any
+        bailout falls through to the ordinary invalidation miss.
         """
         if not self.cache_activation_queries:
             return None
@@ -380,12 +418,24 @@ class HildaEngine:
         if cached is None:
             stats.misses += 1
             return None
-        stamp, rows = cached
+        stamp, rows, program, sources = cached
         if self.dependency_tracking:
             valid = deps_current(stamp, catalog)
         else:
             valid = stamp == self._state_version
         if not valid:
+            if (
+                program is not None
+                and sources is not None
+                and executor is not None
+                and self.delta_log is not None
+            ):
+                patched = self._patch_activation_entry(key, cached, executor)
+                if patched is not None:
+                    stats.hits += 1
+                    return patched
+                self.maintenance_stats.bailouts += 1
+                executor.stats.maintenance_bailouts += 1
             del self._activation_cache[key]
             stats.misses += 1
             stats.invalidations += 1
@@ -394,6 +444,60 @@ class HildaEngine:
         stats.hits += 1
         return rows
 
+    def _patch_activation_entry(
+        self, key: Tuple, cached: Tuple, executor: SQLExecutor
+    ) -> Optional[List[Tuple[Any, ...]]]:
+        """Repair one stale cache entry through its delta program (or None)."""
+        stamp, rows, program, sources = cached
+        # Plan-drift guard: the program's delta rules replay one physical
+        # plan's output order.  If re-planning (a stats-fingerprint miss)
+        # superseded that plan, the recomputed order could differ — bail.
+        try:
+            if executor._plan(program.ast) is not program.plan:
+                return None
+        except Exception:
+            return None
+        result = program.maintain(
+            list(zip(sources, rows)),
+            stamp,
+            executor._context(),
+            self.delta_log,
+            self.maintenance_stats,
+        )
+        if result is None:
+            return None
+        new_pairs, new_stamp = result
+        new_rows = [out for _, out in new_pairs]
+        new_sources = [source for source, _ in new_pairs]
+        cache = self._activation_cache
+        cache[key] = (new_stamp, new_rows, program, new_sources)
+        cache.move_to_end(key)
+        self.maintenance_stats.patched += 1
+        executor.stats.maintenance_patches += 1
+        return new_rows
+
+    def _delta_program_for(
+        self, executor: SQLExecutor, query
+    ) -> Optional[DeltaProgram]:
+        """The (memoised) delta program for a query's current plan, or None."""
+        try:
+            ast = executor._parse_query(query)
+            plan = executor._plan(ast)
+        except Exception:
+            return None
+        memo = self._delta_programs
+        entry = memo.get(id(plan))
+        if entry is not None and entry[0] is plan:
+            return entry[1]
+        try:
+            program = build_delta_program(ast, plan, executor._plan_read_set(plan))
+        except Exception:
+            program = None
+        if len(memo) > 512:
+            memo.clear()  # dead plans linger after cache eviction; resweep
+        memo[id(plan)] = (plan, program)
+        return program
+
     def activation_cache_store(
         self,
         instance: AUnitInstance,
@@ -401,12 +505,19 @@ class HildaEngine:
         rows: List[Tuple[Any, ...]],
         read_names,
         catalog,
+        query=None,
+        executor: Optional[SQLExecutor] = None,
     ) -> None:
         """Memoise activation rows, stamped with their dependency versions.
 
         ``read_names`` is the query's table read set (None when untracked —
         then nothing is stored under dependency tracking, since the entry
-        could never be validated).
+        could never be validated).  Under incremental maintenance, ``query``
+        and ``executor`` let the entry carry a delta program plus the
+        provenance (source-table row per output row) the patch path needs;
+        the program's snapshot is verified against ``rows`` at store time,
+        so a program that cannot reproduce the plan's exact output order is
+        dropped here rather than trusted later.
         """
         if not self.cache_activation_queries:
             return
@@ -419,8 +530,29 @@ class HildaEngine:
                 return
         else:
             stamp = self._state_version
+        program = None
+        sources = None
+        if self.delta_log is not None and query is not None and executor is not None:
+            program = self._delta_program_for(executor, query)
+            if program is not None:
+                context = executor._context()
+                pairs = program.snapshot(context, rows)
+                if pairs is None:
+                    program = None
+                else:
+                    sources = [source for source, _ in pairs]
+                    # Lazily track whatever table this plan scans — local and
+                    # input tables too, not just the persistent set attached
+                    # up front — so their future mutations are patchable.
+                    try:
+                        self.delta_log.attach(
+                            context.catalog.resolve_table(program.source)
+                        )
+                    except UnknownTableError:
+                        program = None
+                        sources = None
         cache = self._activation_cache
-        cache[(instance.label, activator.name)] = (stamp, list(rows))
+        cache[(instance.label, activator.name)] = (stamp, list(rows), program, sources)
         cache.move_to_end((instance.label, activator.name))
         if self.activation_cache_size is not None:
             while len(cache) > self.activation_cache_size:

@@ -79,6 +79,8 @@ class AUnitInstance:
         "session_id",
         "returned",
         "activator_deps",
+        "activator_act_deps",
+        "activator_input_deps",
         "local_deps",
     )
 
@@ -115,6 +117,13 @@ class AUnitInstance:
         #: activator's children were built (None = uncacheable); consulted by
         #: delta reactivation (see module doc).
         self.activator_deps: Dict[str, Optional[Tuple[Tuple[str, int], ...]]] = {}
+        #: The same footprint split by query: the activation query's reads
+        #: and the input query's reads separately.  Incremental maintenance
+        #: uses the split to prove an activator's *results* unchanged when
+        #: only activation-side tables moved (docs/caching.md § Incremental
+        #: maintenance).
+        self.activator_act_deps: Dict[str, Optional[Tuple[Tuple[str, int], ...]]] = {}
+        self.activator_input_deps: Dict[str, Optional[Tuple[Tuple[str, int], ...]]] = {}
         #: Dependency version vector of the local query (None = not recorded).
         self.local_deps: Optional[Tuple[Tuple[str, int], ...]] = None
 

@@ -47,6 +47,7 @@ from repro.sql.ast import (
 from repro.sql.compile import cached_compile
 from repro.sql.evaluator import Evaluator, RowScope
 from repro.sql.operators import ExecutionContext, ExecutionStats, Operator, explain_plan
+from repro.sql.delta import describe_maintenance
 from repro.sql.parser import parse_query, parse_statement
 from repro.sql.planner import Planner, tables_read
 from repro.sql.relation import ColumnInfo, Relation
@@ -213,14 +214,29 @@ class SQLExecutor:
         # there (the cache has no eviction for never-again-seen plans).
         reads = sorted(tables_read(plan, plan_subquery=self._plan))
         footprint = ", ".join(reads) if reads else "(none)"
+        maintenance = describe_maintenance(ast, plan, frozenset(reads))
         actuals: Dict[int, Tuple[int, int]] = {}
         _instrument_plan(plan, actuals)
+        checks = self.stats.estimation_checks
+        under = self.stats.estimation_underestimates
+        over = self.stats.estimation_overestimates
         plan.execute(self._context(), None)
         for operator, (loops, total_rows) in _collect_estimates(plan, actuals):
             self.stats.record_estimation(
                 operator.estimated_rows, total_rows / max(1, loops)
             )
-        return explain_plan(plan, actuals=actuals) + f"\nTables read: {footprint}"
+        estimation = (
+            f"Estimation: {self.stats.estimation_checks - checks} checked, "
+            f"{self.stats.estimation_underestimates - under} underestimated, "
+            f"{self.stats.estimation_overestimates - over} overestimated "
+            "(q-error > 2)"
+        )
+        return (
+            explain_plan(plan, actuals=actuals)
+            + f"\n{estimation}"
+            + f"\nMaintenance: {maintenance}"
+            + f"\nTables read: {footprint}"
+        )
 
     def read_set(self, query: QueryLike) -> frozenset:
         """The names of the tables a query reads (its dependency footprint).

@@ -65,7 +65,13 @@ from repro.sql.operators import (
     _indexable_literal,
 )
 
-__all__ = ["Planner", "plan_query", "tables_read"]
+__all__ = [
+    "Planner",
+    "expression_subquery",
+    "operator_expressions",
+    "plan_query",
+    "tables_read",
+]
 
 
 def plan_query(query: Query, catalog, optimize: bool = True, auto_index: bool = False) -> Operator:
@@ -150,6 +156,21 @@ def _expression_subquery(node: Expression) -> Optional[Query]:
     if isinstance(node, ScalarSubquery):
         return node.query
     return None
+
+
+def operator_expressions(plan: Operator) -> List[Expression]:
+    """Public alias of :func:`_operator_expressions` (used by ``sql.delta``).
+
+    The incremental-maintenance layer walks these expressions to reject
+    plans carrying subquery expressions, which its delta rules cannot
+    propagate through.
+    """
+    return _operator_expressions(plan)
+
+
+def expression_subquery(node: Expression) -> Optional[Query]:
+    """Public alias of :func:`_expression_subquery` (used by ``sql.delta``)."""
+    return _expression_subquery(node)
 
 
 def _collect_subquery_tables(query: Query, plan_subquery, names: Set[str]) -> None:

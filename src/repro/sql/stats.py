@@ -10,7 +10,18 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 
-__all__ = ["ExecutionStats", "CacheStats"]
+__all__ = ["ExecutionStats", "CacheStats", "MaintenanceStats", "estimation_totals"]
+
+#: Process-wide accumulation of every ``record_estimation`` call, so the
+#: benchmark artifacts can report the run's q-error totals without having
+#: to thread each executor's :class:`ExecutionStats` to the writer (the
+#: counters are informational; ints under the GIL need no lock).
+_PROCESS_ESTIMATION = {"checks": 0, "underestimates": 0, "overestimates": 0}
+
+
+def estimation_totals() -> dict:
+    """The process-wide EXPLAIN ANALYZE q-error counters (see module doc)."""
+    return dict(_PROCESS_ESTIMATION)
 
 
 @dataclass
@@ -43,6 +54,13 @@ class ExecutionStats:
     #: Of those, how many under-/over-estimated by more than a q-error of 2.
     estimation_underestimates: int = 0
     estimation_overestimates: int = 0
+    #: Incremental view maintenance (docs/caching.md § Incremental
+    #: maintenance): cached activation results patched in place by a delta
+    #: program, version misses that bailed out to full recomputation, and
+    #: the source delta rows propagated through delta programs.
+    maintenance_patches: int = 0
+    maintenance_bailouts: int = 0
+    maintenance_delta_rows: int = 0
 
     def merge(self, other: "ExecutionStats") -> None:
         self.rows_scanned += other.rows_scanned
@@ -56,20 +74,55 @@ class ExecutionStats:
         self.estimation_checks += other.estimation_checks
         self.estimation_underestimates += other.estimation_underestimates
         self.estimation_overestimates += other.estimation_overestimates
+        self.maintenance_patches += other.maintenance_patches
+        self.maintenance_bailouts += other.maintenance_bailouts
+        self.maintenance_delta_rows += other.maintenance_delta_rows
 
     def record_estimation(self, estimated: float, actual: int) -> None:
         """Record one estimate-vs-actual comparison (EXPLAIN ANALYZE)."""
         self.estimation_checks += 1
+        _PROCESS_ESTIMATION["checks"] += 1
         q_error_floor = 1.0  # +1 smoothing keeps empty results comparable
         under = (actual + q_error_floor) / (estimated + q_error_floor)
         over = (estimated + q_error_floor) / (actual + q_error_floor)
         if under > 2.0:
             self.estimation_underestimates += 1
+            _PROCESS_ESTIMATION["underestimates"] += 1
         elif over > 2.0:
             self.estimation_overestimates += 1
+            _PROCESS_ESTIMATION["overestimates"] += 1
 
     def as_dict(self) -> dict:
         """A plain-dict view (benchmark JSON artifacts)."""
+        return asdict(self)
+
+
+@dataclass
+class MaintenanceStats:
+    """Engine-wide incremental-maintenance counters (docs/caching.md).
+
+    ``patched`` counts activation-cache entries repaired in place by a delta
+    program on a version miss; ``bailouts`` counts the misses where the
+    delta path gave up (uncovered deltas, unsupported shape, cost bound)
+    and fell back to full recomputation; ``delta_rows`` is the total number
+    of source delta rows propagated through delta programs;
+    ``results_unchanged`` counts reactivations that adopted a subtree
+    because its *results* were proven unchanged even though its input
+    tables' versions moved.
+    """
+
+    patched: int = 0
+    bailouts: int = 0
+    delta_rows: int = 0
+    results_unchanged: int = 0
+
+    def reset(self) -> None:
+        self.patched = 0
+        self.bailouts = 0
+        self.delta_rows = 0
+        self.results_unchanged = 0
+
+    def as_dict(self) -> dict:
         return asdict(self)
 
 

@@ -106,3 +106,57 @@ class TestVersionIdentity:
         table.clear()
         seen.append(table.version)
         assert seen == sorted(seen) and len(set(seen)) == len(seen)
+
+
+class TestDeltaHookQuiescence:
+    """No-op mutations must stay invisible to the delta layer (PR 3 invariant).
+
+    The incremental-maintenance delta hook rides the same emission seam as
+    the WAL journal: an update or replace that leaves the contents identical
+    must neither bump the version stamp nor emit a delta record — otherwise
+    every cached result keyed on the stamp would be invalidated (and the
+    delta log polluted) by writes that changed nothing.
+    """
+
+    def _hooked(self, rows=()):
+        table = _table(rows)
+        ops = []
+        table.set_delta_hook(ops.append)
+        return table, ops
+
+    def test_identity_update_emits_no_delta(self):
+        table, ops = self._hooked([(1, "a"), (2, "b")])
+        before = table.version
+        assert table.update_where(lambda row: True, lambda row: row) == 2
+        assert table.version == before
+        assert ops == []
+
+    def test_identical_replace_emits_no_delta(self):
+        table, ops = self._hooked([(1, "a"), (2, "b")])
+        before = table.version
+        table.replace([(1, "a"), (2, "b")])
+        assert table.version == before
+        assert ops == []
+
+    def test_noop_delete_emits_no_delta(self):
+        table, ops = self._hooked([(1, "a")])
+        table.delete_where(lambda row: False)
+        assert ops == []
+
+    def test_partial_identity_update_emits_only_real_changes(self):
+        table, ops = self._hooked([(1, "a"), (2, "b")])
+        table.update_where(lambda row: True, lambda row: (row[0], "z") if row[0] == 1 else row)
+        assert len(ops) == 1
+        assert ops[0]["op"] == "update"
+        assert ops[0]["changes"] == [((1, "a"), (1, "z"))]
+
+    def test_effective_mutations_reach_both_hooks_once(self):
+        table = _table()
+        journal_ops, delta_ops = [], []
+        table.set_journal(journal_ops.append)
+        table.set_delta_hook(delta_ops.append)
+        table.insert((1, "a"))
+        table.update_where(lambda row: True, lambda row: (row[0], "z"))
+        table.delete_where(lambda row: True)
+        assert [op["op"] for op in journal_ops] == ["insert", "update", "delete"]
+        assert [op["op"] for op in delta_ops] == ["insert", "update", "delete"]

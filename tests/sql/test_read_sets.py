@@ -82,3 +82,69 @@ class TestExplainFootprint:
 
     def test_explain_reports_empty_footprint(self, sql):
         assert "Tables read: (none)" in sql.explain("SELECT 1")
+
+
+class TestDeltaFootprint:
+    """Read sets drive incremental-maintenance classification.
+
+    ``classify_plan`` consumes the same plan-derived footprint the
+    dependency tracker uses; these tests pin that the delta spine's
+    *source* table is always part of the read set (otherwise a mutation
+    could patch a cache entry the invalidator never flagged) and that
+    footprints with subqueries stay on the recompute path.
+    """
+
+    def _classify(self, sql, query):
+        from repro.sql.delta import classify_plan
+
+        ast = sql._parse_query(query)
+        plan = sql._plan(ast)
+        return classify_plan(ast, plan, frozenset(sql.read_set(query))), plan
+
+    def test_delta_source_is_in_read_set(self, sql):
+        query = "SELECT cname FROM course WHERE cid > 10"
+        (program, reason), _ = self._classify(sql, query)
+        assert program is not None, reason
+        assert program.source in sql.read_set(query)
+
+    def test_join_spine_source_is_in_read_set(self, sql):
+        query = (
+            "SELECT S.sname FROM staff S, course C "
+            "WHERE S.cid = C.cid AND S.role = 'admin'"
+        )
+        (program, reason), _ = self._classify(sql, query)
+        assert program is not None, reason
+        reads = sql.read_set(query)
+        assert program.source in reads
+        # Every table the delta program touches is visible to the
+        # dependency tracker — nothing escapes the footprint.
+        assert {"staff", "course"} <= reads
+
+    def test_index_join_inner_table_is_in_read_set(self, sample_db):
+        from repro.config import EngineConfig
+
+        executor = SQLExecutor(sample_db, config=EngineConfig(auto_index=True))
+        query = (
+            "SELECT S.sname FROM student S, course C WHERE S.cid = C.cid"
+        )
+        explained = executor.explain(query)
+        reads = executor.read_set(query)
+        assert {"student", "course"} <= reads
+        if "IndexNestedLoopJoin" in explained:
+            from repro.sql.delta import classify_plan
+
+            ast = executor._parse_query(query)
+            plan = executor._plan(ast)
+            program, reason = classify_plan(ast, plan, frozenset(reads))
+            assert program is not None, reason
+
+    def test_subquery_footprint_forces_recompute(self, sql):
+        query = (
+            "SELECT C.cname FROM course C "
+            "WHERE C.cid IN (SELECT S.cid FROM staff S)"
+        )
+        (program, reason), _ = self._classify(sql, query)
+        assert program is None
+        # The subquery's table still shows up in the footprint, so the
+        # plain invalidation path keeps covering what delta rules cannot.
+        assert sql.read_set(query) == {"course", "staff"}
