@@ -34,6 +34,7 @@ from repro.apps.minicms import (
 from repro.runtime.engine import HildaEngine
 from repro.sql.stats import estimation_totals
 from repro.storage.backend import BACKEND_ENV_VAR
+from repro.web.server import SERVER_MODE_ENV_VAR
 
 
 @pytest.fixture(autouse=True)
@@ -50,6 +51,11 @@ def _pin_storage_backend(monkeypatch):
     ``tests/``' job; here the backend is part of the experiment setup.
     """
     monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    # Same story for the tier1-cluster leg's server-mode override: the
+    # cluster scaling benchmark builds its own explicitly-sized clusters,
+    # and silently wrapping every other benchmark's ThreadedHildaServer in
+    # a 2-worker thread cluster would re-base their ratios too.
+    monkeypatch.delenv(SERVER_MODE_ENV_VAR, raising=False)
 
 
 @pytest.fixture(scope="session")

@@ -265,3 +265,229 @@ def test_bench_concurrent_mutation_stress(benchmark):
         [(outcome["entries"], outcome["indexes"], "none")],
         ["entries stored", "indexes", "corruption"],
     )
+
+
+# ---------------------------------------------------------------------------
+# PR 9 — cluster worker-scaling curve (docs/cluster.md).
+#
+# The same Zipf-skewed mixed read/write workload is replayed against fork
+# clusters of 1, 2 and 4 shard workers, all through the session-affinity
+# router over real RPC sockets.  The speedup is *algorithmic*, so it holds
+# even on a single-core runner: with N shards each post's handler action
+# scans/replaces 1/N of the note rows, and a write invalidates only the
+# sessions co-resident on its shard instead of every session in the
+# deployment.  Per-request work shrinks with N while the router/RPC cost
+# stays constant, so the workload is sized so scan work dominates.
+#
+# The bench program deliberately has *no* global (cross-shard) activator:
+# scatter-gather latency is covered by the equivalence/failover tests, while
+# this curve isolates what sharding buys for shard-local serving.
+# ---------------------------------------------------------------------------
+
+CLUSTER_WORKER_COUNTS = (1, 2, 4)
+CLUSTER_USERS = [f"user{index:02d}" for index in range(16)]
+CLUSTER_NOTES_PER_USER = quick(48, 32)
+CLUSTER_REQUESTS = quick(360, 144)
+CLUSTER_DRIVERS = 4  # concurrent driver threads (users split evenly)
+CLUSTER_WRITE_FRACTION = 0.5
+CLUSTER_ZIPF_S = 1.2  # skew exponent for per-driver user popularity
+
+#: Acceptance (ISSUE 9): four workers must at least double single-worker
+#: throughput on the skewed mixed workload.
+MIN_CLUSTER_SCALING = 2.0
+
+CLUSTER_BENCH_SOURCE = """
+root aunit Board {
+    input schema { user(name:string) }
+    persist schema { note(author:string, seq:int, text:string) }
+
+    // Affine read: the equality note.author = user.name is the partitioning
+    // witness, so every page renders entirely from the session's own shard.
+    activator ActMyNotes : ShowTable(int, string) {
+        input query {
+            ShowTable.input :-
+                SELECT N.seq, N.text FROM note N, user U
+                WHERE N.author = U.name ORDER BY N.seq
+        }
+    }
+
+    activator ActPost : GetRow(int, string) {
+        handler PostNote {
+            action {
+                note :-
+                    SELECT N.author, N.seq, N.text FROM note N
+                    UNION ALL
+                    SELECT U.name, O.c1, O.c2 FROM user U, GetRow.output O
+            }
+        }
+    }
+}
+"""
+
+
+def seed_cluster_bench(engine, index: int = 0) -> None:
+    rows = [
+        (user, seq, f"{user} note {seq}")
+        for user in CLUSTER_USERS
+        for seq in range(1, CLUSTER_NOTES_PER_USER + 1)
+    ]
+    engine.seed_persistent({"note": rows})
+
+
+def _follow(handle, request):
+    from repro.web.http import Request
+
+    response = handle(request)
+    while response.is_redirect:
+        cookies = dict(request.cookies)
+        cookies.update(response.set_cookies)
+        request = Request.get(response.location, cookies=cookies)
+        response = handle(request)
+    return response
+
+
+def run_cluster_pass(program, workers: int) -> float:
+    """Drive the full workload against a fork cluster; return elapsed seconds."""
+    import re
+
+    from repro.cluster.server import ClusterServer
+    from repro.config import ClusterConfig, ServerConfig
+    from repro.web.http import Request
+    from repro.web.sessions import SESSION_COOKIE
+
+    instance_id = re.compile(r'name="instance_id" value="(\d+)"')
+    cluster = ClusterConfig(
+        workers=workers,
+        retry_backoff=0.01,
+        request_timeout=10.0,
+        health_interval=5.0,  # no restarts expected; keep the monitor quiet
+    )
+    server = ClusterServer(
+        program,
+        cluster=cluster,
+        server_config=ServerConfig(),
+        seed=seed_cluster_bench,
+    )
+    with server:
+        handle = server.router.handle
+        cookies: Dict[str, str] = {}
+        next_seq: Dict[str, int] = {}
+        for user in CLUSTER_USERS:
+            response = handle(Request.get(f"/login?user={user}"))
+            assert response.is_redirect, response.status
+            cookies[user] = response.set_cookies[SESSION_COOKIE]
+            page = _follow(
+                handle, Request.get("/", cookies={SESSION_COOKIE: cookies[user]})
+            )
+            assert page.ok and instance_id.search(page.body), page.status
+            next_seq[user] = CLUSTER_NOTES_PER_USER + 1
+
+        errors: List[BaseException] = []
+
+        def driver(index: int) -> None:
+            # Each driver owns a disjoint user subset (no cookie races) and
+            # picks among them Zipf-style: a couple of hot sessions, a tail
+            # of cold ones.  Seeded rng => the identical request sequence is
+            # replayed at every worker count.
+            try:
+                rng = random.Random(7000 + index)
+                mine = CLUSTER_USERS[index::CLUSTER_DRIVERS]
+                weights = [1.0 / (rank + 1) ** CLUSTER_ZIPF_S for rank in range(len(mine))]
+                for _ in range(CLUSTER_REQUESTS // CLUSTER_DRIVERS):
+                    user = rng.choices(mine, weights=weights)[0]
+                    jar = {SESSION_COOKIE: cookies[user]}
+                    if rng.random() < CLUSTER_WRITE_FRACTION:
+                        # A browser posts from the page it is looking at:
+                        # re-fetch, then act on the current GetRow instance.
+                        page = _follow(handle, Request.get("/", cookies=jar))
+                        assert page.ok, f"{user}: HTTP {page.status}"
+                        form = instance_id.search(page.body).group(1)
+                        seq = next_seq[user]
+                        next_seq[user] = seq + 1
+                        page = _follow(
+                            handle,
+                            Request.post(
+                                "/action",
+                                {
+                                    "instance_id": form,
+                                    "c1": seq,
+                                    "c2": f"{user} note {seq}",
+                                },
+                                cookies=jar,
+                            ),
+                        )
+                    else:
+                        page = _follow(handle, Request.get("/", cookies=jar))
+                    assert page.ok, f"{user}: HTTP {page.status}"
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=driver, args=(index,))
+            for index in range(CLUSTER_DRIVERS)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        assert not errors, errors
+    return elapsed
+
+
+def test_bench_cluster_worker_scaling(benchmark):
+    """4 shard workers must clear MIN_CLUSTER_SCALING x 1-worker throughput."""
+    from repro.hilda.program import load_program as load
+
+    program = load(CLUSTER_BENCH_SOURCE)
+
+    def curve() -> Dict[int, float]:
+        return {
+            workers: run_cluster_pass(program, workers)
+            for workers in CLUSTER_WORKER_COUNTS
+        }
+
+    elapsed = benchmark.pedantic(curve, rounds=1, iterations=1)
+    rps = {
+        workers: CLUSTER_REQUESTS / seconds for workers, seconds in elapsed.items()
+    }
+    scaling = rps[4] / rps[1]
+    print_series(
+        f"PR9 — cluster worker scaling, {CLUSTER_REQUESTS} Zipf-skewed requests "
+        f"({CLUSTER_WRITE_FRACTION:.0%} writes, {len(CLUSTER_USERS)} sessions, "
+        f"{CLUSTER_DRIVERS} drivers)",
+        [
+            (
+                f"{workers} worker{'s' if workers > 1 else ''}",
+                f"{elapsed[workers]:.3f}s",
+                f"{rps[workers]:.1f}",
+                f"{rps[workers] / rps[1]:.2f}x",
+            )
+            for workers in CLUSTER_WORKER_COUNTS
+        ],
+        ["cluster size", "elapsed", "req/s", "vs 1 worker"],
+    )
+    write_bench_json(
+        "cluster_scaling",
+        {
+            "users": len(CLUSTER_USERS),
+            "notes_per_user": CLUSTER_NOTES_PER_USER,
+            "requests": CLUSTER_REQUESTS,
+            "write_fraction": CLUSTER_WRITE_FRACTION,
+            "zipf_s": CLUSTER_ZIPF_S,
+            "series": [
+                {
+                    "workers": workers,
+                    "elapsed_s": elapsed[workers],
+                    "requests_per_sec": rps[workers],
+                }
+                for workers in CLUSTER_WORKER_COUNTS
+            ],
+            "speedup_4_vs_1": scaling,
+        },
+    )
+    assert scaling >= MIN_CLUSTER_SCALING, (
+        f"4-worker throughput only {scaling:.2f}x a single worker "
+        f"({rps[4]:.1f} vs {rps[1]:.1f} req/s, need {MIN_CLUSTER_SCALING}x)"
+    )

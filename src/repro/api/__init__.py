@@ -39,6 +39,7 @@ from repro.api.builder import (
 from repro.api.facade import ProgramSource, build_app, build_program, serve
 from repro.config import (
     CacheConfig,
+    ClusterConfig,
     EngineConfig,
     OptimizerConfig,
     ServerConfig,
@@ -55,6 +56,7 @@ __all__ = [
     "AUnitBuilder",
     "BuilderError",
     "CacheConfig",
+    "ClusterConfig",
     "ConfigError",
     "EngineConfig",
     "ExtensionBuilder",

@@ -115,10 +115,22 @@ def serve(
     :class:`~repro.web.server.ThreadedHildaServer` directly.
     ``build_options`` are forwarded to :func:`build_app` when ``source``
     is not already a :class:`~repro.web.container.HildaApplication`.
+
+    A ``config`` whose :class:`~repro.config.ClusterConfig` selects the
+    ``fork`` process model serves the program from N shard worker processes
+    behind a session-affinity router instead of one in-process engine
+    (``docs/cluster.md``); ``source`` must then be a program description —
+    workers build their own engines after forking, so an already-built
+    application cannot be mounted.
     """
     from repro.web.container import HildaApplication
     from repro.web.server import serve as _serve
 
+    resolved = config if config is not None else ServerConfig.foreground()
+    cluster = resolved.cluster
+    if cluster is not None and cluster.process_model == "fork":
+        _serve_cluster(source, resolved, build_options)
+        return
     if isinstance(source, HildaApplication):
         if build_options:
             raise BuilderError(
@@ -128,4 +140,41 @@ def serve(
         application = source
     else:
         application = build_app(source, **build_options)
-    _serve(application, config=config if config is not None else ServerConfig.foreground())
+    _serve(application, config=resolved)
+
+
+def _serve_cluster(
+    source: Union[ProgramSource, Any], config: ServerConfig, build_options: Any
+) -> None:
+    """Foreground fork-model cluster serving (the ``serve(cluster=...)`` path)."""
+    from repro.cluster.server import ClusterServer
+    from repro.web.container import HildaApplication
+
+    if isinstance(source, HildaApplication):
+        raise BuilderError(
+            "serve(): a fork-model cluster builds one engine per worker "
+            "process; pass the program description, not a built application"
+        )
+    unsupported = set(build_options) - {"engine_config", "cache", "sessions", "root", "validate"}
+    if unsupported:
+        raise BuilderError(
+            "serve(): cluster mode supports engine_config/cache/sessions/"
+            f"root/validate build options only, got {sorted(unsupported)}"
+        )
+    program = build_program(
+        source,
+        root=build_options.get("root"),
+        validate=build_options.get("validate", True),
+    )
+    server = ClusterServer(
+        program,
+        cluster=config.cluster,
+        server_config=config,
+        engine_config=build_options.get("engine_config"),
+        cache=build_options.get("cache"),
+        sessions=build_options.get("sessions"),
+    )
+    print(
+        f"Serving {program.root_name} on a {config.cluster.workers}-worker cluster"
+    )
+    server.serve_forever()

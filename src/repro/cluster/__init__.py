@@ -1,0 +1,37 @@
+"""Multi-process cluster serving (docs/cluster.md).
+
+A front-end **router** hashes each session's user key onto one of N engine
+**worker processes** over a length-prefixed socket RPC transport.  The
+compiler's partitioning analysis decides which persistent tables are
+session-affine (partitioned across workers) and which are replicated, and
+cross-shard reads are answered by scatter-gather inside the SQL executor.
+
+Public surface:
+
+* :class:`~repro.cluster.server.ClusterServer` — the fork-model deployment:
+  spawn workers, mount the router behind the threaded HTTP front end.
+* :class:`~repro.cluster.router.ClusterRouter` — session-affinity routing,
+  failure handling, replica refresh and last-seen propagation.
+* :class:`~repro.cluster.worker.ClusterWorker` /
+  :func:`~repro.cluster.worker.worker_main` — the per-process engine runtime.
+* :class:`~repro.cluster.sharding.ShardPlan` — the compiled placement of an
+  application's tables over N shards.
+* :mod:`repro.cluster.rpc` — the framed request/response transport.
+"""
+
+from repro.cluster.router import ClusterRouter
+from repro.cluster.rpc import RpcServer, WorkerClient
+from repro.cluster.server import ClusterServer, build_thread_cluster
+from repro.cluster.sharding import ShardPlan, shard_of
+from repro.cluster.worker import ClusterWorker
+
+__all__ = [
+    "ClusterRouter",
+    "ClusterServer",
+    "ClusterWorker",
+    "RpcServer",
+    "ShardPlan",
+    "WorkerClient",
+    "build_thread_cluster",
+    "shard_of",
+]

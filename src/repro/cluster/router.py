@@ -1,0 +1,251 @@
+"""The cluster front end: session-affinity routing over worker RPC.
+
+The router is mountable wherever a :class:`~repro.web.container.HildaApplication`
+is (it duck-types ``handle(request) -> response``), so the threaded HTTP
+server serves a cluster unchanged.  Responsibilities:
+
+* **Placement** — a login for user U goes to worker ``shard_of(U)``; the
+  same hash places U's partitioned rows, so a session's affine reads are
+  always shard-local.  Session cookies come back namespaced ``w<idx>-<token>``
+  and later requests follow the prefix (worker token counters would
+  otherwise collide across processes).
+* **Deterministic session ids** — in sharded mode each login carries a
+  ``session_hint`` (S1, S2, ... in arrival order) so worker engines mint the
+  same session-scoped instance ids a single-process server would
+  (docs/cluster.md explains the byte-identical-pages contract).
+* **Write propagation** — worker responses report committed writes; the
+  router advances a data epoch plus per-replicated-table sequence numbers
+  and piggybacks refresh directives / the epoch on the next request to each
+  worker, which pulls fresh replicas and marks scatter-read sessions stale.
+* **Failure handling** — an unreachable worker yields a clean 503 with
+  ``Retry-After`` (affine sessions can simply retry); a monitor thread
+  probes workers, reports failures to the deployment layer (which restarts
+  fork-model workers), and batches session last-seen ``touch`` flushes so
+  TTL/LRU policies behave as in single-process serving.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import threading
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.cluster.rpc import WorkerClient
+from repro.cluster.sharding import shard_of
+from repro.config import ClusterConfig
+from repro.errors import RpcError, WorkerUnavailableError
+from repro.web.http import Request, Response
+from repro.web.sessions import SESSION_COOKIE
+
+__all__ = ["ClusterRouter"]
+
+_TOKEN = re.compile(r"^w(\d+)-(.+)$")
+
+
+class ClusterRouter:
+    """Route web requests onto cluster workers (see module docstring)."""
+
+    def __init__(
+        self,
+        clients: List[WorkerClient],
+        cluster: ClusterConfig,
+        session_hints: bool = True,
+        on_worker_failure: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.clients = list(clients)
+        self.cluster = cluster
+        self.session_hints = session_hints
+        self.on_worker_failure = on_worker_failure
+        self._lock = threading.Lock()
+        self._alive = [True] * len(self.clients)
+        self._session_counter = itertools.count(1)
+        self._epoch = 0
+        #: replicated table -> {"seq": int, "source": worker index}
+        self._table_state: Dict[str, Dict[str, int]] = {}
+        #: per worker: table -> last seq it has applied
+        self._worker_seen: List[Dict[str, int]] = [{} for _ in self.clients]
+        self._pending_touch: List[Set[str]] = [set() for _ in self.clients]
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+
+    # -- request path ----------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        index, token = self._target(request)
+        if not self._alive[index]:
+            return self._unavailable(index)
+        forward = {
+            "method": request.method,
+            "path": request.path,
+            "params": dict(request.params),
+            "cookies": self._inner_cookies(request, token),
+            "body": request.body,
+        }
+        session_hint = None
+        if self.session_hints and request.path == "/login":
+            session_hint = f"S{next(self._session_counter)}"
+        with self._lock:
+            epoch = self._epoch
+            refresh = self._refresh_directives(index)
+        try:
+            reply = self.clients[index].call(
+                "handle",
+                retry=request.method == "GET",
+                request=forward,
+                epoch=epoch,
+                refresh=refresh,
+                session_hint=session_hint,
+            )
+        except WorkerUnavailableError:
+            self._alive[index] = False
+            return self._unavailable(index)
+        except RpcError as exc:
+            return Response.error(f"cluster worker {index} failed: {exc}")
+        meta = reply.get("meta") or {}
+        with self._lock:
+            if meta.get("refresh_applied", True):
+                for directive in refresh:
+                    self._worker_seen[index][directive["table"]] = directive["seq"]
+            self._absorb_meta(index, meta)
+            if token is not None:
+                self._pending_touch[index].add(token)
+        return self._outer_response(index, reply)
+
+    def _target(self, request: Request):
+        """(worker index, inner session token) for one request."""
+        raw = request.cookies.get(SESSION_COOKIE)
+        if raw:
+            match = _TOKEN.match(raw)
+            if match:
+                index = int(match.group(1))
+                if index < len(self.clients):
+                    return index, match.group(2)
+            # A token the router did not issue (or a worker count change):
+            # send it to worker 0, whose session lookup will fail and
+            # redirect to /login.
+            return 0, None
+        if request.path == "/login":
+            user = request.param("user") or ""
+            return shard_of(user, len(self.clients)), None
+        return 0, None
+
+    def _inner_cookies(self, request: Request, token: Optional[str]) -> Dict[str, str]:
+        cookies = dict(request.cookies)
+        if token is not None:
+            cookies[SESSION_COOKIE] = token
+        else:
+            cookies.pop(SESSION_COOKIE, None)
+        return cookies
+
+    def _outer_response(self, index: int, reply: Dict[str, Any]) -> Response:
+        set_cookies = dict(reply.get("set_cookies") or {})
+        inner = set_cookies.get(SESSION_COOKIE)
+        if inner:
+            set_cookies[SESSION_COOKIE] = f"w{index}-{inner}"
+        return Response(
+            status=int(reply.get("status", 500)),
+            body=reply.get("body", ""),
+            headers=dict(reply.get("headers") or {}),
+            set_cookies=set_cookies,
+        )
+
+    def _unavailable(self, index: int) -> Response:
+        response = Response.error(
+            f"cluster worker {index} is unavailable; retry shortly", status=503
+        )
+        response.headers["Retry-After"] = "1"
+        return response
+
+    # -- write propagation -----------------------------------------------------
+
+    def _refresh_directives(self, index: int) -> List[Dict[str, int]]:
+        """Replica refreshes worker ``index`` has not applied yet (locked)."""
+        seen = self._worker_seen[index]
+        return [
+            {"table": table, "seq": state["seq"], "source": state["source"]}
+            for table, state in self._table_state.items()
+            if state["source"] != index and seen.get(table, 0) < state["seq"]
+        ]
+
+    def _absorb_meta(self, index: int, meta: Dict[str, Any]) -> None:
+        """Record a worker's reported writes (locked)."""
+        if meta.get("wrote"):
+            self._epoch += 1
+        for table in meta.get("replicated") or {}:
+            state = self._table_state.setdefault(table, {"seq": 0, "source": index})
+            state["seq"] += 1
+            state["source"] = index
+            self._worker_seen[index][table] = state["seq"]
+
+    # -- monitoring / lifecycle ------------------------------------------------
+
+    def start_monitor(self) -> "ClusterRouter":
+        if self._monitor is None:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="cluster-monitor", daemon=True
+            )
+            self._monitor.start()
+        return self
+
+    def flush_touches(self) -> None:
+        """Push batched session last-seen refreshes to their workers."""
+        for index, client in enumerate(self.clients):
+            with self._lock:
+                tokens, self._pending_touch[index] = (
+                    sorted(self._pending_touch[index]),
+                    set(),
+                )
+            if not tokens or not self._alive[index]:
+                continue
+            try:
+                client.call("touch", retry=True, tokens=tokens)
+            except (RpcError, WorkerUnavailableError):
+                pass  # the probe below owns failure handling
+
+    def check_workers(self) -> None:
+        """One health-probe round; restores/downs the alive flags.
+
+        The failure callback fires on *every* round a worker stays
+        unreachable (not only on the alive->dead edge): a request may have
+        marked the worker dead before the probe got there, and a failed
+        restart attempt must be retried on the next round.  Callbacks are
+        therefore expected to be idempotent (``ClusterServer``'s is).
+        """
+        for index, client in enumerate(self.clients):
+            try:
+                client.ping()
+                self._alive[index] = True
+            except (RpcError, WorkerUnavailableError):
+                self._alive[index] = False
+                if self.on_worker_failure is not None:
+                    try:
+                        self.on_worker_failure(index)
+                    except Exception:  # noqa: BLE001 - monitoring must survive
+                        pass
+
+    def worker_restarted(self, index: int, address=None) -> None:
+        """Reconnect to a restarted worker and forget its refresh progress."""
+        if address is not None:
+            self.clients[index].reconnect(tuple(address))
+        with self._lock:
+            self._worker_seen[index] = {}
+            self._pending_touch[index] = set()
+        self._alive[index] = True
+
+    def alive_workers(self) -> List[int]:
+        return [index for index, alive in enumerate(self._alive) if alive]
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=2.0)
+            self._monitor = None
+        self.flush_touches()
+        for client in self.clients:
+            client.close()
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.cluster.health_interval):
+            self.flush_touches()
+            self.check_workers()

@@ -18,16 +18,29 @@ model, which the E12 benchmark sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
-from repro.hilda.ast import AUnitDecl, HandlerDecl, QueryBlock
+from repro.hilda.ast import Assignment, AUnitDecl, HandlerDecl, QueryBlock
 from repro.hilda.program import HildaProgram
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Query,
+    SelectItem,
+    SelectQuery,
+    TableRef,
+    UnionQuery,
+)
 
 __all__ = [
     "ConditionPlacement",
     "PartitioningReport",
     "analyse_program",
     "PartitioningSimulator",
+    "TablePlacement",
+    "TablePlacementReport",
+    "analyse_table_placements",
+    "select_is_affine",
 ]
 
 
@@ -131,6 +144,362 @@ def _classify_condition(
         referenced_tables=referenced,
         reason=reason,
     )
+
+
+# ---------------------------------------------------------------------------
+# Shard-placement analysis (docs/cluster.md)
+# ---------------------------------------------------------------------------
+#
+# The same observation that lets handler conditions move to the *client*
+# lets persistent tables move to the *shard* owning a session: a table whose
+# every read is constrained by ``T.kc = <root input column>`` and whose
+# every write preserves that key column is session-affine — each worker can
+# hold exactly the rows whose key hashes to it.  Everything else is
+# replicated (the safe default), and reads that reach beyond one shard are
+# scatter-gathered at run time.
+
+
+@dataclass
+class TablePlacement:
+    """Where one persistent table's rows live in a sharded deployment."""
+
+    table: str
+    #: ``"partitioned"`` (rows split by key hash) or ``"replicated"``.
+    mode: str
+    #: The partitioning column (None when replicated).
+    key_column: Optional[str]
+    reason: str
+
+    @property
+    def partitioned(self) -> bool:
+        return self.mode == "partitioned"
+
+
+@dataclass
+class TablePlacementReport:
+    """The shard placement of every persistent table of a program."""
+
+    placements: Dict[str, TablePlacement] = field(default_factory=dict)
+    #: The root AUnit's input table names — the session-affinity sources
+    #: equality predicates are matched against.
+    input_tables: Tuple[str, ...] = ()
+
+    @property
+    def partitioned(self) -> Dict[str, str]:
+        """table -> key column, for every partitioned table."""
+        return {
+            name: placement.key_column
+            for name, placement in self.placements.items()
+            if placement.partitioned
+        }
+
+    @property
+    def replicated(self) -> List[str]:
+        return sorted(
+            name for name, placement in self.placements.items() if not placement.partitioned
+        )
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "tables": len(self.placements),
+            "partitioned": len(self.partitioned),
+            "replicated": len(self.replicated),
+        }
+
+
+def analyse_table_placements(
+    program: HildaProgram,
+    overrides: Optional[Mapping[str, str]] = None,
+) -> TablePlacementReport:
+    """Classify every persistent table as partitioned or replicated.
+
+    A root-AUnit table is *partitioned* on column ``kc`` when some program
+    query constrains it with ``T.kc = <root input column>`` (the session-
+    affinity witness) and every handler action targeting it is
+    partition-preserving: each SELECT arm's value at the key position is
+    either the table's own key column (rows stay put) or a root-input
+    column (new rows carry the acting session's key).  Anything else —
+    including every non-root persist table — is *replicated*.
+
+    ``overrides`` maps table names to key columns and wins over the
+    analysis (the ``ClusterConfig.partition`` escape hatch).
+    """
+    root = program.root
+    input_names = tuple(root.input_schema.table_names)
+    overrides = dict(overrides or {})
+    queries = list(_program_queries(program))
+    actions = [
+        assignment
+        for aunit in program.reachable_aunits()
+        for activator in aunit.activators
+        for handler in activator.handlers
+        for assignment in handler.actions
+    ]
+    report = TablePlacementReport(input_tables=input_names)
+
+    for aunit in program.reachable_aunits():
+        for schema in aunit.persist_schema:
+            name = schema.name
+            if name in report.placements:
+                continue
+            columns = list(schema.column_names)
+            if name in overrides:
+                key_column = overrides[name]
+                if key_column not in columns:
+                    from repro.errors import CompilerError
+
+                    raise CompilerError(
+                        f"partition override for table {name!r} names unknown "
+                        f"column {key_column!r} (has {columns})"
+                    )
+                report.placements[name] = TablePlacement(
+                    name, "partitioned", key_column, "explicit partition override"
+                )
+                continue
+            if aunit.name != root.name:
+                report.placements[name] = TablePlacement(
+                    name,
+                    "replicated",
+                    None,
+                    f"persists under non-root AUnit {aunit.name!r}",
+                )
+                continue
+            report.placements[name] = _classify_table(
+                name, columns, queries, actions, input_names
+            )
+    return report
+
+
+def _classify_table(
+    table: str,
+    columns: List[str],
+    queries: List[Query],
+    actions: List[Assignment],
+    input_names: Tuple[str, ...],
+) -> TablePlacement:
+    candidates = sorted(_affinity_candidates(table, queries, input_names))
+    if not candidates:
+        return TablePlacement(
+            table,
+            "replicated",
+            None,
+            "no query constrains it by a root input column (no affinity witness)",
+        )
+    writes = [action for action in actions if action.simple_target == table]
+    for key_column in candidates:
+        key_pos = columns.index(key_column)
+        broken = None
+        for action in writes:
+            for select in _selects(action.query.query):
+                if not _arm_preserves(select, table, key_column, key_pos, input_names):
+                    broken = action
+                    break
+            if broken is not None:
+                break
+        if broken is None:
+            return TablePlacement(
+                table,
+                "partitioned",
+                key_column,
+                f"affine reads on {key_column!r}; every write preserves the key",
+            )
+    return TablePlacement(
+        table,
+        "replicated",
+        None,
+        f"affinity witness on {candidates!r} but a write does not preserve the key",
+    )
+
+
+def _affinity_candidates(
+    table: str, queries: List[Query], input_names: Tuple[str, ...]
+) -> Set[str]:
+    """Key columns some query equates with a root input column."""
+    candidates: Set[str] = set()
+    for query in queries:
+        for select in _selects(query):
+            bindings = _bindings(select)
+            for left, right in _equalities(select):
+                for own, other in ((left, right), (right, left)):
+                    if (
+                        own.qualifier is not None
+                        and bindings.get(own.qualifier) == table
+                        and other.qualifier is not None
+                        and bindings.get(other.qualifier) in input_names
+                        and not own.is_positional
+                    ):
+                        candidates.add(own.name)
+    return candidates
+
+
+def _arm_preserves(
+    select: SelectQuery,
+    table: str,
+    key_column: str,
+    key_pos: int,
+    input_names: Tuple[str, ...],
+) -> bool:
+    """Does one SELECT arm writing ``table`` keep rows in their own shard?"""
+    if len(select.items) <= key_pos:
+        return False
+    item = select.items[key_pos]
+    if not isinstance(item, SelectItem) or not isinstance(item.expression, ColumnRef):
+        return False
+    expression = item.expression
+    if expression.qualifier is None:
+        return False
+    bindings = _bindings(select)
+    base = bindings.get(expression.qualifier)
+    if base == table:
+        # Reading the table's own key back: existing rows stay in place.
+        if expression.is_positional:
+            return expression.position == key_pos + 1
+        return expression.name == key_column
+    # A root-input column: new rows carry the acting session's key, which
+    # hashes to the worker serving that session (the router uses the same
+    # hash for session placement and row placement).
+    return base in input_names
+
+
+def select_is_affine(
+    select: SelectQuery,
+    table: str,
+    key_column: str,
+    input_names: Tuple[str, ...],
+) -> bool:
+    """True when every read of ``table`` in this SELECT block is shard-local.
+
+    Each top-level binding of the table must carry a conjunctive equality
+    ``binding.key_column = <root input column>``.  References inside
+    subqueries (derived tables, EXISTS/IN/scalar subqueries) are not
+    analysed and count as non-affine — the safe direction, since the only
+    cost of a false negative is an unnecessary scatter.
+    """
+    bindings = _bindings(select)
+    table_bindings = [
+        binding for binding, base in bindings.items() if base == table
+    ]
+    if _deep_references(select, table) > len(table_bindings):
+        return False
+    if not table_bindings:
+        return True
+    equalities = list(_equalities(select))
+    for binding in table_bindings:
+        bound = False
+        for left, right in equalities:
+            for own, other in ((left, right), (right, left)):
+                if (
+                    own.qualifier == binding
+                    and own.name == key_column
+                    and other.qualifier is not None
+                    and bindings.get(other.qualifier) in input_names
+                ):
+                    bound = True
+        if not bound:
+            return False
+    return True
+
+
+def _selects(query: Query) -> Iterator[SelectQuery]:
+    """Every SELECT block of a (possibly UNION) query, left to right."""
+    if isinstance(query, UnionQuery):
+        yield from _selects(query.left)
+        yield from _selects(query.right)
+    elif isinstance(query, SelectQuery):
+        yield query
+
+
+def _bindings(select: SelectQuery) -> Dict[str, str]:
+    """Top-level base-table bindings of one SELECT: binding name -> table."""
+    out: Dict[str, str] = {}
+
+    def visit(item) -> None:
+        if isinstance(item, TableRef):
+            out[item.binding_name] = item.name
+        elif hasattr(item, "left") and hasattr(item, "right"):  # JoinRef
+            visit(item.left)
+            visit(item.right)
+
+    for item in select.from_items:
+        visit(item)
+    return out
+
+
+def _conjuncts(expression) -> Iterator:
+    if isinstance(expression, BinaryOp) and expression.operator.upper() == "AND":
+        yield from _conjuncts(expression.left)
+        yield from _conjuncts(expression.right)
+    elif expression is not None:
+        yield expression
+
+
+def _equalities(select: SelectQuery) -> Iterator[Tuple[ColumnRef, ColumnRef]]:
+    """Column-to-column equalities in the top-level WHERE/JOIN conjunction."""
+    predicates = list(_conjuncts(select.where))
+    for item in select.from_items:
+        predicates.extend(_join_conditions(item))
+    for predicate in predicates:
+        if (
+            isinstance(predicate, BinaryOp)
+            and predicate.operator == "="
+            and isinstance(predicate.left, ColumnRef)
+            and isinstance(predicate.right, ColumnRef)
+        ):
+            yield predicate.left, predicate.right
+
+
+def _join_conditions(item) -> Iterator:
+    if hasattr(item, "left") and hasattr(item, "right"):  # JoinRef
+        condition = getattr(item, "condition", None)
+        if condition is not None and getattr(item, "join_type", "INNER") == "INNER":
+            yield from _conjuncts(condition)
+        yield from _join_conditions(item.left)
+        yield from _join_conditions(item.right)
+
+
+def _deep_references(select: SelectQuery, table: str) -> int:
+    """How often ``table`` is referenced anywhere in one SELECT block,
+    including derived tables and expression subqueries."""
+    count = select.referenced_tables().count(table)
+    for expression in select.expressions():
+        count += _expression_references(expression, table)
+    return count
+
+
+def _expression_references(expression, table: str) -> int:
+    count = 0
+    subquery = getattr(expression, "subquery", None)
+    if subquery is not None and not isinstance(subquery, bool):
+        for inner in _selects(subquery):
+            count += _deep_references(inner, table)
+    query = getattr(expression, "query", None)
+    if query is not None and isinstance(query, (SelectQuery, UnionQuery)):
+        for inner in _selects(query):
+            count += _deep_references(inner, table)
+    for child in expression.children() if hasattr(expression, "children") else ():
+        count += _expression_references(child, table)
+    return count
+
+
+def _program_queries(program: HildaProgram) -> Iterator[Query]:
+    """Every SQL query reachable in a program's declarations."""
+    for aunit in program.reachable_aunits():
+        for assignment in aunit.persist_query:
+            yield assignment.query.query
+        for assignment in aunit.local_query:
+            yield assignment.query.query
+        for activator in aunit.activators:
+            if activator.activation_query is not None:
+                yield activator.activation_query.query
+            for filter_block in activator.activation_filters:
+                yield filter_block.query
+            for assignment in activator.input_query:
+                yield assignment.query.query
+            for handler in activator.handlers:
+                if handler.condition is not None:
+                    yield handler.condition.query
+                for assignment in handler.actions:
+                    yield assignment.query.query
 
 
 class PartitioningSimulator:

@@ -48,6 +48,7 @@ from repro.errors import ConfigError
 
 __all__ = [
     "CacheConfig",
+    "ClusterConfig",
     "EngineConfig",
     "OptimizerConfig",
     "ServerConfig",
@@ -89,6 +90,13 @@ STORAGE_BACKENDS = ("memory", "wal")
 #: WAL durability policies: fsync per commit inside the write lock, batched
 #: group commit outside it, or no fsync at all (docs/storage.md).
 FSYNC_MODES = ("always", "batch", "off")
+
+#: How cluster workers are hosted: ``"fork"`` runs each worker in its own
+#: process (real scale-out; Linux fork start method), ``"thread"`` hosts the
+#: worker RPC servers as threads over one shared application (exercises the
+#: router/transport in-process; used by the ``REPRO_SERVER_MODE=cluster``
+#: test override).  See docs/cluster.md.
+CLUSTER_PROCESS_MODELS = ("fork", "thread")
 
 
 # ---------------------------------------------------------------------------
@@ -362,6 +370,10 @@ class EngineConfig:
     reactivation: str = "eager"
     #: Keep an :class:`~repro.runtime.history.ExecutionHistory`.
     record_history: bool = True
+    #: Derive AUnit instance ids from the owning session's number instead
+    #: of one global counter, so instance ids are reproducible regardless
+    #: of which worker process builds the session (see docs/cluster.md).
+    session_scoped_ids: bool = False
     #: The caching policy (activation queries, fragments, invalidation).
     cache: CacheConfig = field(default_factory=CacheConfig)
     #: The query-planning pipeline (strategy, join-enumeration bounds).
@@ -374,6 +386,7 @@ class EngineConfig:
         _require_bool("EngineConfig", "auto_index", self.auto_index)
         _require_bool("EngineConfig", "compile_expressions", self.compile_expressions)
         _require_bool("EngineConfig", "record_history", self.record_history)
+        _require_bool("EngineConfig", "session_scoped_ids", self.session_scoped_ids)
         if self.reactivation not in REACTIVATION_MODES:
             raise ConfigError(
                 "EngineConfig.reactivation must be one of "
@@ -461,6 +474,97 @@ class EngineConfig:
 
 
 @dataclass(frozen=True)
+class ClusterConfig:
+    """Multi-process serving: shard workers behind a session-affinity router.
+
+    The router hashes each session's user key onto one of ``workers`` engine
+    processes; session-affine tables live only in the owning worker while
+    shared tables are replicated with version-stamped refresh, and
+    cross-shard reads are answered by scatter-gather (``docs/cluster.md``).
+    """
+
+    #: Number of engine worker processes (shards).
+    workers: int = 2
+    #: ``"fork"`` (one process per worker) or ``"thread"`` (in-process
+    #: worker RPC servers over a shared engine; transport testing only).
+    process_model: str = "fork"
+    #: Root directory for per-worker WALs (``data_dir/worker-N``); None
+    #: keeps every worker on the volatile memory backend.
+    data_dir: Optional[str] = None
+    #: Explicit ``(table, key_column)`` partitioning overrides; tables not
+    #: named here are classified by the compiler's partitioning analysis.
+    partition: Tuple[Tuple[str, str], ...] = ()
+    #: Per-request RPC timeout in seconds.
+    request_timeout: float = 10.0
+    #: Connection-establishment attempts per request before failing over.
+    connect_retries: int = 3
+    #: Base delay between connect retries (doubles per attempt).
+    retry_backoff: float = 0.05
+    #: Seconds between router health probes of each worker.
+    health_interval: float = 0.5
+    #: Restart a crashed worker process (its WAL replays committed state;
+    #: its sessions must log in again — see docs/cluster.md § Failure).
+    restart_workers: bool = True
+    #: Bound on pooled RPC connections per worker.
+    pool_size: int = 8
+
+    def __post_init__(self) -> None:
+        if (
+            isinstance(self.workers, bool)
+            or not isinstance(self.workers, int)
+            or self.workers < 1
+        ):
+            raise ConfigError(
+                f"ClusterConfig.workers must be a positive int, got {self.workers!r}"
+            )
+        if self.process_model not in CLUSTER_PROCESS_MODELS:
+            raise ConfigError(
+                "ClusterConfig.process_model must be one of "
+                f"{CLUSTER_PROCESS_MODELS}, got {self.process_model!r}"
+            )
+        if self.data_dir is not None and (
+            not isinstance(self.data_dir, str) or not self.data_dir
+        ):
+            raise ConfigError(
+                f"ClusterConfig.data_dir must be None or a non-empty str, "
+                f"got {self.data_dir!r}"
+            )
+        partition = self.partition
+        if not isinstance(partition, tuple):
+            try:
+                partition = tuple(tuple(entry) for entry in partition)
+            except TypeError:
+                raise ConfigError(
+                    "ClusterConfig.partition must be a sequence of "
+                    f"(table, key_column) pairs, got {self.partition!r}"
+                ) from None
+            object.__setattr__(self, "partition", partition)
+        for entry in partition:
+            if (
+                not isinstance(entry, tuple)
+                or len(entry) != 2
+                or not all(isinstance(part, str) and part for part in entry)
+            ):
+                raise ConfigError(
+                    "ClusterConfig.partition entries must be "
+                    f"(table, key_column) string pairs, got {entry!r}"
+                )
+        for name in ("request_timeout", "retry_backoff", "health_interval"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+                raise ConfigError(
+                    f"ClusterConfig.{name} must be a positive number, got {value!r}"
+                )
+        for name in ("connect_retries", "pool_size"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                raise ConfigError(
+                    f"ClusterConfig.{name} must be a positive int, got {value!r}"
+                )
+        _require_bool("ClusterConfig", "restart_workers", self.restart_workers)
+
+
+@dataclass(frozen=True)
 class SessionConfig:
     """Web-session lifetime policy of the application container."""
 
@@ -487,6 +591,9 @@ class ServerConfig:
     #: Listen backlog; deep enough that a burst of simultaneous browsers
     #: does not drop SYNs (see docs/concurrency.md).
     request_queue_size: int = 128
+    #: Serve through a shard-worker cluster instead of one in-process
+    #: application (None = single-process; see docs/cluster.md).
+    cluster: Optional[ClusterConfig] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.host, str) or not self.host:
@@ -504,6 +611,11 @@ class ServerConfig:
             raise ConfigError(
                 "ServerConfig.request_queue_size must be a positive int, "
                 f"got {self.request_queue_size!r}"
+            )
+        if self.cluster is not None and not isinstance(self.cluster, ClusterConfig):
+            raise ConfigError(
+                f"ServerConfig.cluster must be None or a ClusterConfig, "
+                f"got {self.cluster!r}"
             )
 
     @classmethod

@@ -224,3 +224,29 @@ class RoutingError(WebError):
 
 class FormDecodingError(WebError):
     """Posted form data could not be decoded into a Basic AUnit action."""
+
+
+# ---------------------------------------------------------------------------
+# Cluster serving
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """Base class for the multi-process serving subsystem (``repro.cluster``)."""
+
+
+class RpcError(ClusterError):
+    """A framed RPC request failed: bad frame, codec error, timeout, or the
+    remote worker reported an unexpected fault."""
+
+
+class WorkerUnavailableError(ClusterError):
+    """The worker owning a shard cannot be reached (crashed or draining).
+
+    The router maps this to a 503 response with ``Retry-After`` so affine
+    sessions can retry once the worker restarts (see docs/cluster.md).
+    """
+
+    def __init__(self, worker: int, message: str | None = None) -> None:
+        super().__init__(message or f"cluster worker {worker} is unavailable")
+        self.worker = worker

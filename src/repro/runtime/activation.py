@@ -123,6 +123,16 @@ class ActivationBuilder:
         when delta reactivation is enabled its dependency records drive
         subtree reuse (see module doc).
         """
+        with self.engine.id_scope(session_id):
+            return self._build_tree(session_id, input_rows, preserved, old_root)
+
+    def _build_tree(
+        self,
+        session_id: str,
+        input_rows: Dict[str, List[Sequence[Any]]],
+        preserved: Optional[Dict[InstanceLabel, PreservedInstance]],
+        old_root: Optional[AUnitInstance],
+    ) -> AUnitInstance:
         preserved = preserved or {}
         delta = (
             old_root is not None
@@ -235,7 +245,13 @@ class ActivationBuilder:
             read_tracker=tracker,
         )
         if tracker is not None:
-            instance.local_deps = dep_vector(tracker, catalog)
+            if any(
+                self.engine.query_is_global(assignment.query.query)
+                for assignment in instance.decl.local_query
+            ):
+                instance.local_deps = None  # cross-shard read: untrackable
+            else:
+                instance.local_deps = dep_vector(tracker, catalog)
 
     # -- children ------------------------------------------------------------------------
 
@@ -266,6 +282,14 @@ class ActivationBuilder:
         persist = self.engine.persist_tables(instance.decl.name)
         catalog = build_read_catalog(instance, persist, include_output=False)
         tuples, read_names = self._activation_tuples(instance, activator, catalog)
+        if read_names is not None and any(
+            self.engine.query_is_global(assignment.query.query)
+            for assignment in activator.input_query
+        ):
+            # A cross-shard input query reads peer shards whose writes move
+            # no local version stamp, so its footprint is untrackable; the
+            # activator must rebuild (re-scattering) on every reactivation.
+            read_names = None
         # Input-query reads are tracked apart from the activation query's so
         # the split vectors below can tell "only activation inputs moved"
         # from "the child input tables would change too".
@@ -490,6 +514,8 @@ class ActivationBuilder:
         executor = self.engine.make_executor(catalog)
         query = activator.activation_query.query
         query_reads: Optional[Set[str]] = set(executor.read_set(query)) if track else None
+        if query_reads is not None and self.engine.query_is_global(query):
+            query_reads = None  # cross-shard read: local versions can't witness it
         cached = self.engine.activation_cache_lookup(
             instance, activator, catalog, executor=executor
         )

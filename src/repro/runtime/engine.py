@@ -155,6 +155,16 @@ class HildaEngine:
         self._session_counter = SequentialKeyGenerator(1)
         self._instance_counter = SequentialKeyGenerator(1)
         self._state_version = 0
+        #: Cluster hook (docs/cluster.md): when a shard worker installs a
+        #: scatter provider, executors fan cross-shard reads out through it
+        #: and the caches stop trusting purely-local version stamps for
+        #: global queries.  None in single-process engines.
+        self.scatter: Optional[Any] = None
+        self.session_scoped_ids = config.session_scoped_ids
+        #: session id -> next per-session instance sequence number (only
+        #: consulted under ``session_scoped_ids``; see :meth:`id_scope`).
+        self._session_instance_counters: Dict[str, int] = {}
+        self._id_scope_session: Optional[str] = None
 
         #: The durable storage backend (docs/storage.md): MemoryBackend —
         #: every call a no-op — unless ``config.storage`` (or the
@@ -224,7 +234,34 @@ class HildaEngine:
         return registry
 
     def next_instance_id(self) -> int:
+        if self.session_scoped_ids and self._id_scope_session is not None:
+            session_id = self._id_scope_session
+            if session_id.startswith("S") and session_id[1:].isdigit():
+                # Ids are a function of (session number, per-session
+                # sequence), not of the engine's global allocation order —
+                # every worker process derives the same ids for the same
+                # session regardless of what its siblings built.  The 1e6
+                # stride keeps them disjoint from the global counter's range
+                # (docs/cluster.md documents the per-session bound).
+                seq = self._session_instance_counters.get(session_id, 0) + 1
+                self._session_instance_counters[session_id] = seq
+                return int(session_id[1:]) * 1_000_000 + seq
         return self._instance_counter()
+
+    @contextmanager
+    def id_scope(self, session_id: Optional[str]) -> Iterator[None]:
+        """Attribute instance ids allocated inside to ``session_id``.
+
+        A no-op unless ``config.session_scoped_ids`` is on.  Held by the
+        activation builder around one session's tree build (tree builds run
+        under the write lock, so the single scope slot cannot race).
+        """
+        previous = self._id_scope_session
+        self._id_scope_session = session_id
+        try:
+            yield
+        finally:
+            self._id_scope_session = previous
 
     def make_executor(self, catalog) -> SQLExecutor:
         """A SQL executor over ``catalog`` wired to the engine's shared caches."""
@@ -233,7 +270,20 @@ class HildaEngine:
             functions=self.functions,
             config=self.config,
             caches=self.sql_caches,
+            scatter=self.scatter,
         )
+
+    def query_is_global(self, query: Union[str, Any]) -> bool:
+        """Does this query read beyond the local shard (scatter-gather)?
+
+        Always False outside cluster workers (no scatter provider).
+        """
+        if self.scatter is None:
+            return False
+        try:
+            return self.scatter.is_global(query)
+        except Exception:
+            return False
 
     @property
     def state_version(self) -> int:
@@ -326,6 +376,30 @@ class HildaEngine:
             # the original error (as __context__) instead of replacing it.
             raise error
         raise error
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """One externally-driven engine transaction (docs/cluster.md).
+
+        Runs the body under the write lock inside a durable storage
+        transaction and bumps the global state version, exactly like an
+        applied operation — used by cluster workers for replica refresh and
+        shard localisation, and available to embedders for bulk mutations.
+        """
+        with self._durable_write():
+            yield
+            self.bump_state_version()
+
+    def mark_all_stale(self) -> None:
+        """Mark every session's tree stale so the next access rebuilds it.
+
+        Cluster workers call this when the router reports that *another*
+        shard committed a write visible through a cross-shard read: no local
+        table version moved, so dependency tracking alone would never
+        invalidate, but the scatter-gathered results have changed.
+        """
+        with self._rw.write():
+            self._dirty_sessions.update(self.forest.session_ids())
 
     def ensure_persistent(self, decl: AUnitDecl) -> None:
         """Create and initialise the persistent tables of an AUnit type once."""
@@ -521,6 +595,11 @@ class HildaEngine:
         """
         if not self.cache_activation_queries:
             return
+        if query is not None and self.query_is_global(query):
+            # Cross-shard reads cannot be validated by local version stamps
+            # (a peer's write bumps no local table version), so the entry
+            # would be served stale forever.  Never memoise them.
+            return
         stamp: Any
         if self.dependency_tracking:
             if read_names is None:
@@ -622,6 +701,7 @@ class HildaEngine:
                 self._session_inputs.pop(session_id, None)
                 self._dirty_sessions.discard(session_id)
                 self._dirty_markers.pop(session_id, None)
+                self._session_instance_counters.pop(session_id, None)
         self.session_locks.discard(session_id)
 
     def session_ids(self) -> List[str]:

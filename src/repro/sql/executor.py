@@ -119,6 +119,12 @@ class SQLExecutor:
         tree-walking evaluator.
     caches:
         A shared :class:`SQLCaches`; a private one is created when omitted.
+    scatter:
+        Optional cross-shard read provider (docs/cluster.md).  An object
+        with ``overlay_for(ast, read_names) -> Optional[dict]`` returning
+        merged replacement tables for queries that must read beyond the
+        local shard; queries it declines run purely locally.  None (the
+        default) outside cluster workers.
     **legacy_options:
         The pre-config keyword arguments (``optimize=...``,
         ``auto_index=...``, ``compile_expressions=...``) are still accepted
@@ -139,6 +145,7 @@ class SQLExecutor:
         functions: Optional[FunctionRegistry] = None,
         config: Optional[EngineConfig] = None,
         caches: Optional[SQLCaches] = None,
+        scatter: Optional[Any] = None,
         **legacy_options: Any,
     ) -> None:
         config = EngineConfig.from_legacy(
@@ -152,6 +159,7 @@ class SQLExecutor:
         self.compile_expressions = config.compile_expressions
         self.optimizer_config = config.optimizer
         self.stats = ExecutionStats()
+        self.scatter = scatter
         self.caches = caches if caches is not None else SQLCaches()
         self._ast_cache = self.caches.asts
         self._plan_cache = self.caches.plans
@@ -165,7 +173,15 @@ class SQLExecutor:
         """Execute a SELECT/UNION query and return the result relation."""
         ast = self._parse_query(query)
         plan = self._plan(ast)
-        context = self._context()
+        overlay = None
+        if self.scatter is not None:
+            # Cluster hook: a query reading beyond the local shard executes
+            # against an overlay catalog whose named tables were merged from
+            # every shard's scan (scatter-gather); running the *whole* plan
+            # over the merged contents re-applies joins/ORDER BY/LIMIT with
+            # single-process semantics (docs/cluster.md).
+            overlay = self.scatter.overlay_for(ast, self._plan_read_set(plan))
+        context = self._context(overlay)
         return plan.execute(context, outer_scope)
 
     def query_rows(self, query: QueryLike) -> List[Tuple[Any, ...]]:
@@ -479,11 +495,24 @@ class SQLExecutor:
             return None
         return cached_compile(self._compile_cache, expression, columns, self.functions)
 
-    def _context(self) -> ExecutionContext:
+    def _context(self, overlay: Optional[Dict[str, Any]] = None) -> ExecutionContext:
+        if overlay:
+            catalog: Catalog = _OverlayCatalog(self.catalog, overlay)
+
+            def subquery_executor(
+                query: Query, outer_scope: Optional[RowScope], _overlay=overlay
+            ) -> Relation:
+                # Subqueries of a scatter-gathered query read the same
+                # merged tables as the enclosing plan.
+                return self._plan(query).execute(self._context(_overlay), outer_scope)
+
+        else:
+            catalog = self.catalog
+            subquery_executor = self._execute_subquery
         return ExecutionContext(
-            catalog=self.catalog,
+            catalog=catalog,
             functions=self.functions,
-            subquery_executor=self._execute_subquery,
+            subquery_executor=subquery_executor,
             stats=self.stats,
             compile_cache=self._compile_cache,
             compile_expressions=self.compile_expressions,
@@ -502,6 +531,32 @@ class SQLExecutor:
         previous = self.stats
         self.stats = ExecutionStats()
         return previous
+
+
+class _OverlayCatalog(Catalog):
+    """A catalog whose named tables are shadowed by scatter-gathered merges.
+
+    Physical plans resolve base tables *by name at execution time*, so
+    swapping the catalog under an already-planned query is all it takes to
+    run it over merged cross-shard contents (docs/cluster.md).
+    """
+
+    __slots__ = ("_base", "_overlay")
+
+    def __init__(self, base: Catalog, overlay: Dict[str, Any]) -> None:
+        self._base = base
+        self._overlay = overlay
+
+    def resolve_table(self, name: str):
+        table = self._overlay.get(name)
+        if table is not None:
+            return table
+        return self._base.resolve_table(name)
+
+    def table_names(self) -> List[str]:
+        names = list(self._base.table_names())
+        names.extend(name for name in self._overlay if name not in names)
+        return names
 
 
 def _instrument_plan(plan: Operator, actuals: Dict[int, Tuple[int, int]]) -> None:

@@ -250,7 +250,14 @@ class HildaApplication:
         user = request.param("user")
         if not user:
             return Response.error("login requires a ?user=<name> parameter", status=400)
-        engine_session = self.engine.start_session({"user": [(user,)]})
+        # The cluster router pins each login to a globally-ordered engine
+        # session id (``_cluster_session=S<n>``) so that, combined with
+        # ``EngineConfig.session_scoped_ids``, a sharded deployment allocates
+        # the exact ids a single-process server would (docs/cluster.md).
+        hinted = request.param("_cluster_session")
+        engine_session = self.engine.start_session(
+            {"user": [(user,)]}, session_id=hinted or None
+        )
         session = self.sessions.create(user, engine_session)
         return Response.redirect("/", set_cookies={SESSION_COOKIE: session.token})
 

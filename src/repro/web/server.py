@@ -28,15 +28,17 @@ the examples to emulate real browsers against a live server.
 
 from __future__ import annotations
 
+import os
+import socket
 import threading
 import urllib.error
 import urllib.parse
 import urllib.request
 from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.config import ServerConfig, coalesce_legacy_kwargs
+from repro.config import ClusterConfig, ServerConfig, coalesce_legacy_kwargs
 from repro.errors import ConfigError
 from repro.web.container import HildaApplication
 from repro.web.http import (
@@ -48,7 +50,15 @@ from repro.web.http import (
     parse_query_string,
 )
 
-__all__ = ["ThreadedHildaServer", "HttpBrowser", "serve"]
+__all__ = ["ThreadedHildaServer", "HttpBrowser", "serve", "SERVER_MODE_ENV_VAR"]
+
+#: Environment override for the serving topology.  ``REPRO_SERVER_MODE=cluster``
+#: makes every :class:`ThreadedHildaServer` without an explicit
+#: ``ServerConfig.cluster`` mount its application behind an in-process
+#: two-worker cluster router (thread model, real sockets) — the lever the
+#: ``tier1-cluster`` CI leg uses to run the ordinary web suites through the
+#: cluster path, mirroring ``REPRO_STORAGE_BACKEND`` for storage.
+SERVER_MODE_ENV_VAR = "REPRO_SERVER_MODE"
 
 
 class _HildaRequestHandler(BaseHTTPRequestHandler):
@@ -117,6 +127,47 @@ class _ThreadingServer(ThreadingHTTPServer):
     #: herd.  A deeper backlog lets all concurrent connects land at once.
     #: Overridden per instance from :class:`ServerConfig`.
     request_queue_size = 128
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        # With HTTP/1.1 keep-alive an idle browser parks a handler thread in
+        # a blocking read that ``shutdown()`` never interrupts.  Track every
+        # in-flight connection so close_all_connections() can wake those
+        # readers deterministically at shutdown.
+        self._open_lock = threading.Lock()
+        self._open_requests: Dict[int, socket.socket] = {}
+        self._closing = False
+
+    def process_request(self, request: socket.socket, client_address: Any) -> None:
+        with self._open_lock:
+            self._open_requests[id(request)] = request
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request: socket.socket) -> None:  # type: ignore[override]
+        with self._open_lock:
+            self._open_requests.pop(id(request), None)
+        super().shutdown_request(request)
+
+    def close_all_connections(self) -> None:
+        """Wake every parked keep-alive reader so its thread can exit.
+
+        ``socket.shutdown`` makes the blocked read return EOF; the handler
+        thread then runs its normal ``shutdown_request`` path and closes the
+        socket itself, so no fd is closed under a reader.
+        """
+        with self._open_lock:
+            self._closing = True
+            connections = list(self._open_requests.values())
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def handle_error(self, request: Any, client_address: Any) -> None:
+        if self._closing:
+            return  # expected: writes racing the deliberate connection close
+        super().handle_error(request, client_address)
 
 
 def _coalesce_server_config(
@@ -187,10 +238,14 @@ class ThreadedHildaServer:
         )
         self.application = application
         self.config = config
+        #: What the HTTP handlers actually call: the application itself, or a
+        #: cluster router mounted in front of it (``ServerConfig.cluster``
+        #: with the thread process model, or ``REPRO_SERVER_MODE=cluster``).
+        self.mounted, self._close_cluster = self._mount_cluster(application, config)
         handler = type(
             "BoundHildaRequestHandler",
             (_HildaRequestHandler,),
-            {"application": application},
+            {"application": self.mounted},
         )
         # The backlog is consulted inside __init__ (at listen()), so it must
         # be a class attribute before construction.
@@ -228,20 +283,60 @@ class ThreadedHildaServer:
         return self
 
     def shutdown(self) -> None:
-        """Stop accepting connections and join the acceptor thread."""
+        """Stop accepting connections and join the acceptor thread.
+
+        Deterministic even with idle keep-alive browsers attached: after the
+        accept loop stops, every in-flight connection is woken (see
+        ``_ThreadingServer.close_all_connections``) so no parked reader
+        thread outlives the server or holds its socket open.
+        """
         if self._thread is None:
             return
         self._httpd.shutdown()
+        self._httpd.close_all_connections()
         self._thread.join(timeout=5)
         self._httpd.server_close()
         self._thread = None
+        if self._close_cluster is not None:
+            self._close_cluster()
+            self._close_cluster = None
+
+    @staticmethod
+    def _mount_cluster(
+        application: HildaApplication, config: ServerConfig
+    ) -> Tuple[Any, Optional[Callable[[], None]]]:
+        """Resolve what to serve: the app, or a cluster router over it."""
+        cluster = config.cluster
+        if not isinstance(application, HildaApplication):
+            # Already a router (ClusterServer mounts one) or a test double.
+            return application, None
+        if cluster is None:
+            mode = os.environ.get(SERVER_MODE_ENV_VAR, "").strip().lower()
+            if mode == "cluster":
+                cluster = ClusterConfig(workers=2, process_model="thread")
+            else:
+                return application, None
+        if cluster.process_model != "thread":
+            raise ConfigError(
+                "ThreadedHildaServer can only mount thread-model clusters over "
+                "a built application; fork-model workers build their own "
+                "engines — use repro.cluster.ClusterServer (or serve(...) "
+                "with ServerConfig(cluster=ClusterConfig(process_model='fork')))"
+            )
+        from repro.cluster.server import build_thread_cluster
+
+        return build_thread_cluster(application, cluster)
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until interrupted (foreground mode)."""
         try:
             self._httpd.serve_forever()
         finally:
+            self._httpd.close_all_connections()
             self._httpd.server_close()
+            if self._close_cluster is not None:
+                self._close_cluster()
+                self._close_cluster = None
 
     def __enter__(self) -> "ThreadedHildaServer":
         return self.start()

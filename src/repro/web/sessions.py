@@ -119,6 +119,24 @@ class SessionManager:
         self._notify_evicted([expired])
         return None
 
+    def touch(self, token: Optional[str]) -> bool:
+        """Refresh a session's last-seen time without the expiry side effects.
+
+        Used by the cluster router to propagate request receipt times to the
+        worker owning the session, so TTL expiry and LRU eviction behave as
+        if the worker had served the request directly (docs/cluster.md).
+        Returns True when the token was found (and refreshed).
+        """
+        if token is None:
+            return False
+        with self._lock:
+            session = self._sessions.get(token)
+            if session is None:
+                return False
+            session.last_used = self._clock()
+            self._sessions.move_to_end(token)
+            return True
+
     def require(self, token: Optional[str]) -> WebSession:
         session = self.lookup(token)
         if session is None:

@@ -1,0 +1,1 @@
+"""Cluster serving tests: RPC transport, sharding, router, fork workers."""

@@ -1,0 +1,103 @@
+"""Fixtures for the cluster test suite.
+
+``NOTES_SOURCE`` is a small Hilda program designed to exercise every shard
+placement the analysis can produce:
+
+* ``note(author, seq, text)`` is **partitioned** on ``author`` — ActMyNotes
+  reads it through the affinity witness ``N.author = U.name`` and the
+  PostNote action preserves the key in both arms;
+* ``motd(seq, text)`` is **replicated** — no query constrains it by a root
+  input column, and Broadcast writes it from any session;
+* ActAllNotes reads ``note`` *without* the witness, making its input query
+  the program's one **global** (scatter-gather) query.
+
+Every ShowTable input query carries an ORDER BY so pages are deterministic
+across deployments (the requirement docs/cluster.md documents).  There is
+deliberately no ``genkey()`` anywhere: per-worker key counters would
+diverge from a single-process run, breaking the equivalence tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hilda.program import load_program
+
+NOTES_SOURCE = """
+root aunit Notes {
+    input schema { user(name:string) }
+
+    persist schema {
+        note(author:string, seq:int, text:string)
+        motd(seq:int, text:string)
+    }
+
+    // Affine read: the session-affinity witness N.author = U.name.
+    activator ActMyNotes : ShowTable(int, string) {
+        input query {
+            ShowTable.input :-
+                SELECT N.seq, N.text FROM note N, user U
+                WHERE N.author = U.name ORDER BY N.seq
+        }
+    }
+
+    // Global read: no witness, so the rows of every shard are needed.
+    activator ActAllNotes : ShowTable(string, int, string) {
+        input query {
+            ShowTable.input :-
+                SELECT N.author, N.seq, N.text FROM note N
+                ORDER BY N.author, N.seq
+        }
+    }
+
+    // Replica read: motd is replicated, so this stays shard-local.
+    activator ActMotd : ShowTable(int, string) {
+        input query {
+            ShowTable.input :- SELECT M.seq, M.text FROM motd M ORDER BY M.seq
+        }
+    }
+
+    // Post a note (seq, text); the write keeps rows in the author's shard.
+    activator ActPost : GetRow(int, string) {
+        handler PostNote {
+            action {
+                note :-
+                    SELECT N.author, N.seq, N.text FROM note N
+                    UNION ALL
+                    SELECT U.name, O.c1, O.c2 FROM user U, GetRow.output O
+            }
+        }
+    }
+
+    // Update the shared message of the day (a replicated-table write).
+    activator ActBroadcast : GetRow(int, string) {
+        handler Broadcast {
+            action {
+                motd :-
+                    SELECT M.seq, M.text FROM motd M
+                    UNION ALL
+                    SELECT O.c1, O.c2 FROM GetRow.output O
+            }
+        }
+    }
+}
+"""
+
+#: Seed users; spread over shards by ``shard_of`` just like their sessions.
+SEED_USERS = ("alice", "bob", "carol", "dave")
+
+
+def seed_notes(engine, index=0):
+    """Deterministic initial state; every worker seeds the full data set
+    (localisation then deletes the rows it does not own)."""
+    notes = [
+        (user, seq, f"{user} note {seq}")
+        for user in SEED_USERS
+        for seq in (1, 2)
+    ]
+    engine.seed_persistent({"note": notes, "motd": [(0, "welcome")]})
+
+
+@pytest.fixture(scope="session")
+def notes_program():
+    return load_program(NOTES_SOURCE)

@@ -1,0 +1,253 @@
+"""Fork-model cluster serving: sharded workers, scatter-gather, equivalence.
+
+The headline guarantee (docs/cluster.md): on a deterministic workload a
+cluster serves **byte-identical pages** and reaches **identical persistent
+state** as a single-process server over the same program.  The lockstep
+driver below runs the same request sequence against both deployments and
+compares every (status, body) pair plus the final tables.
+
+The failover test kills a worker process mid-workload over real HTTP
+sockets: its sessions get a clean 503-with-Retry-After, the other shard is
+unaffected, and the restarted worker recovers committed state from its WAL
+(browsers re-login — web sessions are process memory by design).
+"""
+
+from __future__ import annotations
+
+import re
+import time
+
+import pytest
+
+from repro.cluster.server import ClusterServer
+from repro.cluster.sharding import shard_of
+from repro.config import ClusterConfig, EngineConfig, ServerConfig
+from repro.web.container import HildaApplication
+from repro.web.http import Request
+from repro.web.server import HttpBrowser
+from repro.web.sessions import SESSION_COOKIE
+
+from tests.cluster.conftest import SEED_USERS, seed_notes
+
+_INSTANCE_ID = re.compile(r'name="instance_id" value="(\d+)"')
+
+
+def make_cluster(program, workers=2, **overrides):
+    overrides.setdefault("health_interval", 0.2)
+    overrides.setdefault("retry_backoff", 0.01)
+    overrides.setdefault("request_timeout", 5.0)
+    cluster = ClusterConfig(workers=workers, **overrides)
+    return ClusterServer(
+        program, cluster=cluster, server_config=ServerConfig(), seed=seed_notes
+    )
+
+
+class LockstepDriver:
+    """Drive one deployment through a scripted workload, recording pages."""
+
+    def __init__(self, handle):
+        self.handle = handle
+        self.cookies = {}
+        self.transcript = []
+
+    def _fetch(self, request):
+        response = self.handle(request)
+        while response.is_redirect:
+            cookies = dict(request.cookies)
+            for name, value in response.set_cookies.items():
+                cookies[name] = value
+            request = Request.get(response.location, cookies=cookies)
+            response = self.handle(request)
+        return response
+
+    def login(self, user):
+        response = self.handle(Request.get(f"/login?user={user}"))
+        assert response.is_redirect, response.status
+        self.cookies[user] = response.set_cookies[SESSION_COOKIE]
+        return self.page(user)
+
+    def page(self, user):
+        response = self._fetch(
+            Request.get("/", cookies={SESSION_COOKIE: self.cookies[user]})
+        )
+        self.transcript.append((response.status, response.body))
+        return response
+
+    def act(self, user, form_index, values):
+        """Submit the page's ``form_index``-th form (0 = post, 1 = broadcast)."""
+        page = self._fetch(
+            Request.get("/", cookies={SESSION_COOKIE: self.cookies[user]})
+        )
+        ids = _INSTANCE_ID.findall(page.body)
+        params = {
+            "instance_id": ids[form_index],
+            "c1": values[0],
+            "c2": values[1],
+        }
+        response = self._fetch(
+            Request.post(
+                "/action", params, cookies={SESSION_COOKIE: self.cookies[user]}
+            )
+        )
+        self.transcript.append((response.status, response.body))
+        return response
+
+
+def run_workload(handle):
+    driver = LockstepDriver(handle)
+    for user in SEED_USERS:
+        driver.login(user)
+    driver.act("alice", 0, [10, "hello from alice"])
+    driver.page("bob")  # a peer shard observes the write via scatter
+    driver.act("bob", 0, [11, "bob was here"])
+    driver.act("carol", 1, [1, "maintenance tonight"])  # replicated write
+    driver.act("dave", 0, [12, "dave checking in"])
+    for user in SEED_USERS:  # every shard applies pending refreshes
+        driver.page(user)
+    return driver
+
+
+@pytest.fixture(scope="module")
+def cluster(notes_program):
+    server = make_cluster(notes_program, workers=2).start()
+    yield server
+    server.shutdown()
+
+
+class TestShardedServing:
+    def test_pages_merge_all_shards(self, cluster):
+        driver = LockstepDriver(cluster.router.handle)
+        driver.login("alice")
+        page = driver.page("alice")
+        # ActMyNotes shows only alice's notes; ActAllNotes shows everyone's.
+        for user in SEED_USERS:
+            assert f"{user} note 1" in page.body
+        assert "welcome" in page.body  # the replicated motd
+        gathers = sum(
+            cluster.worker_stats(index)["gathers"] for index in (0, 1)
+        )
+        assert gathers > 0
+
+    def test_partitions_hold_only_owned_rows(self, cluster):
+        for index in (0, 1):
+            notes = cluster.export_tables(index)["Notes"]["note"]
+            assert notes, f"worker {index} seeded nothing"
+            assert all(shard_of(author, 2) == index for author, _, _ in notes)
+
+    def test_cross_shard_write_visibility(self, cluster):
+        driver = LockstepDriver(cluster.router.handle)
+        driver.login("alice")
+        driver.login("bob")
+        assert shard_of("alice", 2) != shard_of("bob", 2)
+        driver.act("alice", 0, [77, "seen across shards"])
+        page = driver.page("bob")
+        assert "seen across shards" in page.body  # via ActAllNotes scatter
+        driver.act("bob", 1, [9, "motd from bob"])
+        page = driver.page("alice")
+        assert "motd from bob" in page.body  # via replica refresh
+
+
+class TestSingleProcessEquivalence:
+    def test_byte_identical_pages_and_identical_state(self, notes_program):
+        with make_cluster(notes_program, workers=2) as server:
+            clustered = run_workload(server.router.handle)
+            cluster_notes = set()
+            worker_motds = []
+            for index in (0, 1):
+                tables = server.export_tables(index)["Notes"]
+                cluster_notes |= {tuple(row) for row in tables["note"]}
+                worker_motds.append(sorted(tuple(row) for row in tables["motd"]))
+
+        reference_app = HildaApplication(
+            notes_program, config=EngineConfig(session_scoped_ids=True)
+        )
+        try:
+            seed_notes(reference_app.engine)
+            single = run_workload(reference_app.handle)
+            engine = reference_app.engine
+            reference_notes = {
+                tuple(row) for row in engine.persistent_table("note").rows
+            }
+            reference_motd = sorted(
+                tuple(row) for row in engine.persistent_table("motd").rows
+            )
+        finally:
+            reference_app.close()
+
+        assert len(clustered.transcript) == len(single.transcript)
+        for position, (got, want) in enumerate(
+            zip(clustered.transcript, single.transcript)
+        ):
+            assert got == want, f"step {position} diverged"
+        assert cluster_notes == reference_notes
+        for motd in worker_motds:
+            assert motd == reference_motd
+
+
+class TestFailover:
+    def test_worker_crash_503_wal_recovery_and_relogin(self, notes_program, tmp_path):
+        victim_user = next(u for u in SEED_USERS if shard_of(u, 2) == 0)
+        witness_user = next(u for u in SEED_USERS if shard_of(u, 2) == 1)
+        server = make_cluster(
+            notes_program,
+            workers=2,
+            data_dir=str(tmp_path / "cluster"),
+            health_interval=0.5,
+            restart_workers=True,
+        ).start()
+        try:
+            victim = HttpBrowser(server.url)
+            witness = HttpBrowser(server.url)
+            page = victim.login(victim_user)
+            assert page.ok and f"{victim_user} note 1" in page.body
+            assert witness.login(witness_user).ok
+
+            # A committed write that must survive the crash.
+            ids = _INSTANCE_ID.findall(victim.get("/").body)
+            page = victim.post(
+                "/action",
+                {"instance_id": ids[0], "c1": 99, "c2": "survives the crash"},
+            )
+            assert "survives the crash" in page.body
+
+            server.kill_worker(0)
+            response = victim.get("/", follow_redirects=False)
+            assert response.status == 503
+            assert response.headers.get("Retry-After") == "1"
+
+            # The other shard's session survives.  Its page scatter-gathers
+            # ActAllNotes, so while the peer is down it degrades to the same
+            # clean retryable 503 (never a 500, never a re-login).
+            page = witness.get("/", follow_redirects=False)
+            assert page.status in (200, 503)
+            if page.status == 503:
+                assert page.headers.get("Retry-After") == "1"
+
+            deadline = time.monotonic() + 30.0
+            while 0 not in server.router.alive_workers():
+                assert time.monotonic() < deadline, "worker 0 never restarted"
+                time.sleep(0.1)
+
+            # The witness session kept its cookie through the whole outage.
+            page = witness.get("/")
+            assert page.ok and f"{witness_user} note 1" in page.body
+
+            # Sessions are process memory: the old cookie re-logs-in.
+            response = victim.get("/", follow_redirects=False)
+            assert response.is_redirect and response.location == "/login"
+
+            # WAL recovery restored the committed write (and did not reseed).
+            page = victim.login(victim_user)
+            assert page.ok
+            assert "survives the crash" in page.body
+            assert f"{victim_user} note 1" in page.body
+            notes = server.export_tables(0)["Notes"]["note"]
+            assert [99, "survives the crash"] in [
+                [seq, text] for author, seq, text in notes if author == victim_user
+            ]
+            assert (
+                sum(1 for row in notes if row[1] == 1)
+                == len([u for u in SEED_USERS if shard_of(u, 2) == 0])
+            ), "restart reseeded an already-initialised store"
+        finally:
+            server.shutdown()

@@ -1,0 +1,192 @@
+"""The session-affinity router over thread-model workers (shared engine).
+
+The thread process model runs N worker RPC servers over one shared
+application, so these tests exercise the router, the socket transport, token
+namespacing, touch propagation and failure handling without forking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.router import ClusterRouter
+from repro.cluster.rpc import WorkerClient
+from repro.cluster.server import build_thread_cluster
+from repro.cluster.sharding import shard_of
+from repro.cluster.worker import ClusterWorker
+from repro.config import ClusterConfig, ServerConfig
+from repro.errors import ConfigError
+from repro.web.container import HildaApplication
+from repro.web.http import Request
+from repro.web.server import SERVER_MODE_ENV_VAR, HttpBrowser, ThreadedHildaServer
+from repro.web.sessions import SESSION_COOKIE
+
+from tests.cluster.conftest import seed_notes
+
+
+@pytest.fixture
+def app(notes_program):
+    application = HildaApplication(notes_program)
+    seed_notes(application.engine)
+    yield application
+    application.close()
+
+
+@pytest.fixture
+def cluster_config():
+    return ClusterConfig(
+        workers=2, process_model="thread", health_interval=0.1, retry_backoff=0.01
+    )
+
+
+@pytest.fixture
+def thread_cluster(app, cluster_config):
+    router, close = build_thread_cluster(app, cluster_config)
+    yield router
+    close()
+
+
+def login(router, user):
+    response = router.handle(Request.get(f"/login?user={user}"))
+    assert response.is_redirect
+    return response.set_cookies[SESSION_COOKIE]
+
+
+class TestRouting:
+    def test_login_page_roundtrip(self, thread_cluster):
+        cookie = login(thread_cluster, "alice")
+        assert cookie.startswith("w")
+        page = thread_cluster.handle(
+            Request.get("/", cookies={SESSION_COOKIE: cookie})
+        )
+        assert page.ok
+        assert "alice note 1" in page.body
+
+    def test_tokens_are_namespaced_by_owning_worker(self, thread_cluster):
+        for user in ("alice", "bob"):
+            cookie = login(thread_cluster, user)
+            assert cookie.startswith(f"w{shard_of(user, 2)}-")
+
+    def test_unknown_tokens_bounce_to_login(self, thread_cluster):
+        for bad in ("w0-garbage", "w9-tok1", "unprefixed"):
+            response = thread_cluster.handle(
+                Request.get("/", cookies={SESSION_COOKIE: bad})
+            )
+            assert response.is_redirect
+            assert response.location == "/login"
+
+    def test_sessions_on_both_workers_serve_concurrently(self, app, thread_cluster):
+        cookies = {user: login(thread_cluster, user) for user in ("alice", "bob")}
+        for user, cookie in cookies.items():
+            page = thread_cluster.handle(
+                Request.get("/", cookies={SESSION_COOKIE: cookie})
+            )
+            assert f"{user} note 1" in page.body
+        assert app.sessions.active_count() == 2
+
+
+class TestTouchPropagation:
+    def test_router_flushes_last_seen_touches(self, app, thread_cluster, monkeypatch):
+        touched = []
+        original = app.sessions.touch
+
+        def recording(token):
+            touched.append(token)
+            return original(token)
+
+        monkeypatch.setattr(app.sessions, "touch", recording)
+        cookie = login(thread_cluster, "alice")
+        thread_cluster.handle(Request.get("/", cookies={SESSION_COOKIE: cookie}))
+        assert not touched  # batched, not per-request
+        thread_cluster.flush_touches()
+        inner = cookie.split("-", 1)[1]
+        assert touched == [inner]
+        # Flushing again sends nothing new.
+        thread_cluster.flush_touches()
+        assert touched == [inner]
+
+
+class TestFailureHandling:
+    def test_dead_worker_yields_503_with_retry_after(self, app, cluster_config):
+        worker = ClusterWorker(0, app, cluster_config, sharded=False).start()
+        client = WorkerClient(
+            0, worker.address, timeout=2.0, connect_retries=2, retry_backoff=0.01
+        )
+        router = ClusterRouter([client], cluster_config, session_hints=False)
+        try:
+            assert router.handle(Request.get("/login?user=alice")).is_redirect
+            worker.rpc.stop()
+            response = router.handle(Request.get("/login?user=alice"))
+            assert response.status == 503
+            assert response.headers["Retry-After"] == "1"
+            assert router.alive_workers() == []
+            # ... and the router fails fast while the worker stays down.
+            assert router.handle(Request.get("/")).status == 503
+        finally:
+            router.close()
+            worker.rpc.stop()
+
+    def test_worker_restarted_restores_service(self, app, cluster_config):
+        worker = ClusterWorker(0, app, cluster_config, sharded=False).start()
+        client = WorkerClient(
+            0, worker.address, timeout=2.0, connect_retries=2, retry_backoff=0.01
+        )
+        router = ClusterRouter([client], cluster_config, session_hints=False)
+        replacement = None
+        try:
+            worker.rpc.stop()
+            assert router.handle(Request.get("/")).status == 503
+            replacement = ClusterWorker(0, app, cluster_config, sharded=False).start()
+            router.worker_restarted(0, replacement.address)
+            assert router.handle(Request.get("/login?user=alice")).is_redirect
+            assert router.alive_workers() == [0]
+        finally:
+            router.close()
+            if replacement is not None:
+                replacement.rpc.stop()
+
+
+class TestServerMounting:
+    def test_env_override_mounts_a_thread_cluster(self, notes_program, monkeypatch):
+        monkeypatch.setenv(SERVER_MODE_ENV_VAR, "cluster")
+        application = HildaApplication(notes_program)
+        seed_notes(application.engine)
+        try:
+            with ThreadedHildaServer(application) as server:
+                assert isinstance(server.mounted, ClusterRouter)
+                assert server.application is application
+                browser = HttpBrowser(server.url)
+                page = browser.login("alice")
+                assert page.ok and "alice note 1" in page.body
+                assert browser.cookies[SESSION_COOKIE].startswith("w")
+        finally:
+            application.close()
+
+    def test_explicit_thread_cluster_config_mounts(self, notes_program):
+        application = HildaApplication(notes_program)
+        seed_notes(application.engine)
+        config = ServerConfig(
+            cluster=ClusterConfig(workers=2, process_model="thread")
+        )
+        try:
+            with ThreadedHildaServer(application, config=config) as server:
+                assert isinstance(server.mounted, ClusterRouter)
+                browser = HttpBrowser(server.url)
+                assert browser.login("bob").ok
+        finally:
+            application.close()
+
+    def test_fork_model_cannot_mount_over_a_built_app(self, notes_program):
+        application = HildaApplication(notes_program)
+        config = ServerConfig(cluster=ClusterConfig(workers=2, process_model="fork"))
+        try:
+            with pytest.raises(ConfigError, match="fork-model"):
+                ThreadedHildaServer(application, config=config)
+        finally:
+            application.close()
+
+    def test_monitor_probes_keep_workers_alive(self, thread_cluster):
+        import time
+
+        time.sleep(0.3)  # a few health-probe rounds
+        assert thread_cluster.alive_workers() == [0, 1]

@@ -1,0 +1,147 @@
+"""Shard placement, the global-query registry, localisation and gathering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.sharding import ScatterGather, ShardPlan, shard_of
+from repro.errors import CompilerError
+from repro.runtime.engine import HildaEngine
+
+from tests.cluster.conftest import SEED_USERS, seed_notes
+
+
+def _input_query(program, activator_name):
+    activator = next(
+        a for a in program.root.activators if a.name == activator_name
+    )
+    return activator.input_query[0].query  # the QueryBlock
+
+
+def _action_query(program, activator_name):
+    activator = next(
+        a for a in program.root.activators if a.name == activator_name
+    )
+    return activator.handlers[0].actions[0].query
+
+
+class TestPlacements:
+    def test_note_partitions_and_motd_replicates(self, notes_program):
+        plan = ShardPlan(notes_program, 2)
+        assert plan.partitioned == {"note": "author"}
+        assert plan.replicated == ["motd"]
+        assert plan.input_tables == ("user",)
+
+    def test_partition_override_wins(self, notes_program):
+        plan = ShardPlan(notes_program, 2, overrides={"motd": "seq"})
+        assert plan.partitioned == {"note": "author", "motd": "seq"}
+        assert plan.replicated == []
+
+    def test_override_with_unknown_column_is_rejected(self, notes_program):
+        with pytest.raises(CompilerError, match="unknown"):
+            ShardPlan(notes_program, 2, overrides={"motd": "nope"})
+
+    def test_shard_of_is_deterministic_and_spreads_users(self):
+        for user in SEED_USERS:
+            assert shard_of(user, 2) == shard_of(user, 2)
+        assert {shard_of(user, 2) for user in SEED_USERS} == {0, 1}
+
+
+class TestGlobalQueryRegistry:
+    def test_only_the_witnessless_read_is_global(self, notes_program):
+        plan = ShardPlan(notes_program, 2)
+        assert plan.summary()["global_queries"] == 1
+        all_notes = _input_query(notes_program, "ActAllNotes")
+        my_notes = _input_query(notes_program, "ActMyNotes")
+        motd = _input_query(notes_program, "ActMotd")
+        assert plan.is_global(all_notes.query)
+        assert plan.global_tables(all_notes.query) == ("note",)
+        assert not plan.is_global(my_notes.query)  # affine: N.author = U.name
+        assert not plan.is_global(motd.query)  # replicated table
+        # The registry also answers by query text (cache keys and the like).
+        assert plan.is_global(all_notes.text)
+
+    def test_handler_actions_are_never_registered(self, notes_program):
+        # PostNote's action *reads* note without the witness, but actions must
+        # see the local partition only (target.replace semantics).
+        plan = ShardPlan(notes_program, 2)
+        action = _action_query(notes_program, "ActPost")
+        assert not plan.is_global(action.query)
+        # ... even though the classifier would call the read global:
+        assert plan.classify_query(action.query) == ("note",)
+
+class TestLocalize:
+    def test_localize_keeps_only_owned_rows(self, notes_program):
+        engine = HildaEngine(notes_program)
+        seed_notes(engine)
+        plan = ShardPlan(notes_program, 2)
+        tables = engine.persist_tables("Notes")
+        before = len(tables["note"].rows)
+        dropped = plan.localize(0, tables)
+        assert 0 < dropped < before
+        assert all(
+            plan.shard_of(author) == 0 for author, _, _ in tables["note"].rows
+        )
+        # Replicated tables are untouched.
+        assert [tuple(r) for r in tables["motd"].rows] == [(0, "welcome")]
+
+    def test_partitions_are_disjoint_and_complete(self, notes_program):
+        plan = ShardPlan(notes_program, 2)
+        partitions = []
+        for worker in (0, 1):
+            engine = HildaEngine(notes_program)
+            seed_notes(engine)
+            tables = engine.persist_tables("Notes")
+            plan.localize(worker, tables)
+            partitions.append({tuple(r) for r in tables["note"].rows})
+        assert partitions[0] & partitions[1] == set()
+        engine = HildaEngine(notes_program)
+        seed_notes(engine)
+        full = {tuple(r) for r in engine.persist_tables("Notes")["note"].rows}
+        assert partitions[0] | partitions[1] == full
+
+
+class TestScatterGather:
+    def _gather(self, notes_program, workers=2):
+        plan = ShardPlan(notes_program, workers)
+        engines = []
+        for worker in range(workers):
+            engine = HildaEngine(notes_program)
+            seed_notes(engine)
+            plan.localize(worker, engine.persist_tables("Notes"))
+            engines.append(engine)
+
+        def peer_rows(worker, table):
+            return [
+                tuple(r)
+                for r in engines[worker].persist_tables("Notes")[table].rows
+            ]
+
+        local = engines[0].persist_tables("Notes")
+        sg = ScatterGather(plan, 0, local.get, peer_rows)
+        return plan, sg, engines
+
+    def test_overlay_merges_every_shard(self, notes_program):
+        plan, sg, engines = self._gather(notes_program)
+        all_notes = _input_query(notes_program, "ActAllNotes")
+        overlay = sg.overlay_for(all_notes.query)
+        assert set(overlay) == {"note"}
+        merged = {tuple(r) for r in overlay["note"].rows}
+        expected = {
+            (user, seq, f"{user} note {seq}")
+            for user in SEED_USERS
+            for seq in (1, 2)
+        }
+        assert merged == expected
+        assert sg.gather_count == 1
+
+    def test_non_global_queries_get_no_overlay(self, notes_program):
+        plan, sg, _ = self._gather(notes_program)
+        my_notes = _input_query(notes_program, "ActMyNotes")
+        assert sg.overlay_for(my_notes.query) is None
+
+    def test_read_names_filter_limits_the_overlay(self, notes_program):
+        plan, sg, _ = self._gather(notes_program)
+        all_notes = _input_query(notes_program, "ActAllNotes")
+        assert sg.overlay_for(all_notes.query, read_names=["motd"]) is None
+        assert sg.overlay_for(all_notes.query, read_names=["note"]) is not None

@@ -148,3 +148,39 @@ class TestConcurrentServing:
             assert members == {1}
         else:
             assert members == {1, 2}
+
+
+class TestShutdownWithKeepAlive:
+    """Shutdown must be deterministic even with idle keep-alive browsers
+    parked on open connections (their reader threads block in recv())."""
+
+    def test_shutdown_closes_parked_keepalive_connections(self, application):
+        import http.client
+        import time
+
+        server = ThreadedHildaServer(application).start()
+        host, port = server.address
+        # One served request over a keep-alive connection, then leave the
+        # socket open so the server-side handler thread parks in recv().
+        conn = http.client.HTTPConnection(host, port, timeout=10.0)
+        conn.request("GET", "/login?user=sysadmin")
+        response = conn.getresponse()
+        response.read()
+        assert response.status in (200, 302)
+
+        started = time.monotonic()
+        server.shutdown()
+        elapsed = time.monotonic() - started
+        assert elapsed < 2.0, f"shutdown stalled {elapsed:.1f}s on a parked reader"
+
+        # The parked client sees the connection close (EOF), not a timeout.
+        conn.sock.settimeout(5.0)
+        assert conn.sock.recv(1) == b""
+        conn.close()
+
+    def test_shutdown_is_idempotent_after_keepalive_close(self, application):
+        server = ThreadedHildaServer(application).start()
+        browser = HttpBrowser(server.url)
+        assert browser.login(ADMIN_USER).ok
+        server.shutdown()
+        server.shutdown()  # second call must be a clean no-op

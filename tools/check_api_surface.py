@@ -35,6 +35,7 @@ def current_surface() -> Dict:
     import repro.api
     from repro.config import (
         CacheConfig,
+        ClusterConfig,
         EngineConfig,
         OptimizerConfig,
         ServerConfig,
@@ -49,6 +50,7 @@ def current_surface() -> Dict:
             cls.__name__: list(config_fields(cls))
             for cls in (
                 CacheConfig,
+                ClusterConfig,
                 EngineConfig,
                 OptimizerConfig,
                 SessionConfig,
