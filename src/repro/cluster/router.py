@@ -8,7 +8,10 @@ server serves a cluster unchanged.  Responsibilities:
   same hash places U's partitioned rows, so a session's affine reads are
   always shard-local.  Session cookies come back namespaced ``w<idx>-<token>``
   and later requests follow the prefix (worker token counters would
-  otherwise collide across processes).
+  otherwise collide across processes).  ``/login`` always re-establishes
+  placement: a stale cookie held while logging in as a different user is
+  dropped, never followed — following it would pin the new session onto a
+  worker that does not own the user's partition.
 * **Deterministic session ids** — in sharded mode each login carries a
   ``session_hint`` (S1, S2, ... in arrival order) so worker engines mint the
   same session-scoped instance ids a single-process server would
@@ -18,10 +21,13 @@ server serves a cluster unchanged.  Responsibilities:
   and piggybacks refresh directives / the epoch on the next request to each
   worker, which pulls fresh replicas and marks scatter-read sessions stale.
 * **Failure handling** — an unreachable worker yields a clean 503 with
-  ``Retry-After`` (affine sessions can simply retry); a monitor thread
-  probes workers, reports failures to the deployment layer (which restarts
-  fork-model workers), and batches session last-seen ``touch`` flushes so
-  TTL/LRU policies behave as in single-process serving.
+  ``Retry-After`` (affine sessions can simply retry); a *busy* worker
+  (connection pool saturated) yields the same retryable 503 but is **not**
+  marked dead — restarting a loaded worker would destroy its sessions.  A
+  monitor thread probes workers out-of-pool, reports failures to the
+  deployment layer (which restarts fork-model workers), and batches session
+  last-seen ``touch`` flushes so TTL/LRU policies behave as in
+  single-process serving.
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ from typing import Any, Callable, Dict, List, Optional, Set
 from repro.cluster.rpc import WorkerClient
 from repro.cluster.sharding import shard_of
 from repro.config import ClusterConfig
-from repro.errors import RpcError, WorkerUnavailableError
+from repro.errors import RpcError, WorkerBusyError, WorkerUnavailableError
 from repro.web.http import Request, Response
 from repro.web.sessions import SESSION_COOKIE
 
@@ -82,8 +88,15 @@ class ClusterRouter:
             "cookies": self._inner_cookies(request, token),
             "body": request.body,
         }
+        is_login = request.path == "/login"
         session_hint = None
-        if self.session_hints and request.path == "/login":
+        if self.session_hints and is_login and request.param("user"):
+            # Mirror the worker's login validation (missing ``user`` is a
+            # 400): a login that cannot succeed must not consume a session
+            # number, or the cluster's S<n> ordering — and with it the
+            # session-scoped instance ids — would diverge from the
+            # single-process engine, which only advances its counter on a
+            # successful start_session.
             session_hint = f"S{next(self._session_counter)}"
         with self._lock:
             epoch = self._epoch
@@ -91,12 +104,20 @@ class ClusterRouter:
         try:
             reply = self.clients[index].call(
                 "handle",
-                retry=request.method == "GET",
+                # GET /login mutates state (creates the web and engine
+                # sessions), so it is never replayed after a mid-call
+                # failure; the browser retries against the 503 instead.
+                retry=request.method == "GET" and not is_login,
                 request=forward,
                 epoch=epoch,
                 refresh=refresh,
                 session_hint=session_hint,
             )
+        except WorkerBusyError:
+            # Saturation is load, not death: 503 the request but leave the
+            # worker alive so the monitor never restarts it (a restart
+            # would destroy its in-memory web sessions).
+            return self._unavailable(index, busy=True)
         except WorkerUnavailableError:
             self._alive[index] = False
             return self._unavailable(index)
@@ -114,6 +135,15 @@ class ClusterRouter:
 
     def _target(self, request: Request):
         """(worker index, inner session token) for one request."""
+        if request.path == "/login":
+            # Login re-establishes placement *before* the cookie is looked
+            # at: route by the user's shard and drop any held token.  An
+            # old cookie must never pin the new session onto a worker that
+            # does not own the user's partitioned rows (the previous
+            # session, if any, ages out by TTL exactly as it would after a
+            # single-process re-login).
+            user = request.param("user") or ""
+            return shard_of(user, len(self.clients)), None
         raw = request.cookies.get(SESSION_COOKIE)
         if raw:
             match = _TOKEN.match(raw)
@@ -125,9 +155,6 @@ class ClusterRouter:
             # send it to worker 0, whose session lookup will fail and
             # redirect to /login.
             return 0, None
-        if request.path == "/login":
-            user = request.param("user") or ""
-            return shard_of(user, len(self.clients)), None
         return 0, None
 
     def _inner_cookies(self, request: Request, token: Optional[str]) -> Dict[str, str]:
@@ -150,9 +177,10 @@ class ClusterRouter:
             set_cookies=set_cookies,
         )
 
-    def _unavailable(self, index: int) -> Response:
+    def _unavailable(self, index: int, busy: bool = False) -> Response:
+        state = "busy" if busy else "unavailable"
         response = Response.error(
-            f"cluster worker {index} is unavailable; retry shortly", status=503
+            f"cluster worker {index} is {state}; retry shortly", status=503
         )
         response.headers["Retry-After"] = "1"
         return response
@@ -200,7 +228,7 @@ class ClusterRouter:
                 continue
             try:
                 client.call("touch", retry=True, tokens=tokens)
-            except (RpcError, WorkerUnavailableError):
+            except (RpcError, WorkerBusyError, WorkerUnavailableError):
                 pass  # the probe below owns failure handling
 
     def check_workers(self) -> None:

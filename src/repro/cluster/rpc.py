@@ -12,13 +12,22 @@ container image does not bake msgpack in, so pickle is the common case).
 Both sides of a connection always run the same code base, so the codec choice
 never needs negotiating.  msgpack turns tuples into lists; callers that ship
 table rows must therefore re-tuple them on receipt (``worker.py`` does).
+The pickle path decodes through a **restricted unpickler**: rpc frames are
+plain containers of primitives (the one exception being ``datetime.date``
+row values), so ``find_class`` rejects every other global — a crafted frame
+from some other local process that can reach the TCP port must not be able
+to smuggle a ``__reduce__`` gadget into the worker (pickle is otherwise
+arbitrary code execution).  Undecodable frames of either codec surface as
+:class:`~repro.errors.RpcError` and close the connection.
 
 :class:`RpcServer` is a thread-per-connection server dispatching to a handler
 table; :class:`WorkerClient` is the router/worker-side caller with a bounded
 connection pool, request timeouts, and bounded retry with backoff for
 connection establishment (and, for calls flagged idempotent, mid-call
 failures).  Failures surface as :class:`~repro.errors.RpcError` /
-:class:`~repro.errors.WorkerUnavailableError`.
+:class:`~repro.errors.WorkerUnavailableError`, and connection-pool
+saturation as :class:`~repro.errors.WorkerBusyError` (load, not death —
+see :class:`WorkerClient`).
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import RpcError, WorkerUnavailableError
+from repro.errors import RpcError, WorkerBusyError, WorkerUnavailableError
 
 __all__ = ["RpcServer", "WorkerClient", "CODEC_NAME"]
 
@@ -43,18 +52,46 @@ try:  # pragma: no cover - exercised only when msgpack is installed
         return msgpack.packb(message, use_bin_type=True)
 
     def _decode(payload: bytes) -> Dict[str, Any]:
-        return msgpack.unpackb(payload, raw=False)
+        try:
+            return msgpack.unpackb(payload, raw=False)
+        except Exception as exc:
+            raise RpcError(f"undecodable rpc frame: {exc}") from exc
 
 except ImportError:  # pickle is always available
+    import io
     import pickle
 
     CODEC_NAME = "pickle"
+
+    #: The only non-primitive globals a frame may reference: DATE columns
+    #: ship ``datetime.date`` values in ``scan``/``export_tables`` rows.
+    #: (``datetime.datetime`` covers the coercion layer's accepted superset.)
+    _SAFE_GLOBALS = {("datetime", "date"), ("datetime", "datetime")}
+
+    class _RestrictedUnpickler(pickle.Unpickler):
+        """Reject every global reference outside ``_SAFE_GLOBALS``.
+
+        Dicts, lists, tuples, strings, bytes, numbers, bools and None decode
+        through dedicated pickle opcodes and never hit ``find_class``, so
+        legitimate rpc traffic is unaffected while a crafted frame cannot
+        name a callable to execute.
+        """
+
+        def find_class(self, module: str, name: str) -> Any:
+            if (module, name) in _SAFE_GLOBALS:
+                return super().find_class(module, name)
+            raise pickle.UnpicklingError(
+                f"rpc frames may not reference {module}.{name}"
+            )
 
     def _encode(message: Dict[str, Any]) -> bytes:
         return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
 
     def _decode(payload: bytes) -> Dict[str, Any]:
-        return pickle.loads(payload)
+        try:
+            return _RestrictedUnpickler(io.BytesIO(payload)).load()
+        except Exception as exc:
+            raise RpcError(f"undecodable rpc frame: {exc}") from exc
 
 
 _LENGTH = struct.Struct(">I")
@@ -226,6 +263,13 @@ class WorkerClient:
     when the caller flags the call idempotent (``retry=True``) — a POST whose
     connection died after the request was sent may already have been applied,
     so it is never replayed.
+
+    Failure vocabulary: a worker that cannot be *reached* raises
+    :class:`WorkerUnavailableError`; a worker whose pool has no free slot
+    within ``pool_timeout`` (default: ``timeout``) raises
+    :class:`WorkerBusyError` — saturation is load, not death, and the two
+    must stay distinguishable so the router never restarts a busy worker.
+    :meth:`ping` therefore also runs on a dedicated out-of-pool connection.
     """
 
     def __init__(
@@ -236,9 +280,11 @@ class WorkerClient:
         connect_retries: int = 3,
         retry_backoff: float = 0.05,
         pool_size: int = 8,
+        pool_timeout: Optional[float] = None,
     ) -> None:
         self.worker = worker
         self.timeout = timeout
+        self.pool_timeout = timeout if pool_timeout is None else pool_timeout
         self.connect_retries = max(1, int(connect_retries))
         self.retry_backoff = retry_backoff
         self._address = tuple(address)
@@ -265,8 +311,9 @@ class WorkerClient:
         """Invoke ``method(**args)`` on the worker and return its value.
 
         Raises :class:`WorkerUnavailableError` when the worker cannot be
-        reached (after retries) and :class:`RpcError` when it reports a
-        handler failure.
+        reached (after retries), :class:`WorkerBusyError` when no pool slot
+        frees up within ``pool_timeout``, and :class:`RpcError` when it
+        reports a handler failure.
         """
         attempts = self.connect_retries
         delay = self.retry_backoff
@@ -302,7 +349,46 @@ class WorkerClient:
         )
 
     def ping(self) -> bool:
-        return bool(self.call("ping", retry=True))
+        """Liveness probe on a dedicated out-of-pool connection.
+
+        Probes must not compete for pool slots: under sustained load every
+        slot is legitimately busy, and a probe that queued behind them would
+        time out and make a healthy worker look dead — the monitor would
+        then terminate it, destroying its in-memory web sessions.  Connect
+        failures are retried like :meth:`call`; handler-level failures
+        propagate as :class:`RpcError`.
+        """
+        attempts = self.connect_retries
+        delay = self.retry_backoff
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(delay)
+                delay *= 2
+            with self._lock:
+                if self._closed:
+                    raise WorkerUnavailableError(self.worker, "worker client closed")
+                address = self._address
+            try:
+                conn = socket.create_connection(address, timeout=self.timeout)
+            except OSError as exc:
+                last_error = exc
+                continue
+            try:
+                conn.settimeout(self.timeout)
+                request_id = next(self._request_ids)
+                send_frame(conn, {"id": request_id, "method": "ping", "args": {}})
+                return bool(self._unwrap(recv_frame(conn), request_id))
+            except OSError as exc:
+                last_error = exc
+                continue
+            finally:
+                _force_close(conn)
+        raise WorkerUnavailableError(
+            self.worker,
+            f"cluster worker {self.worker} at {self._address} is unavailable: "
+            f"{last_error}",
+        )
 
     def close(self) -> None:
         with self._lock:
@@ -326,10 +412,11 @@ class WorkerClient:
         )
 
     def _checkout(self) -> socket.socket:
-        if not self._slots.acquire(timeout=self.timeout):
-            raise WorkerUnavailableError(
-                self.worker, f"cluster worker {self.worker} connection pool exhausted"
-            )
+        # Pool exhaustion is WorkerBusyError, not WorkerUnavailableError:
+        # every slot being in flight means the worker is loaded, not dead,
+        # and the caller must not trigger failure handling (restart).
+        if not self._slots.acquire(timeout=self.pool_timeout):
+            raise WorkerBusyError(self.worker)
         with self._lock:
             if self._closed:
                 self._slots.release()

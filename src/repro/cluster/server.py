@@ -41,7 +41,13 @@ from repro.cluster.router import ClusterRouter
 from repro.cluster.rpc import WorkerClient
 from repro.cluster.worker import ClusterWorker, WorkerSpec, worker_main
 from repro.config import ClusterConfig, ServerConfig
-from repro.errors import ClusterError, ConfigError, RpcError, WorkerUnavailableError
+from repro.errors import (
+    ClusterError,
+    ConfigError,
+    RpcError,
+    WorkerBusyError,
+    WorkerUnavailableError,
+)
 from repro.hilda.program import HildaProgram
 from repro.web.container import HildaApplication
 from repro.web.server import ThreadedHildaServer
@@ -229,7 +235,7 @@ class ClusterServer:
                 continue
             try:
                 client.call("configure_peers", retry=True, addresses=addresses)
-            except (RpcError, WorkerUnavailableError) as exc:
+            except (RpcError, WorkerBusyError, WorkerUnavailableError) as exc:
                 if strict:
                     raise ClusterError(
                         f"cluster worker {index} rejected peer configuration: {exc}"

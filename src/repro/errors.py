@@ -250,3 +250,20 @@ class WorkerUnavailableError(ClusterError):
     def __init__(self, worker: int, message: str | None = None) -> None:
         super().__init__(message or f"cluster worker {worker} is unavailable")
         self.worker = worker
+
+
+class WorkerBusyError(ClusterError):
+    """A worker's RPC connection pool is saturated; the worker itself is fine.
+
+    Deliberately *not* a :class:`WorkerUnavailableError`: the router maps
+    this to a retryable 503 without marking the worker dead, so the monitor
+    never terminates (and restarts) a healthy worker that is merely under
+    load — a restart would destroy its in-memory web sessions.  Health
+    probes run on a dedicated out-of-pool connection for the same reason.
+    """
+
+    def __init__(self, worker: int, message: str | None = None) -> None:
+        super().__init__(
+            message or f"cluster worker {worker} connection pool is exhausted"
+        )
+        self.worker = worker

@@ -15,7 +15,7 @@ from repro.cluster.server import build_thread_cluster
 from repro.cluster.sharding import shard_of
 from repro.cluster.worker import ClusterWorker
 from repro.config import ClusterConfig, ServerConfig
-from repro.errors import ConfigError
+from repro.errors import ConfigError, WorkerBusyError
 from repro.web.container import HildaApplication
 from repro.web.http import Request
 from repro.web.server import SERVER_MODE_ENV_VAR, HttpBrowser, ThreadedHildaServer
@@ -83,6 +83,108 @@ class TestRouting:
             )
             assert f"{user} note 1" in page.body
         assert app.sessions.active_count() == 2
+
+
+class _ScriptedClient:
+    """Stands in for a WorkerClient: records calls, returns canned replies."""
+
+    def __init__(self, worker=0, error=None):
+        self.worker = worker
+        self.calls = []
+        self.error = error
+
+    def call(self, method, retry=False, **args):
+        self.calls.append({"method": method, "retry": retry, **args})
+        if self.error is not None:
+            raise self.error
+        if method in ("ping", "touch"):
+            return True
+        return {
+            "status": 200,
+            "body": "ok",
+            "headers": {},
+            "set_cookies": {},
+            "meta": {"wrote": False, "replicated": {}, "refresh_applied": True},
+        }
+
+    def handled(self):
+        return [call for call in self.calls if call["method"] == "handle"]
+
+    def reconnect(self, address):
+        pass
+
+    def close(self):
+        pass
+
+
+def scripted_router(clients, **kwargs):
+    config = ClusterConfig(workers=len(clients), process_model="thread")
+    return ClusterRouter(clients, config, **kwargs)
+
+
+class TestLoginPlacement:
+    def test_login_with_stale_cookie_routes_by_user_shard(self, thread_cluster):
+        # Logging in as a different user while holding an old cookie must
+        # land on shard_of(new user) — following the cookie would place the
+        # session on a worker that does not own the user's partition.
+        stale = login(thread_cluster, "alice")
+        for user in ("alice", "bob"):
+            response = thread_cluster.handle(
+                Request.get(f"/login?user={user}", cookies={SESSION_COOKIE: stale})
+            )
+            assert response.is_redirect
+            cookie = response.set_cookies[SESSION_COOKIE]
+            assert cookie.startswith(f"w{shard_of(user, 2)}-")
+
+    def test_stale_token_is_not_forwarded_with_the_login(self):
+        clients = [_ScriptedClient(0), _ScriptedClient(1)]
+        router = scripted_router(clients)
+        router.handle(
+            Request.get("/login?user=alice", cookies={SESSION_COOKIE: "w1-old"})
+        )
+        forwarded = [c for c in clients if c.handled()]
+        assert len(forwarded) == 1
+        assert forwarded[0].worker == shard_of("alice", 2)
+        assert SESSION_COOKIE not in forwarded[0].handled()[0]["request"]["cookies"]
+
+
+class TestSessionHints:
+    def test_failed_logins_do_not_consume_hints(self):
+        # The worker 400s a login without ?user, and the single-process
+        # engine only advances its session counter on success — so a failed
+        # login must not burn an S<n> or the numbering diverges.
+        client = _ScriptedClient()
+        router = scripted_router([client], session_hints=True)
+        router.handle(Request.get("/login"))
+        router.handle(Request.get("/login?user=alice"))
+        assert [call["session_hint"] for call in client.handled()] == [None, "S1"]
+
+    def test_login_is_never_replayed(self):
+        # GET /login mutates state (creates web + engine sessions): a
+        # mid-call connection failure must surface, not replay the login.
+        client = _ScriptedClient()
+        router = scripted_router([client], session_hints=True)
+        router.handle(Request.get("/login?user=alice"))
+        router.handle(Request.get("/"))
+        retry_by_path = {
+            call["request"]["path"]: call["retry"] for call in client.handled()
+        }
+        assert retry_by_path == {"/login": False, "/": True}
+
+
+class TestBusyWorkers:
+    def test_busy_worker_503s_without_being_marked_dead(self):
+        client = _ScriptedClient(error=WorkerBusyError(0))
+        router = scripted_router([client])
+        response = router.handle(Request.get("/"))
+        assert response.status == 503
+        assert response.headers["Retry-After"] == "1"
+        assert "busy" in response.body
+        # Saturation is not failure: the worker stays alive, so the monitor
+        # never restarts it and later requests are still forwarded.
+        assert router.alive_workers() == [0]
+        client.error = None
+        assert router.handle(Request.get("/")).ok
 
 
 class TestTouchPropagation:

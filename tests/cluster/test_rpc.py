@@ -16,7 +16,7 @@ from repro.cluster.rpc import (
     send_frame,
 )
 from repro.cluster.rpc import _LENGTH
-from repro.errors import RpcError, WorkerUnavailableError
+from repro.errors import RpcError, WorkerBusyError, WorkerUnavailableError
 
 
 @pytest.fixture
@@ -200,6 +200,99 @@ class TestRetrySemantics:
         finally:
             client.close()
             flaky.close()
+
+
+class TestBusyVsDead:
+    """Pool saturation must stay distinguishable from worker death.
+
+    The router restarts workers it believes dead; conflating "every pool
+    slot is in flight" with "unreachable" would let the monitor terminate
+    a healthy worker under load (destroying its web sessions).
+    """
+
+    @pytest.fixture
+    def saturated(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def block():
+            entered.set()
+            release.wait(10.0)
+            return True
+
+        rpc = RpcServer({"block": block, "ping": lambda: True}).start()
+        client = WorkerClient(
+            0,
+            rpc.address,
+            timeout=5.0,
+            connect_retries=1,
+            retry_backoff=0.01,
+            pool_size=1,
+            pool_timeout=0.1,
+        )
+        blocker = threading.Thread(
+            target=lambda: client.call("block"), daemon=True
+        )
+        blocker.start()
+        assert entered.wait(5.0)  # the single pool slot is now held
+        try:
+            yield client
+        finally:
+            release.set()
+            blocker.join(timeout=5.0)
+            client.close()
+            rpc.stop()
+
+    def test_pool_exhaustion_is_busy_not_unavailable(self, saturated):
+        with pytest.raises(WorkerBusyError, match="pool is exhausted"):
+            saturated.call("ping")
+
+    def test_ping_bypasses_a_saturated_pool(self, saturated):
+        # Health probes run out-of-pool, so a loaded worker still looks alive.
+        assert saturated.ping() is True
+
+
+@pytest.mark.skipif(CODEC_NAME != "pickle", reason="exercises the pickle codec")
+class TestPickleSafety:
+    """The pickle codec must not be an arbitrary-code-execution vector."""
+
+    def roundtrip(self, message):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, message)
+            return recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_crafted_global_reference_is_rejected(self):
+        import pickle
+
+        payload = pickle.dumps(print)  # stands in for any __reduce__ gadget
+        left, right = socket.socketpair()
+        try:
+            left.sendall(_LENGTH.pack(len(payload)) + payload)
+            with pytest.raises(RpcError, match="may not reference"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_primitive_frames_round_trip(self):
+        message = {
+            "id": 1,
+            "args": {"rows": [(1, "a", 2.5, True, None)], "blob": b"\x00"},
+        }
+        decoded = self.roundtrip(message)
+        assert decoded["args"]["rows"] == [(1, "a", 2.5, True, None)]
+
+    def test_date_row_values_round_trip(self):
+        # DATE columns ship datetime.date values in scan/export rows; they
+        # are the one allowlisted global.
+        import datetime
+
+        value = datetime.date(2006, 4, 3)
+        assert self.roundtrip({"d": value}) == {"d": value}
 
 
 class TestReconnect:
