@@ -32,7 +32,7 @@ from repro.apps.minicms import (
     seed_scaled,
 )
 from repro.runtime.engine import HildaEngine
-from repro.sql.stats import estimation_totals
+from repro.sql.stats import EstimationStats
 from repro.storage.backend import BACKEND_ENV_VAR
 from repro.web.server import SERVER_MODE_ENV_VAR
 
@@ -103,23 +103,34 @@ def quick(full, reduced):
     return reduced if BENCH_QUICK else full
 
 
-def write_bench_json(name: str, payload: dict) -> str:
+def write_bench_json(name: str, payload: dict, engines=()) -> str:
     """Write ``BENCH_<name>.json`` (ops/sec, hit rates, ...) and return its path.
 
     The JSON shape is stable across PRs so the perf trajectory can be
     diffed: top-level metadata plus whatever series the benchmark reports.
+    ``engines`` names the engines whose estimation totals the artifact
+    should aggregate — the engine-scoped replacement for the old
+    process-global q-error counters (zeros when omitted).
     """
     os.makedirs(ARTIFACT_DIR, exist_ok=True)
     path = os.path.join(ARTIFACT_DIR, f"BENCH_{name}.json")
+    estimation = EstimationStats()
+    for engine in engines:
+        # Accepts engines (``.sql_caches``) and bare executors (``.caches``).
+        caches = getattr(engine, "sql_caches", None) or getattr(engine, "caches")
+        totals = caches.estimation
+        estimation.add(totals.checks, totals.underestimates, totals.overestimates)
+        estimation.replans += totals.replans
     document = {
         "benchmark": name,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "quick_mode": BENCH_QUICK,
-        # Cumulative EXPLAIN ANALYZE q-error counters for the whole process
-        # so far (zeroes when the benchmark never ran EXPLAIN ANALYZE):
-        # how often the optimizer's row estimates were checked and how
-        # often they missed by more than a q-error of 2 either way.
-        "estimation": estimation_totals(),
+        # Estimate-vs-actual q-error totals of the engines this benchmark
+        # ran (EXPLAIN ANALYZE and feedback observation passes): how often
+        # row estimates were checked, how often they missed by more than a
+        # q-error of 2 either way, and how many feedback-driven re-plans
+        # were triggered.
+        "estimation": estimation.as_dict(),
     }
     document.update(payload)
     with open(path, "w", encoding="utf-8") as handle:

@@ -75,6 +75,10 @@ REACTIVATION_MODES = ("eager", "lazy")
 #: The query-planning strategies the SQL layer implements (docs/optimizer.md).
 OPTIMIZER_STRATEGIES = ("cost", "heuristic")
 
+#: The cardinality estimators the cost-based pipeline can run on
+#: (docs/optimizer.md § "Pessimistic upper bounds").
+CARDINALITY_ESTIMATORS = ("systemr", "pessimistic")
+
 #: How the runtime treats stale cached activation-query results:
 #: ``"incremental"`` patches them in place through per-plan delta programs
 #: (falling back to recomputation on any bailout), ``"recompute"`` always
@@ -274,6 +278,20 @@ class OptimizerConfig:
     #: FROM lists up to this many relations are join-ordered by dynamic
     #: programming over subsets; larger lists fall back to a greedy ordering.
     dp_threshold: int = 6
+    #: ``"systemr"`` (classic selectivity formulas, the default) or
+    #: ``"pessimistic"`` (UES-style upper bounds: every row estimate is a
+    #: guaranteed cap on actual rows, derived from MCV top frequencies —
+    #: docs/optimizer.md § "Pessimistic upper bounds").
+    estimator: str = "systemr"
+    #: Feedback-driven re-optimization: observe the first execution of each
+    #: cached plan, record true per-node cardinalities in the engine's
+    #: :class:`~repro.sql.optimizer.FeedbackCache`, and re-plan when the
+    #: observed q-error exceeds ``reopt_q_error``
+    #: (docs/optimizer.md § "Feedback-driven re-optimization").
+    feedback: bool = False
+    #: A cached plan whose worst observed per-node q-error exceeds this is
+    #: invalidated so the next execution re-plans with corrected estimates.
+    reopt_q_error: float = 4.0
 
     def __post_init__(self) -> None:
         if self.strategy not in OPTIMIZER_STRATEGIES:
@@ -289,6 +307,24 @@ class OptimizerConfig:
             raise ConfigError(
                 f"OptimizerConfig.dp_threshold must be a positive int, "
                 f"got {self.dp_threshold!r}"
+            )
+        if self.estimator not in CARDINALITY_ESTIMATORS:
+            raise ConfigError(
+                "OptimizerConfig.estimator must be one of "
+                f"{CARDINALITY_ESTIMATORS}, got {self.estimator!r}"
+            )
+        if not isinstance(self.feedback, bool):
+            raise ConfigError(
+                f"OptimizerConfig.feedback must be a bool, got {self.feedback!r}"
+            )
+        if (
+            isinstance(self.reopt_q_error, bool)
+            or not isinstance(self.reopt_q_error, (int, float))
+            or self.reopt_q_error <= 1.0
+        ):
+            raise ConfigError(
+                "OptimizerConfig.reopt_q_error must be a number > 1.0 "
+                f"(a q-error of 1.0 is a perfect estimate), got {self.reopt_q_error!r}"
             )
 
     @classmethod

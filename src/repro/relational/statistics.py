@@ -33,10 +33,22 @@ ever dominate at scale.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["ColumnStatistics", "TableStatistics", "StatisticsMaintainer", "size_class"]
+__all__ = [
+    "ColumnStatistics",
+    "TableStatistics",
+    "StatisticsMaintainer",
+    "size_class",
+    "MCV_SIZE",
+]
+
+#: How many most-common values each column snapshot retains.  Ten entries
+#: cover the hot head of the Zipf-like distributions Hilda workloads show
+#: while keeping snapshots O(columns) beyond the histograms themselves.
+MCV_SIZE = 10
 
 
 def size_class(row_count: int) -> int:
@@ -46,6 +58,11 @@ def size_class(row_count: int) -> int:
     plans are concerned; crossing a class boundary bumps the stats epoch.
     """
     return row_count.bit_length()
+
+
+#: Sentinel for :meth:`ColumnStatistics.frequency_bound` meaning "any value"
+#: (``None`` is a legitimate column value, so it cannot serve as a default).
+_ANY_VALUE = object()
 
 
 @dataclass(frozen=True)
@@ -59,12 +76,56 @@ class ColumnStatistics:
     #: Smallest / largest non-NULL value (None when the column is all-NULL).
     min_value: Any = None
     max_value: Any = None
+    #: The most-common values: up to :data:`MCV_SIZE` ``(value, count)``
+    #: pairs, most frequent first.  Feeds exact equality selectivities for
+    #: literals in the list and the pessimistic estimator's frequency
+    #: bounds (``docs/optimizer.md`` § "MCV statistics").
+    mcv: Tuple[Tuple[Any, int], ...] = ()
+    #: Total non-NULL rows in the column (denominator for frequency bounds).
+    non_null_rows: int = 0
 
     def selectivity_of_equality(self, row_count: int) -> float:
         """Estimated fraction of rows matching ``column = <some value>``."""
         if row_count <= 0 or self.distinct <= 0:
             return 0.0
         return max(0.0, (row_count - self.nulls) / row_count) / self.distinct
+
+    @property
+    def max_frequency(self) -> int:
+        """The occurrence count of the most common value (0 when empty)."""
+        return self.mcv[0][1] if self.mcv else 0
+
+    @property
+    def mcv_total(self) -> int:
+        """Rows covered by the most-common-value list."""
+        return sum(count for _, count in self.mcv)
+
+    def mcv_frequency(self, value: Any) -> Optional[int]:
+        """The exact count of ``value`` when it is in the MCV list."""
+        for candidate, count in self.mcv:
+            if candidate is value or candidate == value:
+                return count
+        return None
+
+    def frequency_bound(self, value: Any = _ANY_VALUE) -> int:
+        """A sound upper bound on how often ``value`` (or any value) occurs.
+
+        A value in the MCV list has its exact count; a value provably
+        outside it can occur at most ``min(least MCV count, rows not
+        covered by the list)`` times — and when the list covers every
+        distinct value, not at all.  Without a specific value the bound is
+        the top frequency (``max_frequency``).
+        """
+        if value is _ANY_VALUE:
+            return self.max_frequency
+        exact = self.mcv_frequency(value)
+        if exact is not None:
+            return exact
+        if self.distinct <= len(self.mcv):
+            return 0  # the list covers every distinct value
+        remaining = max(0, self.non_null_rows - self.mcv_total)
+        least_mcv = self.mcv[-1][1] if self.mcv else remaining
+        return min(least_mcv, remaining)
 
 
 @dataclass(frozen=True)
@@ -190,6 +251,8 @@ class StatisticsMaintainer:
                     nulls=nulls,
                     min_value=_safe_extreme(histogram, min),
                     max_value=_safe_extreme(histogram, max),
+                    mcv=_most_common(histogram),
+                    non_null_rows=sum(histogram.values()),
                 )
             self._snapshot = TableStatistics(
                 table_name=self._table_name,
@@ -199,6 +262,19 @@ class StatisticsMaintainer:
                 columns=columns,
             )
         return self._snapshot
+
+
+def _most_common(histogram: Dict[Any, int]) -> Tuple[Tuple[Any, int], ...]:
+    """The :data:`MCV_SIZE` most frequent ``(value, count)`` pairs.
+
+    Ties are broken by insertion order (``heapq.nlargest`` is stable over
+    dict iteration order), so repeated snapshots of the same histogram are
+    deterministic.
+    """
+    if not histogram:
+        return ()
+    top = heapq.nlargest(MCV_SIZE, histogram.items(), key=lambda item: item[1])
+    return tuple(top)
 
 
 def _safe_extreme(histogram: Dict[Any, int], picker) -> Any:

@@ -44,6 +44,7 @@ __all__ = [
     "ExecutionStats",
     "Operator",
     "explain_plan",
+    "q_error",
     "ScanOp",
     "IndexScanOp",
     "ValuesOp",
@@ -100,6 +101,12 @@ class Operator:
     #: heuristic strategy (whose EXPLAIN output is unchanged).
     estimated_rows: Optional[float] = None
     estimated_cost: Optional[float] = None
+    #: Feedback fingerprint of the join-graph node this operator computes
+    #: (:mod:`repro.sql.optimizer.feedback`); the executor's observation
+    #: pass records the operator's actual output rows under this key.
+    #: ``None`` when feedback-driven re-optimization is off or the operator
+    #: is outside the join pipeline.
+    feedback_key: Optional[Tuple] = None
 
     def execute(self, context: ExecutionContext, outer_scope: Optional[RowScope]) -> Relation:
         raise NotImplementedError
@@ -125,7 +132,11 @@ def explain_plan(
     Each line is ``describe()`` plus, when the optimizer annotated the
     operator, ``(est rows=N cost=C)``.  ``actuals`` (from EXPLAIN ANALYZE)
     maps ``id(operator)`` to ``(executions, total output rows)`` and adds
-    ``[actual rows=R loops=L]`` so estimates can be read against reality.
+    ``[actual rows=R loops=L]`` so estimates can be read against reality;
+    operators carrying an estimate additionally print ``q=N.NN`` — the
+    per-operator q-error (the larger of actual/estimated and
+    estimated/actual, +1-smoothed) — so a mis-planned node is visible from
+    the output alone.
     """
     line = "  " * indent + plan.describe()
     if plan.estimated_rows is not None:
@@ -134,6 +145,9 @@ def explain_plan(
     if actuals is not None:
         loops, total_rows = actuals.get(id(plan), (0, 0))
         line += f"  [actual rows={total_rows} loops={loops}]"
+        if plan.estimated_rows is not None:
+            actual = total_rows / max(1, loops)
+            line += f" q={q_error(plan.estimated_rows, actual):.2f}"
     lines = [line]
     for child in plan.children():
         lines.append(explain_plan(child, actuals, indent + 1))
@@ -143,6 +157,19 @@ def explain_plan(
 def _format_rows(estimate: float) -> str:
     """Row estimates print as integers (they are counts, not measurements)."""
     return str(int(round(estimate)))
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """The +1-smoothed q-error of an estimate (1.0 is a perfect estimate).
+
+    The same smoothing :meth:`ExecutionStats.record_estimation` applies, so
+    the values EXPLAIN ANALYZE prints line up with the counters it bumps.
+    """
+    smoothing = 1.0
+    return max(
+        (actual + smoothing) / (estimated + smoothing),
+        (estimated + smoothing) / (actual + smoothing),
+    )
 
 
 @dataclass

@@ -1,0 +1,167 @@
+"""Feedback-driven re-optimization: observed cardinalities as estimates.
+
+Hilda's request loop re-runs the same activation queries on every page
+render, so one mis-planned join is paid until the table's *size class*
+changes — the plan cache only re-optimizes on order-of-magnitude growth.
+This module closes the estimation feedback loop instead
+(``docs/optimizer.md`` § "Feedback-driven re-optimization"):
+
+* the executor *observes* the first execution of each cached plan (per
+  stats fingerprint) through the same instrumentation EXPLAIN ANALYZE
+  uses, recording the **true** output cardinality of every join-graph
+  node into a :class:`FeedbackCache`;
+* :class:`~repro.sql.optimizer.cardinality.CardinalityEstimator` consults
+  the cache *before* falling back to its System-R formulas, so the next
+  planning of any query touching the same node sees the truth;
+* when an observed plan's worst per-node q-error exceeds
+  ``OptimizerConfig.reopt_q_error``, the executor invalidates the cached
+  plan entry — the next execution re-plans with the corrected estimates
+  and is observed again, until observations stop teaching the cache
+  anything new (the termination guard: re-planning requires that the
+  observation *changed* a recorded cardinality or recorded a new node).
+
+Keys are **plan-node fingerprints** (:func:`leaf_fingerprint` /
+:func:`join_fingerprint`): a node's fingerprint captures the set of base
+relations it reads — each as ``(binding names, table name, size class,
+pushed-down conjuncts)`` — plus every join conjunct applied underneath.
+Two properties make this the right key:
+
+* it is *order-free*: every join tree over the same relations applying
+  the same conjuncts produces the same multiset of rows, so feedback
+  gathered under a bad join order prices the good one correctly;
+* it embeds each table's size class, so feedback ages out exactly when
+  the plan cache's own stats fingerprints do.
+
+Conjuncts are fingerprinted by ``repr()``: every expression class in
+``repro.sql.ast`` is a frozen dataclass, so reprs are deterministic and
+structural.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Iterable, Optional, Tuple
+
+__all__ = ["FeedbackCache", "join_fingerprint", "leaf_fingerprint"]
+
+#: Relative change below which a re-recorded cardinality counts as "the
+#: same" — the termination guard for the observe/re-plan loop.
+_CHANGE_TOLERANCE = 0.05
+
+
+def leaf_fingerprint(
+    names: Iterable[str],
+    table_name: Optional[str],
+    size_class: Optional[int],
+    pushed: Iterable[str],
+) -> Tuple:
+    """The fingerprint of one join-graph leaf (a scan plus pushed filters)."""
+    return (
+        "leaf",
+        tuple(sorted(names)),
+        table_name,
+        size_class,
+        tuple(sorted(pushed)),
+    )
+
+
+def join_fingerprint(leaves: Iterable[Tuple], conjuncts: Iterable[str]) -> Tuple:
+    """The fingerprint of a join over ``leaves`` applying ``conjuncts``.
+
+    Both inputs are order-free sets: the same relations joined under the
+    same conjuncts yield the same cardinality regardless of tree shape.
+    """
+    return ("join", tuple(sorted(leaves)), tuple(sorted(conjuncts)))
+
+
+class FeedbackCache:
+    """A bounded map from plan-node fingerprints to observed true rows.
+
+    Shared engine-wide through :class:`~repro.sql.executor.SQLCaches`
+    (executors are short-lived per Hilda instance context; the feedback
+    must outlive them to be worth anything), so every mutation takes the
+    internal lock.  Both stores are LRU-bounded: fingerprints embed size
+    classes, so entries for outgrown tables go cold and fall off the end.
+
+    The cache also keeps the *observation ledger* — which (query, stats
+    fingerprint) pairs have already had an instrumented execution — so the
+    executor pays the observation overhead once per plan-cache entry, not
+    per execution.
+    """
+
+    #: Bound on recorded (fingerprint -> actual rows) entries.
+    MAX_ENTRIES = 1024
+    #: Bound on the observation ledger (evicting re-observes, harmlessly).
+    MAX_OBSERVATIONS = 1024
+
+    __slots__ = ("_actuals", "_observed", "_lock", "max_entries")
+
+    def __init__(self, max_entries: int = MAX_ENTRIES) -> None:
+        self._actuals: "OrderedDict[Tuple, float]" = OrderedDict()
+        self._observed: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.max_entries = max_entries
+
+    # -- recorded cardinalities ------------------------------------------------
+
+    def lookup(self, key: Tuple) -> Optional[float]:
+        """The observed true cardinality of a plan node (None when unseen)."""
+        with self._lock:
+            actual = self._actuals.get(key)
+            if actual is not None:
+                self._actuals.move_to_end(key)
+            return actual
+
+    def record(self, key: Tuple, actual_rows: float) -> bool:
+        """Record an observed cardinality; True when it taught us something.
+
+        Returns False when ``key`` was already recorded within
+        :data:`_CHANGE_TOLERANCE` of ``actual_rows`` — the signal the
+        executor uses to stop re-planning a plan that no longer improves.
+        """
+        actual_rows = max(0.0, float(actual_rows))
+        with self._lock:
+            previous = self._actuals.get(key)
+            self._actuals[key] = actual_rows
+            self._actuals.move_to_end(key)
+            while len(self._actuals) > self.max_entries:
+                self._actuals.popitem(last=False)
+        if previous is None:
+            return True
+        scale = max(previous, actual_rows, 1.0)
+        return abs(previous - actual_rows) / scale > _CHANGE_TOLERANCE
+
+    # -- the observation ledger ------------------------------------------------
+
+    def mark_observed(self, token: Hashable) -> bool:
+        """Claim the one instrumented execution of a plan-cache entry.
+
+        True exactly once per token (until :meth:`forget_observation` or
+        ledger eviction); the caller that wins runs the observation.
+        """
+        with self._lock:
+            if token in self._observed:
+                self._observed.move_to_end(token)
+                return False
+            self._observed[token] = None
+            while len(self._observed) > self.MAX_OBSERVATIONS:
+                self._observed.popitem(last=False)
+            return True
+
+    def forget_observation(self, token: Hashable) -> None:
+        """Re-arm observation for a token (after invalidating its plan)."""
+        with self._lock:
+            self._observed.pop(token, None)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every recorded cardinality and observation (reset hook)."""
+        with self._lock:
+            self._actuals.clear()
+            self._observed.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._actuals)

@@ -28,6 +28,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tup
 from repro.relational.statistics import TableStatistics
 from repro.sql.ast import Expression
 from repro.sql.operators import Operator
+from repro.sql.optimizer.feedback import join_fingerprint
 
 __all__ = ["BaseRelation", "JoinTree", "JoinOrderEnumerator"]
 
@@ -53,6 +54,9 @@ class BaseRelation:
     est_rows: float = 0.0
     #: Estimated cost of materializing this leaf (scan or index scan + filter).
     est_cost: float = 0.0
+    #: Feedback fingerprint (:mod:`repro.sql.optimizer.feedback`); None when
+    #: feedback-driven re-optimization is off.
+    fingerprint: Optional[Tuple] = None
 
 
 @dataclass
@@ -74,6 +78,9 @@ class JoinTree:
     method: str = "hash"  # hash | index_nl | nested_loop | cross
     est_rows: float = 0.0
     est_cost: float = 0.0
+    #: Feedback fingerprint of this node's (relations, conjuncts) set; None
+    #: when feedback-driven re-optimization is off.
+    fingerprint: Optional[Tuple] = None
 
     def leaf_order(self) -> Tuple[int, ...]:
         """The syntactic positions of the leaves, left to right."""
@@ -95,6 +102,14 @@ class _State:
     cost: float
     used: FrozenSet[int]  # ids of consumed conjuncts
     order: Tuple[int, ...]
+    #: Frequency profile: qualifier -> worst-case duplication factor of one
+    #: base row inside this intermediate (pessimistic estimator only).
+    profile: Dict[str, float] = field(default_factory=dict)
+    #: Feedback-fingerprint material: the leaf fingerprints joined so far
+    #: and the repr-fingerprints of the conjuncts consumed (empty tuples
+    #: when feedback is off).
+    leaves: Tuple = ()
+    conjunct_reprs: Tuple[str, ...] = ()
 
 
 class JoinOrderEnumerator:
@@ -198,6 +213,9 @@ class JoinOrderEnumerator:
             cost=relation.est_cost,
             used=frozenset(),
             order=(relation.position,),
+            profile=self.estimator.leaf_profile(relation),
+            leaves=(relation.fingerprint,) if relation.fingerprint else (),
+            conjunct_reprs=(),
         )
 
     def _extend(
@@ -211,17 +229,34 @@ class JoinOrderEnumerator:
             left_keys: Tuple[Expression, ...] = ()
             right_keys: Tuple[Expression, ...] = ()
             used_conjuncts: Tuple[Expression, ...] = ()
-            output_rows = state.rows * candidate.est_rows
         else:
             left_list, right_list, used_list = keys
             left_keys = tuple(left_list)
             right_keys = tuple(right_list)
             used_conjuncts = tuple(used_list)
-            selectivity = self.estimator.join_selectivity(
-                left_keys, right_keys, self._stats_by_qualifier
+
+        # Fingerprint of the joined node: order-free over (leaves, consumed
+        # conjuncts), so feedback recorded under one join order prices every
+        # other order of the same node (tracked only when feedback is on).
+        fingerprint = None
+        leaves = state.leaves
+        conjunct_reprs = state.conjunct_reprs
+        if state.leaves and candidate.fingerprint:
+            leaves = state.leaves + (candidate.fingerprint,)
+            conjunct_reprs = state.conjunct_reprs + tuple(
+                repr(conjunct) for conjunct in used_conjuncts
             )
-            output_rows = state.rows * candidate.est_rows * selectivity
-        output_rows = max(0.0, min(output_rows, state.rows * candidate.est_rows))
+            fingerprint = join_fingerprint(leaves, conjunct_reprs)
+
+        output_rows, profile = self.estimator.join_rows(
+            left_rows=state.rows,
+            candidate=candidate,
+            left_keys=left_keys,
+            right_keys=right_keys,
+            stats_by_qualifier=self._stats_by_qualifier,
+            left_profile=state.profile,
+            fingerprint=fingerprint,
+        )
 
         index_ok = (
             bool(right_keys)
@@ -246,6 +281,7 @@ class JoinOrderEnumerator:
             method=chosen.method,
             est_rows=output_rows,
             est_cost=state.cost + step_cost,
+            fingerprint=fingerprint,
         )
         return _State(
             tree=tree,
@@ -254,6 +290,9 @@ class JoinOrderEnumerator:
             cost=state.cost + step_cost,
             used=state.used | {id(conjunct) for conjunct in used_conjuncts},
             order=state.order + (candidate.position,),
+            profile=dict(profile),
+            leaves=leaves,
+            conjunct_reprs=conjunct_reprs,
         )
 
     @staticmethod

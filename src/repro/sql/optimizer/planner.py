@@ -46,8 +46,9 @@ from repro.sql.operators import (
     SubqueryScanOp,
     ValuesOp,
 )
-from repro.sql.optimizer.cardinality import CardinalityEstimator
+from repro.sql.optimizer.cardinality import CardinalityEstimator, PessimisticEstimator
 from repro.sql.optimizer.cost import CostModel
+from repro.sql.optimizer.feedback import leaf_fingerprint
 from repro.sql.optimizer.joins import BaseRelation, JoinOrderEnumerator, JoinTree
 from repro.sql.optimizer.physical import (
     CostBasedOperatorSelection,
@@ -89,11 +90,16 @@ class CostBasedPlanner(Planner):
         config: Optional[OptimizerConfig] = None,
         physical_selection: Optional[PhysicalOperatorSelection] = None,
         cost_model: Optional[CostModel] = None,
+        feedback=None,
     ) -> None:
         super().__init__(catalog, optimize=optimize, auto_index=auto_index)
         self.optimizer_config = config if config is not None else OptimizerConfig()
         self.cost_model = cost_model if cost_model is not None else CostModel()
-        self.estimator = CardinalityEstimator(catalog)
+        #: The engine's FeedbackCache when feedback-driven re-optimization
+        #: is enabled (docs/optimizer.md); observed cardinalities override
+        #: the estimator's formulas per plan-node fingerprint.
+        self.feedback = feedback
+        self.estimator = self._make_estimator()
         self.physical_selection = (
             physical_selection
             if physical_selection is not None
@@ -108,6 +114,12 @@ class CostBasedPlanner(Planner):
         #: the fingerprint, so a reused planner starts each plan fresh).
         self._planning = False
 
+    def _make_estimator(self) -> CardinalityEstimator:
+        """The estimator the config selects, wired to the feedback cache."""
+        if self.optimizer_config.estimator == "pessimistic":
+            return PessimisticEstimator(self.catalog, feedback=self.feedback)
+        return CardinalityEstimator(self.catalog, feedback=self.feedback)
+
     # -- entry point ----------------------------------------------------------
 
     def plan(self, query) -> Operator:
@@ -117,7 +129,7 @@ class CostBasedPlanner(Planner):
             self.stats_fingerprint = {}
             # Fresh statistics snapshots per plan: a reused planner must
             # see current table sizes, not the ones cached last time.
-            self.estimator = CardinalityEstimator(self.catalog)
+            self.estimator = self._make_estimator()
         try:
             plan = super().plan(query)
         finally:
@@ -164,7 +176,17 @@ class CostBasedPlanner(Planner):
                 join_conjuncts.append(conjunct)
             else:
                 target.pushed.append(conjunct)
+        track_feedback = self.feedback is not None
         for relation in relations:
+            if track_feedback:
+                relation.fingerprint = leaf_fingerprint(
+                    relation.names,
+                    relation.table_name,
+                    relation.statistics.size_class
+                    if relation.statistics is not None
+                    else None,
+                    (repr(conjunct) for conjunct in relation.pushed),
+                )
             self._estimate_leaf(relation)
         stats_by_qualifier = {
             name: relation.statistics
@@ -256,12 +278,12 @@ class CostBasedPlanner(Planner):
             base_rows = self.estimator.DEFAULT_ROWS
         relation.est_base_rows = base_rows
 
-        selectivity = 1.0
-        for conjunct in relation.pushed:
-            selectivity *= self.estimator.predicate_selectivity(
-                conjunct, relation.statistics
-            )
-        relation.est_rows = base_rows * selectivity
+        selectivity = self.estimator.conjunction_selectivity(
+            relation.pushed, relation.statistics
+        )
+        relation.est_rows = self.estimator.leaf_rows(
+            base_rows * selectivity, relation.fingerprint
+        )
         scan_cost = self.cost_model.scan(base_rows)
         if relation.pushed:
             scan_cost += self.cost_model.filter(base_rows, len(relation.pushed))
@@ -287,13 +309,12 @@ class CostBasedPlanner(Planner):
     ) -> float:
         """Selectivity of the pushed conjuncts an index scan consumed."""
         remaining_ids = {id(conjunct) for conjunct in remaining}
-        selectivity = 1.0
-        for conjunct in relation.pushed:
-            if id(conjunct) not in remaining_ids:
-                selectivity *= self.estimator.predicate_selectivity(
-                    conjunct, relation.statistics
-                )
-        return selectivity
+        consumed = [
+            conjunct
+            for conjunct in relation.pushed
+            if id(conjunct) not in remaining_ids
+        ]
+        return self.estimator.conjunction_selectivity(consumed, relation.statistics)
 
     # -- index-join admission (shared with stages 3 and 4) ------------------------
 
@@ -344,6 +365,7 @@ class CostBasedPlanner(Planner):
                 residual=None,
             )
             if index_join is not None:
+                index_join.feedback_key = node.fingerprint
                 return self._annotate(index_join, node.est_rows, node.est_cost)
             method = "hash"  # repair an inadmissible assignment
         elif method == "index_nl":
@@ -369,6 +391,7 @@ class CostBasedPlanner(Planner):
             )
         else:
             joined = NestedLoopJoinOp(left_op, right_op, join_type="CROSS")
+        joined.feedback_key = node.fingerprint
         return self._annotate(joined, node.est_rows, node.est_cost)
 
     def _build_leaf(self, relation: BaseRelation, assignment) -> Operator:
@@ -380,6 +403,7 @@ class CostBasedPlanner(Planner):
             if remaining:
                 op = FilterOp(op, _combine_conjuncts(remaining))
                 op = self._annotate(op, relation.est_rows, relation.est_cost)
+            op.feedback_key = relation.fingerprint
             return op
         op = self._annotate(
             relation.operator,
@@ -389,6 +413,7 @@ class CostBasedPlanner(Planner):
         if relation.pushed:
             op = FilterOp(op, _combine_conjuncts(relation.pushed))
             op = self._annotate(op, relation.est_rows, relation.est_cost)
+        op.feedback_key = relation.fingerprint
         return op
 
     @staticmethod
@@ -421,6 +446,10 @@ class CostBasedPlanner(Planner):
             for child in plan.children()
             if child.estimated_rows is not None
         )
+        # Under the pessimistic estimator every fallback below must stay a
+        # sound upper bound, so the average-case default selectivities are
+        # replaced by "keeps everything" / cross-product caps.
+        pessimistic = self.estimator.pessimistic
         rows: Optional[float] = None
         if isinstance(plan, ScanOp):
             rows = self.estimator.base_rows(plan.table_name)
@@ -428,23 +457,45 @@ class CostBasedPlanner(Planner):
         elif isinstance(plan, IndexScanOp):
             stats = self.estimator.table_statistics(plan.table_name)
             base = float(stats.row_count) if stats is not None else self.estimator.DEFAULT_ROWS
-            rows = base * (self.estimator.DEFAULT_EQUALITY ** len(plan.key_columns))
+            if pessimistic:
+                # One probe returns at most the key columns' top frequency.
+                frequencies = [
+                    float(stats.column(column).max_frequency)
+                    for column in plan.key_columns
+                    if stats is not None and stats.column(column) is not None
+                ] if stats is not None else []
+                rows = min(frequencies) if frequencies else base
+            else:
+                rows = base * (self.estimator.DEFAULT_EQUALITY ** len(plan.key_columns))
             child_cost = self.cost_model.index_scan(rows)
         elif isinstance(plan, ValuesOp):
             rows = float(len(plan.rows))
         elif len(child_rows) != len(plan.children()) or not child_rows:
             return  # some child has no estimate: leave this subtree blank
         elif isinstance(plan, FilterOp):
-            rows = child_rows[0] * self.estimator.DEFAULT
+            rows = child_rows[0] * (1.0 if pessimistic else self.estimator.DEFAULT)
         elif isinstance(plan, IndexNestedLoopJoinOp):
             right = self.estimator.base_rows(plan.table_name)
-            rows = child_rows[0] * right * self.estimator.DEFAULT_JOIN
+            rows = child_rows[0] * right
+            if not pessimistic:
+                rows *= self.estimator.DEFAULT_JOIN
         elif isinstance(plan, HashJoinOp):
-            rows = child_rows[0] * child_rows[1] * self.estimator.DEFAULT_JOIN
+            rows = child_rows[0] * child_rows[1]
+            if pessimistic:
+                if plan.join_type == "LEFT":
+                    rows = max(child_rows[0], rows)
+            else:
+                rows *= self.estimator.DEFAULT_JOIN
         elif isinstance(plan, NestedLoopJoinOp):
             pairs = child_rows[0] * child_rows[1]
             if plan.join_type == "CROSS":
                 rows = pairs
+            elif pessimistic:
+                # INNER keeps at most the cross product; LEFT additionally
+                # keeps every unmatched left row.
+                rows = pairs
+                if plan.join_type == "LEFT":
+                    rows = max(child_rows[0], pairs)
             else:
                 rows = pairs * self.estimator.DEFAULT_JOIN
                 if plan.join_type == "LEFT":
@@ -473,6 +524,8 @@ class CostBasedPlanner(Planner):
             return min(float(plan.limit), child_rows[0])
         if isinstance(plan, AggregateOp):
             if plan.group_by:
+                if self.estimator.pessimistic:
+                    return child_rows[0]  # at most one group per input row
                 return max(1.0, child_rows[0] * 0.1)
             return 1.0
         if isinstance(plan, UnionOp):

@@ -10,18 +10,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 
-__all__ = ["ExecutionStats", "CacheStats", "MaintenanceStats", "estimation_totals"]
-
-#: Process-wide accumulation of every ``record_estimation`` call, so the
-#: benchmark artifacts can report the run's q-error totals without having
-#: to thread each executor's :class:`ExecutionStats` to the writer (the
-#: counters are informational; ints under the GIL need no lock).
-_PROCESS_ESTIMATION = {"checks": 0, "underestimates": 0, "overestimates": 0}
-
-
-def estimation_totals() -> dict:
-    """The process-wide EXPLAIN ANALYZE q-error counters (see module doc)."""
-    return dict(_PROCESS_ESTIMATION)
+__all__ = ["ExecutionStats", "CacheStats", "EstimationStats", "MaintenanceStats"]
 
 
 @dataclass
@@ -78,22 +67,57 @@ class ExecutionStats:
         self.maintenance_bailouts += other.maintenance_bailouts
         self.maintenance_delta_rows += other.maintenance_delta_rows
 
-    def record_estimation(self, estimated: float, actual: int) -> None:
+    def record_estimation(self, estimated: float, actual: float) -> None:
         """Record one estimate-vs-actual comparison (EXPLAIN ANALYZE)."""
         self.estimation_checks += 1
-        _PROCESS_ESTIMATION["checks"] += 1
         q_error_floor = 1.0  # +1 smoothing keeps empty results comparable
         under = (actual + q_error_floor) / (estimated + q_error_floor)
         over = (estimated + q_error_floor) / (actual + q_error_floor)
         if under > 2.0:
             self.estimation_underestimates += 1
-            _PROCESS_ESTIMATION["underestimates"] += 1
         elif over > 2.0:
             self.estimation_overestimates += 1
-            _PROCESS_ESTIMATION["overestimates"] += 1
 
     def as_dict(self) -> dict:
         """A plain-dict view (benchmark JSON artifacts)."""
+        return asdict(self)
+
+
+@dataclass
+class EstimationStats:
+    """Engine-scoped estimate-vs-actual totals (docs/optimizer.md).
+
+    Replaces the old process-global counter dict: each engine accumulates
+    its own totals on its :class:`~repro.sql.executor.SQLCaches` (executors
+    are short-lived per Hilda context, so per-executor
+    :class:`ExecutionStats` counters vanish with them), forked cluster
+    workers count independently, and :meth:`reset` is the explicit hook
+    benchmarks use between phases.  ``checks`` counts every
+    estimate-vs-actual comparison made by EXPLAIN ANALYZE and the feedback
+    observation pass; ``underestimates`` / ``overestimates`` count the
+    comparisons off by more than a q-error of 2; ``replans`` counts
+    feedback-driven plan invalidations (mutation is plain int arithmetic
+    under the GIL, matching the other informational counters).
+    """
+
+    checks: int = 0
+    underestimates: int = 0
+    overestimates: int = 0
+    replans: int = 0
+
+    def add(self, checks: int, underestimates: int, overestimates: int) -> None:
+        """Accumulate one instrumented execution's estimation counters."""
+        self.checks += checks
+        self.underestimates += underestimates
+        self.overestimates += overestimates
+
+    def reset(self) -> None:
+        self.checks = 0
+        self.underestimates = 0
+        self.overestimates = 0
+        self.replans = 0
+
+    def as_dict(self) -> dict:
         return asdict(self)
 
 

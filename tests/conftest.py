@@ -15,6 +15,19 @@ from repro.runtime.engine import HildaEngine
 from repro.sql.executor import SQLExecutor
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-plans",
+        action="store_true",
+        default=False,
+        help=(
+            "Refresh tests/sql/plan_expectations.json from the plans the "
+            "optimizer produces now instead of asserting against it "
+            "(the plan-regression suite's update tool)."
+        ),
+    )
+
+
 @pytest.fixture(scope="session")
 def minicms_program():
     """The resolved MiniCMS program (expensive to build; shared read-only)."""

@@ -83,6 +83,29 @@ class TestExplainAnalyze:
         assert "[actual rows=50 loops=1]" in text
         assert "(est rows=" not in text  # heuristic plans carry no estimates
         assert executor.stats.estimation_checks == 0
+        # No estimate -> no q-error to print either.
+        assert " q=" not in text
+
+    def test_per_operator_q_error_is_printed(self):
+        text = SQLExecutor(sample_db()).explain(JOIN, analyze=True)
+        join_line = next(line for line in text.splitlines() if "Join" in line)
+        # est 50, actual 50: a perfect estimate prints q=1.00 after the
+        # actual-rows bracket so mis-planned nodes are visible inline.
+        assert re.search(r"\[actual rows=50 loops=1\] q=1\.00$", join_line)
+
+    def test_q_error_flags_the_misestimated_operator(self):
+        executor = SQLExecutor(sample_db())
+        text = executor.explain(
+            "SELECT Z.zid FROM zebra Z, ant A WHERE Z.aid = A.aid AND Z.zid + A.aid < -1",
+            analyze=True,
+        )
+        values = [
+            float(match.group(1)) for match in re.finditer(r" q=([\d.]+)", text)
+        ]
+        assert values, "analyze output should print per-operator q-errors"
+        # The impossible predicate's operator overestimates by far more
+        # than the q-error-of-2 reporting threshold.
+        assert max(values) > 2.0
 
 
 class TestTablesReadLine:

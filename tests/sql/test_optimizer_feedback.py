@@ -1,0 +1,175 @@
+"""Feedback-driven re-optimization: cache semantics and the re-plan loop."""
+
+from __future__ import annotations
+
+from repro.config import EngineConfig, OptimizerConfig
+from repro.relational.database import Database
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.sql.executor import SQLExecutor
+from repro.sql.optimizer import FeedbackCache, join_fingerprint, leaf_fingerprint
+
+
+def skewed_db() -> Database:
+    """Half of ``big.k`` and ``mid.k`` are 0 — the System-R uniformity
+    assumption estimates their equi-join at |big|·|mid|/distinct while the
+    true result is quadratic in the skewed half."""
+    db = Database("skew")
+    db.create_table(
+        TableSchema(
+            "big", [Column("aid", DataType.INT), Column("k", DataType.INT)], ["aid"]
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "mid", [Column("bid", DataType.INT), Column("k", DataType.INT)], ["bid"]
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "tiny",
+            [
+                Column("cid", DataType.INT),
+                Column("aid", DataType.INT),
+                Column("tag", DataType.STRING),
+            ],
+            ["cid"],
+        )
+    )
+    db.insert_many("big", [(i, 0 if i % 2 == 0 else i) for i in range(2000)])
+    db.insert_many("mid", [(i, 0 if i % 2 == 0 else i) for i in range(500)])
+    db.insert_many(
+        "tiny", [(i, i, "hot" if i < 5 else "cold") for i in range(10)]
+    )
+    return db
+
+
+QUERY = (
+    "SELECT count(*) FROM big, mid, tiny "
+    "WHERE big.k = mid.k AND big.aid = tiny.aid AND tiny.tag = 'hot'"
+)
+
+
+def feedback_executor(db, reopt_q_error=4.0) -> SQLExecutor:
+    return SQLExecutor(
+        db,
+        config=EngineConfig(
+            optimizer=OptimizerConfig(
+                strategy="cost", feedback=True, reopt_q_error=reopt_q_error
+            )
+        ),
+    )
+
+
+class TestFeedbackCache:
+    def test_record_reports_whether_it_learned(self):
+        cache = FeedbackCache()
+        key = ("join", (), ())
+        assert cache.record(key, 100.0) is True  # new fact
+        assert cache.record(key, 101.0) is False  # within 5% tolerance
+        assert cache.record(key, 200.0) is True  # a real change
+        assert cache.lookup(key) == 200.0
+        assert cache.lookup(("join", ("x",), ())) is None
+
+    def test_lru_bound_evicts_oldest(self):
+        cache = FeedbackCache(max_entries=2)
+        cache.record(("a",), 1.0)
+        cache.record(("b",), 2.0)
+        cache.lookup(("a",))  # refresh: ("b",) is now the LRU entry
+        cache.record(("c",), 3.0)
+        assert cache.lookup(("b",)) is None
+        assert cache.lookup(("a",)) == 1.0
+        assert len(cache) == 2
+
+    def test_observation_ledger_is_one_shot_until_rearmed(self):
+        cache = FeedbackCache()
+        assert cache.mark_observed("token") is True
+        assert cache.mark_observed("token") is False
+        cache.forget_observation("token")
+        assert cache.mark_observed("token") is True
+
+    def test_clear_resets_everything(self):
+        cache = FeedbackCache()
+        cache.record(("a",), 1.0)
+        cache.mark_observed("token")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.mark_observed("token") is True
+
+
+class TestFingerprints:
+    def test_join_fingerprint_is_order_free(self):
+        left = leaf_fingerprint(["a"], "big", 3, [])
+        right = leaf_fingerprint(["b"], "mid", 2, ["(b.k = 0)"])
+        conjuncts = ["(a.k = b.k)", "(a.aid = b.bid)"]
+        assert join_fingerprint([left, right], conjuncts) == join_fingerprint(
+            [right, left], list(reversed(conjuncts))
+        )
+
+    def test_leaf_fingerprint_embeds_the_size_class(self):
+        small = leaf_fingerprint(["a"], "big", 3, [])
+        grown = leaf_fingerprint(["a"], "big", 4, [])
+        assert small != grown
+
+
+class TestReplanLoop:
+    def test_misplanned_skew_join_triggers_one_replan(self):
+        executor = feedback_executor(skewed_db())
+        first = executor.query_scalar(QUERY)
+        assert executor.caches.estimation.replans == 1
+        assert len(executor.caches.feedback) > 0
+        # The loop converges: re-executions re-observe the corrected plan
+        # and learn nothing new, so no further invalidations happen.
+        for _ in range(3):
+            assert executor.query_scalar(QUERY) == first
+        assert executor.caches.estimation.replans == 1
+
+    def test_replanned_estimates_match_observed_cardinalities(self):
+        executor = feedback_executor(skewed_db())
+        executor.query_scalar(QUERY)
+        # Planning the same query again consults the feedback cache: the
+        # skewed join's estimate must now be the observed truth, so every
+        # operator's q-error in EXPLAIN ANALYZE is within the threshold.
+        before = executor.stats.estimation_underestimates
+        executor.explain(QUERY, analyze=True)
+        assert executor.stats.estimation_underestimates == before
+
+    def test_frozen_plan_keeps_misestimating_without_feedback(self):
+        executor = SQLExecutor(skewed_db())
+        executor.explain(QUERY, analyze=True)
+        assert executor.stats.estimation_underestimates > 0
+        assert executor.caches.estimation.replans == 0
+
+    def test_threshold_gates_replanning(self):
+        # An absurdly loose threshold records feedback but never re-plans.
+        executor = feedback_executor(skewed_db(), reopt_q_error=1e9)
+        executor.query_scalar(QUERY)
+        assert executor.caches.estimation.replans == 0
+        assert len(executor.caches.feedback) > 0
+
+    def test_feedback_is_off_by_default_and_under_heuristic(self):
+        executor = SQLExecutor(skewed_db())
+        executor.query_scalar(QUERY)
+        assert len(executor.caches.feedback) == 0
+        heuristic = SQLExecutor(
+            skewed_db(),
+            config=EngineConfig(
+                optimizer=OptimizerConfig(strategy="heuristic", feedback=True)
+            ),
+        )
+        heuristic.query_scalar(QUERY)
+        assert len(heuristic.caches.feedback) == 0
+
+    def test_estimation_stats_are_engine_scoped(self):
+        first = feedback_executor(skewed_db())
+        second = feedback_executor(skewed_db())
+        first.query_scalar(QUERY)
+        assert first.caches.estimation.checks > 0
+        assert second.caches.estimation.checks == 0
+        first.caches.estimation.reset()
+        assert first.caches.estimation.as_dict() == {
+            "checks": 0,
+            "underestimates": 0,
+            "overestimates": 0,
+            "replans": 0,
+        }
